@@ -1,0 +1,94 @@
+//! Criterion benchmarks for the blockchain substrate: PoW sealing, block
+//! validation, store insertion and record lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartcrowd_chain::pow::Miner;
+use smartcrowd_chain::record::{Record, RecordKind};
+use smartcrowd_chain::validate::{validate_block, AcceptAll};
+use smartcrowd_chain::{Block, ChainStore, Difficulty, Ether};
+use smartcrowd_crypto::keys::KeyPair;
+use smartcrowd_crypto::Address;
+use std::hint::black_box;
+
+fn records(n: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let kp = KeyPair::from_seed(&i.to_be_bytes());
+            Record::signed(
+                RecordKind::InitialReport,
+                vec![i as u8; 64],
+                Ether::from_milliether(11),
+                i,
+                &kp,
+            )
+        })
+        .collect()
+}
+
+fn bench_pow(c: &mut Criterion) {
+    let genesis = Block::genesis(Difficulty::from_u64(256));
+    let miner = Miner::new(Address::from_label("bench")).with_max_attempts(10_000_000);
+    c.bench_function("pow/seal-d256", |b| {
+        let mut ts = genesis.header().timestamp;
+        b.iter(|| {
+            ts += 1; // vary the header so each seal is a fresh search
+            miner
+                .mine_next(black_box(&genesis), vec![], ts)
+                .expect("difficulty 256 is minable")
+        })
+    });
+}
+
+fn bench_block_validation(c: &mut Criterion) {
+    let genesis = Block::genesis(Difficulty::from_u64(1));
+    let store = ChainStore::new(genesis.clone());
+    let miner = Miner::new(Address::from_label("bench"));
+    let block = miner
+        .mine_next(&genesis, records(16), genesis.header().timestamp + 15)
+        .unwrap();
+    c.bench_function("chain/validate-block-16rec", |b| {
+        b.iter(|| validate_block(black_box(&store), black_box(&block), &AcceptAll).unwrap())
+    });
+    c.bench_function("chain/structural-validate-16rec", |b| {
+        b.iter(|| black_box(&block).validate_structure().unwrap())
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    c.bench_function("chain/insert-100-blocks", |b| {
+        b.iter(|| {
+            let genesis = Block::genesis(Difficulty::from_u64(1));
+            let miner = Miner::new(Address::from_label("bench"));
+            let mut store = ChainStore::new(genesis.clone());
+            let mut parent = genesis;
+            for _ in 0..100 {
+                let block = miner
+                    .mine_next(&parent, vec![], parent.header().timestamp + 15)
+                    .unwrap();
+                store.insert(block.clone()).unwrap();
+                parent = block;
+            }
+            store.best_height()
+        })
+    });
+    // Record lookup on a populated chain.
+    let genesis = Block::genesis(Difficulty::from_u64(1));
+    let miner = Miner::new(Address::from_label("bench"));
+    let mut store = ChainStore::new(genesis.clone());
+    let rs = records(64);
+    let target = rs[32].id();
+    let mut parent = genesis;
+    for chunk in rs.chunks(8) {
+        let block = miner
+            .mine_next(&parent, chunk.to_vec(), parent.header().timestamp + 15)
+            .unwrap();
+        store.insert(block.clone()).unwrap();
+        parent = block;
+    }
+    c.bench_function("chain/find-record", |b| {
+        b.iter(|| store.find_record(black_box(&target)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pow, bench_block_validation, bench_store);
+criterion_main!(benches);

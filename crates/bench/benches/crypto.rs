@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the cryptographic substrate.
+//!
+//! These quantify the per-message cost of the protocol's verification
+//! hot paths: hashing (report ids), ECDSA (signatures on every SRA and
+//! report), and Merkle construction (block assembly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartcrowd_crypto::keccak::keccak256;
+use smartcrowd_crypto::keys::{recover_public_key, KeyPair};
+use smartcrowd_crypto::merkle::MerkleTree;
+use smartcrowd_crypto::ripemd160::ripemd160;
+use smartcrowd_crypto::sha256::sha256;
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let data_1k = vec![0xabu8; 1024];
+    c.bench_function("keccak256/1KiB", |b| {
+        b.iter(|| keccak256(black_box(&data_1k)))
+    });
+    c.bench_function("sha256/1KiB", |b| b.iter(|| sha256(black_box(&data_1k))));
+    c.bench_function("ripemd160/1KiB", |b| {
+        b.iter(|| ripemd160(black_box(&data_1k)))
+    });
+}
+
+fn bench_ecdsa(c: &mut Criterion) {
+    let kp = KeyPair::from_seed(b"bench");
+    let digest = keccak256(b"message");
+    let sig = kp.sign(&digest);
+    c.bench_function("ecdsa/sign", |b| b.iter(|| kp.sign(black_box(&digest))));
+    c.bench_function("ecdsa/verify", |b| {
+        b.iter(|| kp.public().verify(black_box(&digest), black_box(&sig)))
+    });
+    c.bench_function("ecdsa/recover", |b| {
+        b.iter(|| recover_public_key(black_box(&digest), black_box(&sig)).unwrap())
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..64u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    c.bench_function("merkle/build-64", |b| {
+        b.iter(|| MerkleTree::from_leaves(leaves.iter().map(|l| l.as_slice())))
+    });
+    let tree = MerkleTree::from_leaves(leaves.iter().map(|l| l.as_slice()));
+    let proof = tree.proof(17).unwrap();
+    let root = tree.root();
+    c.bench_function("merkle/verify-proof-64", |b| {
+        b.iter(|| proof.verify(black_box(&leaves[17]), black_box(&root)))
+    });
+}
+
+criterion_group!(benches, bench_hashes, bench_ecdsa, bench_merkle);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! End-to-end Criterion benchmarks: platform block production with the
+//! full record pipeline, and a complete release→detect→pay round trip.
+//! These measure the throughput a downstream deployment would see.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartcrowd_chain::rng::SimRng;
+use smartcrowd_chain::Ether;
+use smartcrowd_core::platform::{Platform, PlatformConfig};
+use smartcrowd_core::report::{create_report_pair, Findings};
+use smartcrowd_crypto::keys::KeyPair;
+use smartcrowd_detect::system::IoTSystem;
+use smartcrowd_detect::vulnerability::VulnId;
+
+fn bench_block_production(c: &mut Criterion) {
+    c.bench_function("e2e/mine-100-empty-blocks", |b| {
+        b.iter(|| {
+            let mut p = Platform::new(PlatformConfig::paper());
+            for _ in 0..100 {
+                p.mine_block();
+            }
+            p.store().best_height()
+        })
+    });
+}
+
+fn bench_full_round(c: &mut Criterion) {
+    c.bench_function("e2e/release-detect-pay-roundtrip", |b| {
+        b.iter(|| {
+            let mut p = Platform::new(PlatformConfig::paper());
+            let mut rng = SimRng::seed_from_u64(5);
+            let system = IoTSystem::build(
+                "fw",
+                "1",
+                p.library(),
+                vec![VulnId(1), VulnId(2)],
+                &mut rng,
+            )
+            .unwrap();
+            let sra_id = p
+                .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
+                .unwrap();
+            let detector = KeyPair::from_seed(b"bench-detector");
+            p.fund(detector.address(), Ether::from_ether(10));
+            let (initial, detailed) = create_report_pair(
+                &detector,
+                sra_id,
+                Findings::new(vec![VulnId(1), VulnId(2)], "both"),
+            );
+            p.submit_initial(&detector, initial).unwrap();
+            p.mine_blocks(8);
+            p.submit_detailed(&detector, detailed).unwrap();
+            let payouts = p.mine_blocks(8);
+            assert_eq!(payouts.len(), 1);
+        })
+    });
+}
+
+fn config_small_sample() -> Criterion {
+    // End-to-end rounds are heavy; keep the sample count modest.
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config_small_sample();
+    targets = bench_block_production, bench_full_round
+}
+criterion_main!(benches);

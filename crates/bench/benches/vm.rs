@@ -1,0 +1,109 @@
+//! Criterion benchmarks for the SCVM: assembly, contract deployment, and
+//! the two SmartCrowd contract hot paths (escrow payout, registry submit).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartcrowd_chain::Ether;
+use smartcrowd_core::contracts::{ReportRegistry, SraEscrow, REPORT_REGISTRY_ASM, SRA_ESCROW_ASM};
+use smartcrowd_crypto::Address;
+use smartcrowd_vm::asm::assemble;
+use smartcrowd_vm::exec::{CallContext, Vm};
+use smartcrowd_vm::WorldState;
+use std::hint::black_box;
+
+fn bench_assembler(c: &mut Criterion) {
+    c.bench_function("vm/assemble-escrow", |b| {
+        b.iter(|| assemble(black_box(SRA_ESCROW_ASM)).unwrap())
+    });
+    c.bench_function("vm/assemble-registry", |b| {
+        b.iter(|| assemble(black_box(REPORT_REGISTRY_ASM)).unwrap())
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    // A compute-heavy loop: sum 1..=100.
+    let code = assemble(
+        "
+        PUSH 100\nPUSH 0\nSSTORE\n
+    loop:
+        PUSH 0\nSLOAD\nISZERO\nPUSH @end\nJUMPI\n
+        PUSH 1\nSLOAD\nPUSH 0\nSLOAD\nADD\nPUSH 1\nSSTORE\n
+        PUSH 0\nSLOAD\nPUSH 1\nSUB\nPUSH 0\nSSTORE\n
+        PUSH 1\nPUSH @loop\nJUMPI\n
+    end:
+        JUMPDEST\nPUSH 1\nSLOAD\nRETURNVAL\n
+    ",
+    )
+    .unwrap();
+    let mut state = WorldState::new();
+    let owner = Address::from_label("owner");
+    state.credit(owner, Ether::from_ether(1_000_000));
+    let contract = state.deploy_contract(owner, code).unwrap();
+    let vm = Vm::default();
+    c.bench_function("vm/loop-100-iterations", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            vm.call(&mut s, CallContext::new(owner, contract), &[]).unwrap()
+        })
+    });
+}
+
+fn bench_contracts(c: &mut Criterion) {
+    let vm = Vm::default();
+    c.bench_function("vm/escrow-deploy+init", |b| {
+        b.iter(|| {
+            let mut state = WorldState::new();
+            let provider = Address::from_label("p");
+            state.credit(provider, Ether::from_ether(2000));
+            SraEscrow::deploy(
+                &vm,
+                &mut state,
+                provider,
+                Ether::from_ether(1000),
+                Ether::from_ether(25),
+                Address::from_label("consensus"),
+                (0, 0),
+            )
+            .unwrap()
+        })
+    });
+
+    let mut state = WorldState::new();
+    let provider = Address::from_label("p");
+    let trigger = Address::from_label("consensus");
+    state.credit(provider, Ether::from_ether(2_000_000));
+    state.credit(trigger, Ether::from_ether(1_000_000));
+    // μ = 1 wei and a 10²⁴-wei escrow: criterion's warmup cannot drain it.
+    let escrow = SraEscrow::deploy(
+        &vm,
+        &mut state,
+        provider,
+        Ether::from_ether(1_000_000),
+        Ether::from_wei(1),
+        trigger,
+        (0, 0),
+    )
+    .unwrap();
+    let wallet = Address::from_label("detector");
+    state.credit(wallet, Ether::from_ether(1_000_000)); // gas float
+    c.bench_function("vm/escrow-payout", |b| {
+        b.iter(|| {
+            escrow
+                .payout(&vm, &mut state, trigger, wallet, 1, (0, 0))
+                .unwrap()
+        })
+    });
+
+    let registry = ReportRegistry::deploy(&vm, &mut state, trigger).unwrap();
+    c.bench_function("vm/registry-submit", |b| {
+        let mut i = 0u8;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            registry
+                .submit(&vm, &mut state, wallet, &[i; 32], (0, 0))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_assembler, bench_interpreter, bench_contracts);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! Ablations for the design choices called out in `DESIGN.md` §6: each
+//! experiment runs a defence **on** and **off** and shows the attack (or
+//! cost) landing when it is off.
+//!
+//! 1. Two-phase vs single-phase report submission → plagiarism success.
+//! 2. Escrowed insurance vs provider-goodwill payouts → repudiation.
+//! 3. Detector scoreboard on/off → forged-report verification load.
+//! 4. Simulated-clock vs real-PoW mining → distributional agreement.
+//!
+//! Run: `cargo run --release -p smartcrowd-bench --bin ablations`
+
+use smartcrowd_bench::{stats, table};
+use smartcrowd_chain::mempool::Mempool;
+use smartcrowd_chain::record::{Record, RecordKind};
+use smartcrowd_chain::simminer::{SimMiner, PAPER_HASH_POWERS};
+use smartcrowd_chain::{Block, Difficulty, Ether};
+use smartcrowd_core::attacks::plagiarism;
+use smartcrowd_core::report::{create_report_pair, Findings};
+use smartcrowd_crypto::keys::KeyPair;
+use smartcrowd_crypto::Address;
+use smartcrowd_detect::vulnerability::VulnId;
+
+fn main() {
+    ablation_two_phase();
+    ablation_escrow();
+    ablation_scoreboard();
+    ablation_simminer_vs_pow();
+}
+
+/// Without the commit-reveal split, a plagiarist who watches the mempool
+/// can outbid the victim's revealed report and claim the bounty.
+fn ablation_two_phase() {
+    println!("== Ablation 1: two-phase report submission ==\n");
+
+    // WITH the defence: the platform-level plagiarism scenario fails.
+    let with_defense = plagiarism();
+    println!("with two-phase submission: plagiarist paid = {}", with_defense.succeeded);
+
+    // WITHOUT: emulate a single-phase protocol where the first *detailed*
+    // report in fee order wins. The thief sees the victim's reveal in the
+    // mempool and re-submits the same findings with a higher fee.
+    let victim = KeyPair::from_seed(b"victim");
+    let thief = KeyPair::from_seed(b"thief");
+    let findings = Findings::new(vec![VulnId(1), VulnId(2)], "victim's work");
+    let (_, victim_detailed) = create_report_pair(&victim, [7; 32], findings.clone());
+    let (_, thief_copy) = create_report_pair(&thief, [7; 32], findings);
+
+    let mut pool = Mempool::new(16);
+    pool.insert(Record::signed(
+        RecordKind::DetailedReport,
+        victim_detailed.encode(),
+        Ether::from_milliether(11),
+        0,
+        &victim,
+    ))
+    .unwrap();
+    // The thief front-runs with a fatter fee.
+    pool.insert(Record::signed(
+        RecordKind::DetailedReport,
+        thief_copy.encode(),
+        Ether::from_milliether(50),
+        0,
+        &thief,
+    ))
+    .unwrap();
+    let ordered = pool.take_best(2);
+    let first_sender = ordered[0].sender();
+    let thief_wins_single_phase = first_sender == thief.address();
+    println!(
+        "without it (single-phase, fee-ordered): plagiarist recorded first = \
+         {thief_wins_single_phase}\n"
+    );
+    assert!(!with_defense.succeeded && thief_wins_single_phase);
+    println!(
+        "→ the commit-reveal split is load-bearing: remove it and mempool \
+         front-running steals bounties.\n"
+    );
+}
+
+/// Without the escrow, the payout needs the provider's cooperation, which a
+/// misbehaving provider simply withholds.
+fn ablation_escrow() {
+    println!("== Ablation 2: escrowed insurance ==\n");
+    use smartcrowd_core::contracts::SraEscrow;
+    use smartcrowd_vm::{Vm, WorldState};
+
+    let vm = Vm::default();
+    let mut state = WorldState::new();
+    let provider = Address::from_label("provider");
+    let trigger = Address::from_label("consensus");
+    let detector = Address::from_label("detector");
+    state.credit(provider, Ether::from_ether(2000));
+    state.credit(trigger, Ether::from_ether(10));
+
+    // WITH the escrow: consensus triggers the payout; the provider has no veto.
+    let escrow = SraEscrow::deploy(
+        &vm,
+        &mut state,
+        provider,
+        Ether::from_ether(1000),
+        Ether::from_ether(25),
+        trigger,
+        (0, 0),
+    )
+    .unwrap();
+    escrow.payout(&vm, &mut state, trigger, detector, 2, (0, 0)).unwrap();
+    let with_escrow = state.balance(&detector);
+    println!("with escrow: detector received {with_escrow} (provider consent not required)");
+
+    // WITHOUT: the insurance stays in the provider's wallet; a payout is a
+    // voluntary transfer the provider declines to make.
+    let mut state2 = WorldState::new();
+    state2.credit(provider, Ether::from_ether(2000));
+    // ... the provider does nothing; there is no mechanism to compel it.
+    let without_escrow = state2.balance(&detector);
+    println!("without escrow: detector received {without_escrow} (provider repudiated)\n");
+    assert_eq!(with_escrow, Ether::from_ether(50));
+    assert_eq!(without_escrow, Ether::ZERO);
+    println!("→ escrowed deposits are what make the incentives non-repudiable.\n");
+}
+
+/// Without the scoreboard, every forged report costs every provider an
+/// AutoVerif run forever; with it, the forger is cut off after 3 strikes.
+fn ablation_scoreboard() {
+    println!("== Ablation 3: detector isolation scoreboard ==\n");
+    use smartcrowd_net::Scoreboard;
+    let forger = Address::from_label("forger");
+    let spam = 50u32;
+
+    let mut with_board = Scoreboard::new(3);
+    let mut verifications_with = 0;
+    for _ in 0..spam {
+        if with_board.admits(&forger) {
+            verifications_with += 1; // the expensive AutoVerif run
+            with_board.record_strike(forger);
+        }
+    }
+    let verifications_without = spam; // every report gets verified
+    println!("forged reports submitted: {spam}");
+    println!("AutoVerif runs with scoreboard:    {verifications_with}");
+    println!("AutoVerif runs without scoreboard: {verifications_without}\n");
+    assert_eq!(verifications_with, 3);
+    println!(
+        "→ isolation caps the verification work an attacker can impose at \
+         strike-limit runs per provider.\n"
+    );
+}
+
+/// The simulated-clock miner must be statistically indistinguishable from
+/// the real PoW race it replaces: block shares within noise of hash power
+/// and exponential inter-block times.
+fn ablation_simminer_vs_pow() {
+    println!("== Ablation 4: simulated-clock vs real PoW mining ==\n");
+    // Simulated: 5000 events.
+    let mut sim = SimMiner::paper_setup(15.35, 77);
+    let n = 5000;
+    let mut counts = [0usize; 5];
+    let mut intervals = Vec::with_capacity(n);
+    for _ in 0..n {
+        let e = sim.next_event();
+        counts[e.winner] += 1;
+        intervals.push(e.interval);
+    }
+    let total_hp: f64 = PAPER_HASH_POWERS.iter().sum();
+    let mut rows = Vec::new();
+    let mut chi2 = 0.0;
+    for i in 0..5 {
+        let expected = n as f64 * PAPER_HASH_POWERS[i] / total_hp;
+        let observed = counts[i] as f64;
+        chi2 += (observed - expected).powi(2) / expected;
+        rows.push(vec![
+            format!("provider-{i}"),
+            table::f(expected, 1),
+            table::f(observed, 1),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["provider", "expected blocks", "observed blocks"], &rows)
+    );
+    println!("chi-square (4 dof, 95% critical value 9.49): {chi2:.2}");
+    let mean = stats::mean(&intervals);
+    let sd = stats::stddev(&intervals);
+    println!("interval mean {mean:.2}s, stddev {sd:.2}s (exponential ⇒ sd ≈ mean)");
+
+    // Real PoW: attempt counts at difficulty D are geometric with mean D.
+    let miner = smartcrowd_chain::pow::Miner::new(Address::from_label("pow"))
+        .with_max_attempts(10_000_000);
+    let mut attempts = Vec::new();
+    let genesis = Block::genesis(Difficulty::from_u64(512));
+    for i in 0..16u64 {
+        let block = Block::assemble(
+            &genesis,
+            vec![],
+            genesis.header().timestamp + i + 1,
+            Difficulty::from_u64(512),
+            Address::from_label("pow"),
+        );
+        attempts.push(miner.measure_attempts(block).unwrap().1 as f64);
+    }
+    println!(
+        "real PoW at D=512: mean attempts {:.0} (expected 512, geometric)",
+        stats::mean(&attempts)
+    );
+    println!(
+        "\n→ the simulated race preserves exactly the two statistics the \
+         economics depend on: winner shares ∝ hash power and memoryless \
+         inter-block times."
+    );
+}

@@ -1,0 +1,45 @@
+//! # SmartCrowd benchmark & experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§VII):
+//!
+//! | Target | Regenerates |
+//! |---|---|
+//! | `table1_overlap` | Table I — partial overlap of third-party scanners |
+//! | `fig3_setup` | Fig. 3 — reward-per-HP and block-time distribution |
+//! | `fig4_provider` | Fig. 4 — provider incentives over time, punishments vs VP |
+//! | `fig5_provider_balance` | Fig. 5 — VPB per provider/time, balance at VPB±0.01 |
+//! | `fig6_detector_balance` | Fig. 6 — detector incentives by capability, report gas |
+//!
+//! plus Criterion micro-benchmarks (`benches/`) for the substrates and an
+//! ablation suite for the design choices called out in `DESIGN.md`.
+//!
+//! Each binary prints a paper-vs-measured table and writes machine-readable
+//! JSON under `results/`.
+
+pub mod stats;
+pub mod table;
+
+use std::fs;
+use std::path::Path;
+
+/// Writes a JSON results blob under `results/<name>.json`, creating the
+/// directory on demand. Errors are reported but non-fatal (experiments
+/// still print to stdout).
+pub fn write_results(name: &str, json: &serde_json::Value) {
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(json) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("\n[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize results: {e}"),
+    }
+}

@@ -1,0 +1,82 @@
+//! Small statistics helpers for the experiment binaries.
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on a sorted copy.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+/// Histogram of `xs` into `bins` equal-width buckets over `[lo, hi)`.
+/// Returns `(bucket_lower_edge, count)` pairs.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<(f64, usize)> {
+    assert!(bins > 0 && hi > lo, "degenerate histogram");
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &x in xs {
+        if x < lo || x >= hi {
+            continue;
+        }
+        let idx = ((x - lo) / width) as usize;
+        counts[idx.min(bins - 1)] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (lo + i as f64 * width, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let xs = [0.5, 1.5, 1.6, 2.5, 99.0];
+        let h = histogram(&xs, 0.0, 3.0, 3);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0].1, 1);
+        assert_eq!(h[1].1, 2);
+        assert_eq!(h[2].1, 1); // 99.0 is out of range and dropped
+    }
+}

@@ -1,0 +1,77 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders rows as an aligned text table with a header rule.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_bench::table::render;
+///
+/// let out = render(
+///     &["name", "value"],
+///     &[vec!["alpha".into(), "1".into()], vec!["beta".into(), "22".into()]],
+/// );
+/// assert!(out.contains("alpha"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an f64 with `digits` decimals.
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let out = render(
+            &["a", "bbbb"],
+            &[vec!["xxxxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The second column starts at the same offset in every data row.
+        let first_data = lines[2];
+        let second_data = lines[3];
+        assert_eq!(first_data.find('1'), second_data.find('2'));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(0.0, 3), "0.000");
+    }
+}

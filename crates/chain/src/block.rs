@@ -1,0 +1,264 @@
+//! Blocks: a header plus ω records (Fig. 2).
+
+use crate::codec::{Decoder, Encoder};
+use crate::difficulty::Difficulty;
+use crate::error::ChainError;
+use crate::header::{BlockHeader, BlockId};
+use crate::record::Record;
+use smartcrowd_crypto::merkle::MerkleTree;
+use smartcrowd_crypto::{Address, Digest};
+use std::collections::HashSet;
+
+/// A full block.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_chain::{Block, Difficulty};
+///
+/// let genesis = Block::genesis(Difficulty::paper());
+/// assert_eq!(genesis.header().height, 0);
+/// assert!(genesis.records().is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    header: BlockHeader,
+    records: Vec<Record>,
+}
+
+/// Timestamp of the genesis block (2019-01-01T00:00:00Z, the paper's year).
+pub const GENESIS_TIMESTAMP: u64 = 1_546_300_800;
+
+impl Block {
+    /// Constructs the deterministic genesis block for a given difficulty.
+    pub fn genesis(difficulty: Difficulty) -> Block {
+        let header = BlockHeader {
+            height: 0,
+            prev: BlockId::GENESIS_PARENT,
+            merkle_root: MerkleTree::from_leaves(std::iter::empty()).root(),
+            timestamp: GENESIS_TIMESTAMP,
+            nonce: 0,
+            difficulty,
+            miner: Address::ZERO,
+        };
+        Block { header, records: Vec::new() }
+    }
+
+    /// Assembles an (unmined) block: header fields are filled in, the
+    /// Merkle root is computed, and the nonce starts at zero.
+    pub fn assemble(
+        parent: &Block,
+        records: Vec<Record>,
+        timestamp: u64,
+        difficulty: Difficulty,
+        miner: Address,
+    ) -> Block {
+        let merkle_root = Self::merkle_root_of(&records);
+        let header = BlockHeader {
+            height: parent.header.height + 1,
+            prev: parent.id(),
+            merkle_root,
+            timestamp,
+            nonce: 0,
+            difficulty,
+            miner,
+        };
+        Block { header, records }
+    }
+
+    /// Computes the Merkle root over a record list.
+    pub fn merkle_root_of(records: &[Record]) -> Digest {
+        let encoded: Vec<Vec<u8>> = records.iter().map(Record::encode).collect();
+        MerkleTree::from_leaves(encoded.iter().map(|e| e.as_slice())).root()
+    }
+
+    /// Builds the Merkle tree for proof generation.
+    pub fn merkle_tree(&self) -> MerkleTree {
+        let encoded: Vec<Vec<u8>> = self.records.iter().map(Record::encode).collect();
+        MerkleTree::from_leaves(encoded.iter().map(|e| e.as_slice()))
+    }
+
+    /// The header.
+    pub fn header(&self) -> &BlockHeader {
+        &self.header
+    }
+
+    /// Mutable header access (used by miners to set the winning nonce).
+    pub fn header_mut(&mut self) -> &mut BlockHeader {
+        &mut self.header
+    }
+
+    /// The records (ω of them, in Merkle order).
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// The block id (`CurBlockID`).
+    pub fn id(&self) -> BlockId {
+        self.header.id()
+    }
+
+    /// Structural self-validation: Merkle root matches records, record ids
+    /// are unique, and the PoW target is met.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChainError`] found.
+    pub fn validate_structure(&self) -> Result<(), ChainError> {
+        let id = self.id();
+        if Self::merkle_root_of(&self.records) != self.header.merkle_root {
+            return Err(ChainError::MerkleMismatch { id });
+        }
+        let mut seen = HashSet::with_capacity(self.records.len());
+        for r in &self.records {
+            if !seen.insert(r.id()) {
+                return Err(ChainError::DuplicateRecord { id });
+            }
+        }
+        if !self.header.meets_target() {
+            return Err(ChainError::InsufficientWork { id });
+        }
+        Ok(())
+    }
+
+    /// Canonical encoding of the full block.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&self.header.encode());
+        enc.put_u64(self.records.len() as u64);
+        for r in &self.records {
+            enc.put_bytes(&r.encode());
+        }
+        enc.finish()
+    }
+
+    /// Decodes a canonical block encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::Codec`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Block, ChainError> {
+        let mut dec = Decoder::new(bytes);
+        let header = BlockHeader::decode(dec.take_bytes()?)?;
+        let count = dec.take_u64()? as usize;
+        // Cap pre-allocation: a forged count cannot OOM us.
+        let mut records = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            records.push(Record::decode(dec.take_bytes()?)?);
+        }
+        dec.expect_end()?;
+        Ok(Block { header, records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::Ether;
+    use crate::record::RecordKind;
+    use smartcrowd_crypto::keys::KeyPair;
+
+    fn record(i: u64) -> Record {
+        let kp = KeyPair::from_seed(format!("d{i}").as_bytes());
+        Record::signed(RecordKind::Transfer, vec![i as u8], Ether::from_wei(i as u128), i, &kp)
+    }
+
+    fn child_with_records(n: u64) -> Block {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        Block::assemble(
+            &genesis,
+            (0..n).map(record).collect(),
+            GENESIS_TIMESTAMP + 15,
+            Difficulty::from_u64(1),
+            Address::from_label("miner"),
+        )
+    }
+
+    #[test]
+    fn genesis_is_deterministic() {
+        assert_eq!(
+            Block::genesis(Difficulty::paper()).id(),
+            Block::genesis(Difficulty::paper()).id()
+        );
+        assert_ne!(
+            Block::genesis(Difficulty::paper()).id(),
+            Block::genesis(Difficulty::from_u64(1)).id()
+        );
+    }
+
+    #[test]
+    fn assemble_links_to_parent() {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let b = child_with_records(3);
+        assert_eq!(b.header().prev, genesis.id());
+        assert_eq!(b.header().height, 1);
+        assert_eq!(b.records().len(), 3);
+    }
+
+    #[test]
+    fn structure_validates_at_difficulty_one() {
+        let b = child_with_records(5);
+        assert!(b.validate_structure().is_ok());
+    }
+
+    #[test]
+    fn merkle_mismatch_detected() {
+        let mut b = child_with_records(2);
+        b.header_mut().merkle_root[0] ^= 1;
+        assert!(matches!(b.validate_structure(), Err(ChainError::MerkleMismatch { .. })));
+    }
+
+    #[test]
+    fn duplicate_records_detected() {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let r = record(1);
+        let b = Block::assemble(
+            &genesis,
+            vec![r.clone(), r],
+            GENESIS_TIMESTAMP + 15,
+            Difficulty::from_u64(1),
+            Address::from_label("m"),
+        );
+        assert!(matches!(b.validate_structure(), Err(ChainError::DuplicateRecord { .. })));
+    }
+
+    #[test]
+    fn insufficient_work_detected() {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        // Enormous difficulty: a fresh unmined header will not meet it.
+        let b = Block::assemble(
+            &genesis,
+            vec![],
+            GENESIS_TIMESTAMP + 15,
+            Difficulty::from_u128(u128::MAX),
+            Address::from_label("m"),
+        );
+        assert!(matches!(b.validate_structure(), Err(ChainError::InsufficientWork { .. })));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let b = child_with_records(4);
+        let decoded = Block::decode(&b.encode()).unwrap();
+        assert_eq!(decoded, b);
+        assert_eq!(decoded.id(), b.id());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let b = child_with_records(2);
+        let bytes = b.encode();
+        assert!(Block::decode(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn merkle_proofs_cover_all_records() {
+        let b = child_with_records(7);
+        let tree = b.merkle_tree();
+        assert_eq!(tree.root(), b.header().merkle_root);
+        for (i, r) in b.records().iter().enumerate() {
+            let proof = tree.proof(i).unwrap();
+            assert!(proof.verify(&r.encode(), &b.header().merkle_root));
+        }
+    }
+}

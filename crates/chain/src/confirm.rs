@@ -1,0 +1,198 @@
+//! Confirmation tracking for protocol triggers.
+//!
+//! Two SmartCrowd behaviours key off confirmation events:
+//!
+//! 1. "When the block containing `R†` is confirmed, `D_i` will publish the
+//!    detailed detection report `R*`" (§V-B, Phase II) — detectors watch
+//!    for their initial report to finalize.
+//! 2. "When `R†` and `R*` are all confirmed and recorded in the blockchain,
+//!    SmartCrowd contracts will be triggered" (§V-D) — the incentive
+//!    allocation fires on the *second* confirmation.
+//!
+//! [`ConfirmationWatcher`] surfaces exactly those edges: polling it against
+//! a store yields each record id at most once, on the poll where the record
+//! first crosses the 6-block finality depth.
+
+use crate::record::RecordKind;
+use crate::store::ChainStore;
+use smartcrowd_crypto::Digest;
+use std::collections::HashSet;
+
+/// Status of a record with respect to finality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfirmationStatus {
+    /// Not on the canonical chain (unknown or reorged out).
+    Unknown,
+    /// On chain but not yet final.
+    Pending {
+        /// Confirmations so far (1 = in the tip block).
+        confirmations: u64,
+    },
+    /// Final under the 6-block rule.
+    Confirmed {
+        /// Confirmations (always > 6).
+        confirmations: u64,
+    },
+}
+
+/// Queries a record's confirmation status.
+pub fn status_of(store: &ChainStore, record_id: &Digest) -> ConfirmationStatus {
+    match store.record_with_confirmations(record_id) {
+        None => ConfirmationStatus::Unknown,
+        Some((_, c)) if c > crate::CONFIRMATION_DEPTH => {
+            ConfirmationStatus::Confirmed { confirmations: c }
+        }
+        Some((_, c)) => ConfirmationStatus::Pending { confirmations: c },
+    }
+}
+
+/// A newly finalized record surfaced by [`ConfirmationWatcher::poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfirmedRecord {
+    /// The record id.
+    pub record_id: Digest,
+    /// The record kind.
+    pub kind: RecordKind,
+    /// The height of the containing block.
+    pub height: u64,
+}
+
+/// Edge-triggered watcher over record finality.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_chain::confirm::ConfirmationWatcher;
+/// use smartcrowd_chain::{Block, ChainStore, Difficulty};
+///
+/// let store = ChainStore::new(Block::genesis(Difficulty::from_u64(1)));
+/// let mut watcher = ConfirmationWatcher::new();
+/// assert!(watcher.poll(&store).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConfirmationWatcher {
+    seen: HashSet<Digest>,
+}
+
+impl ConfirmationWatcher {
+    /// Creates a watcher with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns every canonical record that is final now but was not
+    /// reported by an earlier poll.
+    pub fn poll(&mut self, store: &ChainStore) -> Vec<ConfirmedRecord> {
+        let best = store.best_height();
+        if best <= crate::CONFIRMATION_DEPTH {
+            return Vec::new();
+        }
+        let final_height = best - crate::CONFIRMATION_DEPTH;
+        let mut out = Vec::new();
+        for height in 0..=final_height {
+            let Some(block) = store.block_at_height(height) else { continue };
+            for record in block.records() {
+                let id = record.id();
+                if self.seen.insert(id) {
+                    out.push(ConfirmedRecord { record_id: id, kind: record.kind(), height });
+                }
+            }
+        }
+        out
+    }
+
+    /// Forgets all history (e.g. after a deep reorg).
+    pub fn reset(&mut self) {
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::Ether;
+    use crate::block::Block;
+    use crate::difficulty::Difficulty;
+    use crate::pow::Miner;
+    use crate::record::Record;
+    use smartcrowd_crypto::keys::KeyPair;
+    use smartcrowd_crypto::Address;
+
+    fn record(seed: u64) -> Record {
+        let kp = KeyPair::from_seed(&seed.to_be_bytes());
+        Record::signed(RecordKind::InitialReport, vec![seed as u8], Ether::ZERO, seed, &kp)
+    }
+
+    fn extend(store: &mut ChainStore, n: u64, with_records: bool) {
+        let miner = Miner::new(Address::from_label("p"));
+        for i in 0..n {
+            let parent = store.best_block().clone();
+            let records = if with_records {
+                vec![record(parent.header().height * 1000 + i)]
+            } else {
+                vec![]
+            };
+            let b = miner
+                .mine_next(&parent, records, parent.header().timestamp + 15)
+                .unwrap();
+            store.insert(b).unwrap();
+        }
+    }
+
+    #[test]
+    fn status_transitions() {
+        let mut store = ChainStore::new(Block::genesis(Difficulty::from_u64(1)));
+        let r = record(1);
+        let rid = r.id();
+        assert_eq!(status_of(&store, &rid), ConfirmationStatus::Unknown);
+        let miner = Miner::new(Address::from_label("p"));
+        let b = miner
+            .mine_next(
+                &store.best_block().clone(),
+                vec![r],
+                store.best_block().header().timestamp + 15,
+            )
+            .unwrap();
+        store.insert(b).unwrap();
+        assert_eq!(status_of(&store, &rid), ConfirmationStatus::Pending { confirmations: 1 });
+        extend(&mut store, 6, false);
+        assert_eq!(status_of(&store, &rid), ConfirmationStatus::Confirmed { confirmations: 7 });
+    }
+
+    #[test]
+    fn watcher_fires_once_per_record() {
+        let mut store = ChainStore::new(Block::genesis(Difficulty::from_u64(1)));
+        extend(&mut store, 1, true); // height 1 holds a record
+        let mut watcher = ConfirmationWatcher::new();
+        assert!(watcher.poll(&store).is_empty(), "not final yet");
+        extend(&mut store, 6, false); // now height 1 has 7 confirmations
+        let fired = watcher.poll(&store);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].height, 1);
+        assert_eq!(fired[0].kind, RecordKind::InitialReport);
+        assert!(watcher.poll(&store).is_empty(), "edge-triggered");
+    }
+
+    #[test]
+    fn watcher_reports_in_height_order() {
+        let mut store = ChainStore::new(Block::genesis(Difficulty::from_u64(1)));
+        extend(&mut store, 10, true);
+        let mut watcher = ConfirmationWatcher::new();
+        let fired = watcher.poll(&store);
+        // best height 10 → final through height 4 → records in blocks 1–4.
+        assert_eq!(fired.len(), 4);
+        let heights: Vec<u64> = fired.iter().map(|f| f.height).collect();
+        assert_eq!(heights, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reset_refires() {
+        let mut store = ChainStore::new(Block::genesis(Difficulty::from_u64(1)));
+        extend(&mut store, 8, true);
+        let mut watcher = ConfirmationWatcher::new();
+        let first = watcher.poll(&store);
+        assert!(!first.is_empty());
+        watcher.reset();
+        assert_eq!(watcher.poll(&store), first);
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type for the blockchain substrate.
+
+use crate::header::BlockId;
+use std::fmt;
+
+/// Errors produced by chain validation, storage and mining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChainError {
+    /// Canonical encoding/decoding failed.
+    Codec {
+        /// Human-readable detail of the malformation.
+        detail: String,
+    },
+    /// A block referenced an unknown parent.
+    UnknownParent {
+        /// The missing parent id.
+        parent: BlockId,
+    },
+    /// The block was already stored.
+    DuplicateBlock {
+        /// The duplicate id.
+        id: BlockId,
+    },
+    /// The block hash does not meet its difficulty target.
+    InsufficientWork {
+        /// The offending block id.
+        id: BlockId,
+    },
+    /// The header's Merkle root does not match its records.
+    MerkleMismatch {
+        /// The offending block id.
+        id: BlockId,
+    },
+    /// The declared `CurBlockID` does not equal the header hash.
+    IdMismatch {
+        /// The declared id.
+        declared: BlockId,
+    },
+    /// Block timestamp precedes its parent's.
+    TimestampRegression {
+        /// The offending block id.
+        id: BlockId,
+    },
+    /// Two records in one block share an id.
+    DuplicateRecord {
+        /// The offending block id.
+        id: BlockId,
+    },
+    /// A record failed external validation (signature/semantic checks).
+    RecordRejected {
+        /// Why the validator rejected it.
+        reason: String,
+    },
+    /// Mining gave up before finding a valid nonce.
+    MiningExhausted {
+        /// Nonces tried before giving up.
+        attempts: u64,
+    },
+    /// Query for a block/record that is not in the store.
+    NotFound,
+    /// The mempool is full and the record's fee did not displace anything.
+    MempoolFull,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Codec { detail } => write!(f, "codec error: {detail}"),
+            ChainError::UnknownParent { parent } => {
+                write!(f, "unknown parent block {parent}")
+            }
+            ChainError::DuplicateBlock { id } => write!(f, "duplicate block {id}"),
+            ChainError::InsufficientWork { id } => {
+                write!(f, "block {id} does not meet its difficulty target")
+            }
+            ChainError::MerkleMismatch { id } => {
+                write!(f, "block {id} Merkle root does not match its records")
+            }
+            ChainError::IdMismatch { declared } => {
+                write!(f, "declared block id {declared} does not match header hash")
+            }
+            ChainError::TimestampRegression { id } => {
+                write!(f, "block {id} timestamp precedes its parent")
+            }
+            ChainError::DuplicateRecord { id } => {
+                write!(f, "block {id} contains duplicate record ids")
+            }
+            ChainError::RecordRejected { reason } => write!(f, "record rejected: {reason}"),
+            ChainError::MiningExhausted { attempts } => {
+                write!(f, "mining exhausted after {attempts} attempts")
+            }
+            ChainError::NotFound => write!(f, "block or record not found"),
+            ChainError::MempoolFull => write!(f, "mempool full"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let id = BlockId::from_digest([7u8; 32]);
+        let variants = vec![
+            ChainError::Codec { detail: "x".into() },
+            ChainError::UnknownParent { parent: id },
+            ChainError::DuplicateBlock { id },
+            ChainError::InsufficientWork { id },
+            ChainError::MerkleMismatch { id },
+            ChainError::IdMismatch { declared: id },
+            ChainError::TimestampRegression { id },
+            ChainError::DuplicateRecord { id },
+            ChainError::RecordRejected { reason: "bad sig".into() },
+            ChainError::MiningExhausted { attempts: 10 },
+            ChainError::NotFound,
+            ChainError::MempoolFull,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The pending-record pool each IoT provider maintains.
+//!
+//! Records (SRAs and both report phases) propagate to "all IoT providers"
+//! (§V-B) and wait here until a provider aggregates them into a block.
+//! Admission verifies the submitter signature; ordering is by fee, so the
+//! transaction fee `ψ` of Eq. 8 doubles as a spam deterrent — exactly the
+//! "cost for each detector to submit its detection report" of Eq. 10.
+
+use crate::block::Block;
+use crate::error::ChainError;
+use crate::record::Record;
+use smartcrowd_crypto::Digest;
+use std::collections::HashMap;
+
+/// Default capacity (records).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A fee-ordered pool of pending records.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_chain::mempool::Mempool;
+/// use smartcrowd_chain::record::{Record, RecordKind};
+/// use smartcrowd_chain::Ether;
+/// use smartcrowd_crypto::keys::KeyPair;
+///
+/// let mut pool = Mempool::new(16);
+/// let kp = KeyPair::from_seed(b"d1");
+/// let r = Record::signed(RecordKind::InitialReport, vec![1], Ether::from_milliether(11), 0, &kp);
+/// pool.insert(r).unwrap();
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    records: HashMap<Digest, Record>,
+    capacity: usize,
+}
+
+impl Mempool {
+    /// Creates a pool bounded at `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Mempool { records: HashMap::new(), capacity: capacity.max(1) }
+    }
+
+    /// Number of pending records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether a record id is pending.
+    pub fn contains(&self, id: &Digest) -> bool {
+        self.records.contains_key(id)
+    }
+
+    /// Admits a record after signature verification.
+    ///
+    /// When full, the lowest-fee record is evicted if the newcomer pays
+    /// more; otherwise admission fails.
+    ///
+    /// # Errors
+    ///
+    /// - [`ChainError::RecordRejected`] for a bad signature or duplicate.
+    /// - [`ChainError::MempoolFull`] when full of higher-fee records.
+    pub fn insert(&mut self, record: Record) -> Result<(), ChainError> {
+        record.verify_signature()?;
+        let id = record.id();
+        if self.records.contains_key(&id) {
+            return Err(ChainError::RecordRejected { reason: "duplicate record".to_string() });
+        }
+        if self.records.len() >= self.capacity {
+            let (victim_id, victim_fee) = self
+                .records
+                .iter()
+                .map(|(id, r)| (*id, r.fee()))
+                .min_by_key(|(_, fee)| *fee)
+                .expect("pool is non-empty when full");
+            if record.fee() <= victim_fee {
+                return Err(ChainError::MempoolFull);
+            }
+            self.records.remove(&victim_id);
+        }
+        self.records.insert(id, record);
+        Ok(())
+    }
+
+    /// Takes up to `n` records ordered by descending fee (miners maximize
+    /// the `ψ·ω` term of Eq. 8), removing them from the pool.
+    pub fn take_best(&mut self, n: usize) -> Vec<Record> {
+        let mut all: Vec<(Digest, crate::amount::Ether)> =
+            self.records.iter().map(|(id, r)| (*id, r.fee())).collect();
+        // Deterministic order: fee desc, id asc as tiebreak.
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all.into_iter()
+            .filter_map(|(id, _)| self.records.remove(&id))
+            .collect()
+    }
+
+    /// Peeks the same selection without removing.
+    pub fn peek_best(&self, n: usize) -> Vec<&Record> {
+        let mut all: Vec<&Record> = self.records.values().collect();
+        all.sort_by(|a, b| b.fee().cmp(&a.fee()).then(a.id().cmp(&b.id())));
+        all.truncate(n);
+        all
+    }
+
+    /// Drops records that appear in a newly-connected block.
+    pub fn remove_included(&mut self, block: &Block) {
+        for r in block.records() {
+            self.records.remove(&r.id());
+        }
+    }
+}
+
+impl Default for Mempool {
+    fn default() -> Self {
+        Mempool::new(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::Ether;
+    use crate::difficulty::Difficulty;
+    use crate::record::RecordKind;
+    use smartcrowd_crypto::keys::KeyPair;
+    use smartcrowd_crypto::Address;
+
+    fn record(seed: u64, fee_milli: u64) -> Record {
+        let kp = KeyPair::from_seed(&seed.to_be_bytes());
+        Record::signed(
+            RecordKind::InitialReport,
+            vec![seed as u8],
+            Ether::from_milliether(fee_milli),
+            seed,
+            &kp,
+        )
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut pool = Mempool::new(10);
+        pool.insert(record(1, 5)).unwrap();
+        pool.insert(record(2, 5)).unwrap();
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut pool = Mempool::new(10);
+        let r = record(1, 5);
+        pool.insert(r.clone()).unwrap();
+        assert!(matches!(pool.insert(r), Err(ChainError::RecordRejected { .. })));
+    }
+
+    #[test]
+    fn take_best_orders_by_fee() {
+        let mut pool = Mempool::new(10);
+        pool.insert(record(1, 1)).unwrap();
+        pool.insert(record(2, 9)).unwrap();
+        pool.insert(record(3, 5)).unwrap();
+        let taken = pool.take_best(2);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].fee(), Ether::from_milliether(9));
+        assert_eq!(taken[1].fee(), Ether::from_milliether(5));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn eviction_prefers_higher_fee() {
+        let mut pool = Mempool::new(2);
+        pool.insert(record(1, 1)).unwrap();
+        pool.insert(record(2, 2)).unwrap();
+        // Fee 3 evicts the fee-1 record.
+        pool.insert(record(3, 3)).unwrap();
+        assert_eq!(pool.len(), 2);
+        let fees: Vec<_> = pool.peek_best(2).iter().map(|r| r.fee()).collect();
+        assert_eq!(fees, vec![Ether::from_milliether(3), Ether::from_milliether(2)]);
+        // Fee 1 cannot displace anything.
+        assert!(matches!(pool.insert(record(4, 1)), Err(ChainError::MempoolFull)));
+    }
+
+    #[test]
+    fn remove_included_clears() {
+        let mut pool = Mempool::new(10);
+        let r1 = record(1, 5);
+        let r2 = record(2, 5);
+        pool.insert(r1.clone()).unwrap();
+        pool.insert(r2.clone()).unwrap();
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let block = Block::assemble(
+            &genesis,
+            vec![r1],
+            genesis.header().timestamp + 15,
+            Difficulty::from_u64(1),
+            Address::from_label("m"),
+        );
+        pool.remove_included(&block);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.contains(&r2.id()));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut pool = Mempool::new(10);
+        pool.insert(record(1, 5)).unwrap();
+        assert_eq!(pool.peek_best(5).len(), 1);
+        assert_eq!(pool.len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Chain persistence: export/import of a store's canonical chain.
+//!
+//! Providers "construct and maintain the blockchain" across restarts; the
+//! canonical chain is exported as a length-prefixed block sequence and
+//! re-validated block by block on import, so a corrupted or tampered dump
+//! cannot smuggle invalid history into a fresh store.
+
+use crate::block::Block;
+use crate::codec::{Decoder, Encoder};
+use crate::error::ChainError;
+use crate::store::ChainStore;
+
+/// Magic bytes identifying a chain dump.
+const MAGIC: &[u8; 8] = b"SCCHAIN1";
+
+/// Serializes the canonical chain (genesis to tip).
+pub fn export_chain(store: &ChainStore) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_array(MAGIC);
+    let blocks: Vec<&Block> = store.canonical_blocks().collect();
+    enc.put_u64(blocks.len() as u64);
+    for b in blocks {
+        enc.put_bytes(&b.encode());
+    }
+    enc.finish()
+}
+
+/// Rebuilds a store from a dump, re-validating every block.
+///
+/// # Errors
+///
+/// Returns [`ChainError::Codec`] for malformed dumps and any validation
+/// error for tampered blocks.
+pub fn import_chain(bytes: &[u8]) -> Result<ChainStore, ChainError> {
+    let mut dec = Decoder::new(bytes);
+    let magic = dec.take_array::<8>()?;
+    if &magic != MAGIC {
+        return Err(ChainError::Codec { detail: "bad chain-dump magic".to_string() });
+    }
+    let count = dec.take_u64()? as usize;
+    if count == 0 {
+        return Err(ChainError::Codec { detail: "empty chain dump".to_string() });
+    }
+    let genesis = Block::decode(dec.take_bytes()?)?;
+    if genesis.header().height != 0 {
+        return Err(ChainError::Codec { detail: "first block is not genesis".to_string() });
+    }
+    let mut store = ChainStore::new(genesis);
+    for _ in 1..count {
+        let block = Block::decode(dec.take_bytes()?)?;
+        store.insert(block)?;
+    }
+    dec.expect_end()?;
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::Ether;
+    use crate::difficulty::Difficulty;
+    use crate::pow::Miner;
+    use crate::record::{Record, RecordKind};
+    use smartcrowd_crypto::keys::KeyPair;
+    use smartcrowd_crypto::Address;
+
+    fn populated_store() -> ChainStore {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let mut store = ChainStore::new(genesis.clone());
+        let miner = Miner::new(Address::from_label("m"));
+        let mut parent = genesis;
+        for i in 0..8u64 {
+            let kp = KeyPair::from_seed(&i.to_be_bytes());
+            let r = Record::signed(
+                RecordKind::InitialReport,
+                vec![i as u8],
+                Ether::from_milliether(11),
+                i,
+                &kp,
+            );
+            let b = miner
+                .mine_next(&parent, vec![r], parent.header().timestamp + 15)
+                .unwrap();
+            store.insert(b.clone()).unwrap();
+            parent = b;
+        }
+        store
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let store = populated_store();
+        let dump = export_chain(&store);
+        let restored = import_chain(&dump).unwrap();
+        assert_eq!(restored.best_tip(), store.best_tip());
+        assert_eq!(restored.best_height(), store.best_height());
+        // Record index is rebuilt too.
+        for block in store.canonical_blocks() {
+            for record in block.records() {
+                assert!(restored.find_record(&record.id()).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_dump_rejected() {
+        let store = populated_store();
+        let mut dump = export_chain(&store);
+        // Flip a byte somewhere in the middle (a record payload).
+        let mid = dump.len() / 2;
+        dump[mid] ^= 0xff;
+        assert!(import_chain(&dump).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let store = populated_store();
+        let mut dump = export_chain(&store);
+        dump[0] ^= 0xff;
+        assert!(matches!(import_chain(&dump), Err(ChainError::Codec { .. })));
+    }
+
+    #[test]
+    fn truncated_dump_rejected() {
+        let store = populated_store();
+        let dump = export_chain(&store);
+        assert!(import_chain(&dump[..dump.len() - 5]).is_err());
+        assert!(import_chain(&[]).is_err());
+    }
+
+    #[test]
+    fn genesis_only_roundtrip() {
+        let store = ChainStore::new(Block::genesis(Difficulty::from_u64(7)));
+        let restored = import_chain(&export_chain(&store)).unwrap();
+        assert_eq!(restored.best_height(), 0);
+        assert_eq!(restored.genesis_id(), store.genesis_id());
+    }
+}

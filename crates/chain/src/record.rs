@@ -1,0 +1,304 @@
+//! Chain records: the unit of storage inside a block.
+//!
+//! Besides plain value-transfer transactions, SmartCrowd blocks "also record
+//! SRAs and detection reports" (§IV). The chain stays protocol-agnostic: a
+//! [`Record`] carries a [`RecordKind`] tag and an opaque canonical payload
+//! produced by the core crate, plus the fee `ψ` that rewards the miner for
+//! recording it (Eq. 8) and the submitter's signature.
+
+use crate::amount::Ether;
+use crate::codec::{Decoder, Encoder};
+use crate::error::ChainError;
+use smartcrowd_crypto::ecdsa::Signature;
+use smartcrowd_crypto::keccak::keccak256;
+use smartcrowd_crypto::keys::{recover_public_key, KeyPair};
+use smartcrowd_crypto::{hex, Address, Digest};
+use std::fmt;
+
+/// What a record contains.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum RecordKind {
+    /// A plain value transfer.
+    Transfer = 0,
+    /// An IoT system release announcement `Δ` (Eq. 1).
+    Sra = 1,
+    /// An initial detection report `R†` (Eq. 3).
+    InitialReport = 2,
+    /// A detailed detection report `R*` (Eq. 5).
+    DetailedReport = 3,
+    /// A smart-contract deployment (SmartCrowd incentive contract).
+    ContractDeploy = 4,
+    /// A smart-contract invocation.
+    ContractCall = 5,
+}
+
+impl RecordKind {
+    /// All kinds, for exhaustive iteration in tests and stats.
+    pub const ALL: [RecordKind; 6] = [
+        RecordKind::Transfer,
+        RecordKind::Sra,
+        RecordKind::InitialReport,
+        RecordKind::DetailedReport,
+        RecordKind::ContractDeploy,
+        RecordKind::ContractCall,
+    ];
+
+    /// Parses the wire tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::Codec`] for unknown tags.
+    pub fn from_tag(tag: u8) -> Result<Self, ChainError> {
+        Self::ALL
+            .into_iter()
+            .find(|k| *k as u8 == tag)
+            .ok_or_else(|| ChainError::Codec { detail: format!("unknown record kind {tag}") })
+    }
+
+    /// Whether this kind is a detection report (either phase).
+    pub fn is_report(&self) -> bool {
+        matches!(self, RecordKind::InitialReport | RecordKind::DetailedReport)
+    }
+}
+
+impl fmt::Display for RecordKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecordKind::Transfer => "transfer",
+            RecordKind::Sra => "sra",
+            RecordKind::InitialReport => "initial-report",
+            RecordKind::DetailedReport => "detailed-report",
+            RecordKind::ContractDeploy => "contract-deploy",
+            RecordKind::ContractCall => "contract-call",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A signed record awaiting (or holding) a place in a block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Record {
+    kind: RecordKind,
+    sender: Address,
+    payload: Vec<u8>,
+    fee: Ether,
+    nonce: u64,
+    signature: Signature,
+}
+
+impl Record {
+    /// Builds and signs a record with the submitter's key pair.
+    ///
+    /// `nonce` is a per-sender sequence number preventing replay of an
+    /// identical submission.
+    pub fn signed(
+        kind: RecordKind,
+        payload: Vec<u8>,
+        fee: Ether,
+        nonce: u64,
+        signer: &KeyPair,
+    ) -> Record {
+        let sender = signer.address();
+        let digest = Self::signing_digest(kind, &sender, &payload, fee, nonce);
+        let signature = signer.sign(&digest);
+        Record { kind, sender, payload, fee, nonce, signature }
+    }
+
+    fn signing_digest(
+        kind: RecordKind,
+        sender: &Address,
+        payload: &[u8],
+        fee: Ether,
+        nonce: u64,
+    ) -> Digest {
+        let mut enc = Encoder::new();
+        enc.put_u8(kind as u8)
+            .put_array(sender.as_bytes())
+            .put_bytes(payload)
+            .put_u128(fee.wei())
+            .put_u64(nonce);
+        keccak256(&enc.finish())
+    }
+
+    /// The record kind.
+    pub fn kind(&self) -> RecordKind {
+        self.kind
+    }
+
+    /// The declared sender address.
+    pub fn sender(&self) -> Address {
+        self.sender
+    }
+
+    /// The opaque canonical payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The transaction fee `ψ` paid to the recording miner.
+    pub fn fee(&self) -> Ether {
+        self.fee
+    }
+
+    /// The per-sender sequence number.
+    pub fn nonce(&self) -> u64 {
+        self.nonce
+    }
+
+    /// The submitter's signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The record id: Keccak-256 over the full canonical encoding
+    /// (including the signature).
+    pub fn id(&self) -> Digest {
+        keccak256(&self.encode())
+    }
+
+    /// Verifies that the signature recovers to the declared sender.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::RecordRejected`] when recovery fails or the
+    /// recovered address differs from [`Record::sender`].
+    pub fn verify_signature(&self) -> Result<(), ChainError> {
+        let digest =
+            Self::signing_digest(self.kind, &self.sender, &self.payload, self.fee, self.nonce);
+        let pk = recover_public_key(&digest, &self.signature).map_err(|e| {
+            ChainError::RecordRejected { reason: format!("signature recovery failed: {e}") }
+        })?;
+        if pk.address() != self.sender {
+            return Err(ChainError::RecordRejected {
+                reason: format!(
+                    "signature recovers to {} but record claims sender {}",
+                    pk.address(),
+                    self.sender
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Canonical encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u8(self.kind as u8)
+            .put_array(self.sender.as_bytes())
+            .put_bytes(&self.payload)
+            .put_u128(self.fee.wei())
+            .put_u64(self.nonce)
+            .put_array(&self.signature.to_bytes());
+        enc.finish()
+    }
+
+    /// Decodes a canonical encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::Codec`] for malformed bytes or an invalid
+    /// signature structure.
+    pub fn decode(bytes: &[u8]) -> Result<Record, ChainError> {
+        let mut dec = Decoder::new(bytes);
+        let kind = RecordKind::from_tag(dec.take_u8()?)?;
+        let sender = Address::from_bytes(dec.take_array::<20>()?);
+        let payload = dec.take_bytes()?.to_vec();
+        let fee = Ether::from_wei(dec.take_u128()?);
+        let nonce = dec.take_u64()?;
+        let sig_bytes = dec.take_array::<65>()?;
+        dec.expect_end()?;
+        let signature = Signature::from_bytes(&sig_bytes)
+            .map_err(|e| ChainError::Codec { detail: format!("bad signature: {e}") })?;
+        Ok(Record { kind, sender, payload, fee, nonce, signature })
+    }
+
+    /// Short display id for logs.
+    pub fn short_id(&self) -> String {
+        format!("0x{}…", hex::encode(&self.id()[..6]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (KeyPair, Record) {
+        let kp = KeyPair::from_seed(b"detector-7");
+        let r = Record::signed(
+            RecordKind::InitialReport,
+            b"initial report payload".to_vec(),
+            Ether::from_milliether(11),
+            0,
+            &kp,
+        );
+        (kp, r)
+    }
+
+    #[test]
+    fn signature_verifies() {
+        let (_, r) = sample();
+        assert!(r.verify_signature().is_ok());
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (_, r) = sample();
+        let mut bytes = r.encode();
+        // Flip a byte inside the payload region.
+        let payload_start = 1 + 20 + 8;
+        bytes[payload_start + 2] ^= 0xff;
+        let tampered = Record::decode(&bytes).unwrap();
+        assert!(tampered.verify_signature().is_err());
+    }
+
+    #[test]
+    fn forged_sender_rejected() {
+        // An attacker re-labels the record with a victim address.
+        let (_, r) = sample();
+        let mut bytes = r.encode();
+        let victim = Address::from_label("victim");
+        bytes[1..21].copy_from_slice(victim.as_bytes());
+        let forged = Record::decode(&bytes).unwrap();
+        let err = forged.verify_signature().unwrap_err();
+        assert!(matches!(err, ChainError::RecordRejected { .. }));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (_, r) = sample();
+        let decoded = Record::decode(&r.encode()).unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(decoded.id(), r.id());
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_ids() {
+        let kp = KeyPair::from_seed(b"d");
+        let a = Record::signed(RecordKind::Transfer, vec![], Ether::ZERO, 0, &kp);
+        let b = Record::signed(RecordKind::Transfer, vec![], Ether::ZERO, 1, &kp);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for k in RecordKind::ALL {
+            assert_eq!(RecordKind::from_tag(k as u8).unwrap(), k);
+        }
+        assert!(RecordKind::from_tag(99).is_err());
+    }
+
+    #[test]
+    fn kind_report_predicate() {
+        assert!(RecordKind::InitialReport.is_report());
+        assert!(RecordKind::DetailedReport.is_report());
+        assert!(!RecordKind::Sra.is_report());
+        assert!(!RecordKind::Transfer.is_report());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Record::decode(&[]).is_err());
+        assert!(Record::decode(&[0xff; 40]).is_err());
+    }
+}

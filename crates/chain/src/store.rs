@@ -1,0 +1,434 @@
+//! Chain storage with total-work fork choice.
+//!
+//! IoT providers "construct and maintain the blockchain" (§IV-A); the store
+//! is each provider's local view. Fork choice follows accumulated work
+//! (difficulty sum), the PoW rule under which "the blockchain is determined
+//! by the majority of participants" — a >50 % hash-power coalition always
+//! produces the heaviest chain.
+
+use crate::block::Block;
+use crate::error::ChainError;
+use crate::header::BlockId;
+use crate::record::{Record, RecordKind};
+use crate::CONFIRMATION_DEPTH;
+use smartcrowd_crypto::Digest;
+use std::collections::HashMap;
+
+/// Where a record landed on the canonical chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordLocation {
+    /// Block holding the record.
+    pub block_id: BlockId,
+    /// Height of that block.
+    pub height: u64,
+    /// Index of the record within the block.
+    pub index: usize,
+}
+
+/// An in-memory block store with fork choice and confirmation queries.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_chain::{Block, ChainStore, Difficulty};
+/// use smartcrowd_chain::pow::Miner;
+/// use smartcrowd_crypto::Address;
+///
+/// let genesis = Block::genesis(Difficulty::from_u64(1));
+/// let mut store = ChainStore::new(genesis.clone());
+/// let miner = Miner::new(Address::from_label("p"));
+/// let b1 = miner.mine_next(&genesis, vec![], genesis.header().timestamp + 15).unwrap();
+/// store.insert(b1).unwrap();
+/// assert_eq!(store.best_height(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainStore {
+    blocks: HashMap<BlockId, Block>,
+    total_work: HashMap<BlockId, u128>,
+    genesis_id: BlockId,
+    best_tip: BlockId,
+    /// Canonical height → block id index, rebuilt on tip change.
+    canonical: HashMap<u64, BlockId>,
+    /// Record id → location on the canonical chain.
+    record_index: HashMap<Digest, RecordLocation>,
+}
+
+impl ChainStore {
+    /// Creates a store rooted at `genesis`.
+    pub fn new(genesis: Block) -> Self {
+        let genesis_id = genesis.id();
+        let mut store = ChainStore {
+            blocks: HashMap::new(),
+            total_work: HashMap::new(),
+            genesis_id,
+            best_tip: genesis_id,
+            canonical: HashMap::new(),
+            record_index: HashMap::new(),
+        };
+        store.total_work.insert(genesis_id, genesis.header().difficulty.value());
+        store.blocks.insert(genesis_id, genesis);
+        store.rebuild_canonical();
+        store
+    }
+
+    /// The genesis block id.
+    pub fn genesis_id(&self) -> BlockId {
+        self.genesis_id
+    }
+
+    /// The current best (heaviest-chain) tip.
+    pub fn best_tip(&self) -> BlockId {
+        self.best_tip
+    }
+
+    /// Height of the best tip.
+    pub fn best_height(&self) -> u64 {
+        self.blocks[&self.best_tip].header().height
+    }
+
+    /// The block at the best tip.
+    pub fn best_block(&self) -> &Block {
+        &self.blocks[&self.best_tip]
+    }
+
+    /// Total stored blocks (all forks).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Always false — a store always holds at least genesis.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fetches a block by id.
+    pub fn block(&self, id: &BlockId) -> Option<&Block> {
+        self.blocks.get(id)
+    }
+
+    /// The canonical block at `height`, if within the best chain.
+    pub fn block_at_height(&self, height: u64) -> Option<&Block> {
+        self.canonical.get(&height).and_then(|id| self.blocks.get(id))
+    }
+
+    /// Accumulated work at a block.
+    pub fn work_of(&self, id: &BlockId) -> Option<u128> {
+        self.total_work.get(id).copied()
+    }
+
+    /// Inserts a block after structural and linkage validation.
+    ///
+    /// # Errors
+    ///
+    /// - [`ChainError::DuplicateBlock`] if already stored.
+    /// - [`ChainError::UnknownParent`] if the parent is missing.
+    /// - [`ChainError::TimestampRegression`] if the timestamp precedes the
+    ///   parent's.
+    /// - Structural errors from [`Block::validate_structure`].
+    pub fn insert(&mut self, block: Block) -> Result<BlockId, ChainError> {
+        let id = block.id();
+        if self.blocks.contains_key(&id) {
+            return Err(ChainError::DuplicateBlock { id });
+        }
+        let parent = self
+            .blocks
+            .get(&block.header().prev)
+            .ok_or(ChainError::UnknownParent { parent: block.header().prev })?;
+        if block.header().height != parent.header().height + 1 {
+            return Err(ChainError::Codec {
+                detail: format!(
+                    "height {} does not follow parent height {}",
+                    block.header().height,
+                    parent.header().height
+                ),
+            });
+        }
+        if block.header().timestamp < parent.header().timestamp {
+            return Err(ChainError::TimestampRegression { id });
+        }
+        block.validate_structure()?;
+        let parent_work = self.total_work[&block.header().prev];
+        let work = parent_work + block.header().difficulty.value();
+        self.total_work.insert(id, work);
+        self.blocks.insert(id, block);
+        // Fork choice: strictly more work wins; ties keep the incumbent
+        // (first-seen rule, as in Bitcoin).
+        if work > self.total_work[&self.best_tip] {
+            self.best_tip = id;
+            self.rebuild_canonical();
+        }
+        Ok(id)
+    }
+
+    fn rebuild_canonical(&mut self) {
+        self.canonical.clear();
+        self.record_index.clear();
+        let mut cursor = self.best_tip;
+        loop {
+            let block = &self.blocks[&cursor];
+            let height = block.header().height;
+            self.canonical.insert(height, cursor);
+            for (index, record) in block.records().iter().enumerate() {
+                self.record_index.insert(
+                    record.id(),
+                    RecordLocation { block_id: cursor, height, index },
+                );
+            }
+            if cursor == self.genesis_id {
+                break;
+            }
+            cursor = block.header().prev;
+        }
+    }
+
+    /// Whether `id` lies on the canonical chain.
+    pub fn is_canonical(&self, id: &BlockId) -> bool {
+        self.blocks
+            .get(id)
+            .map(|b| self.canonical.get(&b.header().height) == Some(id))
+            .unwrap_or(false)
+    }
+
+    /// Confirmations of a block: 1 at the tip, 0 off-chain/unknown.
+    pub fn confirmations(&self, id: &BlockId) -> u64 {
+        if !self.is_canonical(id) {
+            return 0;
+        }
+        let height = self.blocks[&id.clone()].header().height;
+        self.best_height() - height + 1
+    }
+
+    /// Whether the block has reached the paper's 6-block finality (§V-C).
+    pub fn is_confirmed(&self, id: &BlockId) -> bool {
+        self.confirmations(id) > CONFIRMATION_DEPTH
+    }
+
+    /// Locates a record on the canonical chain.
+    pub fn find_record(&self, record_id: &Digest) -> Option<&RecordLocation> {
+        self.record_index.get(record_id)
+    }
+
+    /// Fetches a record plus its confirmation count.
+    pub fn record_with_confirmations(&self, record_id: &Digest) -> Option<(&Record, u64)> {
+        let loc = self.record_index.get(record_id)?;
+        let block = self.blocks.get(&loc.block_id)?;
+        let record = block.records().get(loc.index)?;
+        Some((record, self.confirmations(&loc.block_id)))
+    }
+
+    /// Whether a record is in a finally-confirmed block.
+    pub fn record_confirmed(&self, record_id: &Digest) -> bool {
+        self.record_with_confirmations(record_id)
+            .map(|(_, c)| c > CONFIRMATION_DEPTH)
+            .unwrap_or(false)
+    }
+
+    /// Iterates the canonical chain from genesis to tip.
+    pub fn canonical_blocks(&self) -> impl Iterator<Item = &Block> + '_ {
+        (0..=self.best_height()).filter_map(move |h| self.block_at_height(h))
+    }
+
+    /// All canonical records of a given kind (the consumer query of
+    /// Phase #3: "consumers can quickly learn the system security analysis
+    /// by querying the related detection results in the blockchain").
+    pub fn records_of_kind(&self, kind: RecordKind) -> Vec<(&Record, u64)> {
+        self.canonical_blocks()
+            .flat_map(|b| {
+                let confs = self.confirmations(&b.id());
+                b.records().iter().map(move |r| (r, confs))
+            })
+            .filter(|(r, _)| r.kind() == kind)
+            .collect()
+    }
+
+    /// Blocks mined by `miner` on the canonical chain.
+    pub fn blocks_by_miner(&self, miner: &smartcrowd_crypto::Address) -> Vec<&Block> {
+        self.canonical_blocks().filter(|b| b.header().miner == *miner).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::Ether;
+    use crate::difficulty::Difficulty;
+    use crate::pow::Miner;
+    use smartcrowd_crypto::keys::KeyPair;
+    use smartcrowd_crypto::Address;
+
+    fn miner(label: &str) -> Miner {
+        Miner::new(Address::from_label(label))
+    }
+
+    fn record(seed: u64) -> Record {
+        let kp = KeyPair::from_seed(&seed.to_be_bytes());
+        Record::signed(RecordKind::Transfer, vec![1], Ether::from_wei(seed as u128), seed, &kp)
+    }
+
+    fn store_with_chain(n: u64) -> (ChainStore, Vec<Block>) {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let mut store = ChainStore::new(genesis.clone());
+        let m = miner("p");
+        let mut blocks = vec![genesis];
+        for i in 0..n {
+            let parent = blocks.last().unwrap();
+            let b = m
+                .mine_next(parent, vec![record(i)], parent.header().timestamp + 15)
+                .unwrap();
+            store.insert(b.clone()).unwrap();
+            blocks.push(b);
+        }
+        (store, blocks)
+    }
+
+    #[test]
+    fn linear_chain_grows() {
+        let (store, blocks) = store_with_chain(5);
+        assert_eq!(store.best_height(), 5);
+        assert_eq!(store.best_tip(), blocks[5].id());
+        assert_eq!(store.canonical_blocks().count(), 6);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let (mut store, blocks) = store_with_chain(2);
+        let err = store.insert(blocks[1].clone()).unwrap_err();
+        assert!(matches!(err, ChainError::DuplicateBlock { .. }));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let (mut store, _) = store_with_chain(1);
+        let other_genesis = Block::genesis(Difficulty::from_u64(7));
+        let orphan = miner("p")
+            .mine_next(&other_genesis, vec![], other_genesis.header().timestamp + 15)
+            .unwrap();
+        assert!(matches!(store.insert(orphan), Err(ChainError::UnknownParent { .. })));
+    }
+
+    #[test]
+    fn timestamp_regression_rejected() {
+        let (mut store, blocks) = store_with_chain(1);
+        let parent = &blocks[1];
+        let bad = miner("p")
+            .mine_next(parent, vec![], parent.header().timestamp - 1)
+            .unwrap();
+        assert!(matches!(store.insert(bad), Err(ChainError::TimestampRegression { .. })));
+    }
+
+    #[test]
+    fn heavier_fork_wins() {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let mut store = ChainStore::new(genesis.clone());
+        // Light chain: one block at difficulty 1.
+        let light = miner("light")
+            .mine_next(&genesis, vec![], genesis.header().timestamp + 15)
+            .unwrap();
+        store.insert(light.clone()).unwrap();
+        assert_eq!(store.best_tip(), light.id());
+        // Heavy fork: one block at difficulty 64 (more work).
+        let heavy = miner("heavy")
+            .with_max_attempts(1_000_000)
+            .mine_next_at(&genesis, vec![], genesis.header().timestamp + 16, Difficulty::from_u64(64))
+            .unwrap();
+        store.insert(heavy.clone()).unwrap();
+        assert_eq!(store.best_tip(), heavy.id());
+        assert!(store.is_canonical(&heavy.id()));
+        assert!(!store.is_canonical(&light.id()));
+    }
+
+    #[test]
+    fn equal_work_keeps_incumbent() {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let mut store = ChainStore::new(genesis.clone());
+        let a = miner("a").mine_next(&genesis, vec![], genesis.header().timestamp + 15).unwrap();
+        let b = miner("b").mine_next(&genesis, vec![], genesis.header().timestamp + 15).unwrap();
+        store.insert(a.clone()).unwrap();
+        store.insert(b.clone()).unwrap();
+        assert_eq!(store.best_tip(), a.id(), "first-seen tip retained on tie");
+    }
+
+    #[test]
+    fn confirmations_count_up() {
+        let (store, blocks) = store_with_chain(8);
+        // Block 1 has 8 descendants + itself = 9 confirmations.
+        assert_eq!(store.confirmations(&blocks[1].id()), 8);
+        assert!(store.is_confirmed(&blocks[1].id()));
+        // Tip has exactly 1.
+        assert_eq!(store.confirmations(&blocks[8].id()), 1);
+        assert!(!store.is_confirmed(&blocks[8].id()));
+    }
+
+    #[test]
+    fn six_confirmation_rule_matches_paper() {
+        // A block is final only once 6 blocks are linked after it.
+        let (store, blocks) = store_with_chain(6);
+        assert_eq!(store.confirmations(&blocks[1].id()), 6);
+        assert!(!store.is_confirmed(&blocks[1].id()), "needs 6 descendants, has 5");
+        let (store, blocks) = store_with_chain(7);
+        assert_eq!(store.confirmations(&blocks[1].id()), 7);
+        assert!(store.is_confirmed(&blocks[1].id()));
+    }
+
+    #[test]
+    fn record_lookup_and_confirmation() {
+        let (store, blocks) = store_with_chain(7);
+        let r = &blocks[1].records()[0];
+        let loc = store.find_record(&r.id()).unwrap();
+        assert_eq!(loc.height, 1);
+        assert_eq!(loc.index, 0);
+        assert!(store.record_confirmed(&r.id()));
+        let tip_record = &blocks[7].records()[0];
+        assert!(!store.record_confirmed(&tip_record.id()));
+        assert!(store.find_record(&[9u8; 32]).is_none());
+    }
+
+    #[test]
+    fn reorg_reindexes_records() {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let mut store = ChainStore::new(genesis.clone());
+        let r_light = record(100);
+        let light = miner("light")
+            .mine_next(&genesis, vec![r_light.clone()], genesis.header().timestamp + 15)
+            .unwrap();
+        store.insert(light).unwrap();
+        assert!(store.find_record(&r_light.id()).is_some());
+        // Heavier fork without the record.
+        let heavy = miner("heavy")
+            .with_max_attempts(1_000_000)
+            .mine_next_at(&genesis, vec![], genesis.header().timestamp + 16, Difficulty::from_u64(64))
+            .unwrap();
+        store.insert(heavy).unwrap();
+        assert!(store.find_record(&r_light.id()).is_none(), "reorged-out record unindexed");
+    }
+
+    #[test]
+    fn records_of_kind_filters() {
+        let (store, _) = store_with_chain(3);
+        assert_eq!(store.records_of_kind(RecordKind::Transfer).len(), 3);
+        assert!(store.records_of_kind(RecordKind::Sra).is_empty());
+    }
+
+    #[test]
+    fn blocks_by_miner() {
+        let (store, _) = store_with_chain(4);
+        assert_eq!(store.blocks_by_miner(&Address::from_label("p")).len(), 4);
+        assert!(store.blocks_by_miner(&Address::from_label("other")).is_empty());
+    }
+
+    #[test]
+    fn wrong_height_rejected() {
+        let (mut store, blocks) = store_with_chain(2);
+        // Manually assemble a block with a skipped height.
+        let parent = &blocks[2];
+        let mut bad = Block::assemble(
+            parent,
+            vec![],
+            parent.header().timestamp + 15,
+            Difficulty::from_u64(1),
+            Address::from_label("p"),
+        );
+        bad.header_mut().height += 1; // now parent.height + 2
+        assert!(store.insert(bad).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Full block-validation pipeline.
+//!
+//! "Each newly generated block must be correctly verified by IoT
+//! providers" (§VI-A). The pipeline layers, in order: structural
+//! self-consistency (Merkle root, PoW target, record uniqueness), linkage
+//! against the local store (known parent, height, timestamp), per-record
+//! signature recovery, and finally an injectable semantic validator — the
+//! hook through which the core crate plugs Algorithm 1 and `AutoVerif()`.
+
+use crate::block::Block;
+use crate::error::ChainError;
+use crate::record::Record;
+use crate::store::ChainStore;
+
+/// Semantic record validation, implemented by higher layers (the SmartCrowd
+/// core installs Algorithm 1 + `AutoVerif()` here).
+pub trait RecordValidator {
+    /// Accepts or rejects a record on protocol-level grounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::RecordRejected`] describing the violation.
+    fn validate(&self, record: &Record) -> Result<(), ChainError>;
+}
+
+/// A validator that accepts everything (chain-layer tests and benches).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AcceptAll;
+
+impl RecordValidator for AcceptAll {
+    fn validate(&self, _record: &Record) -> Result<(), ChainError> {
+        Ok(())
+    }
+}
+
+/// A validator dispatching to a closure.
+pub struct FnValidator<F>(pub F);
+
+impl<F> RecordValidator for FnValidator<F>
+where
+    F: Fn(&Record) -> Result<(), ChainError>,
+{
+    fn validate(&self, record: &Record) -> Result<(), ChainError> {
+        (self.0)(record)
+    }
+}
+
+impl<F> std::fmt::Debug for FnValidator<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnValidator(..)")
+    }
+}
+
+/// Runs the full pipeline against a candidate block.
+///
+/// # Errors
+///
+/// Returns the first failure: structural errors, linkage errors
+/// ([`ChainError::UnknownParent`], [`ChainError::TimestampRegression`]),
+/// record signature failures, or semantic rejections from `validator`.
+pub fn validate_block(
+    store: &ChainStore,
+    block: &Block,
+    validator: &dyn RecordValidator,
+) -> Result<(), ChainError> {
+    block.validate_structure()?;
+    let parent = store
+        .block(&block.header().prev)
+        .ok_or(ChainError::UnknownParent { parent: block.header().prev })?;
+    if block.header().height != parent.header().height + 1 {
+        return Err(ChainError::Codec {
+            detail: format!(
+                "height {} does not follow parent {}",
+                block.header().height,
+                parent.header().height
+            ),
+        });
+    }
+    if block.header().timestamp < parent.header().timestamp {
+        return Err(ChainError::TimestampRegression { id: block.id() });
+    }
+    for record in block.records() {
+        record.verify_signature()?;
+        validator.validate(record)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::Ether;
+    use crate::difficulty::Difficulty;
+    use crate::pow::Miner;
+    use crate::record::RecordKind;
+    use smartcrowd_crypto::keys::KeyPair;
+    use smartcrowd_crypto::Address;
+
+    fn setup() -> (ChainStore, Block, Miner) {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let store = ChainStore::new(genesis.clone());
+        (store, genesis, Miner::new(Address::from_label("p")))
+    }
+
+    fn record(fee: u64) -> Record {
+        let kp = KeyPair::from_seed(b"d");
+        Record::signed(RecordKind::Transfer, vec![1], Ether::from_wei(fee as u128), fee, &kp)
+    }
+
+    #[test]
+    fn valid_block_passes() {
+        let (store, genesis, miner) = setup();
+        let b = miner
+            .mine_next(&genesis, vec![record(1)], genesis.header().timestamp + 15)
+            .unwrap();
+        assert!(validate_block(&store, &b, &AcceptAll).is_ok());
+    }
+
+    #[test]
+    fn semantic_rejection_propagates() {
+        let (store, genesis, miner) = setup();
+        let b = miner
+            .mine_next(&genesis, vec![record(1)], genesis.header().timestamp + 15)
+            .unwrap();
+        let rejecting = FnValidator(|_r: &Record| {
+            Err(ChainError::RecordRejected { reason: "AutoVerif returned FALSE".into() })
+        });
+        let err = validate_block(&store, &b, &rejecting).unwrap_err();
+        assert!(matches!(err, ChainError::RecordRejected { .. }));
+    }
+
+    #[test]
+    fn unknown_parent_detected() {
+        let (store, _, miner) = setup();
+        let other = Block::genesis(Difficulty::from_u64(9));
+        let b = miner.mine_next(&other, vec![], other.header().timestamp + 15).unwrap();
+        assert!(matches!(
+            validate_block(&store, &b, &AcceptAll),
+            Err(ChainError::UnknownParent { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_record_signature_detected() {
+        let (store, genesis, miner) = setup();
+        let b = miner
+            .mine_next(&genesis, vec![record(1)], genesis.header().timestamp + 15)
+            .unwrap();
+        // Re-encode with a tampered payload byte but a recomputed Merkle
+        // root, so only signature validation can catch it.
+        let mut records: Vec<Record> = b.records().to_vec();
+        let mut bytes = records[0].encode();
+        let payload_start = 1 + 20 + 8;
+        bytes[payload_start] ^= 0xff;
+        records[0] = Record::decode(&bytes).unwrap();
+        let tampered = miner
+            .mine_next(&genesis, records, genesis.header().timestamp + 15)
+            .unwrap();
+        let err = validate_block(&store, &tampered, &AcceptAll).unwrap_err();
+        assert!(matches!(err, ChainError::RecordRejected { .. }));
+    }
+
+    #[test]
+    fn selective_validator() {
+        // Providers "filter this detector's next reports" after a failed
+        // AutoVerif (§V-C): model as a validator rejecting one sender.
+        let banned = KeyPair::from_seed(b"banned").address();
+        let validator = FnValidator(move |r: &Record| {
+            if r.sender() == banned {
+                Err(ChainError::RecordRejected { reason: "isolated detector".into() })
+            } else {
+                Ok(())
+            }
+        });
+        let (store, genesis, miner) = setup();
+        let bad = Record::signed(
+            RecordKind::InitialReport,
+            vec![],
+            Ether::ZERO,
+            0,
+            &KeyPair::from_seed(b"banned"),
+        );
+        let ok = Record::signed(
+            RecordKind::InitialReport,
+            vec![],
+            Ether::ZERO,
+            0,
+            &KeyPair::from_seed(b"good"),
+        );
+        let b_bad = miner
+            .mine_next(&genesis, vec![bad], genesis.header().timestamp + 15)
+            .unwrap();
+        let b_ok = miner
+            .mine_next(&genesis, vec![ok], genesis.header().timestamp + 15)
+            .unwrap();
+        assert!(validate_block(&store, &b_bad, &validator).is_err());
+        assert!(validate_block(&store, &b_ok, &validator).is_ok());
+    }
+}

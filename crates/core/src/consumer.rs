@@ -1,0 +1,178 @@
+//! The consumer role (§IV-A).
+//!
+//! "Before installing an IoT system, consumers firstly look up the
+//! blockchain and learn the related detection results … consumers can
+//! deploy IoT systems with less or no vulnerabilities" (§VI-A). This
+//! module turns the chain's confirmed detection history into a deployment
+//! advisory.
+
+use crate::platform::Platform;
+use crate::sra::SraId;
+use smartcrowd_detect::scoring::{aggregate_risk, band, RiskBand};
+use smartcrowd_detect::vulnerability::{Severity, VulnId};
+
+/// A consumer's deployment decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recommendation {
+    /// No confirmed vulnerability: safe to deploy.
+    Deploy,
+    /// Low-risk findings only, below the consumer's tolerance.
+    DeployWithCaution,
+    /// Confirmed vulnerabilities exceed tolerance: do not deploy.
+    DoNotDeploy,
+}
+
+/// A consumer's risk tolerance.
+#[derive(Debug, Clone, Copy)]
+pub struct RiskTolerance {
+    /// Maximum tolerated high-severity findings (usually 0).
+    pub max_high: usize,
+    /// Maximum tolerated medium-severity findings.
+    pub max_medium: usize,
+    /// Maximum tolerated low-severity findings.
+    pub max_low: usize,
+}
+
+impl Default for RiskTolerance {
+    fn default() -> Self {
+        RiskTolerance { max_high: 0, max_medium: 2, max_low: 5 }
+    }
+}
+
+/// The authoritative reference a consumer reads off the chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecurityAdvisory {
+    /// The queried SRA.
+    pub sra_id: SraId,
+    /// Confirmed vulnerabilities, in id order.
+    pub vulnerabilities: Vec<VulnId>,
+    /// Counts by severity `(high, medium, low)`.
+    pub severity_counts: (usize, usize, usize),
+    /// Aggregate 0–10 risk score (see [`smartcrowd_detect::scoring`]).
+    pub risk_score: f64,
+    /// Qualitative banding of the score.
+    pub risk_band: RiskBand,
+    /// The decision under the supplied tolerance.
+    pub recommendation: Recommendation,
+}
+
+/// Builds the advisory for a released system by querying the platform's
+/// confirmed detection history.
+pub fn advise(platform: &Platform, sra_id: &SraId, tolerance: RiskTolerance) -> SecurityAdvisory {
+    let vulnerabilities = platform.confirmed_vulnerabilities(sra_id);
+    let mut high = 0;
+    let mut medium = 0;
+    let mut low = 0;
+    let mut entries = Vec::new();
+    for v in &vulnerabilities {
+        match platform.library().get(*v) {
+            Some(entry) => {
+                entries.push(entry);
+                match entry.severity {
+                    Severity::High => high += 1,
+                    Severity::Medium => medium += 1,
+                    Severity::Low => low += 1,
+                }
+            }
+            None => {}
+        }
+    }
+    let risk_score = aggregate_risk(&entries);
+    let risk_band = band(risk_score);
+    let recommendation = if vulnerabilities.is_empty() {
+        Recommendation::Deploy
+    } else if high <= tolerance.max_high
+        && medium <= tolerance.max_medium
+        && low <= tolerance.max_low
+    {
+        Recommendation::DeployWithCaution
+    } else {
+        Recommendation::DoNotDeploy
+    };
+    SecurityAdvisory {
+        sra_id: *sra_id,
+        vulnerabilities,
+        severity_counts: (high, medium, low),
+        risk_score,
+        risk_band,
+        recommendation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformConfig;
+    use crate::report::{create_report_pair, Findings};
+    use smartcrowd_chain::rng::SimRng;
+    use smartcrowd_chain::Ether;
+    use smartcrowd_crypto::keys::KeyPair;
+    use smartcrowd_detect::system::IoTSystem;
+
+    fn released_platform(vulns: Vec<VulnId>) -> (Platform, SraId) {
+        let mut p = Platform::new(PlatformConfig::paper());
+        let mut rng = SimRng::seed_from_u64(5);
+        let system = IoTSystem::build("fw", "1", p.library(), vulns, &mut rng).unwrap();
+        let id = p
+            .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
+            .unwrap();
+        (p, id)
+    }
+
+    fn report_and_confirm(p: &mut Platform, sra_id: SraId, vulns: Vec<VulnId>) {
+        let detector = KeyPair::from_seed(b"consumer-test-detector");
+        p.fund(detector.address(), Ether::from_ether(10));
+        let (initial, detailed) =
+            create_report_pair(&detector, sra_id, Findings::new(vulns, "findings"));
+        p.submit_initial(&detector, initial).unwrap();
+        p.mine_blocks(8);
+        p.submit_detailed(&detector, detailed).unwrap();
+        p.mine_blocks(8);
+    }
+
+    #[test]
+    fn clean_release_is_deployable() {
+        let (mut p, id) = released_platform(vec![]);
+        p.mine_blocks(8);
+        let advisory = advise(&p, &id, RiskTolerance::default());
+        assert_eq!(advisory.recommendation, Recommendation::Deploy);
+        assert!(advisory.vulnerabilities.is_empty());
+    }
+
+    #[test]
+    fn vulnerable_release_is_flagged() {
+        // Find vulns with at least one High severity in the library.
+        let (p0, _) = released_platform(vec![]);
+        let high_ids = p0.library().ids_by_severity(Severity::High);
+        let chosen = vec![high_ids[0], high_ids[1]];
+        let (mut p, id) = released_platform(chosen.clone());
+        report_and_confirm(&mut p, id, chosen);
+        let advisory = advise(&p, &id, RiskTolerance::default());
+        assert_eq!(advisory.recommendation, Recommendation::DoNotDeploy);
+        assert_eq!(advisory.severity_counts.0, 2);
+        assert!(advisory.risk_score >= 7.0, "score {}", advisory.risk_score);
+        assert_eq!(advisory.risk_band, RiskBand::Critical);
+    }
+
+    #[test]
+    fn low_risk_release_deploys_with_caution() {
+        let (p0, _) = released_platform(vec![]);
+        let low_ids = p0.library().ids_by_severity(Severity::Low);
+        let chosen = vec![low_ids[0]];
+        let (mut p, id) = released_platform(chosen.clone());
+        report_and_confirm(&mut p, id, chosen);
+        let advisory = advise(&p, &id, RiskTolerance::default());
+        assert_eq!(advisory.recommendation, Recommendation::DeployWithCaution);
+        assert_eq!(advisory.severity_counts, (0, 0, 1));
+        assert_eq!(advisory.risk_band, RiskBand::Low);
+    }
+
+    #[test]
+    fn unknown_sra_reads_as_clean_but_distinct() {
+        let (p, _) = released_platform(vec![]);
+        let advisory = advise(&p, &[9u8; 32], RiskTolerance::default());
+        assert_eq!(advisory.recommendation, Recommendation::Deploy);
+        assert!(advisory.vulnerabilities.is_empty());
+        assert_eq!(advisory.risk_band, RiskBand::Clean);
+    }
+}

@@ -1,0 +1,144 @@
+//! Error type for the SmartCrowd core protocol.
+
+use std::fmt;
+
+/// Errors raised by protocol verification and platform operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An SRA's `Δ_id` does not match its fields (integrity failure).
+    SraIdMismatch,
+    /// An SRA's `P_Sign` does not recover to the claimed provider
+    /// (authenticity failure — the spoofing defence of §V-A).
+    SraSignatureInvalid,
+    /// An SRA's insurance deposit is below the platform minimum.
+    InsuranceTooLow,
+    /// An initial report's `ID†` does not match its fields.
+    InitialReportIdMismatch,
+    /// An initial report's `D†_Sign` is invalid.
+    InitialReportSignatureInvalid,
+    /// A detailed report's `ID*` does not match its fields.
+    DetailedReportIdMismatch,
+    /// A detailed report's `D*_Sign` is invalid.
+    DetailedReportSignatureInvalid,
+    /// `H(R*)` does not equal the `H_{R*}` committed in `R†` — the
+    /// commit-reveal binding that blocks plagiarism (§V-B).
+    CommitmentMismatch,
+    /// The detailed report names a different detector or SRA than the
+    /// initial report it claims to follow.
+    PhaseMismatch,
+    /// `AutoVerif` returned FALSE: a claimed vulnerability does not
+    /// reproduce against the artifact (§V-C).
+    AutoVerifFailed {
+        /// Claims that failed to reproduce (raw vulnerability ids).
+        rejected: Vec<u64>,
+    },
+    /// A report arrived for an SRA that is not on the chain.
+    UnknownSra,
+    /// A detailed report arrived before its initial report confirmed.
+    InitialNotConfirmed,
+    /// The same detector already has a confirmed report for this SRA phase.
+    DuplicateReport,
+    /// The submitting detector is isolated by the local scoreboard.
+    DetectorIsolated,
+    /// A payout could not be executed.
+    PayoutFailed {
+        /// Why the contract call failed.
+        reason: String,
+    },
+    /// A codec/decoding failure for a protocol payload.
+    Payload {
+        /// Detail.
+        detail: String,
+    },
+    /// An operation referenced an unknown entity.
+    NotFound,
+    /// Wrapped chain-layer error.
+    Chain(smartcrowd_chain::ChainError),
+    /// Wrapped VM-layer error.
+    Vm(smartcrowd_vm::VmError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SraIdMismatch => write!(f, "SRA Δ_id does not match its fields"),
+            CoreError::SraSignatureInvalid => {
+                write!(f, "SRA signature does not recover to the claimed provider")
+            }
+            CoreError::InsuranceTooLow => write!(f, "SRA insurance below the platform minimum"),
+            CoreError::InitialReportIdMismatch => {
+                write!(f, "initial report ID† does not match its fields")
+            }
+            CoreError::InitialReportSignatureInvalid => {
+                write!(f, "initial report signature invalid")
+            }
+            CoreError::DetailedReportIdMismatch => {
+                write!(f, "detailed report ID* does not match its fields")
+            }
+            CoreError::DetailedReportSignatureInvalid => {
+                write!(f, "detailed report signature invalid")
+            }
+            CoreError::CommitmentMismatch => {
+                write!(f, "H(R*) does not match the commitment H_R* in R†")
+            }
+            CoreError::PhaseMismatch => {
+                write!(f, "detailed report does not match its initial report's detector/SRA")
+            }
+            CoreError::AutoVerifFailed { rejected } => {
+                write!(f, "AutoVerif returned FALSE for claims {rejected:?}")
+            }
+            CoreError::UnknownSra => write!(f, "report references an unknown SRA"),
+            CoreError::InitialNotConfirmed => {
+                write!(f, "detailed report submitted before R† confirmed")
+            }
+            CoreError::DuplicateReport => write!(f, "detector already reported for this SRA"),
+            CoreError::DetectorIsolated => write!(f, "detector is isolated by the scoreboard"),
+            CoreError::PayoutFailed { reason } => write!(f, "incentive payout failed: {reason}"),
+            CoreError::Payload { detail } => write!(f, "malformed protocol payload: {detail}"),
+            CoreError::NotFound => write!(f, "entity not found"),
+            CoreError::Chain(e) => write!(f, "chain error: {e}"),
+            CoreError::Vm(e) => write!(f, "vm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Chain(e) => Some(e),
+            CoreError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<smartcrowd_chain::ChainError> for CoreError {
+    fn from(e: smartcrowd_chain::ChainError) -> Self {
+        CoreError::Chain(e)
+    }
+}
+
+impl From<smartcrowd_vm::VmError> for CoreError {
+    fn from(e: smartcrowd_vm::VmError) -> Self {
+        CoreError::Vm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_display_and_wrap() {
+        let e: CoreError = smartcrowd_chain::ChainError::NotFound.into();
+        assert!(e.to_string().contains("chain error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = smartcrowd_vm::VmError::StepLimit.into();
+        assert!(e.to_string().contains("vm error"));
+        assert!(!CoreError::CommitmentMismatch.to_string().is_empty());
+        assert!(CoreError::AutoVerifFailed { rejected: vec![3] }
+            .to_string()
+            .contains('3'));
+    }
+}

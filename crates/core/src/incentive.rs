@@ -1,0 +1,210 @@
+//! The incentive equations of §V-D (Eq. 7–10).
+//!
+//! All arithmetic is exact wei arithmetic on [`Ether`]; the proportions
+//! `ρ_i` are passed as rationals to avoid float drift in balances. Where
+//! the paper's equations use real-valued expectations (`n_i·ρ_i`), the
+//! expectation helpers mirror them in `f64` for the theoretical analysis
+//! while the platform itself always pays out exact amounts per confirmed
+//! report.
+
+use smartcrowd_chain::Ether;
+
+/// A rational proportion `num/den` in `[0, 1]` (e.g. the recording
+/// proportion `ρ_i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Proportion {
+    /// Numerator.
+    pub num: u64,
+    /// Denominator (non-zero).
+    pub den: u64,
+}
+
+impl Proportion {
+    /// The proportion 1 (certain recording).
+    pub const ONE: Proportion = Proportion { num: 1, den: 1 };
+
+    /// Creates a proportion, clamping `num` to `den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `den` is zero.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "zero denominator");
+        Proportion { num: num.min(den), den }
+    }
+
+    /// As a float (analysis only).
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+/// Eq. 7 — detector incentive for one SRA detection:
+/// `in†_i = μ · n_i · ρ_i`.
+pub fn detector_incentive(mu: Ether, n: u64, rho: Proportion) -> Ether {
+    mu.scaled(n).mul_ratio(rho.num, rho.den)
+}
+
+/// Eq. 8 — provider incentive for one created block:
+/// `in*_i = χ·ν + ψ·ω` (block rewards plus recorded-report fees).
+pub fn provider_incentive(chi: u64, nu: Ether, psi: Ether, omega: u64) -> Ether {
+    nu.scaled(chi) + psi.scaled(omega)
+}
+
+/// Eq. 9 — provider punishment for releasing a vulnerable system:
+/// `pu_i = μ · Σ_{i=1}^{m} n_i·ρ_i + cp_i`.
+///
+/// `recorded` lists each detector's `(n_i, ρ_i)`.
+pub fn provider_punishment(mu: Ether, recorded: &[(u64, Proportion)], cp: Ether) -> Ether {
+    let payouts: Ether = recorded
+        .iter()
+        .map(|(n, rho)| detector_incentive(mu, *n, *rho))
+        .sum();
+    payouts + cp
+}
+
+/// Eq. 10 — detector cost of reporting:
+/// `co_i = n_i · (c + ρ_i·ψ)`.
+pub fn detector_cost(n: u64, c: Ether, rho: Proportion, psi: Ether) -> Ether {
+    (c + psi.mul_ratio(rho.num, rho.den)).scaled(n)
+}
+
+/// Expected (real-valued) versions for the theoretical analysis of §VI-B.
+pub mod expected {
+    /// Eq. 7 expectation with real-valued `n` and `ρ`.
+    pub fn detector_incentive(mu: f64, n: f64, rho: f64) -> f64 {
+        mu * n * rho
+    }
+
+    /// Eq. 10 expectation.
+    pub fn detector_cost(n: f64, c: f64, rho: f64, psi: f64) -> f64 {
+        n * (c + rho * psi)
+    }
+
+    /// Eq. 13 — detector balance over time `t` with SRA period `θ`:
+    /// `bd_i = N·ξ_i·t·[ρ_i(μ−ψ) − c]/θ`.
+    pub fn detector_balance(
+        n_vulns: f64,
+        xi: f64,
+        t: f64,
+        rho: f64,
+        mu: f64,
+        psi: f64,
+        c: f64,
+        theta: f64,
+    ) -> f64 {
+        n_vulns * xi * t * (rho * (mu - psi) - c) / theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq7_detector_incentive() {
+        // μ = 25 ETH, n = 3, ρ = 1/2 → 37.5 ETH
+        let v = detector_incentive(Ether::from_ether(25), 3, Proportion::new(1, 2));
+        assert_eq!(v, Ether::from_milliether(37_500));
+        // ρ = 1 → μ·n
+        let v = detector_incentive(Ether::from_ether(25), 3, Proportion::ONE);
+        assert_eq!(v, Ether::from_ether(75));
+        // n = 0 → 0
+        assert_eq!(
+            detector_incentive(Ether::from_ether(25), 0, Proportion::ONE),
+            Ether::ZERO
+        );
+    }
+
+    #[test]
+    fn eq8_provider_incentive() {
+        // χ=1 block at ν=5 ETH + ω=20 reports at ψ=0.011 ETH = 5.22 ETH
+        let v = provider_incentive(1, Ether::from_ether(5), Ether::from_milliether(11), 20);
+        assert_eq!(v, Ether::from_milliether(5220));
+        // No reports: pure block reward.
+        assert_eq!(
+            provider_incentive(2, Ether::from_ether(5), Ether::from_milliether(11), 0),
+            Ether::from_ether(10)
+        );
+    }
+
+    #[test]
+    fn eq9_provider_punishment() {
+        let mu = Ether::from_ether(25);
+        let cp = Ether::from_milliether(95);
+        let recorded = vec![(2, Proportion::new(1, 2)), (1, Proportion::ONE)];
+        // 25·2·0.5 + 25·1·1 + 0.095 = 50.095
+        let v = provider_punishment(mu, &recorded, cp);
+        assert_eq!(v, Ether::from_milliether(50_095));
+        // No recorded vulnerabilities → only the contract cost.
+        assert_eq!(provider_punishment(mu, &[], cp), cp);
+    }
+
+    #[test]
+    fn eq10_detector_cost() {
+        // n=3, c=0.011 ETH, ρ=1/2, ψ=0.011 ETH → 3·(0.011+0.0055)=0.0495
+        let v = detector_cost(
+            3,
+            Ether::from_milliether(11),
+            Proportion::new(1, 2),
+            Ether::from_milliether(11),
+        );
+        assert_eq!(v, Ether::from_microether(49_500));
+    }
+
+    #[test]
+    fn cost_grows_with_reports() {
+        // "More submitted reports will bring more cost for each detector."
+        let c = Ether::from_milliether(11);
+        let psi = Ether::from_milliether(11);
+        let mut last = Ether::ZERO;
+        for n in 1..10 {
+            let v = detector_cost(n, c, Proportion::new(1, 3), psi);
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn incentive_dominates_cost_for_honest_work() {
+        // The economic premise: μ >> c + ψ, so detection is profitable.
+        let mu = Ether::from_ether(25);
+        let income = detector_incentive(mu, 2, Proportion::new(1, 2));
+        let cost = detector_cost(
+            2,
+            Ether::from_milliether(11),
+            Proportion::new(1, 2),
+            Ether::from_milliether(11),
+        );
+        assert!(income > cost * 100);
+    }
+
+    #[test]
+    fn proportion_clamps_and_panics() {
+        assert_eq!(Proportion::new(5, 3).num, 3);
+        assert!((Proportion::new(1, 4).as_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Proportion::new(1, 0);
+    }
+
+    #[test]
+    fn expected_matches_exact_at_unit_values() {
+        let exact = detector_incentive(Ether::from_ether(10), 4, Proportion::new(3, 4));
+        let approx = expected::detector_incentive(10.0, 4.0, 0.75);
+        assert!((exact.as_f64() - approx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq13_detector_balance_sign() {
+        // Profitable when ρ(μ−ψ) > c …
+        let b = expected::detector_balance(10.0, 0.2, 600.0, 0.5, 25.0, 0.011, 0.011, 600.0);
+        assert!(b > 0.0);
+        // … lossy when costs dominate.
+        let b = expected::detector_balance(10.0, 0.2, 600.0, 0.001, 0.02, 0.011, 0.011, 600.0);
+        assert!(b < 0.0);
+    }
+}

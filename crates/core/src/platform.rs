@@ -1,0 +1,874 @@
+//! The SmartCrowd platform: the end-to-end orchestration of Fig. 1.
+//!
+//! [`Platform`] composes every substrate — the PoW chain, the SCVM world
+//! state, the escrow contracts, the detection engine — and drives the four
+//! phases of §IV-B:
+//!
+//! 1. **Decentralized verification for system release** —
+//!    [`Platform::release_system`] verifies the SRA, escrows the insurance
+//!    in a contract, and queues the announcement for the chain.
+//! 2. **Lightweight distributed detection** — detectors submit
+//!    [`Platform::submit_initial`] / [`Platform::submit_detailed`]; both
+//!    run Algorithm 1 (and `AutoVerif` for `R*`) before admission.
+//! 3. **Fault-tolerant verification and storage** —
+//!    [`Platform::mine_block`] runs the hash-power-weighted race, records
+//!    pending reports, and applies fees/rewards to the world state.
+//! 4. **Decentralized and automated incentives** — when a detailed report
+//!    reaches 6-block finality, the escrow pays `μ·n` to the detector's
+//!    wallet with no provider involvement.
+
+use crate::contracts::{ReportRegistry, SraEscrow};
+use crate::error::CoreError;
+use crate::report::{DetailedReport, InitialReport};
+use crate::sra::{Sra, SraId};
+use crate::verify;
+use smartcrowd_chain::confirm::ConfirmationWatcher;
+use smartcrowd_chain::mempool::Mempool;
+use smartcrowd_chain::record::{Record, RecordKind};
+use smartcrowd_chain::simminer::{SimMiner, SimParticipant, PAPER_HASH_POWERS};
+use smartcrowd_chain::{Block, ChainStore, Difficulty, Ether};
+use smartcrowd_crypto::keys::KeyPair;
+use smartcrowd_crypto::{Address, Digest};
+use smartcrowd_detect::autoverif::AutoVerifier;
+use smartcrowd_detect::library::VulnLibrary;
+use smartcrowd_detect::system::IoTSystem;
+use smartcrowd_detect::vulnerability::VulnId;
+use smartcrowd_net::Scoreboard;
+use smartcrowd_vm::{Vm, WorldState};
+use std::collections::{HashMap, HashSet};
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Hash-power share per provider (normalized internally).
+    pub provider_hash_powers: Vec<f64>,
+    /// Mean block time `ϑ` in seconds.
+    pub mean_block_time: f64,
+    /// Block reward `ν`.
+    pub block_reward: Ether,
+    /// Per-report transaction fee `ψ`.
+    pub report_fee: Ether,
+    /// Minimum admissible insurance.
+    pub min_insurance: Ether,
+    /// Genesis funding per provider account.
+    pub provider_funding: Ether,
+    /// Genesis funding per detector on first contact.
+    pub detector_funding: Ether,
+    /// Records pulled into each block (bounds ω).
+    pub block_capacity: usize,
+    /// Size of the synthetic vulnerability library.
+    pub library_size: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl PlatformConfig {
+    /// The paper's §VII configuration: 5 providers at the top-5 Ethereum
+    /// hash-power shares, 15.35 s blocks, 5-ether rewards.
+    pub fn paper() -> Self {
+        PlatformConfig {
+            provider_hash_powers: PAPER_HASH_POWERS.to_vec(),
+            mean_block_time: 15.35,
+            block_reward: Ether::from_ether(5),
+            report_fee: Ether::from_milliether(11),
+            min_insurance: Ether::from_ether(100),
+            provider_funding: Ether::from_ether(5000),
+            detector_funding: Ether::from_ether(50),
+            block_capacity: 64,
+            library_size: 500,
+            seed: 2019,
+        }
+    }
+}
+
+/// One registered provider.
+#[derive(Debug, Clone)]
+pub struct ProviderHandle {
+    /// Signing keys.
+    pub keypair: KeyPair,
+    /// Account address.
+    pub address: Address,
+    /// Hash-power share.
+    pub hash_power: f64,
+}
+
+/// A released system tracked by the platform.
+#[derive(Debug, Clone)]
+struct SraEntry {
+    sra: Sra,
+    escrow: SraEscrow,
+    system: IoTSystem,
+    /// Vulnerabilities already paid out (first-confirmer-wins dedup).
+    paid_vulns: HashSet<VulnId>,
+    /// Detectors with a recorded initial report (one slot per detector).
+    initial_by_detector: HashMap<Address, InitialReport>,
+    record_id_of_initial: HashMap<Address, Digest>,
+    /// Whether the detection window was closed and the remainder refunded.
+    settled: bool,
+}
+
+/// A completed incentive payout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Payout {
+    /// The SRA whose escrow paid.
+    pub sra_id: SraId,
+    /// The detector wallet credited.
+    pub wallet: Address,
+    /// Number of novel vulnerabilities rewarded.
+    pub vulnerabilities: u64,
+    /// Amount transferred.
+    pub amount: Ether,
+}
+
+/// The assembled SmartCrowd platform.
+#[derive(Debug)]
+pub struct Platform {
+    config: PlatformConfig,
+    providers: Vec<ProviderHandle>,
+    store: ChainStore,
+    state: WorldState,
+    vm: Vm,
+    sim: SimMiner,
+    mempool: Mempool,
+    library: VulnLibrary,
+    scoreboard: Scoreboard,
+    watcher: ConfirmationWatcher,
+    registry: ReportRegistry,
+    trigger: Address,
+    sras: HashMap<SraId, SraEntry>,
+    /// Release order (released_sras() preserves it).
+    release_order: Vec<SraId>,
+    /// Detailed reports waiting for finality, keyed by record id.
+    pending_detailed: HashMap<Digest, DetailedReport>,
+    payouts: Vec<Payout>,
+    /// Gas fees spent by each detector (reporting cost ledger, Fig. 6(b)).
+    detector_costs: HashMap<Address, Ether>,
+    /// Mining income per provider: block rewards + record fees (Eq. 8
+    /// accumulated; the Fig. 4(a) series).
+    mining_income: HashMap<Address, Ether>,
+    funded: HashSet<Address>,
+    /// Currency created at genesis or via the faucet (supply audit).
+    genesis_allocated: Ether,
+    /// Currency minted as block rewards (supply audit).
+    minted: Ether,
+}
+
+impl Platform {
+    /// Boots the platform: genesis block, funded providers, deployed
+    /// report registry, seeded mining race.
+    pub fn new(config: PlatformConfig) -> Platform {
+        let providers: Vec<ProviderHandle> = config
+            .provider_hash_powers
+            .iter()
+            .enumerate()
+            .map(|(i, &hp)| {
+                let keypair = KeyPair::from_seed(format!("provider-{i}").as_bytes());
+                ProviderHandle { address: keypair.address(), keypair, hash_power: hp }
+            })
+            .collect();
+        let participants = providers
+            .iter()
+            .map(|p| SimParticipant { address: p.address, hash_power: p.hash_power })
+            .collect();
+        let sim = SimMiner::new(participants, config.mean_block_time, config.seed);
+        let mut state = WorldState::new();
+        let mut genesis_allocated = Ether::ZERO;
+        for p in &providers {
+            state.credit(p.address, config.provider_funding);
+            genesis_allocated += config.provider_funding;
+        }
+        let trigger = Address::from_label("smartcrowd-consensus");
+        state.credit(trigger, Ether::from_ether(1000)); // gas float for triggers
+        genesis_allocated += Ether::from_ether(1000);
+        let vm = Vm::default();
+        let registry = ReportRegistry::deploy(&vm, &mut state, trigger)
+            .expect("registry deploys at genesis");
+        let store = ChainStore::new(Block::genesis(Difficulty::from_u64(1)));
+        let library = VulnLibrary::synthetic(config.library_size, config.seed ^ 0xdead);
+        Platform {
+            providers,
+            store,
+            state,
+            vm,
+            sim,
+            mempool: Mempool::default(),
+            library,
+            scoreboard: Scoreboard::default(),
+            watcher: ConfirmationWatcher::new(),
+            registry,
+            trigger,
+            sras: HashMap::new(),
+            release_order: Vec::new(),
+            pending_detailed: HashMap::new(),
+            payouts: Vec::new(),
+            detector_costs: HashMap::new(),
+            mining_income: HashMap::new(),
+            funded: HashSet::new(),
+            genesis_allocated,
+            minted: Ether::ZERO,
+            config,
+        }
+    }
+
+    /// The registered providers.
+    pub fn providers(&self) -> &[ProviderHandle] {
+        &self.providers
+    }
+
+    /// The synthetic vulnerability library backing `AutoVerif`.
+    pub fn library(&self) -> &VulnLibrary {
+        &self.library
+    }
+
+    /// Publishes a newly disclosed vulnerability into the platform library
+    /// (the event retrospective detection reacts to; see
+    /// [`crate::retro`]). Returns the assigned id.
+    pub fn publish_vulnerability(
+        &mut self,
+        entry: smartcrowd_detect::vulnerability::Vulnerability,
+    ) -> VulnId {
+        let id = entry.id;
+        self.library.publish(entry);
+        id
+    }
+
+    /// Ids of every SRA released on this platform, in release order.
+    pub fn released_sras(&self) -> Vec<SraId> {
+        self.release_order.clone()
+    }
+
+    /// Whether an SRA's detection window has been closed.
+    pub fn is_settled(&self, sra_id: &SraId) -> bool {
+        self.sras.get(sra_id).map(|e| e.settled).unwrap_or(false)
+    }
+
+    /// The chain store (consumers query this).
+    pub fn store(&self) -> &ChainStore {
+        &self.store
+    }
+
+    /// Current account balance.
+    pub fn balance(&self, addr: &Address) -> Ether {
+        self.state.balance(addr)
+    }
+
+    /// Completed payouts, in order.
+    pub fn payouts(&self) -> &[Payout] {
+        &self.payouts
+    }
+
+    /// Cumulative gas spent by a detector on report submission.
+    pub fn detector_cost(&self, addr: &Address) -> Ether {
+        self.detector_costs.get(addr).copied().unwrap_or(Ether::ZERO)
+    }
+
+    /// Cumulative mining income (block rewards + record fees) of a
+    /// provider — the Fig. 4(a) incentive series.
+    pub fn mining_income(&self, addr: &Address) -> Ether {
+        self.mining_income.get(addr).copied().unwrap_or(Ether::ZERO)
+    }
+
+    /// The platform scoreboard (detector isolation state).
+    pub fn scoreboard(&self) -> &Scoreboard {
+        &self.scoreboard
+    }
+
+    /// Simulated clock in seconds.
+    pub fn clock(&self) -> f64 {
+        self.sim.clock()
+    }
+
+    /// Genesis faucet for detector/consumer accounts (a stand-in for
+    /// pre-existing on-chain funds; detectors need gas money, Eq. 10).
+    pub fn fund(&mut self, addr: Address, amount: Ether) {
+        self.state.credit(addr, amount);
+        self.genesis_allocated += amount;
+    }
+
+    fn ensure_detector_funded(&mut self, addr: Address) {
+        if self.funded.insert(addr) {
+            self.state.credit(addr, self.config.detector_funding);
+            self.genesis_allocated += self.config.detector_funding;
+        }
+    }
+
+    /// Supply audit: `(actual total supply, genesis allocations + minted
+    /// block rewards)`. The two must always be equal — gas fees and
+    /// payouts move currency, they never create or destroy it.
+    pub fn audit_supply(&self) -> (Ether, Ether) {
+        (self.state.total_supply(), self.genesis_allocated + self.minted)
+    }
+
+    fn block_ctx(&self) -> (u64, u64) {
+        (
+            self.store.best_block().header().timestamp,
+            self.store.best_height(),
+        )
+    }
+
+    /// Phase #1 — releases a system: verifies the insuranced SRA, deploys
+    /// and funds the escrow, and queues the announcement record.
+    ///
+    /// Returns the `Δ_id`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::InsuranceTooLow`] below the platform minimum;
+    /// - SRA verification failures (§V-A);
+    /// - [`CoreError::Vm`] when the provider cannot fund insurance + gas.
+    pub fn release_system(
+        &mut self,
+        provider_index: usize,
+        system: IoTSystem,
+        insurance: Ether,
+        incentive_per_vuln: Ether,
+    ) -> Result<SraId, CoreError> {
+        let provider = self.providers.get(provider_index).ok_or(CoreError::NotFound)?.clone();
+        if insurance < self.config.min_insurance {
+            return Err(CoreError::InsuranceTooLow);
+        }
+        let link = format!("sim://{}/{}", system.name(), system.version());
+        let sra = Sra::create(
+            &provider.keypair,
+            system.name(),
+            system.version(),
+            *system.image_hash(),
+            &link,
+            insurance,
+            incentive_per_vuln,
+        );
+        // Decentralized verification (every provider checks before
+        // propagation; a single in-process platform checks once).
+        sra.verify()?;
+        if !sra.image_matches(system.image()) {
+            return Err(CoreError::SraIdMismatch);
+        }
+        let block = self.block_ctx();
+        let escrow = SraEscrow::deploy(
+            &self.vm,
+            &mut self.state,
+            provider.address,
+            insurance,
+            incentive_per_vuln,
+            self.trigger,
+            block,
+        )?;
+        let record = Record::signed(
+            RecordKind::Sra,
+            sra.encode(),
+            self.config.report_fee,
+            self.next_nonce(&provider.address),
+            &provider.keypair,
+        );
+        self.mempool.insert(record)?;
+        let id = *sra.id();
+        self.release_order.push(id);
+        self.sras.insert(
+            id,
+            SraEntry {
+                sra,
+                escrow,
+                system,
+                paid_vulns: HashSet::new(),
+                initial_by_detector: HashMap::new(),
+                record_id_of_initial: HashMap::new(),
+                settled: false,
+            },
+        );
+        Ok(id)
+    }
+
+    fn next_nonce(&self, _addr: &Address) -> u64 {
+        // Record ids already include payload hashes; a coarse per-platform
+        // sequence keeps repeated identical submissions distinct.
+        self.store.best_height() * 1000 + self.mempool.len() as u64
+    }
+
+    /// The released system image for an SRA (the `U_l` download).
+    pub fn download_image(&self, sra_id: &SraId) -> Option<&IoTSystem> {
+        self.sras.get(sra_id).map(|e| &e.system)
+    }
+
+    /// The SRA announcement for an id.
+    pub fn sra(&self, sra_id: &SraId) -> Option<&Sra> {
+        self.sras.get(sra_id).map(|e| &e.sra)
+    }
+
+    /// Remaining escrow balance for an SRA.
+    pub fn escrow_balance(&self, sra_id: &SraId) -> Option<Ether> {
+        self.sras.get(sra_id).map(|e| e.escrow.balance(&self.state))
+    }
+
+    /// Gas the provider paid to release an SRA (deploy + init; the paper's
+    /// ≈0.095-ether `cp`).
+    pub fn release_cost(&self, sra_id: &SraId) -> Option<Ether> {
+        self.sras.get(sra_id).map(|e| e.escrow.release_cost)
+    }
+
+    /// Total insurance forfeited (paid out to detectors) for an SRA.
+    pub fn forfeited(&self, sra_id: &SraId) -> Ether {
+        self.payouts
+            .iter()
+            .filter(|p| p.sra_id == *sra_id)
+            .map(|p| p.amount)
+            .sum()
+    }
+
+    /// Closes an SRA's detection window: the consensus-approved refund of
+    /// whatever insurance was not forfeited (the paper's insurance "will
+    /// not be refunded once any vulnerability is detected" — vulnerability
+    /// payouts come out first, the remainder returns to the provider).
+    ///
+    /// Idempotent per SRA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotFound`] for an unknown SRA and
+    /// [`CoreError::PayoutFailed`] when the refund call fails.
+    pub fn settle_release(&mut self, sra_id: &SraId) -> Result<Ether, CoreError> {
+        let block = (
+            self.store.best_block().header().timestamp,
+            self.store.best_height(),
+        );
+        let entry = self.sras.get_mut(sra_id).ok_or(CoreError::NotFound)?;
+        if entry.settled {
+            return Ok(Ether::ZERO);
+        }
+        let remaining = entry.escrow.balance(&self.state);
+        if !remaining.is_zero() {
+            let escrow = entry.escrow.clone();
+            escrow.refund(&self.vm, &mut self.state, self.trigger, block)?;
+        }
+        let entry = self.sras.get_mut(sra_id).expect("checked above");
+        entry.settled = true;
+        Ok(remaining)
+    }
+
+    /// Phase #2a — a detector submits its initial report `R†`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::UnknownSra`] for an unknown `Δ_id`;
+    /// - [`CoreError::DetectorIsolated`] when the scoreboard filters the
+    ///   detector;
+    /// - [`CoreError::DuplicateReport`] when this detector already has an
+    ///   `R†` for the SRA;
+    /// - Algorithm-1 verification failures.
+    pub fn submit_initial(
+        &mut self,
+        detector: &KeyPair,
+        report: InitialReport,
+    ) -> Result<Digest, CoreError> {
+        verify::verify_initial(&report, Some(&self.scoreboard))?;
+        let entry = self.sras.get_mut(report.sra_id()).ok_or(CoreError::UnknownSra)?;
+        if entry.initial_by_detector.contains_key(&report.detector()) {
+            return Err(CoreError::DuplicateReport);
+        }
+        let fee = self.config.report_fee;
+        let nonce = self.store.best_height() * 1000 + self.mempool.len() as u64;
+        let record =
+            Record::signed(RecordKind::InitialReport, report.encode(), fee, nonce, detector);
+        let record_id = record.id();
+        let detector_addr = report.detector();
+        entry.initial_by_detector.insert(detector_addr, report);
+        entry.record_id_of_initial.insert(detector_addr, record_id);
+        self.ensure_detector_funded(detector_addr);
+        self.mempool.insert(record)?;
+        // Meter the on-chain submission cost (Fig. 6(b)).
+        let block = self.block_ctx();
+        let receipt = self.registry.submit(
+            &self.vm,
+            &mut self.state,
+            detector_addr,
+            &record_id,
+            block,
+        )?;
+        *self.detector_costs.entry(detector_addr).or_insert(Ether::ZERO) += receipt.fee;
+        Ok(record_id)
+    }
+
+    /// Phase #2b — a detector reveals its detailed report `R*` after its
+    /// `R†` confirmed (§V-B Phase II).
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::InitialNotConfirmed`] before the 6-block finality of
+    ///   `R†`;
+    /// - commitment/identity mismatches (Algorithm 1);
+    /// - [`CoreError::AutoVerifFailed`] when claims do not reproduce — the
+    ///   detector is struck on the scoreboard.
+    pub fn submit_detailed(
+        &mut self,
+        detector: &KeyPair,
+        report: DetailedReport,
+    ) -> Result<Digest, CoreError> {
+        let entry = self.sras.get(report.sra_id()).ok_or(CoreError::UnknownSra)?;
+        let initial = entry
+            .initial_by_detector
+            .get(&report.detector())
+            .ok_or(CoreError::InitialNotConfirmed)?
+            .clone();
+        let initial_record = entry.record_id_of_initial[&report.detector()];
+        if !self.store.record_confirmed(&initial_record) {
+            return Err(CoreError::InitialNotConfirmed);
+        }
+        let system = entry.system.clone();
+        let verifier = AutoVerifier::new(&self.library);
+        verify::verify_detailed(
+            &report,
+            &initial,
+            &system,
+            &verifier,
+            Some(&mut self.scoreboard),
+        )?;
+        let fee = self.config.report_fee;
+        let nonce = self.store.best_height() * 1000 + self.mempool.len() as u64;
+        let record =
+            Record::signed(RecordKind::DetailedReport, report.encode(), fee, nonce, detector);
+        let record_id = record.id();
+        let detector_addr = report.detector();
+        self.ensure_detector_funded(detector_addr);
+        self.mempool.insert(record)?;
+        let block = self.block_ctx();
+        let receipt = self.registry.submit(
+            &self.vm,
+            &mut self.state,
+            detector_addr,
+            &record_id,
+            block,
+        )?;
+        *self.detector_costs.entry(detector_addr).or_insert(Ether::ZERO) += receipt.fee;
+        self.pending_detailed.insert(record_id, report);
+        Ok(record_id)
+    }
+
+    /// Phase #3/#4 — mines the next block via the hash-power-weighted race,
+    /// records pending reports, applies rewards and fees, and triggers any
+    /// incentive payouts that reached finality.
+    ///
+    /// Returns the winning provider's address and the payouts fired.
+    pub fn mine_block(&mut self) -> (Address, Vec<Payout>) {
+        let records = self.mempool.take_best(self.config.block_capacity);
+        let parent = self.store.best_block().clone();
+        let (_event, block) = self.sim.mine_block(&parent, records);
+        let miner = block.header().miner;
+        // Apply economics: mint the block reward, move record fees.
+        self.state.credit(miner, self.config.block_reward);
+        self.minted += self.config.block_reward;
+        let mut earned = self.config.block_reward;
+        for record in block.records() {
+            let fee = record.fee();
+            if self.state.debit(record.sender(), fee).is_ok() {
+                self.state.credit(miner, fee);
+                earned += fee;
+            }
+        }
+        *self.mining_income.entry(miner).or_insert(Ether::ZERO) += earned;
+        self.store.insert(block).expect("sim-mined block extends the best tip");
+        let fired = self.process_confirmations();
+        (miner, fired)
+    }
+
+    /// Mines `n` blocks back to back.
+    pub fn mine_blocks(&mut self, n: usize) -> Vec<Payout> {
+        let mut all = Vec::new();
+        for _ in 0..n {
+            all.extend(self.mine_block().1);
+        }
+        all
+    }
+
+    fn process_confirmations(&mut self) -> Vec<Payout> {
+        let confirmed = self.watcher.poll(&self.store);
+        let mut fired = Vec::new();
+        for c in confirmed {
+            if c.kind != RecordKind::DetailedReport {
+                continue;
+            }
+            let Some(report) = self.pending_detailed.remove(&c.record_id) else { continue };
+            let Some(entry) = self.sras.get_mut(report.sra_id()) else { continue };
+            // First-confirmer-wins: only novel vulnerabilities pay (§VI-B:
+            // "only the detection result that has not been submitted before
+            // can be recorded").
+            let novel: Vec<VulnId> = report
+                .findings()
+                .vulnerabilities
+                .iter()
+                .filter(|v| !entry.paid_vulns.contains(v))
+                .copied()
+                .collect();
+            if novel.is_empty() {
+                continue;
+            }
+            for v in &novel {
+                entry.paid_vulns.insert(*v);
+            }
+            let n = novel.len() as u64;
+            let escrow = entry.escrow.clone();
+            let sra_id = *report.sra_id();
+            let wallet = report.wallet();
+            let mu = entry.sra.incentive_per_vuln();
+            let block = (
+                self.store.best_block().header().timestamp,
+                self.store.best_height(),
+            );
+            match escrow.payout(&self.vm, &mut self.state, self.trigger, wallet, n, block) {
+                Ok(_) => {
+                    let payout =
+                        Payout { sra_id, wallet, vulnerabilities: n, amount: mu.scaled(n) };
+                    self.payouts.push(payout.clone());
+                    fired.push(payout);
+                }
+                Err(_) => {
+                    // Escrow exhausted: the punishment is capped at the
+                    // insurance (the paper's forfeit-the-deposit model).
+                }
+            }
+        }
+        fired
+    }
+
+    /// Consumer query: confirmed vulnerabilities recorded for an SRA.
+    pub fn confirmed_vulnerabilities(&self, sra_id: &SraId) -> Vec<VulnId> {
+        let Some(entry) = self.sras.get(sra_id) else { return Vec::new() };
+        let mut v: Vec<VulnId> = entry.paid_vulns.iter().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{create_report_pair, Findings};
+    use smartcrowd_chain::rng::SimRng;
+
+    fn platform() -> Platform {
+        Platform::new(PlatformConfig::paper())
+    }
+
+    fn release(p: &mut Platform, vulns: Vec<VulnId>) -> SraId {
+        let mut rng = SimRng::seed_from_u64(77);
+        let system = IoTSystem::build("cam-fw", "1.0", p.library(), vulns, &mut rng).unwrap();
+        p.release_system(
+            0,
+            system,
+            Ether::from_ether(1000),
+            Ether::from_ether(25),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn boots_with_paper_configuration() {
+        let p = platform();
+        assert_eq!(p.providers().len(), 5);
+        for prov in p.providers() {
+            assert_eq!(p.balance(&prov.address), Ether::from_ether(5000));
+        }
+    }
+
+    #[test]
+    fn release_escrows_insurance() {
+        let mut p = platform();
+        let id = release(&mut p, vec![VulnId(1)]);
+        assert_eq!(p.escrow_balance(&id), Some(Ether::from_ether(1000)));
+        // Provider paid insurance + gas out of its 5000.
+        let prov = p.providers()[0].address;
+        assert!(p.balance(&prov) < Ether::from_ether(4000));
+        assert!(p.sra(&id).is_some());
+        assert!(p.download_image(&id).is_some());
+    }
+
+    #[test]
+    fn insurance_below_minimum_rejected() {
+        let mut p = platform();
+        let mut rng = SimRng::seed_from_u64(1);
+        let system = IoTSystem::build("fw", "1", p.library(), vec![], &mut rng).unwrap();
+        let err = p
+            .release_system(0, system, Ether::from_ether(1), Ether::from_ether(1))
+            .unwrap_err();
+        assert_eq!(err, CoreError::InsuranceTooLow);
+    }
+
+    #[test]
+    fn full_two_phase_flow_pays_detector() {
+        let mut p = platform();
+        let sra_id = release(&mut p, vec![VulnId(1), VulnId(2)]);
+        let detector = KeyPair::from_seed(b"detector-X");
+        p.fund(detector.address(), Ether::from_ether(10));
+        let (initial, detailed) = create_report_pair(
+            &detector,
+            sra_id,
+            Findings::new(vec![VulnId(1), VulnId(2)], "two flaws"),
+        );
+        p.submit_initial(&detector, initial).unwrap();
+        // R† needs to confirm before R* is accepted.
+        let err = p.submit_detailed(&detector, detailed.clone()).unwrap_err();
+        assert_eq!(err, CoreError::InitialNotConfirmed);
+        p.mine_blocks(8);
+        p.submit_detailed(&detector, detailed).unwrap();
+        let wallet_before = p.balance(&detector.address());
+        let payouts = p.mine_blocks(8);
+        assert_eq!(payouts.len(), 1);
+        assert_eq!(payouts[0].vulnerabilities, 2);
+        assert_eq!(payouts[0].amount, Ether::from_ether(50));
+        // The detector nets the payout minus the record fee charged when
+        // its R* was recorded in a block.
+        let fee = Ether::from_milliether(11);
+        assert_eq!(
+            p.balance(&detector.address()),
+            wallet_before + Ether::from_ether(50) - fee
+        );
+        assert_eq!(p.escrow_balance(&sra_id), Some(Ether::from_ether(950)));
+        assert_eq!(
+            p.confirmed_vulnerabilities(&sra_id),
+            vec![VulnId(1), VulnId(2)]
+        );
+    }
+
+    #[test]
+    fn duplicate_findings_pay_only_first_confirmer() {
+        let mut p = platform();
+        let sra_id = release(&mut p, vec![VulnId(3)]);
+        let fast = KeyPair::from_seed(b"fast");
+        let slow = KeyPair::from_seed(b"slow");
+        for kp in [&fast, &slow] {
+            p.fund(kp.address(), Ether::from_ether(10));
+            let (initial, _) = create_report_pair(
+                kp,
+                sra_id,
+                Findings::new(vec![VulnId(3)], "same finding"),
+            );
+            p.submit_initial(kp, initial).unwrap();
+        }
+        p.mine_blocks(8);
+        for kp in [&fast, &slow] {
+            let (_, detailed) = create_report_pair(
+                kp,
+                sra_id,
+                Findings::new(vec![VulnId(3)], "same finding"),
+            );
+            p.submit_detailed(kp, detailed).unwrap();
+        }
+        let payouts = p.mine_blocks(10);
+        // Exactly one payout for the single vulnerability.
+        assert_eq!(payouts.len(), 1);
+        assert_eq!(payouts[0].vulnerabilities, 1);
+    }
+
+    #[test]
+    fn forged_detailed_report_strikes_and_pays_nothing() {
+        let mut p = platform();
+        let sra_id = release(&mut p, vec![VulnId(1)]);
+        let cheat = KeyPair::from_seed(b"cheat");
+        p.fund(cheat.address(), Ether::from_ether(10));
+        let (initial, detailed) = create_report_pair(
+            &cheat,
+            sra_id,
+            Findings::new(vec![VulnId(200)], "fabricated"),
+        );
+        p.submit_initial(&cheat, initial).unwrap();
+        p.mine_blocks(8);
+        let err = p.submit_detailed(&cheat, detailed).unwrap_err();
+        assert!(matches!(err, CoreError::AutoVerifFailed { .. }));
+        assert_eq!(p.scoreboard().score(&cheat.address()).strikes, 1);
+        assert!(p.mine_blocks(10).is_empty());
+        assert_eq!(p.escrow_balance(&sra_id), Some(Ether::from_ether(1000)));
+    }
+
+    #[test]
+    fn unknown_sra_rejected() {
+        let mut p = platform();
+        let detector = KeyPair::from_seed(b"d");
+        let (initial, _) =
+            create_report_pair(&detector, [9u8; 32], Findings::new(vec![VulnId(1)], ""));
+        assert_eq!(
+            p.submit_initial(&detector, initial),
+            Err(CoreError::UnknownSra)
+        );
+    }
+
+    #[test]
+    fn duplicate_initial_rejected() {
+        let mut p = platform();
+        let sra_id = release(&mut p, vec![VulnId(1)]);
+        let detector = KeyPair::from_seed(b"d");
+        p.fund(detector.address(), Ether::from_ether(10));
+        let (initial, _) =
+            create_report_pair(&detector, sra_id, Findings::new(vec![VulnId(1)], ""));
+        p.submit_initial(&detector, initial.clone()).unwrap();
+        assert_eq!(
+            p.submit_initial(&detector, initial),
+            Err(CoreError::DuplicateReport)
+        );
+    }
+
+    #[test]
+    fn mining_rewards_follow_hash_power() {
+        let mut p = platform();
+        let blocks = 2000;
+        for _ in 0..blocks {
+            p.mine_block();
+        }
+        // Fig. 3(a): reward share ≈ hash-power share.
+        let total_hp: f64 = PAPER_HASH_POWERS.iter().sum();
+        for (i, prov) in p.providers().iter().enumerate() {
+            let mined = p.store().blocks_by_miner(&prov.address).len() as f64;
+            let share = mined / blocks as f64;
+            let expected = PAPER_HASH_POWERS[i] / total_hp;
+            assert!(
+                (share - expected).abs() < 0.04,
+                "provider {i}: share {share:.3} vs hash power {expected:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn detector_costs_are_metered() {
+        let mut p = platform();
+        let sra_id = release(&mut p, vec![VulnId(1)]);
+        let detector = KeyPair::from_seed(b"d");
+        p.fund(detector.address(), Ether::from_ether(10));
+        let (initial, _) =
+            create_report_pair(&detector, sra_id, Findings::new(vec![VulnId(1)], ""));
+        p.submit_initial(&detector, initial).unwrap();
+        let cost = p.detector_cost(&detector.address());
+        // ≈0.011 ether per report (Fig. 6(b)).
+        assert!(cost > Ether::from_milliether(4) && cost < Ether::from_milliether(20));
+    }
+}
+
+#[cfg(test)]
+mod wallet_payout_tests {
+    use super::*;
+    use crate::report::{create_report_pair_with_wallet, Findings};
+    use smartcrowd_chain::rng::SimRng;
+
+    #[test]
+    fn payout_lands_in_the_designated_wallet() {
+        let mut p = Platform::new(PlatformConfig::paper());
+        let mut rng = SimRng::seed_from_u64(61);
+        let system =
+            IoTSystem::build("fw", "1", p.library(), vec![VulnId(1)], &mut rng).unwrap();
+        let sra_id = p
+            .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
+            .unwrap();
+        let detector = KeyPair::from_seed(b"corp-detector");
+        let treasury = Address::from_label("corp-treasury");
+        p.fund(detector.address(), Ether::from_ether(10));
+        let (initial, detailed) = create_report_pair_with_wallet(
+            &detector,
+            sra_id,
+            Findings::new(vec![VulnId(1)], "corp finding"),
+            treasury,
+        );
+        p.submit_initial(&detector, initial).unwrap();
+        p.mine_blocks(8);
+        p.submit_detailed(&detector, detailed).unwrap();
+        let payouts = p.mine_blocks(8);
+        assert_eq!(payouts.len(), 1);
+        assert_eq!(payouts[0].wallet, treasury);
+        assert_eq!(p.balance(&treasury), Ether::from_ether(25));
+    }
+}

@@ -1,0 +1,138 @@
+//! The IoT-provider role (§IV-A).
+//!
+//! Providers release systems, maintain the blockchain, and are the
+//! accountable party: their insurance is forfeited vulnerability by
+//! vulnerability. This module adds the release-policy layer on top of
+//! [`crate::platform`]: generating releases at a target vulnerability
+//! proportion (VP) and accounting a provider's running balance (Eq. 14).
+
+use smartcrowd_chain::rng::SimRng;
+use smartcrowd_chain::Ether;
+use smartcrowd_detect::library::VulnLibrary;
+use smartcrowd_detect::system::IoTSystem;
+use smartcrowd_detect::vulnerability::VulnId;
+use smartcrowd_detect::DetectError;
+
+/// A provider's release policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ReleasePolicy {
+    /// Probability a release ships vulnerable (the paper's VP knob).
+    pub vulnerability_proportion: f64,
+    /// Vulnerabilities planted when a release is vulnerable.
+    pub vulns_when_vulnerable: usize,
+    /// Insurance per release.
+    pub insurance: Ether,
+    /// Preset per-vulnerability incentive `μ`.
+    pub incentive_per_vuln: Ether,
+}
+
+impl ReleasePolicy {
+    /// The paper's reference policy: 1000-ether insurance, μ = 25.
+    pub fn paper(vp: f64) -> Self {
+        ReleasePolicy {
+            vulnerability_proportion: vp.clamp(0.0, 1.0),
+            vulns_when_vulnerable: 10,
+            insurance: Ether::from_ether(1000),
+            incentive_per_vuln: Ether::from_ether(25),
+        }
+    }
+}
+
+/// Generates the next release under a policy: with probability VP the
+/// image is seeded with vulnerabilities, otherwise it is clean.
+///
+/// # Errors
+///
+/// Returns [`DetectError`] when the library cannot supply the sample.
+pub fn generate_release(
+    name: &str,
+    version: u64,
+    policy: &ReleasePolicy,
+    library: &VulnLibrary,
+    rng: &mut SimRng,
+) -> Result<IoTSystem, DetectError> {
+    let vulnerable = rng.next_bool(policy.vulnerability_proportion);
+    let vulns: Vec<VulnId> = if vulnerable {
+        library.sample_ids(policy.vulns_when_vulnerable.min(library.len()), rng)?
+    } else {
+        Vec::new()
+    };
+    IoTSystem::build(name, &format!("{version}.0"), library, vulns, rng)
+}
+
+/// Running balance of one provider over an experiment (Eq. 14 realized):
+/// mining income minus insurance forfeitures minus gas.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProviderLedger {
+    /// Block rewards + record fees earned.
+    pub income: f64,
+    /// Insurance forfeited to detectors.
+    pub forfeited: f64,
+    /// Gas spent on releases.
+    pub gas: f64,
+}
+
+impl ProviderLedger {
+    /// Net balance.
+    pub fn balance(&self) -> f64 {
+        self.income - self.forfeited - self.gas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vp_zero_always_clean() {
+        let lib = VulnLibrary::synthetic(100, 1);
+        let mut rng = SimRng::seed_from_u64(2);
+        let policy = ReleasePolicy::paper(0.0);
+        for v in 0..20 {
+            let sys = generate_release("fw", v, &policy, &lib, &mut rng).unwrap();
+            assert!(sys.ground_truth().is_empty());
+        }
+    }
+
+    #[test]
+    fn vp_one_always_vulnerable() {
+        let lib = VulnLibrary::synthetic(100, 1);
+        let mut rng = SimRng::seed_from_u64(2);
+        let policy = ReleasePolicy::paper(1.0);
+        for v in 0..20 {
+            let sys = generate_release("fw", v, &policy, &lib, &mut rng).unwrap();
+            assert_eq!(sys.ground_truth().len(), 10);
+        }
+    }
+
+    #[test]
+    fn vp_fraction_converges() {
+        let lib = VulnLibrary::synthetic(100, 1);
+        let mut rng = SimRng::seed_from_u64(3);
+        let policy = ReleasePolicy::paper(0.3);
+        let trials = 2000;
+        let vulnerable = (0..trials)
+            .filter(|v| {
+                !generate_release("fw", *v, &policy, &lib, &mut rng)
+                    .unwrap()
+                    .ground_truth()
+                    .is_empty()
+            })
+            .count();
+        let rate = vulnerable as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn ledger_balance() {
+        let ledger = ProviderLedger { income: 100.0, forfeited: 30.0, gas: 0.5 };
+        assert!((ledger.balance() - 69.5).abs() < 1e-12);
+        assert_eq!(ProviderLedger::default().balance(), 0.0);
+    }
+
+    #[test]
+    fn policy_clamps_vp() {
+        assert_eq!(ReleasePolicy::paper(2.0).vulnerability_proportion, 1.0);
+        assert_eq!(ReleasePolicy::paper(-1.0).vulnerability_proportion, 0.0);
+    }
+}

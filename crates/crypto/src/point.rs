@@ -1,0 +1,594 @@
+//! Group arithmetic on the secp256k1 curve `y² = x³ + 7` over **F_p**.
+//!
+//! Points are exposed in affine form ([`Point`]); internally, addition and
+//! scalar multiplication run in Jacobian projective coordinates to avoid a
+//! field inversion per operation.
+
+use crate::error::CryptoError;
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+use crate::u256::U256;
+use std::sync::OnceLock;
+
+/// The curve constant `b = 7` in `y² = x³ + b`.
+const B: u64 = 7;
+
+/// x-coordinate of the generator point `G`.
+pub const GX_HEX: &str = "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798";
+/// y-coordinate of the generator point `G`.
+pub const GY_HEX: &str = "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8";
+
+/// A point on secp256k1 in affine coordinates, or the point at infinity.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_crypto::point::Point;
+/// use smartcrowd_crypto::scalar::Scalar;
+///
+/// let g = Point::generator();
+/// let two_g = g.add(&g);
+/// assert_eq!(g.mul(&Scalar::from_u64(2)), two_g);
+/// assert!(two_g.is_on_curve());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Point {
+    /// The identity element.
+    Infinity,
+    /// A finite curve point `(x, y)`.
+    Affine {
+        /// x-coordinate.
+        x: FieldElement,
+        /// y-coordinate.
+        y: FieldElement,
+    },
+}
+
+/// Internal Jacobian representation `(X, Y, Z)` with `x = X/Z²`, `y = Y/Z³`.
+#[derive(Clone, Copy)]
+struct Jacobian {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+}
+
+impl Jacobian {
+    const INFINITY: Jacobian = Jacobian {
+        x: FieldElement::ONE,
+        y: FieldElement::ONE,
+        z: FieldElement::ZERO,
+    };
+
+    fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    fn from_affine(p: &Point) -> Jacobian {
+        match p {
+            Point::Infinity => Jacobian::INFINITY,
+            Point::Affine { x, y } => Jacobian { x: *x, y: *y, z: FieldElement::ONE },
+        }
+    }
+
+    fn to_affine(self) -> Point {
+        if self.is_infinity() {
+            return Point::Infinity;
+        }
+        let zinv = self.z.invert();
+        let zinv2 = zinv.square();
+        let zinv3 = zinv2.mul(&zinv);
+        Point::Affine { x: self.x.mul(&zinv2), y: self.y.mul(&zinv3) }
+    }
+
+    /// Point doubling (dbl-2009-l formulas, `a = 0`).
+    fn double(&self) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::INFINITY;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let x_plus_b = self.x.add(&b);
+        let d = x_plus_b.square().sub(&a).sub(&c);
+        let d = d.add(&d); // 2((X+B)² − A − C)
+        let e = a.add(&a).add(&a); // 3A
+        let f = e.square();
+        let x3 = f.sub(&d).sub(&d);
+        let c8 = {
+            let c2 = c.add(&c);
+            let c4 = c2.add(&c2);
+            c4.add(&c4)
+        };
+        let y3 = e.mul(&d.sub(&x3)).sub(&c8);
+        let z3 = self.y.mul(&self.z);
+        let z3 = z3.add(&z3);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// General point addition (add-2007-bl formulas).
+    fn add(&self, other: &Jacobian) -> Jacobian {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = other.x.mul(&z1z1);
+        let s1 = self.y.mul(&other.z).mul(&z2z2);
+        let s2 = other.y.mul(&self.z).mul(&z1z1);
+        let h = u2.sub(&u1);
+        let r = s2.sub(&s1);
+        if h.is_zero() {
+            if r.is_zero() {
+                return self.double();
+            }
+            return Jacobian::INFINITY;
+        }
+        let hh = h.square();
+        let hhh = h.mul(&hh);
+        let v = u1.mul(&hh);
+        let x3 = r.square().sub(&hhh).sub(&v).sub(&v);
+        let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&hhh));
+        let z3 = self.z.mul(&other.z).mul(&h);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+}
+
+/// Fixed-base comb table for the generator: `TABLE[w][d-1] = d·16^w·G`
+/// for windows `w ∈ 0..64` and digits `d ∈ 1..=15`. Built once on first
+/// use (~1000 group additions, a few milliseconds), it turns every
+/// generator multiplication — the hot half of sign/verify/recover — into
+/// at most 64 additions with no doublings.
+fn generator_table() -> &'static Vec<[Point; 15]> {
+    static TABLE: OnceLock<Vec<[Point; 15]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = Vec::with_capacity(64);
+        let mut window_base = Point::generator(); // 16^w · G
+        for _ in 0..64 {
+            let mut row = [Point::Infinity; 15];
+            let mut acc = window_base;
+            for slot in row.iter_mut() {
+                *slot = acc;
+                acc = acc.add(&window_base);
+            }
+            table.push(row);
+            window_base = acc; // 16 · (16^w · G) = 16^{w+1} · G
+        }
+        table
+    })
+}
+
+impl Point {
+    /// The secp256k1 generator `G`.
+    pub fn generator() -> Point {
+        Point::Affine {
+            x: FieldElement::from_u256_reduced(U256::from_hex(GX_HEX).expect("valid GX")),
+            y: FieldElement::from_u256_reduced(U256::from_hex(GY_HEX).expect("valid GY")),
+        }
+    }
+
+    /// Constructs a point from affine coordinates, validating the curve
+    /// equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::PointNotOnCurve`] when `(x, y)` does not
+    /// satisfy `y² = x³ + 7`.
+    pub fn from_coordinates(x: FieldElement, y: FieldElement) -> Result<Point, CryptoError> {
+        let p = Point::Affine { x, y };
+        if p.is_on_curve() {
+            Ok(p)
+        } else {
+            Err(CryptoError::PointNotOnCurve)
+        }
+    }
+
+    /// Returns `true` for the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        matches!(self, Point::Infinity)
+    }
+
+    /// Checks the curve equation (infinity counts as on-curve).
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Point::Infinity => true,
+            Point::Affine { x, y } => {
+                let lhs = y.square();
+                let rhs = x.square().mul(x).add(&FieldElement::from_u64(B));
+                lhs == rhs
+            }
+        }
+    }
+
+    /// The affine x-coordinate, if finite.
+    pub fn x(&self) -> Option<FieldElement> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { x, .. } => Some(*x),
+        }
+    }
+
+    /// The affine y-coordinate, if finite.
+    pub fn y(&self) -> Option<FieldElement> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { y, .. } => Some(*y),
+        }
+    }
+
+    /// Point addition.
+    pub fn add(&self, other: &Point) -> Point {
+        Jacobian::from_affine(self).add(&Jacobian::from_affine(other)).to_affine()
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> Point {
+        Jacobian::from_affine(self).double().to_affine()
+    }
+
+    /// Point negation `(x, −y)`.
+    pub fn neg(&self) -> Point {
+        match self {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => Point::Affine { x: *x, y: y.neg() },
+        }
+    }
+
+    /// Scalar multiplication `k·P` using a fixed 4-bit window: one table of
+    /// 15 precomputed multiples, then 4 doublings plus at most one addition
+    /// per nibble — roughly 25 % fewer group additions than binary
+    /// double-and-add on random scalars.
+    pub fn mul(&self, k: &Scalar) -> Point {
+        if k.is_zero() || self.is_infinity() {
+            return Point::Infinity;
+        }
+        // table[i] = (i+1)·P in Jacobian coordinates.
+        let base = Jacobian::from_affine(self);
+        let mut table = [Jacobian::INFINITY; 15];
+        table[0] = base;
+        for i in 1..15 {
+            table[i] = table[i - 1].add(&base);
+        }
+        let e = k.to_u256();
+        let bits = e.bits();
+        let top_nibble = bits.div_ceil(4);
+        let mut acc = Jacobian::INFINITY;
+        for nibble_index in (0..top_nibble).rev() {
+            for _ in 0..4 {
+                acc = acc.double();
+            }
+            let mut nibble = 0usize;
+            for b in 0..4 {
+                let bit = nibble_index * 4 + (3 - b);
+                if bit < 256 && e.bit(bit) {
+                    nibble |= 1 << (3 - b);
+                }
+            }
+            if nibble != 0 {
+                acc = acc.add(&table[nibble - 1]);
+            }
+        }
+        acc.to_affine()
+    }
+
+    /// Reference binary double-and-add multiplication (kept for
+    /// cross-checking the windowed implementation in tests).
+    pub fn mul_binary(&self, k: &Scalar) -> Point {
+        if k.is_zero() || self.is_infinity() {
+            return Point::Infinity;
+        }
+        let base = Jacobian::from_affine(self);
+        let mut acc = Jacobian::INFINITY;
+        let e = k.to_u256();
+        for i in (0..e.bits()).rev() {
+            acc = acc.double();
+            if e.bit(i) {
+                acc = acc.add(&base);
+            }
+        }
+        acc.to_affine()
+    }
+
+    /// Multiplies the generator by `k` using the precomputed fixed-base
+    /// comb — the fast path for `k·G` (signing nonces, verification's
+    /// `u1·G`, recovery's `e·G`, public-key derivation).
+    pub fn mul_generator(k: &Scalar) -> Point {
+        if k.is_zero() {
+            return Point::Infinity;
+        }
+        let table = generator_table();
+        let e = k.to_u256();
+        let mut acc = Jacobian::INFINITY;
+        for (w, row) in table.iter().enumerate() {
+            let mut nibble = 0usize;
+            for b in 0..4 {
+                let bit = w * 4 + b;
+                if bit < 256 && e.bit(bit) {
+                    nibble |= 1 << b;
+                }
+            }
+            if nibble != 0 {
+                acc = acc.add(&Jacobian::from_affine(&row[nibble - 1]));
+            }
+        }
+        acc.to_affine()
+    }
+
+    /// Computes `a·G + b·P` (the ECDSA verification double multiply).
+    pub fn lincomb_with_generator(a: &Scalar, b: &Scalar, p: &Point) -> Point {
+        Point::mul_generator(a).add(&p.mul(b))
+    }
+
+    /// SEC1 uncompressed encoding `0x04 || x || y` (65 bytes); `None` for
+    /// infinity.
+    pub fn encode_uncompressed(&self) -> Option<[u8; 65]> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { x, y } => {
+                let mut out = [0u8; 65];
+                out[0] = 0x04;
+                out[1..33].copy_from_slice(&x.to_be_bytes());
+                out[33..65].copy_from_slice(&y.to_be_bytes());
+                Some(out)
+            }
+        }
+    }
+
+    /// SEC1 compressed encoding `0x02/0x03 || x` (33 bytes); `None` for
+    /// infinity.
+    pub fn encode_compressed(&self) -> Option<[u8; 33]> {
+        match self {
+            Point::Infinity => None,
+            Point::Affine { x, y } => {
+                let mut out = [0u8; 33];
+                out[0] = if y.is_odd() { 0x03 } else { 0x02 };
+                out[1..33].copy_from_slice(&x.to_be_bytes());
+                Some(out)
+            }
+        }
+    }
+
+    /// Decodes a SEC1 point (compressed or uncompressed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPublicKey`] for malformed encodings and
+    /// [`CryptoError::PointNotOnCurve`] when the coordinates fail the curve
+    /// equation.
+    pub fn decode(bytes: &[u8]) -> Result<Point, CryptoError> {
+        match bytes.first() {
+            Some(0x04) if bytes.len() == 65 => {
+                let mut xb = [0u8; 32];
+                let mut yb = [0u8; 32];
+                xb.copy_from_slice(&bytes[1..33]);
+                yb.copy_from_slice(&bytes[33..65]);
+                let x = FieldElement::from_be_bytes(&xb)
+                    .map_err(|_| CryptoError::InvalidPublicKey)?;
+                let y = FieldElement::from_be_bytes(&yb)
+                    .map_err(|_| CryptoError::InvalidPublicKey)?;
+                Point::from_coordinates(x, y)
+            }
+            Some(tag @ (0x02 | 0x03)) if bytes.len() == 33 => {
+                let mut xb = [0u8; 32];
+                xb.copy_from_slice(&bytes[1..33]);
+                let x = FieldElement::from_be_bytes(&xb)
+                    .map_err(|_| CryptoError::InvalidPublicKey)?;
+                let rhs = x.square().mul(&x).add(&FieldElement::from_u64(B));
+                let y = rhs.sqrt().ok_or(CryptoError::PointNotOnCurve)?;
+                let want_odd = *tag == 0x03;
+                let y = if y.is_odd() == want_odd { y } else { y.neg() };
+                Ok(Point::Affine { x, y })
+            }
+            _ => Err(CryptoError::InvalidPublicKey),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(Point::generator().is_on_curve());
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let g = Point::generator();
+        assert_eq!(g.double(), g.add(&g));
+        let four_g_a = g.double().double();
+        let four_g_b = g.mul(&Scalar::from_u64(4));
+        assert_eq!(four_g_a, four_g_b);
+    }
+
+    #[test]
+    fn two_g_known_x() {
+        let two_g = Point::generator().double();
+        assert_eq!(
+            two_g.x().unwrap().to_u256().to_hex(),
+            "0xc6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+        );
+        assert!(two_g.is_on_curve());
+    }
+
+    #[test]
+    fn order_times_generator_is_infinity() {
+        let n_minus_1 = Scalar::from_u256_reduced(Scalar::order().wrapping_sub(&U256::ONE));
+        let g = Point::generator();
+        let p = g.mul(&n_minus_1);
+        // (n−1)·G = −G, so adding G gives infinity.
+        assert_eq!(p, g.neg());
+        assert!(p.add(&g).is_infinity());
+    }
+
+    #[test]
+    fn zero_scalar_gives_infinity() {
+        assert!(Point::generator().mul(&Scalar::ZERO).is_infinity());
+    }
+
+    #[test]
+    fn infinity_is_identity() {
+        let g = Point::generator();
+        assert_eq!(g.add(&Point::Infinity), g);
+        assert_eq!(Point::Infinity.add(&g), g);
+        assert!(Point::Infinity.double().is_infinity());
+        assert!(Point::Infinity.is_on_curve());
+    }
+
+    #[test]
+    fn add_inverse_gives_infinity() {
+        let g = Point::generator();
+        assert!(g.add(&g.neg()).is_infinity());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = Point::generator();
+        let a = Scalar::from_u64(123456789);
+        let b = Scalar::from_u64(987654321);
+        let lhs = g.mul(&a.add(&b));
+        let rhs = g.mul(&a).add(&g.mul(&b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn scalar_mul_associates() {
+        let g = Point::generator();
+        let a = Scalar::from_u64(31337);
+        let b = Scalar::from_u64(271828);
+        assert_eq!(g.mul(&a).mul(&b), g.mul(&a.mul(&b)));
+    }
+
+    #[test]
+    fn uncompressed_roundtrip() {
+        let p = Point::generator().mul(&Scalar::from_u64(7));
+        let enc = p.encode_uncompressed().unwrap();
+        assert_eq!(Point::decode(&enc).unwrap(), p);
+    }
+
+    #[test]
+    fn compressed_roundtrip_both_parities() {
+        for k in 1u64..20 {
+            let p = Point::generator().mul(&Scalar::from_u64(k));
+            let enc = p.encode_compressed().unwrap();
+            assert_eq!(Point::decode(&enc).unwrap(), p, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Point::decode(&[]).is_err());
+        assert!(Point::decode(&[0x05; 65]).is_err());
+        assert!(Point::decode(&[0x04; 10]).is_err());
+        // Valid tag but x not on curve (x = 5 has no square root for x³+7...
+        // verified structurally: either decodes to on-curve point or errors).
+        let mut bad = [0u8; 33];
+        bad[0] = 0x02;
+        bad[32] = 5;
+        match Point::decode(&bad) {
+            Ok(p) => assert!(p.is_on_curve()),
+            Err(e) => assert_eq!(e, CryptoError::PointNotOnCurve),
+        }
+    }
+
+    #[test]
+    fn from_coordinates_validates() {
+        let g = Point::generator();
+        let (x, y) = (g.x().unwrap(), g.y().unwrap());
+        assert!(Point::from_coordinates(x, y).is_ok());
+        assert_eq!(
+            Point::from_coordinates(x, y.add(&FieldElement::ONE)),
+            Err(CryptoError::PointNotOnCurve)
+        );
+    }
+
+    #[test]
+    fn lincomb_matches_manual() {
+        let g = Point::generator();
+        let p = g.mul(&Scalar::from_u64(99));
+        let a = Scalar::from_u64(17);
+        let b = Scalar::from_u64(23);
+        let expected = g.mul(&a).add(&p.mul(&b));
+        assert_eq!(Point::lincomb_with_generator(&a, &b, &p), expected);
+    }
+}
+
+#[cfg(test)]
+mod windowed_tests {
+    use super::*;
+
+    #[test]
+    fn windowed_matches_binary_for_structured_scalars() {
+        let g = Point::generator();
+        for k in [
+            Scalar::from_u64(1),
+            Scalar::from_u64(2),
+            Scalar::from_u64(15),
+            Scalar::from_u64(16),
+            Scalar::from_u64(17),
+            Scalar::from_u64(0xffff_ffff),
+            Scalar::from_u256_reduced(U256::ONE.shl(255)),
+            Scalar::from_u256_reduced(Scalar::order().wrapping_sub(&U256::ONE)),
+            Scalar::from_u256_reduced(U256::MAX),
+        ] {
+            assert_eq!(g.mul(&k), g.mul_binary(&k), "k = {k:?}");
+        }
+    }
+
+    #[test]
+    fn windowed_matches_binary_for_pseudorandom_scalars() {
+        let g = Point::generator();
+        let p = g.mul(&Scalar::from_u64(7919));
+        let mut acc = [7u8; 32];
+        for round in 0..10 {
+            acc = crate::keccak::keccak256(&acc);
+            let k = Scalar::from_digest(&acc);
+            assert_eq!(p.mul(&k), p.mul_binary(&k), "round {round}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod fixed_base_tests {
+    use super::*;
+
+    #[test]
+    fn mul_generator_matches_generic_mul() {
+        let g = Point::generator();
+        let samples = [
+            Scalar::from_u64(1),
+            Scalar::from_u64(2),
+            Scalar::from_u64(15),
+            Scalar::from_u64(16),
+            Scalar::from_u64(255),
+            Scalar::from_u64(u64::MAX),
+            Scalar::from_u256_reduced(U256::ONE.shl(128)),
+            Scalar::from_u256_reduced(U256::ONE.shl(255)),
+            Scalar::from_u256_reduced(Scalar::order().wrapping_sub(&U256::ONE)),
+            Scalar::from_u256_reduced(U256::MAX),
+        ];
+        for k in samples {
+            assert_eq!(Point::mul_generator(&k), g.mul(&k), "k = {k:?}");
+        }
+    }
+
+    #[test]
+    fn mul_generator_pseudorandom_agreement() {
+        let g = Point::generator();
+        let mut acc = [3u8; 32];
+        for _ in 0..8 {
+            acc = crate::keccak::keccak256(&acc);
+            let k = Scalar::from_digest(&acc);
+            assert_eq!(Point::mul_generator(&k), g.mul(&k));
+        }
+    }
+
+    #[test]
+    fn mul_generator_zero_is_infinity() {
+        assert!(Point::mul_generator(&Scalar::ZERO).is_infinity());
+    }
+}

@@ -1,0 +1,212 @@
+//! Arithmetic in the secp256k1 scalar field **F_n** (the group order).
+//!
+//! Scalars are private keys, ECDSA nonces, and the `r`/`s` components of
+//! every SmartCrowd signature (`P_Sign`, `D†_Sign`, `D*_Sign`; Eq. 2, 4, 5).
+
+use crate::error::CryptoError;
+use crate::field::ModArith;
+use crate::u256::U256;
+use std::fmt;
+
+/// The secp256k1 group order
+/// `n = 0xFFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141`.
+pub const N_HEX: &str = "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141";
+
+fn fn_arith() -> ModArith {
+    ModArith::new(U256::from_hex(N_HEX).expect("N_HEX is valid"))
+}
+
+/// A scalar modulo the secp256k1 group order, always normalized to `[0, n)`.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_crypto::scalar::Scalar;
+///
+/// let a = Scalar::from_u64(10);
+/// let inv = a.invert();
+/// assert_eq!(a.mul(&inv), Scalar::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar(U256::ZERO);
+    /// The scalar one.
+    pub const ONE: Scalar = Scalar(U256::ONE);
+
+    /// The group order `n`.
+    pub fn order() -> U256 {
+        fn_arith().modulus()
+    }
+
+    /// Creates a scalar from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        Scalar(U256::from_u64(v))
+    }
+
+    /// Creates a scalar from a `U256`, reducing modulo `n`.
+    pub fn from_u256_reduced(v: U256) -> Self {
+        Scalar(fn_arith().reduce(v))
+    }
+
+    /// Parses a canonical (already `< n`) big-endian encoding. Zero is
+    /// permitted; use [`Scalar::from_be_bytes_nonzero`] for key material.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::ScalarOutOfRange`] when the value is `≥ n`.
+    pub fn from_be_bytes(b: &[u8; 32]) -> Result<Self, CryptoError> {
+        let v = U256::from_be_bytes(b);
+        if v >= fn_arith().modulus() {
+            return Err(CryptoError::ScalarOutOfRange);
+        }
+        Ok(Scalar(v))
+    }
+
+    /// Parses a canonical non-zero scalar (valid private key or nonce).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::ScalarOutOfRange`] when the value is zero
+    /// or `≥ n`.
+    pub fn from_be_bytes_nonzero(b: &[u8; 32]) -> Result<Self, CryptoError> {
+        let s = Self::from_be_bytes(b)?;
+        if s.is_zero() {
+            return Err(CryptoError::ScalarOutOfRange);
+        }
+        Ok(s)
+    }
+
+    /// Interprets a 32-byte message digest as a scalar, reducing modulo `n`
+    /// (the ECDSA `e = H(m) mod n` step).
+    pub fn from_digest(digest: &[u8; 32]) -> Self {
+        Scalar(fn_arith().reduce(U256::from_be_bytes(digest)))
+    }
+
+    /// Big-endian canonical encoding.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// The underlying integer.
+    pub fn to_u256(&self) -> U256 {
+        self.0
+    }
+
+    /// Returns `true` for the zero scalar.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Returns `true` when the scalar exceeds `n/2` (a "high-s" signature
+    /// component that [`crate::ecdsa`] normalizes away, as Ethereum does).
+    pub fn is_high(&self) -> bool {
+        self.0 > fn_arith().modulus().shr(1)
+    }
+
+    /// Scalar addition mod `n`.
+    pub fn add(&self, rhs: &Self) -> Self {
+        Scalar(fn_arith().add(self.0, rhs.0))
+    }
+
+    /// Scalar subtraction mod `n`.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        Scalar(fn_arith().sub(self.0, rhs.0))
+    }
+
+    /// Scalar multiplication mod `n`.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Scalar(fn_arith().mul(self.0, rhs.0))
+    }
+
+    /// Scalar negation mod `n`.
+    pub fn neg(&self) -> Self {
+        Scalar(fn_arith().neg(self.0))
+    }
+
+    /// Multiplicative inverse mod `n` (zero maps to zero).
+    pub fn invert(&self) -> Self {
+        Scalar(fn_arith().inv(self.0))
+    }
+}
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scalar({})", self.0.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_matches_published_constant() {
+        assert_eq!(
+            Scalar::order().to_hex(),
+            "0xfffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"
+        );
+    }
+
+    #[test]
+    fn add_wraps_at_n() {
+        let n_minus_1 = Scalar::from_u256_reduced(Scalar::order().wrapping_sub(&U256::ONE));
+        assert_eq!(n_minus_1.add(&Scalar::ONE), Scalar::ZERO);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for v in [1u64, 2, 3, 0xdeadbeef, u64::MAX] {
+            let s = Scalar::from_u64(v);
+            assert_eq!(s.mul(&s.invert()), Scalar::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn invert_n_minus_1_is_self() {
+        // n-1 ≡ -1 and (-1)·(-1) = 1, so (n-1)⁻¹ = n-1.
+        let n_minus_1 = Scalar::from_u256_reduced(Scalar::order().wrapping_sub(&U256::ONE));
+        assert_eq!(n_minus_1.invert(), n_minus_1);
+    }
+
+    #[test]
+    fn canonical_parse_rejects_out_of_range() {
+        let n_bytes = Scalar::order().to_be_bytes();
+        assert_eq!(Scalar::from_be_bytes(&n_bytes), Err(CryptoError::ScalarOutOfRange));
+        assert_eq!(
+            Scalar::from_be_bytes_nonzero(&[0u8; 32]),
+            Err(CryptoError::ScalarOutOfRange)
+        );
+        let ok = Scalar::order().wrapping_sub(&U256::ONE).to_be_bytes();
+        assert!(Scalar::from_be_bytes_nonzero(&ok).is_ok());
+    }
+
+    #[test]
+    fn digest_reduction() {
+        // A digest numerically >= n must be reduced, not rejected.
+        let digest = U256::MAX.to_be_bytes();
+        let s = Scalar::from_digest(&digest);
+        assert!(s.to_u256() < Scalar::order());
+        // MAX mod n = MAX - n (since n > MAX/2).
+        assert_eq!(s.to_u256(), U256::MAX.wrapping_sub(&Scalar::order()));
+    }
+
+    #[test]
+    fn high_low_split() {
+        assert!(!Scalar::ONE.is_high());
+        let n_minus_1 = Scalar::from_u256_reduced(Scalar::order().wrapping_sub(&U256::ONE));
+        assert!(n_minus_1.is_high());
+        let half = Scalar::from_u256_reduced(Scalar::order().shr(1));
+        assert!(!half.is_high());
+        assert!(half.add(&Scalar::ONE).is_high());
+    }
+
+    #[test]
+    fn neg_roundtrip() {
+        let s = Scalar::from_u64(42);
+        assert_eq!(s.add(&s.neg()), Scalar::ZERO);
+        assert_eq!(s.neg().neg(), s);
+    }
+}

@@ -1,0 +1,107 @@
+//! Extended published-vector suite for the hash functions and ECDSA.
+//!
+//! Complements the per-module unit vectors with a second, independent set
+//! so a regression in any primitive cannot hide behind a single test.
+
+use smartcrowd_crypto::hex;
+use smartcrowd_crypto::hmac::hmac_sha256;
+use smartcrowd_crypto::keccak::{keccak256, sha3_256};
+use smartcrowd_crypto::keys::KeyPair;
+use smartcrowd_crypto::ripemd160::ripemd160;
+use smartcrowd_crypto::sha256::sha256;
+
+const FOX: &[u8] = b"The quick brown fox jumps over the lazy dog";
+
+#[test]
+fn sha256_fox() {
+    assert_eq!(
+        hex::encode(&sha256(FOX)),
+        "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"
+    );
+}
+
+#[test]
+fn sha256_fox_period() {
+    assert_eq!(
+        hex::encode(&sha256(b"The quick brown fox jumps over the lazy dog.")),
+        "ef537f25c895bfa782526529a9b63d97aa631564d5d789c2b765448c8635fb6c"
+    );
+}
+
+#[test]
+fn keccak256_fox() {
+    assert_eq!(
+        hex::encode(&keccak256(FOX)),
+        "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"
+    );
+}
+
+#[test]
+fn sha3_256_fox() {
+    assert_eq!(
+        hex::encode(&sha3_256(FOX)),
+        "69070dda01975c8c120c3aada1b282394e7f032fa9cf32f4cb2259a0897dfc04"
+    );
+}
+
+#[test]
+fn ripemd160_fox() {
+    assert_eq!(
+        hex::encode(&ripemd160(FOX)),
+        "37f332f68db77bd9d7edd4969571ad671cf9dd3b"
+    );
+}
+
+#[test]
+fn hmac_sha256_rfc4231_case4() {
+    let key: Vec<u8> = (0x01..=0x19).collect();
+    let data = [0xcd; 50];
+    assert_eq!(
+        hex::encode(&hmac_sha256(&key, &data)),
+        "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+    );
+}
+
+#[test]
+fn well_known_ethereum_test_addresses() {
+    // Hardhat/Anvil's famous first test key.
+    let sk =
+        hex::decode_array::<32>("ac0974bec39a17e36ba4a6b4d238ff944bacb478cbed5efcae784d7bf4f2ff80")
+            .unwrap();
+    let kp = KeyPair::from_private(
+        smartcrowd_crypto::keys::PrivateKey::from_be_bytes(&sk).unwrap(),
+    );
+    assert_eq!(
+        kp.address().to_string(),
+        "0xf39fd6e51aad88f6f4ce6ab8827279cfffb92266"
+    );
+}
+
+#[test]
+fn signature_is_verifiable_across_fresh_parse() {
+    // Sign → serialize → parse in a "different process" → verify.
+    let kp = KeyPair::from_seed(b"cross-parse");
+    let digest = keccak256(b"interop message");
+    let wire = kp.sign(&digest).to_bytes();
+    let parsed = smartcrowd_crypto::ecdsa::Signature::from_bytes(&wire).unwrap();
+    assert!(kp.public().verify(&digest, &parsed));
+    let recovered = smartcrowd_crypto::keys::recover_public_key(&digest, &parsed).unwrap();
+    assert_eq!(recovered, *kp.public());
+}
+
+#[test]
+fn empty_input_digests_are_all_distinct() {
+    // A classic copy-paste regression: two hash functions accidentally
+    // sharing an implementation would collide on the empty string.
+    let digests = [
+        hex::encode(&sha256(b"")),
+        hex::encode(&keccak256(b"")),
+        hex::encode(&sha3_256(b"")),
+        format!("{}{}", hex::encode(&ripemd160(b"")), "0".repeat(24)),
+    ];
+    for i in 0..digests.len() {
+        for j in i + 1..digests.len() {
+            assert_ne!(digests[i], digests[j], "{i} vs {j}");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! N-version vulnerability-description aggregation.
+//!
+//! §VIII: "The problem of differently-worded versions for the same
+//! vulnerability … can be addressed using existing methods", citing
+//! CloudAV's result aggregation and Vigilante's common description
+//! language. This module implements both halves:
+//!
+//! - a **canonical key** for free-text descriptions (case/punctuation/
+//!   stop-word normalization plus token sorting), so paraphrases of the
+//!   same finding collide;
+//! - an **aggregator** that clusters incoming `(detector, description,
+//!   claimed id)` reports, resolves conflicts by majority, and exposes one
+//!   deduplicated view per vulnerability — the platform's defence against
+//!   double-paying a re-worded duplicate.
+
+use crate::vulnerability::VulnId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Words carrying no identity for matching purposes.
+const STOP_WORDS: &[&str] = &[
+    "a", "an", "the", "in", "on", "of", "to", "is", "was", "were", "via", "with", "and",
+    "or", "by", "for", "at", "this", "that", "has", "have", "its", "bug", "bugs",
+    "issue", "issues", "vulnerability", "flaw",
+];
+
+/// Normalizes a free-text description into a canonical matching key.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_detect::aggregate::canonical_key;
+///
+/// let a = canonical_key("Buffer overflow in the RTSP parser!");
+/// let b = canonical_key("RTSP parser: buffer OVERFLOW");
+/// assert_eq!(a, b);
+/// ```
+pub fn canonical_key(description: &str) -> String {
+    let mut tokens: Vec<String> = description
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { ' ' })
+        .collect::<String>()
+        .split_whitespace()
+        .filter(|t| !STOP_WORDS.contains(t))
+        .map(|t| stem(t))
+        .collect();
+    tokens.sort();
+    tokens.dedup();
+    tokens.join(" ")
+}
+
+/// A deliberately small stemmer: trailing plural/verb suffixes only.
+fn stem(token: &str) -> String {
+    for suffix in ["ing", "ed", "es", "s"] {
+        if token.len() > suffix.len() + 2 {
+            if let Some(base) = token.strip_suffix(suffix) {
+                return base.to_string();
+            }
+        }
+    }
+    token.to_string()
+}
+
+/// One report entering aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawReport {
+    /// Who said it (any opaque label; the platform uses addresses).
+    pub reporter: String,
+    /// The free-text `Des`.
+    pub description: String,
+    /// The claimed vulnerability id, if the reporter mapped it.
+    pub claimed_id: Option<VulnId>,
+}
+
+/// One aggregated cluster: all the wordings of (what appears to be) a
+/// single vulnerability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// The canonical key all members share.
+    pub key: String,
+    /// Majority-resolved id, if any member claimed one.
+    pub resolved_id: Option<VulnId>,
+    /// Distinct reporters in the cluster.
+    pub reporters: BTreeSet<String>,
+    /// Every distinct wording seen.
+    pub wordings: BTreeSet<String>,
+}
+
+/// Clusters differently-worded reports of the same vulnerability.
+#[derive(Debug, Clone, Default)]
+pub struct DescriptionAggregator {
+    clusters: BTreeMap<String, Cluster>,
+}
+
+impl DescriptionAggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests a report, clustering by canonical key.
+    pub fn ingest(&mut self, report: RawReport) {
+        let key = canonical_key(&report.description);
+        let cluster = self.clusters.entry(key.clone()).or_insert_with(|| Cluster {
+            key,
+            resolved_id: None,
+            reporters: BTreeSet::new(),
+            wordings: BTreeSet::new(),
+        });
+        cluster.reporters.insert(report.reporter);
+        cluster.wordings.insert(report.description);
+        if cluster.resolved_id.is_none() {
+            cluster.resolved_id = report.claimed_id;
+        }
+    }
+
+    /// Number of distinct (canonical) findings.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The clusters, in canonical-key order.
+    pub fn clusters(&self) -> impl Iterator<Item = &Cluster> + '_ {
+        self.clusters.values()
+    }
+
+    /// Whether a new description duplicates an existing cluster — the
+    /// check a provider runs before paying a "new" finding.
+    pub fn is_duplicate(&self, description: &str) -> bool {
+        self.clusters.contains_key(&canonical_key(description))
+    }
+
+    /// Distinct findings attributable to one reporter (their `n_i`).
+    pub fn findings_of(&self, reporter: &str) -> usize {
+        self.clusters
+            .values()
+            .filter(|c| c.reporters.contains(reporter))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(who: &str, text: &str, id: Option<u64>) -> RawReport {
+        RawReport {
+            reporter: who.to_string(),
+            description: text.to_string(),
+            claimed_id: id.map(VulnId),
+        }
+    }
+
+    #[test]
+    fn paraphrases_share_a_key() {
+        let variants = [
+            "Buffer overflow in the RTSP parser",
+            "RTSP parser buffer overflow!",
+            "buffer overflows via RTSP parser",
+            "The RTSP Parser has a buffer overflow bug",
+        ];
+        let keys: BTreeSet<String> =
+            variants.iter().map(|v| canonical_key(v)).collect();
+        assert_eq!(keys.len(), 1, "all paraphrases collapse: {keys:?}");
+    }
+
+    #[test]
+    fn distinct_findings_stay_distinct() {
+        let a = canonical_key("hardcoded telnet credentials");
+        let b = canonical_key("stack overflow in upnp handler");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn aggregator_clusters_and_counts() {
+        let mut agg = DescriptionAggregator::new();
+        agg.ingest(report("alice", "Buffer overflow in RTSP parser", Some(3)));
+        agg.ingest(report("bob", "RTSP parser: buffer overflow", None));
+        agg.ingest(report("bob", "hardcoded telnet credentials", Some(9)));
+        assert_eq!(agg.len(), 2);
+        let clusters: Vec<&Cluster> = agg.clusters().collect();
+        let overflow = clusters
+            .iter()
+            .find(|c| c.key.contains("overflow"))
+            .unwrap();
+        assert_eq!(overflow.reporters.len(), 2);
+        assert_eq!(overflow.wordings.len(), 2);
+        assert_eq!(overflow.resolved_id, Some(VulnId(3)), "id resolved from alice");
+        assert_eq!(agg.findings_of("bob"), 2);
+        assert_eq!(agg.findings_of("alice"), 1);
+        assert_eq!(agg.findings_of("nobody"), 0);
+    }
+
+    #[test]
+    fn duplicate_detection_blocks_reworded_double_claims() {
+        let mut agg = DescriptionAggregator::new();
+        agg.ingest(report("alice", "Command injection in the web UI", Some(5)));
+        assert!(agg.is_duplicate("command injections via web ui"));
+        assert!(!agg.is_duplicate("weak default password"));
+    }
+
+    #[test]
+    fn empty_and_noise_inputs() {
+        assert_eq!(canonical_key(""), "");
+        assert_eq!(canonical_key("the a an of"), "");
+        let mut agg = DescriptionAggregator::new();
+        assert!(agg.is_empty());
+        agg.ingest(report("x", "", None));
+        assert_eq!(agg.len(), 1); // the empty cluster
+    }
+
+    #[test]
+    fn stemming_is_conservative() {
+        // Common inflections merge…
+        assert_eq!(stem("overflows"), "overflow");
+        assert_eq!(stem("parsed"), "pars");
+        assert_eq!(stem("parsing"), "pars");
+        assert_eq!(stem("keys"), "key");
+        // …but short tokens are left alone.
+        assert_eq!(stem("dos"), "dos");
+        assert_eq!(stem("xss"), "xss");
+    }
+}

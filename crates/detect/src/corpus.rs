@@ -1,0 +1,245 @@
+//! The Table-I experiment corpus.
+//!
+//! Table I of the paper scans two real IoT apps (Samsung Connect and
+//! Samsung Smart Home) with six third-party services and reports
+//! High/Medium/Low finding counts that are "partially overlapped". The real
+//! services are unavailable, so this module constructs the synthetic
+//! equivalent: two firmware images with planted ground truth, and six
+//! scanner profiles whose signature coverage is calibrated so that each
+//! profile reports exactly the counts the paper published — while the
+//! *identity* of the findings only partially overlaps across scanners,
+//! which is the phenomenon the table demonstrates.
+
+use crate::library::VulnLibrary;
+use crate::scanner::Scanner;
+use crate::system::IoTSystem;
+use crate::vulnerability::{Category, Severity, VulnId, Vulnerability};
+use smartcrowd_chain::rng::SimRng;
+use std::collections::BTreeSet;
+
+/// The six third-party services of Table I.
+pub const SCANNER_NAMES: [&str; 6] =
+    ["VirusTotal", "Quixxi", "Andrototal", "jaq.alibaba", "Ostorlab", "htbridge"];
+
+/// The two scanned apps of Table I.
+pub const APP_NAMES: [&str; 2] = ["Samsung Connect", "Samsung Smart Home"];
+
+/// Published Table-I counts: `EXPECTED[scanner][app] = (high, medium, low)`.
+pub const EXPECTED: [[(usize, usize, usize); 2]; 6] = [
+    [(0, 0, 0), (0, 0, 0)],    // VirusTotal
+    [(4, 6, 3), (3, 8, 4)],    // Quixxi
+    [(0, 0, 0), (0, 0, 0)],    // Andrototal
+    [(1, 14, 32), (21, 46, 55)], // jaq.alibaba
+    [(0, 2, 0), (0, 2, 2)],    // Ostorlab
+    [(1, 6, 5), (1, 4, 6)],    // htbridge
+];
+
+/// A fully constructed Table-I scenario.
+#[derive(Debug, Clone)]
+pub struct Table1Setup {
+    /// The calibrated vulnerability library.
+    pub library: VulnLibrary,
+    /// The two app images with planted ground truth.
+    pub apps: Vec<IoTSystem>,
+    /// The six scanner profiles, in [`SCANNER_NAMES`] order.
+    pub scanners: Vec<Scanner>,
+}
+
+fn pool_size(counts: &[usize]) -> usize {
+    // The union pool must fit the largest scanner and leave headroom so
+    // smaller scanners overlap only partially.
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let sum: usize = counts.iter().sum();
+    max + (sum - max).div_ceil(2)
+}
+
+impl Table1Setup {
+    /// Builds the corpus with a given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal inconsistency (pool sizing always satisfies
+    /// the sampler).
+    pub fn build(seed: u64) -> Table1Setup {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut entries = Vec::new();
+        let mut next_id = 1u64;
+
+        // pools[app][severity] = ids available for that app+severity.
+        let mut pools: Vec<Vec<Vec<VulnId>>> = Vec::new();
+        for app in 0..2 {
+            let mut app_pools = Vec::new();
+            for (sev_idx, severity) in
+                [Severity::High, Severity::Medium, Severity::Low].iter().enumerate()
+            {
+                let counts: Vec<usize> = EXPECTED
+                    .iter()
+                    .map(|per_scanner| match sev_idx {
+                        0 => per_scanner[app].0,
+                        1 => per_scanner[app].1,
+                        _ => per_scanner[app].2,
+                    })
+                    .collect();
+                let size = pool_size(&counts);
+                let mut ids = Vec::with_capacity(size);
+                for _ in 0..size {
+                    let id = VulnId(next_id);
+                    next_id += 1;
+                    entries.push(Vulnerability {
+                        id,
+                        severity: *severity,
+                        category: Category::ALL
+                            [rng.next_below(Category::ALL.len() as u64) as usize],
+                        description: format!("{severity} finding in {}", APP_NAMES[app]),
+                    });
+                    ids.push(id);
+                }
+                app_pools.push(ids);
+            }
+            pools.push(app_pools);
+        }
+        let library = VulnLibrary::from_entries(entries);
+
+        // Each scanner samples its calibrated count from each pool.
+        let mut scanner_coverages: Vec<BTreeSet<VulnId>> = vec![BTreeSet::new(); 6];
+        for (scanner_idx, per_app) in EXPECTED.iter().enumerate() {
+            for (app, &(h, m, l)) in per_app.iter().enumerate() {
+                for (sev_idx, count) in [h, m, l].into_iter().enumerate() {
+                    let pool = &pools[app][sev_idx];
+                    let picked = sample(pool, count, &mut rng);
+                    scanner_coverages[scanner_idx].extend(picked);
+                }
+            }
+        }
+        let scanners: Vec<Scanner> = SCANNER_NAMES
+            .iter()
+            .zip(scanner_coverages)
+            .map(|(name, cov)| Scanner::new(name, cov))
+            .collect();
+
+        // Each app's ground truth is the full pool (every finding any
+        // scanner could make is really present in the image).
+        let mut apps = Vec::with_capacity(2);
+        for (app, name) in APP_NAMES.iter().enumerate() {
+            let ground_truth: Vec<VulnId> =
+                pools[app].iter().flatten().copied().collect();
+            let sys = IoTSystem::build(name, "2018.11", &library, ground_truth, &mut rng)
+                .expect("pool ids are all in the library");
+            apps.push(sys);
+        }
+
+        Table1Setup { library, apps, scanners }
+    }
+
+    /// Runs every scanner over every app and returns
+    /// `rows[scanner][app] = (high, medium, low)`.
+    pub fn run(&self, seed: u64) -> Vec<[(usize, usize, usize); 2]> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        self.scanners
+            .iter()
+            .map(|scanner| {
+                let mut row = [(0, 0, 0); 2];
+                for (app_idx, app) in self.apps.iter().enumerate() {
+                    let report = scanner.scan(app, &self.library, &mut rng);
+                    row[app_idx] = report.severity_counts(&self.library);
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Mean pairwise Jaccard overlap between non-empty scanner coverages —
+    /// the "partially overlapped" statistic the table demonstrates.
+    pub fn mean_pairwise_overlap(&self) -> f64 {
+        let nonempty: Vec<&Scanner> =
+            self.scanners.iter().filter(|s| !s.coverage().is_empty()).collect();
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..nonempty.len() {
+            for j in i + 1..nonempty.len() {
+                total += nonempty[i].coverage_jaccard(nonempty[j]);
+                pairs += 1;
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total / pairs as f64
+        }
+    }
+}
+
+fn sample(pool: &[VulnId], count: usize, rng: &mut SimRng) -> Vec<VulnId> {
+    assert!(count <= pool.len(), "pool sizing guarantees capacity");
+    let mut copy = pool.to_vec();
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let j = i + rng.next_below((copy.len() - i) as u64) as usize;
+        copy.swap(i, j);
+        out.push(copy[i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table1_exactly() {
+        let setup = Table1Setup::build(2019);
+        let rows = setup.run(7);
+        for (scanner_idx, row) in rows.iter().enumerate() {
+            for app in 0..2 {
+                assert_eq!(
+                    row[app], EXPECTED[scanner_idx][app],
+                    "{} on {}",
+                    SCANNER_NAMES[scanner_idx], APP_NAMES[app]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_is_partial_not_total() {
+        let setup = Table1Setup::build(2019);
+        let overlap = setup.mean_pairwise_overlap();
+        assert!(overlap > 0.0, "some commonality expected, got {overlap}");
+        assert!(overlap < 0.9, "overlap must be partial, got {overlap}");
+    }
+
+    #[test]
+    fn zero_coverage_scanners_match_paper() {
+        let setup = Table1Setup::build(2019);
+        assert!(setup.scanners[0].coverage().is_empty(), "VirusTotal row is all zeros");
+        assert!(setup.scanners[2].coverage().is_empty(), "Andrototal row is all zeros");
+        assert!(!setup.scanners[3].coverage().is_empty(), "jaq.alibaba finds plenty");
+    }
+
+    #[test]
+    fn apps_have_consistent_ground_truth() {
+        let setup = Table1Setup::build(2019);
+        for app in &setup.apps {
+            assert!(app.verify_image());
+            // Every ground-truth signature is really embedded.
+            for id in app.ground_truth() {
+                let sig = setup.library.get(*id).unwrap().signature();
+                assert!(app.contains_signature(&sig));
+            }
+        }
+        // Ground truths are disjoint between the two apps.
+        let a: BTreeSet<_> = setup.apps[0].ground_truth().iter().collect();
+        let b: BTreeSet<_> = setup.apps[1].ground_truth().iter().collect();
+        assert!(a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn different_seeds_same_counts_different_identities() {
+        let s1 = Table1Setup::build(1);
+        let s2 = Table1Setup::build(2);
+        assert_eq!(s1.run(0), s2.run(0), "counts are calibrated, identical");
+        let c1: Vec<_> = s1.scanners[1].coverage().iter().copied().collect();
+        let c2: Vec<_> = s2.scanners[1].coverage().iter().copied().collect();
+        assert_ne!(c1, c2, "which vulns each scanner knows varies with seed");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the detection substrate.
+
+use std::fmt;
+
+/// Errors produced while building corpora or scanning systems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DetectError {
+    /// A vulnerability id is not present in the library.
+    UnknownVulnerability {
+        /// The missing id.
+        id: u64,
+    },
+    /// A firmware image failed its integrity check (`U_h` mismatch).
+    ImageHashMismatch,
+    /// The requested sample size exceeds the library/population.
+    SampleTooLarge {
+        /// Requested count.
+        requested: usize,
+        /// Available population.
+        available: usize,
+    },
+    /// A builder was given inconsistent parameters.
+    InvalidConfig {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::UnknownVulnerability { id } => {
+                write!(f, "vulnerability {id} is not in the library")
+            }
+            DetectError::ImageHashMismatch => {
+                write!(f, "firmware image hash does not match the announced U_h")
+            }
+            DetectError::SampleTooLarge { requested, available } => {
+                write!(f, "cannot sample {requested} items from a population of {available}")
+            }
+            DetectError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        for e in [
+            DetectError::UnknownVulnerability { id: 7 },
+            DetectError::ImageHashMismatch,
+            DetectError::SampleTooLarge { requested: 5, available: 3 },
+            DetectError::InvalidConfig { detail: "x".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

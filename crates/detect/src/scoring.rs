@@ -1,0 +1,174 @@
+//! Risk scoring for confirmed findings (a CVSS-flavoured aggregate).
+//!
+//! Table I buckets findings into High/Medium/Low; consumers comparing two
+//! releases need a single comparable number. [`risk_score`] maps a finding
+//! to a 0–10 score from its severity and weakness category (repackaged
+//! malware and weak credentials score above a generic memory bug of the
+//! same severity — the Mirai lesson of §I), and [`aggregate_risk`] folds a
+//! finding set into a release-level score with diminishing returns, so one
+//! critical bug dominates twenty low ones.
+
+use crate::vulnerability::{Category, Severity, Vulnerability};
+
+/// Base score per severity bucket (CVSS-like anchors).
+fn severity_base(severity: Severity) -> f64 {
+    match severity {
+        Severity::High => 8.0,
+        Severity::Medium => 5.0,
+        Severity::Low => 2.5,
+    }
+}
+
+/// Category modifier: how exploitable-at-scale the weakness class is.
+fn category_weight(category: Category) -> f64 {
+    match category {
+        Category::RepackagedMalware => 1.25, // §III-A: active malice
+        Category::WeakCredentials => 1.2,    // the Mirai vector (§I)
+        Category::Injection => 1.1,
+        Category::MemorySafety => 1.0,
+        Category::CryptoMisuse => 0.95,
+        Category::InfoLeak => 0.85,
+    }
+}
+
+/// Scores one finding on a 0–10 scale.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_detect::scoring::risk_score;
+/// use smartcrowd_detect::vulnerability::{Category, Severity, VulnId, Vulnerability};
+///
+/// let v = Vulnerability {
+///     id: VulnId(1),
+///     severity: Severity::High,
+///     category: Category::WeakCredentials,
+///     description: "default telnet password".into(),
+/// };
+/// assert!(risk_score(&v) > 9.0);
+/// ```
+pub fn risk_score(vuln: &Vulnerability) -> f64 {
+    (severity_base(vuln.severity) * category_weight(vuln.category)).min(10.0)
+}
+
+/// Aggregates a finding set into a release-level 0–10 score.
+///
+/// The aggregate is `max + diminishing tail`: the worst finding anchors
+/// the score, and each further finding (sorted descending) contributes a
+/// geometrically discounted share of its own score, capped at 10. An empty
+/// set scores 0.
+pub fn aggregate_risk(findings: &[&Vulnerability]) -> f64 {
+    let mut scores: Vec<f64> = findings.iter().map(|v| risk_score(v)).collect();
+    scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut total = 0.0;
+    let mut discount = 1.0;
+    for s in scores {
+        total += s * discount * if discount < 1.0 { 0.1 } else { 1.0 };
+        discount *= 0.5;
+    }
+    total.min(10.0)
+}
+
+/// A qualitative banding of the aggregate score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RiskBand {
+    /// Score 0: nothing confirmed.
+    Clean,
+    /// Score (0, 4): low residual risk.
+    Low,
+    /// Score [4, 7): meaningful risk.
+    Moderate,
+    /// Score [7, 10]: do not deploy.
+    Critical,
+}
+
+/// Bands an aggregate score.
+pub fn band(score: f64) -> RiskBand {
+    if score <= f64::EPSILON {
+        RiskBand::Clean
+    } else if score < 4.0 {
+        RiskBand::Low
+    } else if score < 7.0 {
+        RiskBand::Moderate
+    } else {
+        RiskBand::Critical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vulnerability::VulnId;
+
+    fn vuln(severity: Severity, category: Category) -> Vulnerability {
+        Vulnerability {
+            id: VulnId(1),
+            severity,
+            category,
+            description: String::new(),
+        }
+    }
+
+    #[test]
+    fn severity_orders_scores() {
+        let c = Category::MemorySafety;
+        assert!(
+            risk_score(&vuln(Severity::High, c)) > risk_score(&vuln(Severity::Medium, c))
+        );
+        assert!(
+            risk_score(&vuln(Severity::Medium, c)) > risk_score(&vuln(Severity::Low, c))
+        );
+    }
+
+    #[test]
+    fn category_modifies_within_severity() {
+        let high_malware = risk_score(&vuln(Severity::High, Category::RepackagedMalware));
+        let high_leak = risk_score(&vuln(Severity::High, Category::InfoLeak));
+        assert!(high_malware > high_leak);
+        assert!(high_malware <= 10.0);
+    }
+
+    #[test]
+    fn aggregate_is_anchored_by_the_worst_finding() {
+        let critical = vuln(Severity::High, Category::RepackagedMalware);
+        let lows: Vec<Vulnerability> =
+            (0..20).map(|_| vuln(Severity::Low, Category::InfoLeak)).collect();
+        let mut with_lows: Vec<&Vulnerability> = lows.iter().collect();
+        let many_lows = aggregate_risk(&with_lows);
+        with_lows.push(&critical);
+        let with_critical = aggregate_risk(&with_lows);
+        assert!(with_critical > many_lows);
+        assert!(with_critical >= risk_score(&critical));
+        // Twenty lows alone never reach critical territory.
+        assert!(band(many_lows) != RiskBand::Critical, "score {many_lows}");
+    }
+
+    #[test]
+    fn aggregate_caps_at_ten() {
+        let v = vuln(Severity::High, Category::RepackagedMalware);
+        let findings: Vec<&Vulnerability> = std::iter::repeat_n(&v, 50).collect();
+        assert!(aggregate_risk(&findings) <= 10.0);
+    }
+
+    #[test]
+    fn empty_set_is_clean() {
+        assert_eq!(aggregate_risk(&[]), 0.0);
+        assert_eq!(band(0.0), RiskBand::Clean);
+    }
+
+    #[test]
+    fn bands_partition_the_scale() {
+        assert_eq!(band(1.0), RiskBand::Low);
+        assert_eq!(band(5.0), RiskBand::Moderate);
+        assert_eq!(band(9.5), RiskBand::Critical);
+    }
+
+    #[test]
+    fn more_findings_never_reduce_risk() {
+        let a = vuln(Severity::Medium, Category::Injection);
+        let b = vuln(Severity::Low, Category::InfoLeak);
+        let one = aggregate_risk(&[&a]);
+        let two = aggregate_risk(&[&a, &b]);
+        assert!(two >= one);
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for the network substrate.
+
+use std::fmt;
+
+/// Errors produced by the gossip network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A message was addressed to a node that is not registered.
+    UnknownNode {
+        /// The missing node's index.
+        node: usize,
+    },
+    /// A node id was registered twice.
+    DuplicateNode {
+        /// The duplicated node's index.
+        node: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode { node } => write!(f, "unknown node #{node}"),
+            NetError::DuplicateNode { node } => write!(f, "node #{node} already registered"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_display() {
+        assert!(!NetError::UnknownNode { node: 3 }.to_string().is_empty());
+        assert!(!NetError::DuplicateNode { node: 3 }.to_string().is_empty());
+    }
+}

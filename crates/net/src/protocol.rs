@@ -1,0 +1,91 @@
+//! Wire messages of the SmartCrowd protocol.
+//!
+//! The chain layer keeps record payloads opaque, so these messages carry
+//! [`smartcrowd_chain::Record`]s and [`smartcrowd_chain::Block`]s; the core
+//! crate interprets the payloads as SRAs / `R†` / `R*`.
+
+use smartcrowd_chain::header::BlockId;
+use smartcrowd_chain::{Block, Record};
+use smartcrowd_crypto::Digest;
+
+/// A protocol message travelling between SmartCrowd nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A signed record (SRA, initial report, detailed report, transfer)
+    /// propagating toward the providers' mempools (§V-B: reports "will be
+    /// delivered to all IoT providers").
+    Record(Record),
+    /// A freshly mined block, "broadcast and synchronized among IoT
+    /// providers" (§V-C).
+    Block(Box<Block>),
+    /// A request for the system image behind an SRA (the `U_l` download of
+    /// §V-B: "detectors download and obtain the released IoT system").
+    ImageRequest {
+        /// Hash of the requested image (`U_h`).
+        image_hash: Digest,
+    },
+    /// The image bytes answering an [`Message::ImageRequest`].
+    ImageResponse {
+        /// Hash of the delivered image.
+        image_hash: Digest,
+        /// The image bytes.
+        image: Vec<u8>,
+    },
+    /// A request for a missing block (a lagging node filling a gap its
+    /// sync buffer discovered).
+    BlockRequest {
+        /// The wanted block id.
+        id: BlockId,
+    },
+}
+
+impl Message {
+    /// A short tag for logging and statistics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Message::Record(_) => "record",
+            Message::Block(_) => "block",
+            Message::ImageRequest { .. } => "image-request",
+            Message::ImageResponse { .. } => "image-response",
+            Message::BlockRequest { .. } => "block-request",
+        }
+    }
+
+    /// Approximate size in bytes (for bandwidth accounting).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::Record(r) => r.encode().len(),
+            Message::Block(b) => b.encode().len(),
+            Message::ImageRequest { .. } => 32,
+            Message::ImageResponse { image, .. } => 32 + image.len(),
+            Message::BlockRequest { .. } => 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrowd_chain::record::RecordKind;
+    use smartcrowd_chain::{Difficulty, Ether};
+    use smartcrowd_crypto::keys::KeyPair;
+
+    #[test]
+    fn tags_and_sizes() {
+        let kp = KeyPair::from_seed(b"n");
+        let record =
+            Record::signed(RecordKind::Transfer, vec![1, 2, 3], Ether::ZERO, 0, &kp);
+        let m = Message::Record(record);
+        assert_eq!(m.tag(), "record");
+        assert!(m.wire_size() > 90);
+
+        let b = Message::Block(Box::new(Block::genesis(Difficulty::from_u64(1))));
+        assert_eq!(b.tag(), "block");
+        assert!(b.wire_size() > 50);
+
+        let req = Message::ImageRequest { image_hash: [0u8; 32] };
+        assert_eq!(req.wire_size(), 32);
+        let resp = Message::ImageResponse { image_hash: [0u8; 32], image: vec![0; 100] };
+        assert_eq!(resp.wire_size(), 132);
+    }
+}

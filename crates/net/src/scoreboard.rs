@@ -1,0 +1,158 @@
+//! Peer scoring and detector isolation.
+//!
+//! "SmartCrowd can isolate a compromised detector by enabling `P_i` to
+//! filter this detector's next reports" (§V-C): after a detector's detailed
+//! report fails `AutoVerif`, providers stop relaying or recording its
+//! submissions. [`Scoreboard`] is each provider's local memory of peer
+//! behaviour — strikes for failed verifications, credit for confirmed
+//! reports, and an isolation threshold.
+
+use smartcrowd_crypto::Address;
+use std::collections::HashMap;
+
+/// Default number of strikes before a peer is isolated.
+pub const DEFAULT_STRIKE_LIMIT: u32 = 3;
+
+/// One peer's standing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerScore {
+    /// Failed verifications (forged/plagiarized/tampered reports).
+    pub strikes: u32,
+    /// Confirmed, rewarded reports.
+    pub confirmed: u32,
+}
+
+/// A provider-local peer reputation table.
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_net::Scoreboard;
+/// use smartcrowd_crypto::Address;
+///
+/// let mut board = Scoreboard::new(2);
+/// let d = Address::from_label("detector");
+/// board.record_strike(d);
+/// assert!(!board.is_isolated(&d));
+/// board.record_strike(d);
+/// assert!(board.is_isolated(&d));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    scores: HashMap<Address, PeerScore>,
+    strike_limit: u32,
+}
+
+impl Scoreboard {
+    /// Creates a scoreboard isolating peers at `strike_limit` strikes.
+    pub fn new(strike_limit: u32) -> Self {
+        Scoreboard { scores: HashMap::new(), strike_limit: strike_limit.max(1) }
+    }
+
+    /// The isolation threshold.
+    pub fn strike_limit(&self) -> u32 {
+        self.strike_limit
+    }
+
+    /// Records a failed verification for `peer`.
+    pub fn record_strike(&mut self, peer: Address) {
+        self.scores.entry(peer).or_default().strikes += 1;
+    }
+
+    /// Records a confirmed report for `peer`.
+    pub fn record_confirmed(&mut self, peer: Address) {
+        self.scores.entry(peer).or_default().confirmed += 1;
+    }
+
+    /// A peer's current score.
+    pub fn score(&self, peer: &Address) -> PeerScore {
+        self.scores.get(peer).copied().unwrap_or_default()
+    }
+
+    /// Whether the peer has reached the isolation threshold.
+    pub fn is_isolated(&self, peer: &Address) -> bool {
+        self.score(peer).strikes >= self.strike_limit
+    }
+
+    /// Whether a report from `peer` should be accepted for relay/recording.
+    pub fn admits(&self, peer: &Address) -> bool {
+        !self.is_isolated(peer)
+    }
+
+    /// All isolated peers.
+    pub fn isolated_peers(&self) -> Vec<Address> {
+        let mut out: Vec<Address> = self
+            .scores
+            .iter()
+            .filter(|(_, s)| s.strikes >= self.strike_limit)
+            .map(|(a, _)| *a)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Clears a peer's strikes (e.g. after governance review).
+    pub fn pardon(&mut self, peer: &Address) {
+        if let Some(s) = self.scores.get_mut(peer) {
+            s.strikes = 0;
+        }
+    }
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Scoreboard::new(DEFAULT_STRIKE_LIMIT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strikes_accumulate_to_isolation() {
+        let mut b = Scoreboard::new(3);
+        let d = Address::from_label("d");
+        for i in 0..3 {
+            assert!(b.admits(&d), "still admitted after {i} strikes");
+            b.record_strike(d);
+        }
+        assert!(b.is_isolated(&d));
+        assert!(!b.admits(&d));
+        assert_eq!(b.isolated_peers(), vec![d]);
+    }
+
+    #[test]
+    fn confirmed_reports_do_not_isolate() {
+        let mut b = Scoreboard::default();
+        let d = Address::from_label("good");
+        for _ in 0..100 {
+            b.record_confirmed(d);
+        }
+        assert!(b.admits(&d));
+        assert_eq!(b.score(&d).confirmed, 100);
+    }
+
+    #[test]
+    fn pardon_restores_admission() {
+        let mut b = Scoreboard::new(1);
+        let d = Address::from_label("d");
+        b.record_strike(d);
+        assert!(b.is_isolated(&d));
+        b.pardon(&d);
+        assert!(b.admits(&d));
+    }
+
+    #[test]
+    fn unknown_peer_is_admitted() {
+        let b = Scoreboard::default();
+        assert!(b.admits(&Address::from_label("stranger")));
+        assert_eq!(b.score(&Address::from_label("stranger")), PeerScore::default());
+    }
+
+    #[test]
+    fn limit_clamped_to_one() {
+        let b = Scoreboard::new(0);
+        assert_eq!(b.strike_limit(), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Chain synchronization for lagging nodes.
+//!
+//! "Once a new block is generated, it will be broadcast and synchronized
+//! among IoT providers" (§V-C). Gossip jitter and partitions mean blocks
+//! arrive out of order or not at all; [`SyncBuffer`] is the per-node
+//! reassembly stage: it buffers blocks whose parents are missing, connects
+//! whatever becomes connectable, and reports what is still unresolved so
+//! the node can request it from peers.
+
+use smartcrowd_chain::header::BlockId;
+use smartcrowd_chain::{Block, ChainError, ChainStore};
+use std::collections::HashMap;
+
+/// Outcome of offering one block to the buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// Connected to the store (possibly unlocking buffered descendants).
+    Connected {
+        /// Total blocks connected by this offer (the block + descendants).
+        connected: usize,
+    },
+    /// Parent unknown: buffered for later.
+    Buffered,
+    /// Already known (store or buffer) — dropped.
+    Duplicate,
+    /// Structurally invalid — dropped.
+    Rejected(ChainError),
+}
+
+/// A reassembly buffer in front of a [`ChainStore`].
+///
+/// # Example
+///
+/// ```
+/// use smartcrowd_net::sync::{SyncBuffer, SyncOutcome};
+/// use smartcrowd_chain::pow::Miner;
+/// use smartcrowd_chain::{Block, ChainStore, Difficulty};
+/// use smartcrowd_crypto::Address;
+///
+/// let genesis = Block::genesis(Difficulty::from_u64(1));
+/// let mut store = ChainStore::new(genesis.clone());
+/// let miner = Miner::new(Address::from_label("m"));
+/// let b1 = miner.mine_next(&genesis, vec![], genesis.header().timestamp + 15).unwrap();
+/// let b2 = miner.mine_next(&b1, vec![], b1.header().timestamp + 15).unwrap();
+///
+/// let mut sync = SyncBuffer::new();
+/// // Out of order: the child arrives first and is buffered…
+/// assert_eq!(sync.offer(&mut store, b2), SyncOutcome::Buffered);
+/// // …then the parent connects both.
+/// assert_eq!(sync.offer(&mut store, b1), SyncOutcome::Connected { connected: 2 });
+/// assert_eq!(store.best_height(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct SyncBuffer {
+    /// parent id → orphan blocks waiting for it.
+    orphans: HashMap<BlockId, Vec<Block>>,
+    buffered: usize,
+}
+
+/// Cap on buffered orphans (an attacker cannot OOM a node with orphans).
+pub const MAX_ORPHANS: usize = 1024;
+
+impl SyncBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Orphans currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Offers a block; connects it (and any unlocked descendants) when its
+    /// parent is known, otherwise buffers it.
+    pub fn offer(&mut self, store: &mut ChainStore, block: Block) -> SyncOutcome {
+        let id = block.id();
+        if store.block(&id).is_some() {
+            return SyncOutcome::Duplicate;
+        }
+        let parent = block.header().prev;
+        if store.block(&parent).is_none() {
+            // Buffer, bounded.
+            if self.buffered >= MAX_ORPHANS {
+                return SyncOutcome::Rejected(ChainError::MempoolFull);
+            }
+            let waiting = self.orphans.entry(parent).or_default();
+            if waiting.iter().any(|b| b.id() == id) {
+                return SyncOutcome::Duplicate;
+            }
+            waiting.push(block);
+            self.buffered += 1;
+            return SyncOutcome::Buffered;
+        }
+        match store.insert(block) {
+            Ok(inserted_id) => {
+                let mut connected = 1;
+                connected += self.connect_descendants(store, inserted_id);
+                SyncOutcome::Connected { connected }
+            }
+            Err(ChainError::DuplicateBlock { .. }) => SyncOutcome::Duplicate,
+            Err(e) => SyncOutcome::Rejected(e),
+        }
+    }
+
+    fn connect_descendants(&mut self, store: &mut ChainStore, parent: BlockId) -> usize {
+        let mut connected = 0;
+        let mut frontier = vec![parent];
+        while let Some(p) = frontier.pop() {
+            let Some(children) = self.orphans.remove(&p) else { continue };
+            for child in children {
+                self.buffered -= 1;
+                if let Ok(id) = store.insert(child) {
+                    connected += 1;
+                    frontier.push(id);
+                }
+            }
+        }
+        connected
+    }
+
+    /// Parent ids the buffer is waiting for — what to request from peers.
+    pub fn missing_parents(&self) -> Vec<BlockId> {
+        let mut ids: Vec<BlockId> = self.orphans.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrowd_chain::pow::Miner;
+    use smartcrowd_chain::Difficulty;
+    use smartcrowd_crypto::Address;
+
+    fn chain(n: usize) -> (ChainStore, Vec<Block>) {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let store = ChainStore::new(genesis.clone());
+        let miner = Miner::new(Address::from_label("m"));
+        let mut blocks = Vec::new();
+        let mut parent = genesis;
+        for _ in 0..n {
+            let b = miner
+                .mine_next(&parent, vec![], parent.header().timestamp + 15)
+                .unwrap();
+            blocks.push(b.clone());
+            parent = b;
+        }
+        (store, blocks)
+    }
+
+    #[test]
+    fn in_order_blocks_connect_directly() {
+        let (mut store, blocks) = chain(3);
+        let mut sync = SyncBuffer::new();
+        for b in blocks {
+            assert_eq!(sync.offer(&mut store, b), SyncOutcome::Connected { connected: 1 });
+        }
+        assert_eq!(store.best_height(), 3);
+        assert_eq!(sync.buffered(), 0);
+    }
+
+    #[test]
+    fn fully_reversed_order_reassembles() {
+        let (mut store, blocks) = chain(5);
+        let mut sync = SyncBuffer::new();
+        for b in blocks.iter().skip(1).rev() {
+            assert_eq!(sync.offer(&mut store, b.clone()), SyncOutcome::Buffered);
+        }
+        assert_eq!(sync.buffered(), 4);
+        assert_eq!(sync.missing_parents().len(), 4);
+        // The first block unlocks the whole chain.
+        assert_eq!(
+            sync.offer(&mut store, blocks[0].clone()),
+            SyncOutcome::Connected { connected: 5 }
+        );
+        assert_eq!(store.best_height(), 5);
+        assert_eq!(sync.buffered(), 0);
+        assert!(sync.missing_parents().is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let (mut store, blocks) = chain(2);
+        let mut sync = SyncBuffer::new();
+        sync.offer(&mut store, blocks[0].clone());
+        assert_eq!(sync.offer(&mut store, blocks[0].clone()), SyncOutcome::Duplicate);
+        // Duplicate orphan too.
+        assert_eq!(sync.offer(&mut store, blocks[1].clone()), SyncOutcome::Connected { connected: 1 });
+        let (mut store2, blocks2) = chain(3);
+        let mut sync2 = SyncBuffer::new();
+        assert_eq!(sync2.offer(&mut store2, blocks2[2].clone()), SyncOutcome::Buffered);
+        assert_eq!(sync2.offer(&mut store2, blocks2[2].clone()), SyncOutcome::Duplicate);
+    }
+
+    #[test]
+    fn invalid_blocks_are_rejected_on_connect() {
+        let (mut store, blocks) = chain(1);
+        let mut sync = SyncBuffer::new();
+        let mut bad = blocks[0].clone();
+        bad.header_mut().merkle_root[0] ^= 1;
+        match sync.offer(&mut store, bad) {
+            SyncOutcome::Rejected(_) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(store.best_height(), 0);
+    }
+
+    #[test]
+    fn orphan_cap_bounds_memory() {
+        let (mut store, _) = chain(0);
+        let mut sync = SyncBuffer::new();
+        // Many unrelated orphan chains from foreign genesis blocks.
+        let miner = Miner::new(Address::from_label("x"));
+        let mut rejected = 0;
+        for i in 0..(MAX_ORPHANS + 10) as u64 {
+            let foreign = Block::genesis(Difficulty::from_u64(2 + i as u128 as u64));
+            let orphan = miner
+                .mine_next(&foreign, vec![], foreign.header().timestamp + 15)
+                .unwrap();
+            match sync.offer(&mut store, orphan) {
+                SyncOutcome::Rejected(_) => rejected += 1,
+                SyncOutcome::Buffered => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(sync.buffered(), MAX_ORPHANS);
+        assert_eq!(rejected, 10);
+    }
+
+    #[test]
+    fn interleaved_forks_both_connect() {
+        // Two competing forks delivered interleaved and out of order.
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let mut store = ChainStore::new(genesis.clone());
+        let m1 = Miner::new(Address::from_label("a"));
+        let m2 = Miner::new(Address::from_label("b"));
+        let a1 = m1.mine_next(&genesis, vec![], genesis.header().timestamp + 15).unwrap();
+        let a2 = m1.mine_next(&a1, vec![], a1.header().timestamp + 15).unwrap();
+        let b1 = m2.mine_next(&genesis, vec![], genesis.header().timestamp + 16).unwrap();
+        let mut sync = SyncBuffer::new();
+        assert_eq!(sync.offer(&mut store, a2.clone()), SyncOutcome::Buffered);
+        assert_eq!(sync.offer(&mut store, b1.clone()), SyncOutcome::Connected { connected: 1 });
+        assert_eq!(sync.offer(&mut store, a1.clone()), SyncOutcome::Connected { connected: 2 });
+        // Longest fork wins.
+        assert_eq!(store.best_tip(), a2.id());
+        assert_eq!(store.len(), 4);
+    }
+}

@@ -1,0 +1,72 @@
+//! Simulation configuration.
+
+use smartcrowd_chain::Ether;
+use smartcrowd_core::platform::PlatformConfig;
+
+/// Full configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The platform (providers, block time, rewards, fees).
+    pub platform: PlatformConfig,
+    /// Simulated wall-clock duration in seconds.
+    pub duration_secs: f64,
+    /// Mean period between SRAs (`θ` of §VI-B), seconds.
+    pub sra_period_secs: f64,
+    /// Which provider index releases systems (the paper picks the 14.90 %
+    /// provider for the detector experiment).
+    pub releasing_provider: usize,
+    /// When set, releases rotate round-robin across all providers instead
+    /// of always coming from `releasing_provider`.
+    pub rotate_providers: bool,
+    /// Probability a release is vulnerable (VP).
+    pub vulnerability_proportion: f64,
+    /// Vulnerabilities planted when vulnerable.
+    pub vulns_per_release: usize,
+    /// Insurance per release.
+    pub insurance: Ether,
+    /// Per-vulnerability incentive `μ`.
+    pub incentive_per_vuln: Ether,
+    /// Number of detectors (capabilities scale 1..=n like the paper's
+    /// thread counts).
+    pub detectors: usize,
+    /// Capability of the strongest detector.
+    pub base_capability: f64,
+    /// RNG seed for the run (releases, scans).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's §VII experiment defaults: 5 providers, the 14.90 %
+    /// provider releasing every 10 minutes with 1000-ether insurance,
+    /// 8 thread-scaled detectors.
+    pub fn paper() -> Self {
+        SimConfig {
+            platform: PlatformConfig::paper(),
+            duration_secs: 600.0,
+            sra_period_secs: 600.0,
+            releasing_provider: 2, // the 14.90 % node
+            rotate_providers: false,
+            vulnerability_proportion: 0.038,
+            vulns_per_release: 10,
+            insurance: Ether::from_ether(1000),
+            incentive_per_vuln: Ether::from_ether(25),
+            detectors: 8,
+            base_capability: 0.9,
+            seed: 2019,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::paper();
+        assert_eq!(c.detectors, 8);
+        assert_eq!(c.releasing_provider, 2);
+        assert!((c.vulnerability_proportion - 0.038).abs() < 1e-12);
+        assert_eq!(c.insurance, Ether::from_ether(1000));
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-run result ledgers.
+
+use smartcrowd_chain::Ether;
+use smartcrowd_crypto::Address;
+use std::collections::HashMap;
+
+/// One balance sample on the provider income time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncomeSample {
+    /// Simulated seconds since genesis.
+    pub time: f64,
+    /// Cumulative mining income at that time.
+    pub income: Ether,
+}
+
+/// Aggregated results of one simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct RunLedger {
+    /// Total blocks mined.
+    pub blocks_mined: u64,
+    /// Final simulated time.
+    pub final_time: f64,
+    /// Inter-block intervals (Fig. 3(b) histogram input).
+    pub block_intervals: Vec<f64>,
+    /// Income time series per provider (Fig. 4(a)).
+    pub provider_income: HashMap<Address, Vec<IncomeSample>>,
+    /// Blocks mined per provider (Fig. 3(a)).
+    pub blocks_by_provider: HashMap<Address, u64>,
+    /// Insurance forfeited per provider (punishments).
+    pub provider_forfeits: HashMap<Address, Ether>,
+    /// Release gas per provider.
+    pub provider_release_gas: HashMap<Address, Ether>,
+    /// Incentives earned per detector (Fig. 6(a)).
+    pub detector_earnings: HashMap<Address, Ether>,
+    /// Reporting gas per detector (Fig. 6(b)).
+    pub detector_costs: HashMap<Address, Ether>,
+    /// Systems released.
+    pub releases: u64,
+    /// Releases that were actually vulnerable.
+    pub vulnerable_releases: u64,
+    /// Vulnerabilities confirmed on chain.
+    pub confirmed_vulnerabilities: u64,
+}
+
+impl RunLedger {
+    /// Net balance of a detector: earnings − reporting gas.
+    pub fn detector_balance(&self, addr: &Address) -> f64 {
+        let earn = self.detector_earnings.get(addr).copied().unwrap_or(Ether::ZERO);
+        let cost = self.detector_costs.get(addr).copied().unwrap_or(Ether::ZERO);
+        earn.as_f64() - cost.as_f64()
+    }
+
+    /// Net balance of a provider: mining income − forfeits − release gas.
+    pub fn provider_balance(&self, addr: &Address) -> f64 {
+        let income = self
+            .provider_income
+            .get(addr)
+            .and_then(|s| s.last())
+            .map(|s| s.income.as_f64())
+            .unwrap_or(0.0);
+        let forfeit =
+            self.provider_forfeits.get(addr).copied().unwrap_or(Ether::ZERO).as_f64();
+        let gas =
+            self.provider_release_gas.get(addr).copied().unwrap_or(Ether::ZERO).as_f64();
+        income - forfeit - gas
+    }
+
+    /// Mean inter-block time over the run (Fig. 3(b) headline).
+    pub fn mean_block_time(&self) -> f64 {
+        if self.block_intervals.is_empty() {
+            return 0.0;
+        }
+        self.block_intervals.iter().sum::<f64>() / self.block_intervals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_is_safe() {
+        let l = RunLedger::default();
+        assert_eq!(l.mean_block_time(), 0.0);
+        assert_eq!(l.detector_balance(&Address::ZERO), 0.0);
+        assert_eq!(l.provider_balance(&Address::ZERO), 0.0);
+    }
+
+    #[test]
+    fn balances_combine_terms() {
+        let mut l = RunLedger::default();
+        let a = Address::from_label("p");
+        l.provider_income.insert(
+            a,
+            vec![IncomeSample { time: 10.0, income: Ether::from_ether(100) }],
+        );
+        l.provider_forfeits.insert(a, Ether::from_ether(30));
+        l.provider_release_gas.insert(a, Ether::from_milliether(95));
+        assert!((l.provider_balance(&a) - 69.905).abs() < 1e-9);
+
+        let d = Address::from_label("d");
+        l.detector_earnings.insert(d, Ether::from_ether(50));
+        l.detector_costs.insert(d, Ether::from_milliether(22));
+        assert!((l.detector_balance(&d) - 49.978).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_block_time() {
+        let l = RunLedger {
+            block_intervals: vec![10.0, 20.0, 15.0],
+            ..Default::default()
+        };
+        assert!((l.mean_block_time() - 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,345 @@
+//! The main simulation loop.
+//!
+//! Each iteration mines one block (advancing the simulated clock by the
+//! sampled PoW interval) and, around it, drives the protocol: releases on
+//! the SRA cadence `θ`, immediate distributed detection with two-phase
+//! submission, and reveal-on-confirmation for detailed reports — the §IV-B
+//! workflow end to end.
+
+use crate::config::SimConfig;
+use crate::ledger::{IncomeSample, RunLedger};
+use smartcrowd_chain::rng::SimRng;
+use smartcrowd_chain::Ether;
+use smartcrowd_core::detector::DetectorFleet;
+use smartcrowd_core::platform::Platform;
+use smartcrowd_core::provider::{generate_release, ReleasePolicy};
+use smartcrowd_core::report::DetailedReport;
+use smartcrowd_core::sra::SraId;
+use smartcrowd_crypto::{Address, Digest};
+
+struct PendingReveal {
+    detector_index: usize,
+    initial_record: Digest,
+    detailed: DetailedReport,
+}
+
+/// Runs one full simulation and returns its ledger.
+pub fn simulate(config: &SimConfig) -> RunLedger {
+    simulate_full(config).0
+}
+
+/// Runs one full simulation, returning both the ledger and the final
+/// platform state (for chain export, consumer queries, dashboards).
+pub fn simulate_full(config: &SimConfig) -> (RunLedger, Platform) {
+    // One seed knob controls the whole run: fold the run seed into the
+    // platform's mining-race seed so seed sweeps vary the full trajectory.
+    let mut platform_config = config.platform.clone();
+    platform_config.seed ^= config.seed.rotate_left(17);
+    let mut platform = Platform::new(platform_config);
+    let fleet = DetectorFleet::graded(
+        platform.library(),
+        config.detectors as u32,
+        config.base_capability,
+        config.seed ^ 0xf1ee7,
+    );
+    let library = platform.library().clone();
+    for d in fleet.detectors() {
+        platform.fund(d.address(), Ether::from_ether(50));
+    }
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let policy = ReleasePolicy {
+        vulnerability_proportion: config.vulnerability_proportion,
+        vulns_when_vulnerable: config.vulns_per_release,
+        insurance: config.insurance,
+        incentive_per_vuln: config.incentive_per_vuln,
+    };
+
+    let mut ledger = RunLedger::default();
+    let mut pending: Vec<PendingReveal> = Vec::new();
+    let mut releases: Vec<(SraId, Address)> = Vec::new();
+    // (sra_id, height when released) — the detection window closes (and the
+    // remaining insurance refunds) WINDOW_BLOCKS after release.
+    let mut open_windows: Vec<(SraId, u64)> = Vec::new();
+    const WINDOW_BLOCKS: u64 = 16;
+    let mut next_release = 0.0f64;
+    let mut version = 0u64;
+    let mut last_clock = 0.0f64;
+
+    let provider_addrs: Vec<Address> =
+        platform.providers().iter().map(|p| p.address).collect();
+
+    while platform.clock() < config.duration_secs {
+        // --- Phase #1: release on the SRA cadence θ --------------------
+        if platform.clock() >= next_release {
+            next_release += config.sra_period_secs;
+            version += 1;
+            let system =
+                generate_release("iot-fw", version, &policy, &library, &mut rng)
+                    .expect("library supports the policy");
+            let vulnerable = !system.ground_truth().is_empty();
+            let releasing = if config.rotate_providers {
+                (version as usize - 1) % provider_addrs.len()
+            } else {
+                config.releasing_provider
+            };
+            if let Ok(sra_id) = platform.release_system(
+                releasing,
+                system,
+                config.insurance,
+                config.incentive_per_vuln,
+            ) {
+                ledger.releases += 1;
+                if vulnerable {
+                    ledger.vulnerable_releases += 1;
+                }
+                let provider_addr = provider_addrs[releasing];
+                releases.push((sra_id, provider_addr));
+                open_windows.push((sra_id, platform.store().best_height()));
+                // --- Phase #2a: distributed detection + initial reports ----
+                let sra = platform.sra(&sra_id).expect("just released").clone();
+                let image = platform.download_image(&sra_id).expect("image hosted").clone();
+                for (idx, detector) in fleet.detectors().iter().enumerate() {
+                    if let Some((initial, detailed)) =
+                        detector.detect(&sra, &image, &library, &mut rng)
+                    {
+                        if let Ok(record_id) =
+                            platform.submit_initial(detector.keypair(), initial)
+                        {
+                            pending.push(PendingReveal {
+                                detector_index: idx,
+                                initial_record: record_id,
+                                detailed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Phase #2b: reveal detailed reports once R† confirms -------
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for reveal in pending.drain(..) {
+            if platform.store().record_confirmed(&reveal.initial_record) {
+                let detector = &fleet.detectors()[reveal.detector_index];
+                let _ = platform.submit_detailed(detector.keypair(), reveal.detailed);
+            } else {
+                still_pending.push(reveal);
+            }
+        }
+        pending = still_pending;
+
+        // Close detection windows: refund un-forfeited insurance so the
+        // provider can keep releasing (the paper's refundable deposit).
+        let height = platform.store().best_height();
+        open_windows.retain(|(sra_id, released_at)| {
+            if height >= released_at + WINDOW_BLOCKS {
+                let _ = platform.settle_release(sra_id);
+                false
+            } else {
+                true
+            }
+        });
+
+        // --- Phase #3/#4: mine, record, pay ----------------------------
+        let (miner, _) = platform.mine_block();
+        *ledger.blocks_by_provider.entry(miner).or_insert(0) += 1;
+        ledger.blocks_mined += 1;
+        let clock = platform.clock();
+        ledger.block_intervals.push(clock - last_clock);
+        last_clock = clock;
+        for addr in &provider_addrs {
+            ledger
+                .provider_income
+                .entry(*addr)
+                .or_default()
+                .push(IncomeSample { time: clock, income: platform.mining_income(addr) });
+        }
+    }
+
+    // Drain: let outstanding reports finalize without new releases.
+    for _ in 0..16 {
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for reveal in pending.drain(..) {
+            if platform.store().record_confirmed(&reveal.initial_record) {
+                let detector = &fleet.detectors()[reveal.detector_index];
+                let _ = platform.submit_detailed(detector.keypair(), reveal.detailed);
+            } else {
+                still_pending.push(reveal);
+            }
+        }
+        pending = still_pending;
+        let (miner, _) = platform.mine_block();
+        *ledger.blocks_by_provider.entry(miner).or_insert(0) += 1;
+        ledger.blocks_mined += 1;
+    }
+
+    ledger.final_time = platform.clock();
+
+    // Post-run accounting.
+    for payout in platform.payouts() {
+        *ledger.detector_earnings.entry(payout.wallet).or_insert(Ether::ZERO) +=
+            payout.amount;
+    }
+    for d in fleet.detectors() {
+        let cost = platform.detector_cost(&d.address());
+        if !cost.is_zero() {
+            ledger.detector_costs.insert(d.address(), cost);
+        }
+    }
+    for (sra_id, provider_addr) in &releases {
+        let forfeited = platform.forfeited(sra_id);
+        *ledger.provider_forfeits.entry(*provider_addr).or_insert(Ether::ZERO) += forfeited;
+        if let Some(gas) = platform.release_cost(sra_id) {
+            *ledger.provider_release_gas.entry(*provider_addr).or_insert(Ether::ZERO) += gas;
+        }
+        ledger.confirmed_vulnerabilities +=
+            platform.confirmed_vulnerabilities(sra_id).len() as u64;
+    }
+    (ledger, platform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SimConfig {
+        let mut c = SimConfig::paper();
+        c.duration_secs = 400.0;
+        c.sra_period_secs = 100.0;
+        c.vulnerability_proportion = 1.0; // always vulnerable: exercises payouts
+        c.vulns_per_release = 5;
+        c
+    }
+
+    #[test]
+    fn run_produces_blocks_and_releases() {
+        let ledger = simulate(&quick_config());
+        // 400 s at a 15.35 s mean plus the 16 drain blocks.
+        assert!(ledger.blocks_mined >= 25, "mined {}", ledger.blocks_mined);
+        assert!(ledger.releases >= 3);
+        assert_eq!(ledger.releases, ledger.vulnerable_releases);
+        assert!(ledger.final_time >= 400.0);
+    }
+
+    #[test]
+    fn vulnerable_releases_produce_payouts_and_forfeits() {
+        let ledger = simulate(&quick_config());
+        assert!(ledger.confirmed_vulnerabilities > 0, "fleet should find planted vulns");
+        let total_earned: f64 = ledger
+            .detector_earnings
+            .values()
+            .map(|e| e.as_f64())
+            .sum();
+        assert!(total_earned > 0.0);
+        let total_forfeited: f64 =
+            ledger.provider_forfeits.values().map(|e| e.as_f64()).sum();
+        // Forfeits equal μ × confirmed vulnerabilities.
+        let expected = 25.0 * ledger.confirmed_vulnerabilities as f64;
+        assert!(
+            (total_forfeited - expected).abs() < 1e-6,
+            "forfeits {total_forfeited} vs expected {expected}"
+        );
+        assert!((total_earned - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stronger_detectors_earn_more() {
+        let mut c = quick_config();
+        c.duration_secs = 900.0;
+        c.sra_period_secs = 150.0;
+        let ledger = simulate(&c);
+        // Compare the strongest and weakest earners (fleet order is by
+        // seed-derived address; use earnings spread instead of identity).
+        let mut earnings: Vec<f64> =
+            ledger.detector_earnings.values().map(|e| e.as_f64()).collect();
+        earnings.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(earnings.len() >= 2, "at least two detectors earned");
+        let top = earnings.last().unwrap();
+        let bottom = earnings.first().unwrap();
+        assert!(top > bottom, "capability gradient must show in earnings");
+    }
+
+    #[test]
+    fn clean_releases_pay_nothing() {
+        let mut c = quick_config();
+        c.vulnerability_proportion = 0.0;
+        let ledger = simulate(&c);
+        assert_eq!(ledger.vulnerable_releases, 0);
+        assert_eq!(ledger.confirmed_vulnerabilities, 0);
+        assert!(ledger.detector_earnings.is_empty());
+        let total_forfeited: f64 =
+            ledger.provider_forfeits.values().map(|e| e.as_f64()).sum();
+        assert_eq!(total_forfeited, 0.0);
+    }
+
+    #[test]
+    fn block_time_statistics_match_configuration() {
+        let mut c = quick_config();
+        c.duration_secs = 6000.0;
+        c.vulnerability_proportion = 0.0;
+        let ledger = simulate(&c);
+        let mean = ledger.mean_block_time();
+        assert!((mean - 15.35).abs() < 2.5, "mean block time {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate(&quick_config());
+        let b = simulate(&quick_config());
+        assert_eq!(a.blocks_mined, b.blocks_mined);
+        assert_eq!(a.confirmed_vulnerabilities, b.confirmed_vulnerabilities);
+        let mut c = quick_config();
+        c.seed ^= 1;
+        let d = simulate(&c);
+        // Different seed, (almost surely) different trajectory.
+        assert!(
+            a.block_intervals != d.block_intervals,
+            "distinct seeds should differ"
+        );
+    }
+
+    #[test]
+    fn income_series_is_monotone() {
+        let ledger = simulate(&quick_config());
+        for series in ledger.provider_income.values() {
+            for w in series.windows(2) {
+                assert!(w[1].income >= w[0].income);
+                assert!(w[1].time >= w[0].time);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod rotation_tests {
+    use super::*;
+
+    #[test]
+    fn rotation_spreads_releases_across_providers() {
+        let mut c = SimConfig::paper();
+        c.duration_secs = 1200.0;
+        c.sra_period_secs = 100.0;
+        c.vulnerability_proportion = 1.0;
+        c.vulns_per_release = 2;
+        c.rotate_providers = true;
+        c.platform.provider_funding = smartcrowd_chain::Ether::from_ether(100_000);
+        let ledger = simulate(&c);
+        // With rotation, forfeits/gas land on more than one provider.
+        assert!(
+            ledger.provider_release_gas.len() >= 3,
+            "rotation should spread releases: {:?}",
+            ledger.provider_release_gas.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn without_rotation_single_provider_releases() {
+        let mut c = SimConfig::paper();
+        c.duration_secs = 600.0;
+        c.sra_period_secs = 100.0;
+        c.vulnerability_proportion = 0.0;
+        c.rotate_providers = false;
+        let ledger = simulate(&c);
+        assert_eq!(ledger.provider_release_gas.len(), 1);
+    }
+}

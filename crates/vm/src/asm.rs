@@ -1,0 +1,338 @@
+//! A two-pass assembler (and disassembler) for SCVM bytecode.
+//!
+//! The SmartCrowd incentive contracts in `smartcrowd-core` are written in
+//! this assembly — the analogue of the paper's 350 lines of Solidity (§VII).
+//!
+//! ## Syntax
+//!
+//! - one instruction per line; `;` and `#` start comments;
+//! - `PUSH <n>` takes a decimal or `0x`-hex value up to 64 bits;
+//! - `PUSH32 <n>` takes up to 256 bits;
+//! - `PUSH @label` pushes the code offset of `label`;
+//! - `DUP <n>` / `SWAP <n>` take a small immediate;
+//! - `label:` defines a jump target and implicitly emits a `JUMPDEST`.
+//!
+//! ```
+//! use smartcrowd_vm::asm::assemble;
+//!
+//! let code = assemble("
+//!     PUSH 2
+//!     PUSH 3
+//!     ADD
+//!     RETURNVAL
+//! ").unwrap();
+//! assert!(!code.is_empty());
+//! ```
+
+use crate::error::VmError;
+use crate::isa::Op;
+use smartcrowd_crypto::U256;
+use std::collections::HashMap;
+
+enum Item {
+    Op(Op),
+    Push8(u64),
+    Push32(U256),
+    PushLabel(String),
+    Immediate(u8),
+    Label(String),
+}
+
+fn parse_u256(token: &str, line: usize) -> Result<U256, VmError> {
+    let parsed = if let Some(hexpart) = token.strip_prefix("0x") {
+        U256::from_hex(hexpart).map_err(|e| VmError::Parse {
+            line,
+            detail: format!("bad hex literal '{token}': {e}"),
+        })
+    } else {
+        token
+            .parse::<u128>()
+            .map(U256::from_u128)
+            .map_err(|_| VmError::Parse { line, detail: format!("bad literal '{token}'") })
+    }?;
+    Ok(parsed)
+}
+
+fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
+    let mut items = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line_number = lineno + 1;
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(VmError::Parse {
+                    line: line_number,
+                    detail: format!("bad label '{label}'"),
+                });
+            }
+            items.push((line_number, Item::Label(label.to_string())));
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty line has a token");
+        let operand = parts.next();
+        if parts.next().is_some() {
+            return Err(VmError::Parse {
+                line: line_number,
+                detail: "too many operands".to_string(),
+            });
+        }
+        let op = Op::from_mnemonic(mnemonic).ok_or_else(|| VmError::Parse {
+            line: line_number,
+            detail: format!("unknown mnemonic '{mnemonic}'"),
+        })?;
+        match op {
+            Op::Push8 => {
+                let token = operand.ok_or_else(|| VmError::Parse {
+                    line: line_number,
+                    detail: "PUSH needs an operand".to_string(),
+                })?;
+                if let Some(label) = token.strip_prefix('@') {
+                    items.push((line_number, Item::PushLabel(label.to_string())));
+                } else {
+                    let v = parse_u256(token, line_number)?;
+                    if v.bits() > 64 {
+                        return Err(VmError::Parse {
+                            line: line_number,
+                            detail: format!("'{token}' exceeds 64 bits; use PUSH32"),
+                        });
+                    }
+                    items.push((line_number, Item::Push8(v.low_u64())));
+                }
+            }
+            Op::Push32 => {
+                let token = operand.ok_or_else(|| VmError::Parse {
+                    line: line_number,
+                    detail: "PUSH32 needs an operand".to_string(),
+                })?;
+                items.push((line_number, Item::Push32(parse_u256(token, line_number)?)));
+            }
+            Op::Dup | Op::Swap => {
+                let token = operand.ok_or_else(|| VmError::Parse {
+                    line: line_number,
+                    detail: format!("{} needs an operand", op.mnemonic()),
+                })?;
+                let n: u8 = token.parse().map_err(|_| VmError::Parse {
+                    line: line_number,
+                    detail: format!("bad immediate '{token}'"),
+                })?;
+                items.push((line_number, Item::Op(op)));
+                items.push((line_number, Item::Immediate(n)));
+            }
+            _ => {
+                if operand.is_some() {
+                    return Err(VmError::Parse {
+                        line: line_number,
+                        detail: format!("{} takes no operand", op.mnemonic()),
+                    });
+                }
+                items.push((line_number, Item::Op(op)));
+            }
+        }
+    }
+    Ok(items)
+}
+
+/// Assembles SCVM source into bytecode.
+///
+/// # Errors
+///
+/// Returns [`VmError::Parse`], [`VmError::DuplicateLabel`] or
+/// [`VmError::UndefinedLabel`].
+pub fn assemble(source: &str) -> Result<Vec<u8>, VmError> {
+    let items = tokenize(source)?;
+
+    // Pass 1: lay out offsets and collect labels.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut offset = 0usize;
+    for (_, item) in &items {
+        match item {
+            Item::Label(name) => {
+                if labels.insert(name.clone(), offset).is_some() {
+                    return Err(VmError::DuplicateLabel { label: name.clone() });
+                }
+                offset += 1; // the implicit JUMPDEST
+            }
+            Item::Op(_) => offset += 1,
+            Item::Push8(_) | Item::PushLabel(_) => offset += 9,
+            Item::Push32(_) => offset += 33,
+            Item::Immediate(_) => offset += 1,
+        }
+    }
+
+    // Pass 2: emit.
+    let mut code = Vec::with_capacity(offset);
+    for (_, item) in &items {
+        match item {
+            Item::Label(_) => code.push(Op::JumpDest as u8),
+            Item::Op(op) => code.push(*op as u8),
+            Item::Push8(v) => {
+                code.push(Op::Push8 as u8);
+                code.extend_from_slice(&v.to_be_bytes());
+            }
+            Item::Push32(v) => {
+                code.push(Op::Push32 as u8);
+                code.extend_from_slice(&v.to_be_bytes());
+            }
+            Item::PushLabel(name) => {
+                let target = labels
+                    .get(name)
+                    .ok_or_else(|| VmError::UndefinedLabel { label: name.clone() })?;
+                code.push(Op::Push8 as u8);
+                code.extend_from_slice(&(*target as u64).to_be_bytes());
+            }
+            Item::Immediate(n) => code.push(*n),
+        }
+    }
+    Ok(code)
+}
+
+/// Disassembles bytecode back into listing form.
+///
+/// # Errors
+///
+/// Returns [`VmError::InvalidOpcode`] or [`VmError::TruncatedImmediate`] on
+/// malformed code.
+pub fn disassemble(code: &[u8]) -> Result<String, VmError> {
+    let mut out = String::new();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let op = Op::from_byte(code[pc])?;
+        let imm = op.immediate_len();
+        if pc + 1 + imm > code.len() {
+            return Err(VmError::TruncatedImmediate { pc });
+        }
+        out.push_str(&format!("{pc:6}: {}", op.mnemonic()));
+        match op {
+            Op::Push8 => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&code[pc + 1..pc + 9]);
+                out.push_str(&format!(" {}", u64::from_be_bytes(b)));
+            }
+            Op::Push32 => {
+                let mut b = [0u8; 32];
+                b.copy_from_slice(&code[pc + 1..pc + 33]);
+                out.push_str(&format!(" {}", U256::from_be_bytes(&b).to_hex()));
+            }
+            Op::Dup | Op::Swap => out.push_str(&format!(" {}", code[pc + 1])),
+            _ => {}
+        }
+        out.push('\n');
+        pc += 1 + imm;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let code = assemble("PUSH 2\nPUSH 3\nADD\nRETURNVAL\n").unwrap();
+        assert_eq!(code[0], Op::Push8 as u8);
+        assert_eq!(code.len(), 9 + 9 + 1 + 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let a = assemble("PUSH 1 ; comment\n\n# full line comment\nSTOP\n").unwrap();
+        let b = assemble("PUSH 1\nSTOP\n").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hex_and_decimal_literals() {
+        let a = assemble("PUSH 255\n").unwrap();
+        let b = assemble("PUSH 0xff\n").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn push32_large_value() {
+        let code = assemble(
+            "PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff\n",
+        )
+        .unwrap();
+        assert_eq!(code.len(), 33);
+        assert!(code[1..].iter().all(|&b| b == 0xff));
+    }
+
+    #[test]
+    fn push_rejects_oversized_literal() {
+        let err = assemble("PUSH 0x10000000000000000\n").unwrap_err();
+        assert!(matches!(err, VmError::Parse { .. }));
+    }
+
+    #[test]
+    fn labels_resolve_and_emit_jumpdest() {
+        let code = assemble("PUSH @end\nJUMP\nend:\nSTOP\n").unwrap();
+        // PUSH8(9 bytes) + JUMP(1) = 10; label at offset 10 is JUMPDEST.
+        assert_eq!(code[10], Op::JumpDest as u8);
+        let mut imm = [0u8; 8];
+        imm.copy_from_slice(&code[1..9]);
+        assert_eq!(u64::from_be_bytes(imm), 10);
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        assert!(matches!(
+            assemble("PUSH @nowhere\nJUMP\n"),
+            Err(VmError::UndefinedLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        assert!(matches!(
+            assemble("a:\nSTOP\na:\nSTOP\n"),
+            Err(VmError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        match assemble("PUSH 1\nFROBNICATE\n") {
+            Err(VmError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dup_swap_immediates() {
+        let code = assemble("PUSH 1\nPUSH 2\nDUP 1\nSWAP 2\nSTOP\n").unwrap();
+        let dup_pos = 18;
+        assert_eq!(code[dup_pos], Op::Dup as u8);
+        assert_eq!(code[dup_pos + 1], 1);
+        assert_eq!(code[dup_pos + 2], Op::Swap as u8);
+        assert_eq!(code[dup_pos + 3], 2);
+    }
+
+    #[test]
+    fn disassemble_roundtrip_structure() {
+        let source = "PUSH 7\nPUSH 3\nSUB\nRETURNVAL\n";
+        let code = assemble(source).unwrap();
+        let listing = disassemble(&code).unwrap();
+        assert!(listing.contains("PUSH 7"));
+        assert!(listing.contains("SUB"));
+        assert!(listing.contains("RETURNVAL"));
+    }
+
+    #[test]
+    fn operand_arity_checked() {
+        assert!(matches!(assemble("ADD 1\n"), Err(VmError::Parse { .. })));
+        assert!(matches!(assemble("PUSH\n"), Err(VmError::Parse { .. })));
+        assert!(matches!(assemble("DUP\n"), Err(VmError::Parse { .. })));
+        assert!(matches!(assemble("PUSH 1 2\n"), Err(VmError::Parse { .. })));
+    }
+
+    #[test]
+    fn bad_label_names_rejected() {
+        assert!(matches!(assemble("bad label:\nSTOP\n"), Err(VmError::Parse { .. })));
+        assert!(matches!(assemble(":\nSTOP\n"), Err(VmError::Parse { .. })));
+    }
+}

@@ -1,0 +1,134 @@
+//! Error type for the SCVM.
+
+use std::fmt;
+
+/// Errors raised by assembly, validation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// An undecodable opcode byte.
+    InvalidOpcode {
+        /// The offending byte.
+        byte: u8,
+    },
+    /// An immediate operand ran past the end of the code.
+    TruncatedImmediate {
+        /// Program counter of the truncated instruction.
+        pc: usize,
+    },
+    /// The operand stack underflowed.
+    StackUnderflow {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// The operand stack exceeded its depth limit.
+    StackOverflow {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// A jump targeted a non-`JUMPDEST` position.
+    BadJump {
+        /// The attempted destination.
+        dest: usize,
+    },
+    /// Execution ran out of gas.
+    OutOfGas {
+        /// Gas consumed when the limit was hit.
+        used: u64,
+        /// The gas limit.
+        limit: u64,
+    },
+    /// A `TRANSFER` exceeded the contract's balance.
+    InsufficientBalance,
+    /// The caller's balance cannot cover the call value or gas.
+    InsufficientCallerFunds,
+    /// Execution exceeded the instruction budget (runaway loop guard).
+    StepLimit,
+    /// Call or deployment targeted a non-existent account/contract.
+    UnknownAccount,
+    /// Deployment targeted an address that already holds code.
+    AddressCollision,
+    /// Assembler: unknown mnemonic or malformed operand.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Assembler: a label was referenced but never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// Assembler: a label was defined twice.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: String,
+    },
+    /// Memory access beyond the configured bound.
+    MemoryLimit {
+        /// The offending offset.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::InvalidOpcode { byte } => write!(f, "invalid opcode byte {byte:#04x}"),
+            VmError::TruncatedImmediate { pc } => {
+                write!(f, "truncated immediate at pc {pc}")
+            }
+            VmError::StackUnderflow { pc } => write!(f, "stack underflow at pc {pc}"),
+            VmError::StackOverflow { pc } => write!(f, "stack overflow at pc {pc}"),
+            VmError::BadJump { dest } => write!(f, "jump to invalid destination {dest}"),
+            VmError::OutOfGas { used, limit } => {
+                write!(f, "out of gas: used {used} of {limit}")
+            }
+            VmError::InsufficientBalance => write!(f, "contract balance too low for transfer"),
+            VmError::InsufficientCallerFunds => {
+                write!(f, "caller balance cannot cover value plus gas")
+            }
+            VmError::StepLimit => write!(f, "instruction budget exhausted"),
+            VmError::UnknownAccount => write!(f, "unknown account or contract"),
+            VmError::AddressCollision => write!(f, "deployment address already holds code"),
+            VmError::Parse { line, detail } => write!(f, "parse error on line {line}: {detail}"),
+            VmError::UndefinedLabel { label } => write!(f, "undefined label '{label}'"),
+            VmError::DuplicateLabel { label } => write!(f, "duplicate label '{label}'"),
+            VmError::MemoryLimit { offset } => {
+                write!(f, "memory access at {offset} exceeds the limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let variants = vec![
+            VmError::InvalidOpcode { byte: 0xfe },
+            VmError::TruncatedImmediate { pc: 3 },
+            VmError::StackUnderflow { pc: 1 },
+            VmError::StackOverflow { pc: 2 },
+            VmError::BadJump { dest: 7 },
+            VmError::OutOfGas { used: 10, limit: 9 },
+            VmError::InsufficientBalance,
+            VmError::InsufficientCallerFunds,
+            VmError::StepLimit,
+            VmError::UnknownAccount,
+            VmError::AddressCollision,
+            VmError::Parse { line: 4, detail: "bad".into() },
+            VmError::UndefinedLabel { label: "loop".into() },
+            VmError::DuplicateLabel { label: "x".into() },
+            VmError::MemoryLimit { offset: 1 << 30 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The detector marketplace: eight detectors of graded capability compete
+//! for bounties across a stream of releases — the paper's §VII-B economics
+//! (capability ∝ threads 1–8, incentives ∝ capability, costs negligible).
+//!
+//! Run: `cargo run --release --example bug_bounty_market`
+
+use smartcrowd::chain::Ether;
+use smartcrowd::crypto::keys::KeyPair;
+use smartcrowd::sim::config::SimConfig;
+use smartcrowd::sim::run::simulate;
+
+fn main() {
+    println!("== bug-bounty market: 8 detectors over 30 simulated minutes ==\n");
+    let mut cfg = SimConfig::paper();
+    cfg.duration_secs = 1800.0;
+    cfg.sra_period_secs = 200.0;
+    cfg.vulnerability_proportion = 0.6; // a bug-rich vendor keeps the market busy
+    cfg.vulns_per_release = 8;
+
+    let ledger = simulate(&cfg);
+    println!(
+        "simulated {:.0} s: {} blocks, {} releases ({} vulnerable), {} vulnerabilities confirmed\n",
+        ledger.final_time,
+        ledger.blocks_mined,
+        ledger.releases,
+        ledger.vulnerable_releases,
+        ledger.confirmed_vulnerabilities,
+    );
+
+    println!("detector ledgers (capability grows with thread count):");
+    println!("{:<12} {:>14} {:>14} {:>14}", "detector", "earned (ETH)", "gas (ETH)", "net (ETH)");
+    let mut total = 0.0;
+    for threads in 1..=8u32 {
+        let addr = KeyPair::from_seed(format!("fleet-detector-{threads}").as_bytes()).address();
+        let earned = ledger
+            .detector_earnings
+            .get(&addr)
+            .copied()
+            .unwrap_or(Ether::ZERO)
+            .as_f64();
+        let gas = ledger
+            .detector_costs
+            .get(&addr)
+            .copied()
+            .unwrap_or(Ether::ZERO)
+            .as_f64();
+        total += earned;
+        println!(
+            "{:<12} {:>14.2} {:>14.4} {:>14.2}",
+            format!("{threads} thread(s)"),
+            earned,
+            gas,
+            earned - gas
+        );
+    }
+    println!("\ntotal bounties paid: {total:.2} ETH");
+    println!(
+        "observations: earnings grow with capability (the paper's ≈7.8× \
+         spread between 8 and 1 threads), and gas costs are orders of \
+         magnitude below earnings — participation is rational for every \
+         detector with non-trivial capability."
+    );
+}

@@ -1,0 +1,94 @@
+//! Distributed consensus demo: five independent provider nodes — each with
+//! its own chain store, mempool and verification state — gossip SRAs,
+//! reports and blocks, diverge under a partition, and converge back to the
+//! majority chain after healing (the paper's Phase #3 fault tolerance).
+//!
+//! Run: `cargo run --release --example distributed_consensus`
+
+use smartcrowd::chain::record::{Record, RecordKind};
+use smartcrowd::chain::rng::SimRng;
+use smartcrowd::chain::Ether;
+use smartcrowd::core::report::{create_report_pair, Findings};
+use smartcrowd::crypto::keys::KeyPair;
+use smartcrowd::detect::system::IoTSystem;
+use smartcrowd::detect::vulnerability::VulnId;
+use smartcrowd::detect::VulnLibrary;
+use smartcrowd::net::Message;
+use smartcrowd::sim::distributed::DistributedSim;
+
+fn main() {
+    println!("== distributed consensus: 5 independent provider nodes ==\n");
+    let mut sim = DistributedSim::new(5, 7);
+    println!("nodes booted from a shared genesis; mining race begins\n");
+
+    // A release enters through node 0 and replicates everywhere.
+    let library = VulnLibrary::synthetic(200, 7 ^ 0x11b);
+    let mut rng = SimRng::seed_from_u64(40);
+    let system =
+        IoTSystem::build("gateway-fw", "5.1", &library, vec![VulnId(8)], &mut rng).unwrap();
+    let sra_id = sim.release_from(
+        0,
+        system,
+        Ether::from_ether(1000),
+        Ether::from_ether(25),
+    );
+    println!("node 0 released gateway-fw v5.1; SRA + image gossiped to all peers");
+
+    // A detector reports through node 3.
+    let detector = KeyPair::from_seed(b"dist-demo-detector");
+    let (initial, detailed) =
+        create_report_pair(&detector, sra_id, Findings::new(vec![VulnId(8)], "found"));
+    sim.inject_record(
+        3,
+        Message::Record(Record::signed(
+            RecordKind::InitialReport,
+            initial.encode(),
+            Ether::from_milliether(11),
+            0,
+            &detector,
+        )),
+    );
+    sim.inject_record(
+        3,
+        Message::Record(Record::signed(
+            RecordKind::DetailedReport,
+            detailed.encode(),
+            Ether::from_milliether(11),
+            1,
+            &detector,
+        )),
+    );
+    println!("detector submitted R† and R* through node 3 (AutoVerif ran on every node)\n");
+
+    sim.mine_rounds(5);
+    println!(
+        "after 5 mined rounds: converged = {}, height = {}",
+        sim.converged(),
+        sim.nodes()[0].store().best_height()
+    );
+    for (i, node) in sim.nodes().iter().enumerate() {
+        let detaileds = node.store().records_of_kind(RecordKind::DetailedReport).len();
+        println!("  node {i}: tip {} | detailed reports on chain: {detaileds}", node.store().best_tip());
+    }
+
+    // Partition node 4 and keep mining.
+    println!("\n-- partitioning node 4; mining 6 more rounds --");
+    sim.partition(&[4]);
+    sim.mine_rounds(6);
+    println!("distinct tips during partition: {}", sim.tips().len());
+
+    println!("-- healing the partition --");
+    sim.heal();
+    println!(
+        "after heal: converged = {}, height = {}, distinct tips = {}",
+        sim.converged(),
+        sim.nodes()[0].store().best_height(),
+        sim.tips().len()
+    );
+    assert!(sim.converged());
+    println!(
+        "\nthe majority chain won; every node holds identical detection \
+         history — the 'authoritative, complete and consistent reference' \
+         of §I, with no coordinator anywhere."
+    );
+}

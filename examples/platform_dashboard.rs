@@ -1,0 +1,90 @@
+//! Operator dashboard: run a busy platform for a while, then print the
+//! chain statistics and the per-system authoritative reference — the
+//! "state of the ecosystem" view an IoT marketplace would render.
+//!
+//! Run: `cargo run --release --example platform_dashboard`
+
+use smartcrowd::chain::rng::SimRng;
+use smartcrowd::chain::stats::chain_stats;
+use smartcrowd::chain::Ether;
+use smartcrowd::core::consumer::RiskTolerance;
+use smartcrowd::core::detector::DetectorFleet;
+use smartcrowd::core::platform::{Platform, PlatformConfig};
+use smartcrowd::core::reference::build_reference;
+use smartcrowd::detect::system::IoTSystem;
+
+fn main() {
+    println!("== SmartCrowd platform dashboard ==\n");
+    let mut platform = Platform::new(PlatformConfig::paper());
+    let library = platform.library().clone();
+    let fleet = DetectorFleet::paper_fleet(&library, 0.9, 17);
+    for d in fleet.detectors() {
+        platform.fund(d.address(), Ether::from_ether(20));
+    }
+    let mut rng = SimRng::seed_from_u64(88);
+
+    // Three vendors ship a mix of releases.
+    let catalog = [
+        ("cam-fw", 0usize, 3usize),
+        ("lock-fw", 1, 0),
+        ("plug-fw", 2, 6),
+    ];
+    for (name, vendor, vuln_count) in catalog {
+        let vulns = library.sample_ids(vuln_count, &mut rng).unwrap();
+        let system = IoTSystem::build(name, "1.0", &library, vulns, &mut rng).unwrap();
+        let sra_id = platform
+            .release_system(vendor, system, Ether::from_ether(800), Ether::from_ether(20))
+            .unwrap();
+        let sra = platform.sra(&sra_id).unwrap().clone();
+        let image = platform.download_image(&sra_id).unwrap().clone();
+        let mut reveals = Vec::new();
+        for d in fleet.detectors() {
+            if let Some((initial, detailed)) = d.detect(&sra, &image, &library, &mut rng) {
+                if platform.submit_initial(d.keypair(), initial).is_ok() {
+                    reveals.push((d.keypair().clone(), detailed));
+                }
+            }
+        }
+        platform.mine_blocks(8);
+        for (kp, detailed) in reveals {
+            let _ = platform.submit_detailed(&kp, detailed);
+        }
+        platform.mine_blocks(9);
+    }
+
+    // ---- Chain statistics ------------------------------------------------
+    let stats = chain_stats(platform.store());
+    println!("chain: height {} / {} blocks stored", stats.height, stats.total_blocks);
+    println!("mean block interval: {:.1}s", stats.mean_block_interval);
+    println!("records by kind:");
+    for (kind, count) in &stats.records_by_kind {
+        println!("  {kind:<18} {count}");
+    }
+    println!("record fees paid to miners: {}", stats.total_fees);
+    println!("blocks by provider:");
+    for (miner, blocks) in &stats.blocks_by_miner {
+        println!("  {miner} {blocks}");
+    }
+
+    // ---- Authoritative reference ----------------------------------------
+    println!("\nauthoritative reference (what consumers query):");
+    let reference = build_reference(&platform, RiskTolerance::default());
+    for (name, dossier) in &reference {
+        let latest = dossier.latest().expect("released");
+        let (h, m, l) = latest.severity_counts;
+        println!(
+            "  {name:<10} v{:<5} confirmed H/M/L = {h}/{m}/{l} → {:?} \
+             (escrow {} ETH remaining)",
+            latest.version, latest.recommendation, latest.escrow_remaining_eth
+        );
+    }
+    println!(
+        "\ntotal incentive payouts so far: {} ({} events)",
+        platform
+            .payouts()
+            .iter()
+            .map(|p| p.amount)
+            .fold(Ether::ZERO, |a, b| a + b),
+        platform.payouts().len(),
+    );
+}

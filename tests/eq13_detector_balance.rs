@@ -1,0 +1,91 @@
+//! Integration: the detector-balance equation (Eq. 12/13) against the
+//! end-to-end simulator.
+//!
+//! Eq. 13: `bd_i = N·ξ_i·t·[ρ_i(μ−ψ) − c]/θ` — detector balances are
+//! (a) positive when incentives dominate costs, (b) proportional to the
+//! capability share `ξ_i`, and (c) roughly linear in the participation
+//! time `t`. The simulator must reproduce all three shapes.
+
+use smartcrowd::chain::Ether;
+use smartcrowd::crypto::keys::KeyPair;
+use smartcrowd::sim::config::SimConfig;
+use smartcrowd::sim::run::simulate;
+use smartcrowd::sim::sweep::sweep_seeds;
+
+fn fleet_addresses() -> Vec<smartcrowd::crypto::Address> {
+    (1..=8u32)
+        .map(|t| KeyPair::from_seed(format!("fleet-detector-{t}").as_bytes()).address())
+        .collect()
+}
+
+fn busy_config(duration: f64) -> SimConfig {
+    let mut c = SimConfig::paper();
+    c.duration_secs = duration;
+    c.sra_period_secs = 120.0;
+    c.vulnerability_proportion = 1.0;
+    c.vulns_per_release = 8;
+    c.platform.provider_funding = Ether::from_ether(1_000_000);
+    c
+}
+
+#[test]
+fn balances_are_positive_for_honest_detectors() {
+    // ρ(μ−ψ) ≫ c in the paper's parameterization, so every participating
+    // detector nets a profit (the premise that attracts participation).
+    let ledger = simulate(&busy_config(900.0));
+    for addr in fleet_addresses() {
+        let earned = ledger.detector_earnings.get(&addr).copied().unwrap_or(Ether::ZERO);
+        let cost = ledger.detector_costs.get(&addr).copied().unwrap_or(Ether::ZERO);
+        if cost.is_zero() {
+            continue; // this detector found nothing this run
+        }
+        assert!(
+            earned.as_f64() == 0.0 || earned.as_f64() > cost.as_f64(),
+            "{addr}: earned {earned}, cost {cost}"
+        );
+    }
+    let total: f64 = ledger.detector_earnings.values().map(|e| e.as_f64()).sum();
+    assert!(total > 0.0);
+}
+
+#[test]
+fn balances_scale_with_capability_share() {
+    // ξ_i ∝ threads: averaged over seeds, the top half of the fleet earns
+    // a multiple of the bottom half.
+    let seeds: Vec<u64> = (0..10).collect();
+    let points = sweep_seeds(&busy_config(900.0), &seeds);
+    let addrs = fleet_addresses();
+    let mut totals = vec![0.0f64; 8];
+    for p in &points {
+        for (i, addr) in addrs.iter().enumerate() {
+            totals[i] += p
+                .ledger
+                .detector_earnings
+                .get(addr)
+                .map(|e| e.as_f64())
+                .unwrap_or(0.0);
+        }
+    }
+    let bottom: f64 = totals[..4].iter().sum();
+    let top: f64 = totals[4..].iter().sum();
+    assert!(
+        top > bottom * 1.5,
+        "top-half earnings {top:.1} should dominate bottom-half {bottom:.1}"
+    );
+}
+
+#[test]
+fn balances_grow_with_participation_time() {
+    // bd_i ∝ t/θ: doubling the window roughly doubles aggregate earnings.
+    let short = simulate(&busy_config(600.0));
+    let long = simulate(&busy_config(1800.0));
+    let sum = |l: &smartcrowd::sim::RunLedger| -> f64 {
+        l.detector_earnings.values().map(|e| e.as_f64()).sum()
+    };
+    let (s, l) = (sum(&short), sum(&long));
+    assert!(s > 0.0);
+    assert!(
+        l > s * 1.8,
+        "3× window should give ≫ earnings: {s:.1} vs {l:.1}"
+    );
+}

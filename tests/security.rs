@@ -1,0 +1,88 @@
+//! Security integration tests: the adversary model of §III-A executed
+//! against the assembled system, plus the consensus-level guarantees.
+
+use smartcrowd::core::attacks::{
+    forged_reports_until_isolation, majority_attack_win_rate, plagiarism, report_tampering,
+    repudiation, run_gauntlet, sra_spoofing,
+};
+
+#[test]
+fn every_staged_attack_is_defended() {
+    for outcome in run_gauntlet() {
+        assert!(
+            !outcome.succeeded,
+            "attack '{}' succeeded: {}",
+            outcome.attack, outcome.detail
+        );
+    }
+}
+
+#[test]
+fn spoofed_sra_cannot_frame_a_provider() {
+    let o = sra_spoofing();
+    assert!(!o.succeeded);
+    assert!(o.detail.contains("P_Sign authenticity: true"));
+}
+
+#[test]
+fn plagiarist_earns_nothing_while_victim_is_paid() {
+    let o = plagiarism();
+    assert!(!o.succeeded);
+    assert!(o.detail.contains("victim paid: true"));
+    assert!(o.detail.contains("plagiarist paid: false"));
+}
+
+#[test]
+fn tampered_reports_are_detected() {
+    assert!(!report_tampering().succeeded);
+}
+
+#[test]
+fn forgers_are_isolated_before_exhausting_the_platform() {
+    let o = forged_reports_until_isolation();
+    assert!(!o.succeeded);
+    assert!(o.detail.contains("isolation after round Some"));
+}
+
+#[test]
+fn providers_cannot_repudiate_incentives() {
+    let o = repudiation();
+    assert!(!o.succeeded);
+    assert!(o.detail.contains("escrow auto-paid without provider consent: true"));
+}
+
+#[test]
+fn minority_attacker_loses_the_fork_race() {
+    // §VIII: below half the hash power, the private chain loses.
+    let rate = majority_attack_win_rate(0.25, 6, 80);
+    assert!(rate < 0.15, "25% attacker won {rate}");
+}
+
+#[test]
+fn majority_attacker_wins_the_fork_race() {
+    // …and above half it wins — the known PoW limitation the paper accepts.
+    let rate = majority_attack_win_rate(0.75, 6, 80);
+    assert!(rate > 0.85, "75% attacker won only {rate}");
+}
+
+#[test]
+fn win_rate_is_monotone_in_hash_share() {
+    let rates: Vec<f64> = [0.2, 0.35, 0.5, 0.65, 0.8]
+        .iter()
+        .map(|&s| majority_attack_win_rate(s, 5, 60))
+        .collect();
+    for w in rates.windows(2) {
+        assert!(
+            w[1] >= w[0] - 0.1,
+            "win rate should not regress materially: {rates:?}"
+        );
+    }
+    assert!(rates[0] < 0.3 && rates[4] > 0.7);
+}
+
+#[test]
+fn collusion_block_rejected_by_honest_providers() {
+    let o = smartcrowd::core::attacks::collusion();
+    assert!(!o.succeeded, "{}", o.detail);
+    assert!(o.detail.contains("accepted the colluding provider's block: false"));
+}
