@@ -28,14 +28,9 @@ fn bench_full_round(c: &mut Criterion) {
         b.iter(|| {
             let mut p = Platform::new(PlatformConfig::paper());
             let mut rng = SimRng::seed_from_u64(5);
-            let system = IoTSystem::build(
-                "fw",
-                "1",
-                p.library(),
-                vec![VulnId(1), VulnId(2)],
-                &mut rng,
-            )
-            .unwrap();
+            let system =
+                IoTSystem::build("fw", "1", p.library(), vec![VulnId(1), VulnId(2)], &mut rng)
+                    .unwrap();
             let sra_id = p
                 .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
                 .unwrap();

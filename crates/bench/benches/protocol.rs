@@ -56,7 +56,11 @@ fn bench_reports(c: &mut Criterion) {
         b.iter(|| verify_initial(black_box(&initial), None).unwrap())
     });
     c.bench_function("protocol/algorithm1-detailed-structural", |b| {
-        b.iter(|| black_box(&detailed).verify_against(black_box(&initial)).unwrap())
+        b.iter(|| {
+            black_box(&detailed)
+                .verify_against(black_box(&initial))
+                .unwrap()
+        })
     });
 }
 
@@ -94,5 +98,11 @@ fn bench_scan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sra, bench_reports, bench_autoverif, bench_scan);
+criterion_group!(
+    benches,
+    bench_sra,
+    bench_reports,
+    bench_autoverif,
+    bench_scan
+);
 criterion_main!(benches);

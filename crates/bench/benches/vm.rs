@@ -7,6 +7,7 @@ use smartcrowd_core::contracts::{ReportRegistry, SraEscrow, REPORT_REGISTRY_ASM,
 use smartcrowd_crypto::Address;
 use smartcrowd_vm::asm::assemble;
 use smartcrowd_vm::exec::{CallContext, Vm};
+use smartcrowd_vm::verify::verify;
 use smartcrowd_vm::WorldState;
 use std::hint::black_box;
 
@@ -42,8 +43,36 @@ fn bench_interpreter(c: &mut Criterion) {
     c.bench_function("vm/loop-100-iterations", |b| {
         b.iter(|| {
             let mut s = state.clone();
-            vm.call(&mut s, CallContext::new(owner, contract), &[]).unwrap()
+            vm.call(&mut s, CallContext::new(owner, contract), &[])
+                .unwrap()
         })
+    });
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let escrow = assemble(SRA_ESCROW_ASM).unwrap();
+    let registry = assemble(REPORT_REGISTRY_ASM).unwrap();
+    c.bench_function("vm/verify-escrow", |b| {
+        b.iter(|| verify(black_box(&escrow)).unwrap())
+    });
+    c.bench_function("vm/verify-registry", |b| {
+        b.iter(|| verify(black_box(&registry)).unwrap())
+    });
+
+    // A synthetic control-flow-heavy program: 256 guarded segments, each a
+    // static forward branch over a short straight-line body. Stresses CFG
+    // construction, the fixpoint, and the acyclic gas-bound DP.
+    let mut src = String::new();
+    for i in 0..256 {
+        src.push_str(&format!(
+            "PUSH {}\nPUSH @s{i}\nJUMPI\nPUSH {i}\nPUSH {i}\nSSTORE\ns{i}:\n",
+            i % 2
+        ));
+    }
+    src.push_str("STOP\n");
+    let synthetic = assemble(&src).unwrap();
+    c.bench_function("vm/verify-256-blocks", |b| {
+        b.iter(|| verify(black_box(&synthetic)).unwrap())
     });
 }
 
@@ -105,5 +134,11 @@ fn bench_contracts(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_assembler, bench_interpreter, bench_contracts);
+criterion_group!(
+    benches,
+    bench_assembler,
+    bench_interpreter,
+    bench_verifier,
+    bench_contracts
+);
 criterion_main!(benches);

@@ -34,7 +34,10 @@ fn ablation_two_phase() {
 
     // WITH the defence: the platform-level plagiarism scenario fails.
     let with_defense = plagiarism();
-    println!("with two-phase submission: plagiarist paid = {}", with_defense.succeeded);
+    println!(
+        "with two-phase submission: plagiarist paid = {}",
+        with_defense.succeeded
+    );
 
     // WITHOUT: emulate a single-phase protocol where the first *detailed*
     // report in fee order wins. The thief sees the victim's reveal in the
@@ -103,7 +106,9 @@ fn ablation_escrow() {
         (0, 0),
     )
     .unwrap();
-    escrow.payout(&vm, &mut state, trigger, detector, 2, (0, 0)).unwrap();
+    escrow
+        .payout(&vm, &mut state, trigger, detector, 2, (0, 0))
+        .unwrap();
     let with_escrow = state.balance(&detector);
     println!("with escrow: detector received {with_escrow} (provider consent not required)");
 
@@ -184,8 +189,8 @@ fn ablation_simminer_vs_pow() {
     println!("interval mean {mean:.2}s, stddev {sd:.2}s (exponential ⇒ sd ≈ mean)");
 
     // Real PoW: attempt counts at difficulty D are geometric with mean D.
-    let miner = smartcrowd_chain::pow::Miner::new(Address::from_label("pow"))
-        .with_max_attempts(10_000_000);
+    let miner =
+        smartcrowd_chain::pow::Miner::new(Address::from_label("pow")).with_max_attempts(10_000_000);
     let mut attempts = Vec::new();
     let genesis = Block::genesis(Difficulty::from_u64(512));
     for i in 0..16u64 {

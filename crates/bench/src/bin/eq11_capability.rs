@@ -50,10 +50,8 @@ fn main() {
             let fleet = DetectorFleet::graded(&library, m, 0.35, trial as u64 * 31 + 7);
             let mut rng = SimRng::seed_from_u64(trial as u64 ^ 0xc0ffee);
             let vulns = library.sample_ids(VULNS_PER_SYSTEM, &mut rng).unwrap();
-            let system =
-                IoTSystem::build("fw", "1", &library, vulns.clone(), &mut rng).unwrap();
-            let mut found: std::collections::HashSet<VulnId> =
-                std::collections::HashSet::new();
+            let system = IoTSystem::build("fw", "1", &library, vulns.clone(), &mut rng).unwrap();
+            let mut found: std::collections::HashSet<VulnId> = std::collections::HashSet::new();
             for d in fleet.detectors() {
                 // Scanners are deterministic (rate 1.0); scan directly.
                 let report = d.scanner().scan(&system, &library, &mut rng);
@@ -78,7 +76,12 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["m (detectors)", "DC_T (Eq. 11)", "analytic coverage", "measured coverage"],
+            &[
+                "m (detectors)",
+                "DC_T (Eq. 11)",
+                "analytic coverage",
+                "measured coverage"
+            ],
             &rows,
         )
     );

@@ -48,8 +48,13 @@ fn main() {
         "{}",
         table::render(
             &[
-                "provider", "hash power", "blocks won", "block share",
-                "expected share", "reward/block (ETH)", "total reward (ETH)",
+                "provider",
+                "hash power",
+                "blocks won",
+                "block share",
+                "expected share",
+                "reward/block (ETH)",
+                "total reward (ETH)",
             ],
             &rows,
         )
@@ -96,7 +101,9 @@ fn main() {
             Difficulty::from_u64(1024),
             Address::from_label("pow-check"),
         );
-        let (sealed, n) = miner.measure_attempts(block).expect("difficulty 1024 is minable");
+        let (sealed, n) = miner
+            .measure_attempts(block)
+            .expect("difficulty 1024 is minable");
         attempts.push(n as f64);
         parent = sealed;
     }

@@ -34,10 +34,18 @@ fn fig4a() {
     let providers: Vec<_> = {
         // Ledger keys are addresses; recover index order via hash powers.
         let platform = smartcrowd_core::platform::Platform::new(cfg.platform.clone());
-        platform.providers().iter().map(|p| (p.address, p.hash_power)).collect()
+        platform
+            .providers()
+            .iter()
+            .map(|p| (p.address, p.hash_power))
+            .collect()
     };
     for (i, (addr, hp)) in providers.iter().enumerate() {
-        let series = ledger.provider_income.get(addr).cloned().unwrap_or_default();
+        let series = ledger
+            .provider_income
+            .get(addr)
+            .cloned()
+            .unwrap_or_default();
         let mut cells = vec![format!("provider-{i} ({:.2}% HP)", hp * 100.0)];
         for &t in &checkpoints {
             let income = series
@@ -50,7 +58,9 @@ fn fig4a() {
         }
         rows.push(cells);
     }
-    let headers = ["provider", "5min", "10min", "15min", "20min", "25min", "30min"];
+    let headers = [
+        "provider", "5min", "10min", "15min", "20min", "25min", "30min",
+    ];
     println!("{}", table::render(&headers, &rows));
     println!(
         "shape checks: incentives increase with time for every provider; \
@@ -100,10 +110,18 @@ fn fig4b() {
             let per_release: Vec<f64> = points
                 .iter()
                 .map(|p| {
-                    let forfeit: f64 =
-                        p.ledger.provider_forfeits.values().map(|e| e.as_f64()).sum();
-                    let gas: f64 =
-                        p.ledger.provider_release_gas.values().map(|e| e.as_f64()).sum();
+                    let forfeit: f64 = p
+                        .ledger
+                        .provider_forfeits
+                        .values()
+                        .map(|e| e.as_f64())
+                        .sum();
+                    let gas: f64 = p
+                        .ledger
+                        .provider_release_gas
+                        .values()
+                        .map(|e| e.as_f64())
+                        .sum();
                     (forfeit + gas) / p.ledger.releases.max(1) as f64
                 })
                 .collect();
@@ -125,7 +143,12 @@ fn fig4b() {
     println!(
         "{}",
         table::render(
-            &["insurance (ETH)", "VP", "measured punishment/release", "analytic VP·I + cp"],
+            &[
+                "insurance (ETH)",
+                "VP",
+                "measured punishment/release",
+                "analytic VP·I + cp"
+            ],
             &rows,
         )
     );

@@ -43,7 +43,13 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["provider", "VPB 10min", "VPB 20min", "VPB 30min", "measured VPB 10min"],
+            &[
+                "provider",
+                "VPB 10min",
+                "VPB 20min",
+                "VPB 30min",
+                "measured VPB 10min"
+            ],
             &rows,
         )
     );
@@ -83,7 +89,12 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["provider", "VP=VPB−0.01 (ETH)", "VP=VPB (ETH)", "VP=VPB+0.01 (ETH)"],
+            &[
+                "provider",
+                "VP=VPB−0.01 (ETH)",
+                "VP=VPB (ETH)",
+                "VP=VPB+0.01 (ETH)"
+            ],
             &rows_b,
         )
     );
@@ -120,6 +131,10 @@ fn measured_vpb(provider_index: usize, duration: f64, insurance: Ether) -> f64 {
         .and_then(|s| s.iter().take_while(|p| p.time <= duration).last())
         .map(|s| s.income.as_f64())
         .unwrap_or(0.0);
-    let gas: f64 = ledger.provider_release_gas.values().map(|e| e.as_f64()).sum();
+    let gas: f64 = ledger
+        .provider_release_gas
+        .values()
+        .map(|e| e.as_f64())
+        .sum();
     ((income - gas) / insurance.as_f64()).clamp(0.0, 1.0)
 }

@@ -31,8 +31,7 @@ fn trials() -> u64 {
 fn main() {
     let econ = EconomicsParams::paper();
     let vpb = econ.vpb(0.1490, 600.0, Ether::from_ether(1000));
-    let vp_points =
-        [(vpb - 0.01).max(0.005), vpb, vpb + 0.01];
+    let vp_points = [(vpb - 0.01).max(0.005), vpb, vpb + 0.01];
     let labels = ["VPB-0.01", "VPB", "VPB+0.01"];
     let seeds: Vec<u64> = (0..trials()).collect();
 
@@ -50,7 +49,7 @@ fn main() {
         let mut cfg = SimConfig::paper();
         cfg.duration_secs = 900.0;
         cfg.sra_period_secs = 150.0; // several releases → better statistics
-        // VP scales how often releases ship vulnerable; μ stays at 25.
+                                     // VP scales how often releases ship vulnerable; μ stays at 25.
         cfg.vulnerability_proportion = (vp * 10.0).min(1.0); // densify events
         cfg.vulns_per_release = 10;
         cfg.platform.provider_funding = Ether::from_ether(1_000_000);
@@ -65,7 +64,7 @@ fn main() {
                 .address()
             })
             .collect();
-        let mut sums = vec![0.0f64; 8];
+        let mut sums = [0.0f64; 8];
         for p in &points {
             for (i, addr) in addrs.iter().enumerate() {
                 sums[i] += p
@@ -84,8 +83,12 @@ fn main() {
                     costs_by_thread[i].push(c);
                 }
             }
-            let gas: f64 =
-                p.ledger.provider_release_gas.values().map(|e| e.as_f64()).sum();
+            let gas: f64 = p
+                .ledger
+                .provider_release_gas
+                .values()
+                .map(|e| e.as_f64())
+                .sum();
             if p.ledger.releases > 0 {
                 release_costs.push(gas / p.ledger.releases as f64);
             }
@@ -93,19 +96,25 @@ fn main() {
         per_point.push(sums.iter().map(|s| s / points.len() as f64).collect());
     }
 
-    let mut rows = Vec::new();
-    for t in 0..8 {
-        rows.push(vec![
-            format!("{} thread(s)", t + 1),
-            table::f(per_point[0][t], 2),
-            table::f(per_point[1][t], 2),
-            table::f(per_point[2][t], 2),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = (0..8)
+        .map(|t| {
+            vec![
+                format!("{} thread(s)", t + 1),
+                table::f(per_point[0][t], 2),
+                table::f(per_point[1][t], 2),
+                table::f(per_point[2][t], 2),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         table::render(
-            &["detector", "incentives @VPB-0.01", "@VPB", "@VPB+0.01 (ETH)"],
+            &[
+                "detector",
+                "incentives @VPB-0.01",
+                "@VPB",
+                "@VPB+0.01 (ETH)"
+            ],
             &rows,
         )
     );
@@ -128,7 +137,10 @@ fn main() {
         rows_b.push(vec![format!("{} thread(s)", t + 1), table::f(mean_cost, 4)]);
         _per_report.extend(costs.iter().copied());
     }
-    println!("{}", table::render(&["detector", "total reporting gas (ETH)"], &rows_b));
+    println!(
+        "{}",
+        table::render(&["detector", "total reporting gas (ETH)"], &rows_b)
+    );
     // Normalize to a per-report figure via the registry's fixed gas.
     let single_report = measured_single_report_cost();
     println!("measured cost per report: {single_report:.4} ETH (paper: ≈0.011)");

@@ -18,8 +18,12 @@ fn main() {
     println!("Table I — third-party scanner results (measured vs paper)\n");
     let headers = [
         "Service",
-        "Connect H", "Connect M", "Connect L",
-        "SmartHome H", "SmartHome M", "SmartHome L",
+        "Connect H",
+        "Connect M",
+        "Connect L",
+        "SmartHome H",
+        "SmartHome M",
+        "SmartHome L",
         "matches paper",
     ];
     let mut table_rows = Vec::new();

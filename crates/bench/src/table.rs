@@ -59,7 +59,10 @@ mod tests {
     fn aligns_columns() {
         let out = render(
             &["a", "bbbb"],
-            &[vec!["xxxxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+            &[
+                vec!["xxxxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -71,7 +74,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(0.0, 3), "0.000");
     }
 }

@@ -92,6 +92,11 @@ impl Ether {
     /// # Panics
     ///
     /// Panics on overflow.
+    // Overflowing u128 wei (> 3·10²⁰ ether) is unreachable from protocol
+    // amounts and always indicates a logic bug; these panic by design,
+    // like std's integer operators, since `Add`/`Sub` cannot return a
+    // `Result`. `checked_add`/`checked_sub` are the fallible variants.
+    #[allow(clippy::disallowed_methods)]
     pub fn scaled(&self, count: u64) -> Ether {
         Ether(self.0.checked_mul(count as u128).expect("ether overflow"))
     }
@@ -102,6 +107,7 @@ impl Ether {
     /// # Panics
     ///
     /// Panics if `den` is zero or the intermediate product overflows.
+    #[allow(clippy::disallowed_methods)] // see `scaled`
     pub fn mul_ratio(&self, num: u64, den: u64) -> Ether {
         assert!(den != 0, "zero denominator");
         Ether(self.0.checked_mul(num as u128).expect("ether overflow") / den as u128)
@@ -110,6 +116,7 @@ impl Ether {
 
 impl Add for Ether {
     type Output = Ether;
+    #[allow(clippy::disallowed_methods)] // see `scaled`
     fn add(self, rhs: Ether) -> Ether {
         Ether(self.0.checked_add(rhs.0).expect("ether overflow"))
     }
@@ -123,6 +130,7 @@ impl AddAssign for Ether {
 
 impl Sub for Ether {
     type Output = Ether;
+    #[allow(clippy::disallowed_methods)] // see `scaled`
     fn sub(self, rhs: Ether) -> Ether {
         Ether(self.0.checked_sub(rhs.0).expect("ether underflow"))
     }

@@ -41,7 +41,10 @@ impl Block {
             difficulty,
             miner: Address::ZERO,
         };
-        Block { header, records: Vec::new() }
+        Block {
+            header,
+            records: Vec::new(),
+        }
     }
 
     /// Assembles an (unmined) block: header fields are filled in, the
@@ -160,7 +163,13 @@ mod tests {
 
     fn record(i: u64) -> Record {
         let kp = KeyPair::from_seed(format!("d{i}").as_bytes());
-        Record::signed(RecordKind::Transfer, vec![i as u8], Ether::from_wei(i as u128), i, &kp)
+        Record::signed(
+            RecordKind::Transfer,
+            vec![i as u8],
+            Ether::from_wei(i as u128),
+            i,
+            &kp,
+        )
     }
 
     fn child_with_records(n: u64) -> Block {
@@ -205,7 +214,10 @@ mod tests {
     fn merkle_mismatch_detected() {
         let mut b = child_with_records(2);
         b.header_mut().merkle_root[0] ^= 1;
-        assert!(matches!(b.validate_structure(), Err(ChainError::MerkleMismatch { .. })));
+        assert!(matches!(
+            b.validate_structure(),
+            Err(ChainError::MerkleMismatch { .. })
+        ));
     }
 
     #[test]
@@ -219,7 +231,10 @@ mod tests {
             Difficulty::from_u64(1),
             Address::from_label("m"),
         );
-        assert!(matches!(b.validate_structure(), Err(ChainError::DuplicateRecord { .. })));
+        assert!(matches!(
+            b.validate_structure(),
+            Err(ChainError::DuplicateRecord { .. })
+        ));
     }
 
     #[test]
@@ -233,7 +248,10 @@ mod tests {
             Difficulty::from_u128(u128::MAX),
             Address::from_label("m"),
         );
-        assert!(matches!(b.validate_structure(), Err(ChainError::InsufficientWork { .. })));
+        assert!(matches!(
+            b.validate_structure(),
+            Err(ChainError::InsufficientWork { .. })
+        ));
     }
 
     #[test]

@@ -90,11 +90,17 @@ impl ConfirmationWatcher {
         let final_height = best - crate::CONFIRMATION_DEPTH;
         let mut out = Vec::new();
         for height in 0..=final_height {
-            let Some(block) = store.block_at_height(height) else { continue };
+            let Some(block) = store.block_at_height(height) else {
+                continue;
+            };
             for record in block.records() {
                 let id = record.id();
                 if self.seen.insert(id) {
-                    out.push(ConfirmedRecord { record_id: id, kind: record.kind(), height });
+                    out.push(ConfirmedRecord {
+                        record_id: id,
+                        kind: record.kind(),
+                        height,
+                    });
                 }
             }
         }
@@ -120,7 +126,13 @@ mod tests {
 
     fn record(seed: u64) -> Record {
         let kp = KeyPair::from_seed(&seed.to_be_bytes());
-        Record::signed(RecordKind::InitialReport, vec![seed as u8], Ether::ZERO, seed, &kp)
+        Record::signed(
+            RecordKind::InitialReport,
+            vec![seed as u8],
+            Ether::ZERO,
+            seed,
+            &kp,
+        )
     }
 
     fn extend(store: &mut ChainStore, n: u64, with_records: bool) {
@@ -154,9 +166,15 @@ mod tests {
             )
             .unwrap();
         store.insert(b).unwrap();
-        assert_eq!(status_of(&store, &rid), ConfirmationStatus::Pending { confirmations: 1 });
+        assert_eq!(
+            status_of(&store, &rid),
+            ConfirmationStatus::Pending { confirmations: 1 }
+        );
         extend(&mut store, 6, false);
-        assert_eq!(status_of(&store, &rid), ConfirmationStatus::Confirmed { confirmations: 7 });
+        assert_eq!(
+            status_of(&store, &rid),
+            ConfirmationStatus::Confirmed { confirmations: 7 }
+        );
     }
 
     #[test]

@@ -114,7 +114,9 @@ mod tests {
             ChainError::IdMismatch { declared: id },
             ChainError::TimestampRegression { id },
             ChainError::DuplicateRecord { id },
-            ChainError::RecordRejected { reason: "bad sig".into() },
+            ChainError::RecordRejected {
+                reason: "bad sig".into(),
+            },
             ChainError::MiningExhausted { attempts: 10 },
             ChainError::NotFound,
             ChainError::MempoolFull,

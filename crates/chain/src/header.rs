@@ -94,7 +94,15 @@ impl BlockHeader {
         let difficulty = Difficulty::from_u128(dec.take_u128()?);
         let miner = Address::from_bytes(dec.take_array::<20>()?);
         dec.expect_end()?;
-        Ok(BlockHeader { height, prev, merkle_root, timestamp, nonce, difficulty, miner })
+        Ok(BlockHeader {
+            height,
+            prev,
+            merkle_root,
+            timestamp,
+            nonce,
+            difficulty,
+            miner,
+        })
     }
 
     /// Computes the block id (`CurBlockID`): Keccak-256 of the encoding.

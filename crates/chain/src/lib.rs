@@ -43,6 +43,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The unwrap/expect wall (configured in the workspace clippy.toml): a panic
+// in consensus-critical code can split the replicated state machine, so
+// library code must surface failures as typed errors. Tests are exempt.
+#![warn(clippy::disallowed_methods)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod amount;
 pub mod block;

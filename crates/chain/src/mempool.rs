@@ -40,7 +40,10 @@ pub struct Mempool {
 impl Mempool {
     /// Creates a pool bounded at `capacity` records.
     pub fn new(capacity: usize) -> Self {
-        Mempool { records: HashMap::new(), capacity: capacity.max(1) }
+        Mempool {
+            records: HashMap::new(),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Number of pending records.
@@ -71,15 +74,21 @@ impl Mempool {
         record.verify_signature()?;
         let id = record.id();
         if self.records.contains_key(&id) {
-            return Err(ChainError::RecordRejected { reason: "duplicate record".to_string() });
+            return Err(ChainError::RecordRejected {
+                reason: "duplicate record".to_string(),
+            });
         }
         if self.records.len() >= self.capacity {
-            let (victim_id, victim_fee) = self
+            let Some((victim_id, victim_fee)) = self
                 .records
                 .iter()
                 .map(|(id, r)| (*id, r.fee()))
                 .min_by_key(|(_, fee)| *fee)
-                .expect("pool is non-empty when full");
+            else {
+                // A zero-capacity pool has no victim to evict and can
+                // never accept a record.
+                return Err(ChainError::MempoolFull);
+            };
             if record.fee() <= victim_fee {
                 return Err(ChainError::MempoolFull);
             }
@@ -158,7 +167,10 @@ mod tests {
         let mut pool = Mempool::new(10);
         let r = record(1, 5);
         pool.insert(r.clone()).unwrap();
-        assert!(matches!(pool.insert(r), Err(ChainError::RecordRejected { .. })));
+        assert!(matches!(
+            pool.insert(r),
+            Err(ChainError::RecordRejected { .. })
+        ));
     }
 
     #[test]
@@ -183,9 +195,15 @@ mod tests {
         pool.insert(record(3, 3)).unwrap();
         assert_eq!(pool.len(), 2);
         let fees: Vec<_> = pool.peek_best(2).iter().map(|r| r.fee()).collect();
-        assert_eq!(fees, vec![Ether::from_milliether(3), Ether::from_milliether(2)]);
+        assert_eq!(
+            fees,
+            vec![Ether::from_milliether(3), Ether::from_milliether(2)]
+        );
         // Fee 1 cannot displace anything.
-        assert!(matches!(pool.insert(record(4, 1)), Err(ChainError::MempoolFull)));
+        assert!(matches!(
+            pool.insert(record(4, 1)),
+            Err(ChainError::MempoolFull)
+        ));
     }
 
     #[test]

@@ -35,15 +35,21 @@ pub fn import_chain(bytes: &[u8]) -> Result<ChainStore, ChainError> {
     let mut dec = Decoder::new(bytes);
     let magic = dec.take_array::<8>()?;
     if &magic != MAGIC {
-        return Err(ChainError::Codec { detail: "bad chain-dump magic".to_string() });
+        return Err(ChainError::Codec {
+            detail: "bad chain-dump magic".to_string(),
+        });
     }
     let count = dec.take_u64()? as usize;
     if count == 0 {
-        return Err(ChainError::Codec { detail: "empty chain dump".to_string() });
+        return Err(ChainError::Codec {
+            detail: "empty chain dump".to_string(),
+        });
     }
     let genesis = Block::decode(dec.take_bytes()?)?;
     if genesis.header().height != 0 {
-        return Err(ChainError::Codec { detail: "first block is not genesis".to_string() });
+        return Err(ChainError::Codec {
+            detail: "first block is not genesis".to_string(),
+        });
     }
     let mut store = ChainStore::new(genesis);
     for _ in 1..count {

@@ -28,7 +28,10 @@ pub struct Miner {
 impl Miner {
     /// Creates a miner crediting rewards to `address`.
     pub fn new(address: Address) -> Self {
-        Miner { address, max_attempts: DEFAULT_MAX_ATTEMPTS }
+        Miner {
+            address,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+        }
     }
 
     /// Overrides the attempt bound (useful in tests).
@@ -60,7 +63,9 @@ impl Miner {
                 return Ok(block);
             }
         }
-        Err(ChainError::MiningExhausted { attempts: self.max_attempts })
+        Err(ChainError::MiningExhausted {
+            attempts: self.max_attempts,
+        })
     }
 
     /// Assembles and seals the next block on `parent`.
@@ -117,7 +122,9 @@ impl Miner {
                 return Ok((block, i + 1));
             }
         }
-        Err(ChainError::MiningExhausted { attempts: self.max_attempts })
+        Err(ChainError::MiningExhausted {
+            attempts: self.max_attempts,
+        })
     }
 }
 
@@ -130,7 +137,9 @@ mod tests {
     fn seals_at_trivial_difficulty() {
         let genesis = Block::genesis(Difficulty::from_u64(1));
         let miner = Miner::new(Address::from_label("p"));
-        let b = miner.mine_next(&genesis, vec![], GENESIS_TIMESTAMP + 10).unwrap();
+        let b = miner
+            .mine_next(&genesis, vec![], GENESIS_TIMESTAMP + 10)
+            .unwrap();
         assert!(b.validate_structure().is_ok());
         assert_eq!(b.header().miner, miner.address());
     }
@@ -140,7 +149,9 @@ mod tests {
         // Difficulty 4096: expected ~4096 attempts, bounded at 200k.
         let genesis = Block::genesis(Difficulty::from_u64(4096));
         let miner = Miner::new(Address::from_label("p")).with_max_attempts(200_000);
-        let b = miner.mine_next(&genesis, vec![], GENESIS_TIMESTAMP + 10).unwrap();
+        let b = miner
+            .mine_next(&genesis, vec![], GENESIS_TIMESTAMP + 10)
+            .unwrap();
         assert!(b.header().meets_target());
         assert!(b.validate_structure().is_ok());
     }
@@ -149,7 +160,9 @@ mod tests {
     fn gives_up_when_exhausted() {
         let genesis = Block::genesis(Difficulty::from_u128(u128::MAX));
         let miner = Miner::new(Address::from_label("p")).with_max_attempts(100);
-        let err = miner.mine_next(&genesis, vec![], GENESIS_TIMESTAMP + 10).unwrap_err();
+        let err = miner
+            .mine_next(&genesis, vec![], GENESIS_TIMESTAMP + 10)
+            .unwrap_err();
         assert_eq!(err, ChainError::MiningExhausted { attempts: 100 });
     }
 

@@ -53,7 +53,9 @@ impl RecordKind {
         Self::ALL
             .into_iter()
             .find(|k| *k as u8 == tag)
-            .ok_or_else(|| ChainError::Codec { detail: format!("unknown record kind {tag}") })
+            .ok_or_else(|| ChainError::Codec {
+                detail: format!("unknown record kind {tag}"),
+            })
     }
 
     /// Whether this kind is a detection report (either phase).
@@ -102,7 +104,14 @@ impl Record {
         let sender = signer.address();
         let digest = Self::signing_digest(kind, &sender, &payload, fee, nonce);
         let signature = signer.sign(&digest);
-        Record { kind, sender, payload, fee, nonce, signature }
+        Record {
+            kind,
+            sender,
+            payload,
+            fee,
+            nonce,
+            signature,
+        }
     }
 
     fn signing_digest(
@@ -167,7 +176,9 @@ impl Record {
         let digest =
             Self::signing_digest(self.kind, &self.sender, &self.payload, self.fee, self.nonce);
         let pk = recover_public_key(&digest, &self.signature).map_err(|e| {
-            ChainError::RecordRejected { reason: format!("signature recovery failed: {e}") }
+            ChainError::RecordRejected {
+                reason: format!("signature recovery failed: {e}"),
+            }
         })?;
         if pk.address() != self.sender {
             return Err(ChainError::RecordRejected {
@@ -208,9 +219,17 @@ impl Record {
         let nonce = dec.take_u64()?;
         let sig_bytes = dec.take_array::<65>()?;
         dec.expect_end()?;
-        let signature = Signature::from_bytes(&sig_bytes)
-            .map_err(|e| ChainError::Codec { detail: format!("bad signature: {e}") })?;
-        Ok(Record { kind, sender, payload, fee, nonce, signature })
+        let signature = Signature::from_bytes(&sig_bytes).map_err(|e| ChainError::Codec {
+            detail: format!("bad signature: {e}"),
+        })?;
+        Ok(Record {
+            kind,
+            sender,
+            payload,
+            fee,
+            nonce,
+            signature,
+        })
     }
 
     /// Short display id for logs.

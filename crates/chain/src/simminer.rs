@@ -242,7 +242,10 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn nonpositive_block_time_panics() {
         let _ = SimMiner::new(
-            vec![SimParticipant { address: Address::ZERO, hash_power: 1.0 }],
+            vec![SimParticipant {
+                address: Address::ZERO,
+                hash_power: 1.0,
+            }],
             0.0,
             0,
         );

@@ -55,8 +55,7 @@ pub fn chain_stats(store: &ChainStore) -> ChainStats {
         }
     }
     let mean_block_interval = if timestamps.len() >= 2 {
-        (timestamps[timestamps.len() - 1] - timestamps[0]) as f64
-            / (timestamps.len() - 1) as f64
+        (timestamps[timestamps.len() - 1] - timestamps[0]) as f64 / (timestamps.len() - 1) as f64
     } else {
         0.0
     };
@@ -83,13 +82,19 @@ mod tests {
     fn store_with_activity() -> ChainStore {
         let genesis = Block::genesis(Difficulty::from_u64(1));
         let mut store = ChainStore::new(genesis.clone());
-        let miners = [Miner::new(Address::from_label("a")), Miner::new(Address::from_label("b"))];
+        let miners = [
+            Miner::new(Address::from_label("a")),
+            Miner::new(Address::from_label("b")),
+        ];
         let mut parent = genesis;
         for i in 0..10u64 {
             let kp = KeyPair::from_seed(&i.to_be_bytes());
-            let kind = if i % 2 == 0 { RecordKind::InitialReport } else { RecordKind::Sra };
-            let record =
-                Record::signed(kind, vec![i as u8], Ether::from_milliether(11), i, &kp);
+            let kind = if i % 2 == 0 {
+                RecordKind::InitialReport
+            } else {
+                RecordKind::Sra
+            };
+            let record = Record::signed(kind, vec![i as u8], Ether::from_milliether(11), i, &kp);
             let block = miners[(i % 2) as usize]
                 .mine_next(&parent, vec![record], parent.header().timestamp + 15)
                 .unwrap();

@@ -65,7 +65,9 @@ impl ChainStore {
             canonical: HashMap::new(),
             record_index: HashMap::new(),
         };
-        store.total_work.insert(genesis_id, genesis.header().difficulty.value());
+        store
+            .total_work
+            .insert(genesis_id, genesis.header().difficulty.value());
         store.blocks.insert(genesis_id, genesis);
         store.rebuild_canonical();
         store
@@ -108,7 +110,9 @@ impl ChainStore {
 
     /// The canonical block at `height`, if within the best chain.
     pub fn block_at_height(&self, height: u64) -> Option<&Block> {
-        self.canonical.get(&height).and_then(|id| self.blocks.get(id))
+        self.canonical
+            .get(&height)
+            .and_then(|id| self.blocks.get(id))
     }
 
     /// Accumulated work at a block.
@@ -133,7 +137,9 @@ impl ChainStore {
         let parent = self
             .blocks
             .get(&block.header().prev)
-            .ok_or(ChainError::UnknownParent { parent: block.header().prev })?;
+            .ok_or(ChainError::UnknownParent {
+                parent: block.header().prev,
+            })?;
         if block.header().height != parent.header().height + 1 {
             return Err(ChainError::Codec {
                 detail: format!(
@@ -171,7 +177,11 @@ impl ChainStore {
             for (index, record) in block.records().iter().enumerate() {
                 self.record_index.insert(
                     record.id(),
-                    RecordLocation { block_id: cursor, height, index },
+                    RecordLocation {
+                        block_id: cursor,
+                        height,
+                        index,
+                    },
                 );
             }
             if cursor == self.genesis_id {
@@ -243,7 +253,9 @@ impl ChainStore {
 
     /// Blocks mined by `miner` on the canonical chain.
     pub fn blocks_by_miner(&self, miner: &smartcrowd_crypto::Address) -> Vec<&Block> {
-        self.canonical_blocks().filter(|b| b.header().miner == *miner).collect()
+        self.canonical_blocks()
+            .filter(|b| b.header().miner == *miner)
+            .collect()
     }
 }
 
@@ -262,7 +274,13 @@ mod tests {
 
     fn record(seed: u64) -> Record {
         let kp = KeyPair::from_seed(&seed.to_be_bytes());
-        Record::signed(RecordKind::Transfer, vec![1], Ether::from_wei(seed as u128), seed, &kp)
+        Record::signed(
+            RecordKind::Transfer,
+            vec![1],
+            Ether::from_wei(seed as u128),
+            seed,
+            &kp,
+        )
     }
 
     fn store_with_chain(n: u64) -> (ChainStore, Vec<Block>) {
@@ -301,9 +319,16 @@ mod tests {
         let (mut store, _) = store_with_chain(1);
         let other_genesis = Block::genesis(Difficulty::from_u64(7));
         let orphan = miner("p")
-            .mine_next(&other_genesis, vec![], other_genesis.header().timestamp + 15)
+            .mine_next(
+                &other_genesis,
+                vec![],
+                other_genesis.header().timestamp + 15,
+            )
             .unwrap();
-        assert!(matches!(store.insert(orphan), Err(ChainError::UnknownParent { .. })));
+        assert!(matches!(
+            store.insert(orphan),
+            Err(ChainError::UnknownParent { .. })
+        ));
     }
 
     #[test]
@@ -313,7 +338,10 @@ mod tests {
         let bad = miner("p")
             .mine_next(parent, vec![], parent.header().timestamp - 1)
             .unwrap();
-        assert!(matches!(store.insert(bad), Err(ChainError::TimestampRegression { .. })));
+        assert!(matches!(
+            store.insert(bad),
+            Err(ChainError::TimestampRegression { .. })
+        ));
     }
 
     #[test]
@@ -329,7 +357,12 @@ mod tests {
         // Heavy fork: one block at difficulty 64 (more work).
         let heavy = miner("heavy")
             .with_max_attempts(1_000_000)
-            .mine_next_at(&genesis, vec![], genesis.header().timestamp + 16, Difficulty::from_u64(64))
+            .mine_next_at(
+                &genesis,
+                vec![],
+                genesis.header().timestamp + 16,
+                Difficulty::from_u64(64),
+            )
             .unwrap();
         store.insert(heavy.clone()).unwrap();
         assert_eq!(store.best_tip(), heavy.id());
@@ -341,8 +374,12 @@ mod tests {
     fn equal_work_keeps_incumbent() {
         let genesis = Block::genesis(Difficulty::from_u64(1));
         let mut store = ChainStore::new(genesis.clone());
-        let a = miner("a").mine_next(&genesis, vec![], genesis.header().timestamp + 15).unwrap();
-        let b = miner("b").mine_next(&genesis, vec![], genesis.header().timestamp + 15).unwrap();
+        let a = miner("a")
+            .mine_next(&genesis, vec![], genesis.header().timestamp + 15)
+            .unwrap();
+        let b = miner("b")
+            .mine_next(&genesis, vec![], genesis.header().timestamp + 15)
+            .unwrap();
         store.insert(a.clone()).unwrap();
         store.insert(b.clone()).unwrap();
         assert_eq!(store.best_tip(), a.id(), "first-seen tip retained on tie");
@@ -364,7 +401,10 @@ mod tests {
         // A block is final only once 6 blocks are linked after it.
         let (store, blocks) = store_with_chain(6);
         assert_eq!(store.confirmations(&blocks[1].id()), 6);
-        assert!(!store.is_confirmed(&blocks[1].id()), "needs 6 descendants, has 5");
+        assert!(
+            !store.is_confirmed(&blocks[1].id()),
+            "needs 6 descendants, has 5"
+        );
         let (store, blocks) = store_with_chain(7);
         assert_eq!(store.confirmations(&blocks[1].id()), 7);
         assert!(store.is_confirmed(&blocks[1].id()));
@@ -389,17 +429,29 @@ mod tests {
         let mut store = ChainStore::new(genesis.clone());
         let r_light = record(100);
         let light = miner("light")
-            .mine_next(&genesis, vec![r_light.clone()], genesis.header().timestamp + 15)
+            .mine_next(
+                &genesis,
+                vec![r_light.clone()],
+                genesis.header().timestamp + 15,
+            )
             .unwrap();
         store.insert(light).unwrap();
         assert!(store.find_record(&r_light.id()).is_some());
         // Heavier fork without the record.
         let heavy = miner("heavy")
             .with_max_attempts(1_000_000)
-            .mine_next_at(&genesis, vec![], genesis.header().timestamp + 16, Difficulty::from_u64(64))
+            .mine_next_at(
+                &genesis,
+                vec![],
+                genesis.header().timestamp + 16,
+                Difficulty::from_u64(64),
+            )
             .unwrap();
         store.insert(heavy).unwrap();
-        assert!(store.find_record(&r_light.id()).is_none(), "reorged-out record unindexed");
+        assert!(
+            store.find_record(&r_light.id()).is_none(),
+            "reorged-out record unindexed"
+        );
     }
 
     #[test]
@@ -413,7 +465,9 @@ mod tests {
     fn blocks_by_miner() {
         let (store, _) = store_with_chain(4);
         assert_eq!(store.blocks_by_miner(&Address::from_label("p")).len(), 4);
-        assert!(store.blocks_by_miner(&Address::from_label("other")).is_empty());
+        assert!(store
+            .blocks_by_miner(&Address::from_label("other"))
+            .is_empty());
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub fn validate_block(
     block.validate_structure()?;
     let parent = store
         .block(&block.header().prev)
-        .ok_or(ChainError::UnknownParent { parent: block.header().prev })?;
+        .ok_or(ChainError::UnknownParent {
+            parent: block.header().prev,
+        })?;
     if block.header().height != parent.header().height + 1 {
         return Err(ChainError::Codec {
             detail: format!(
@@ -104,7 +106,13 @@ mod tests {
 
     fn record(fee: u64) -> Record {
         let kp = KeyPair::from_seed(b"d");
-        Record::signed(RecordKind::Transfer, vec![1], Ether::from_wei(fee as u128), fee, &kp)
+        Record::signed(
+            RecordKind::Transfer,
+            vec![1],
+            Ether::from_wei(fee as u128),
+            fee,
+            &kp,
+        )
     }
 
     #[test]
@@ -123,7 +131,9 @@ mod tests {
             .mine_next(&genesis, vec![record(1)], genesis.header().timestamp + 15)
             .unwrap();
         let rejecting = FnValidator(|_r: &Record| {
-            Err(ChainError::RecordRejected { reason: "AutoVerif returned FALSE".into() })
+            Err(ChainError::RecordRejected {
+                reason: "AutoVerif returned FALSE".into(),
+            })
         });
         let err = validate_block(&store, &b, &rejecting).unwrap_err();
         assert!(matches!(err, ChainError::RecordRejected { .. }));
@@ -133,7 +143,9 @@ mod tests {
     fn unknown_parent_detected() {
         let (store, _, miner) = setup();
         let other = Block::genesis(Difficulty::from_u64(9));
-        let b = miner.mine_next(&other, vec![], other.header().timestamp + 15).unwrap();
+        let b = miner
+            .mine_next(&other, vec![], other.header().timestamp + 15)
+            .unwrap();
         assert!(matches!(
             validate_block(&store, &b, &AcceptAll),
             Err(ChainError::UnknownParent { .. })
@@ -167,7 +179,9 @@ mod tests {
         let banned = KeyPair::from_seed(b"banned").address();
         let validator = FnValidator(move |r: &Record| {
             if r.sender() == banned {
-                Err(ChainError::RecordRejected { reason: "isolated detector".into() })
+                Err(ChainError::RecordRejected {
+                    reason: "isolated detector".into(),
+                })
             } else {
                 Ok(())
             }

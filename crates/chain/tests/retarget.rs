@@ -30,16 +30,14 @@ fn retargeting_tracks_a_hash_rate_change() {
         let rate = if phase == 0 { rate_low } else { rate_high };
         let mut recent = Vec::new();
         for _ in 0..blocks_per_phase {
-            let interval =
-                (sample_attempts(&mut rng, difficulty.value()) / rate).max(0.25);
+            let interval = (sample_attempts(&mut rng, difficulty.value()) / rate).max(0.25);
             difficulty = Difficulty::retarget(difficulty, interval.round() as u64);
             recent.push(interval);
             if recent.len() > 2000 {
                 recent.remove(0);
             }
         }
-        mean_interval_end_of_phase
-            .push(recent.iter().sum::<f64>() / recent.len() as f64);
+        mean_interval_end_of_phase.push(recent.iter().sum::<f64>() / recent.len() as f64);
         difficulty_end_of_phase.push(difficulty.value());
     }
 

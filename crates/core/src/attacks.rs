@@ -70,7 +70,10 @@ pub fn sra_spoofing() -> AttackOutcome {
         Ok(f) => f.verify(),
         Err(e) => Err(e),
     };
-    let naive_caught = matches!(naive, Err(CoreError::SraIdMismatch) | Err(CoreError::Payload { .. }));
+    let naive_caught = matches!(
+        naive,
+        Err(CoreError::SraIdMismatch) | Err(CoreError::Payload { .. })
+    );
 
     // Attack 2 — sophisticated: the attacker also recomputes Δ_id over the
     // relabelled fields, so only the signature check can catch it.
@@ -89,13 +92,8 @@ pub fn sra_spoofing() -> AttackOutcome {
     };
     // Splice both provider and id into the encoding. The id sits after the
     // variable-length fields; compute its offset from the field lengths.
-    let id_offset = 20
-        + 8 + sra.name().len()
-        + 8 + sra.version().len()
-        + 32
-        + 8 + sra.link().len()
-        + 16
-        + 16;
+    let id_offset =
+        20 + 8 + sra.name().len() + 8 + sra.version().len() + 32 + 8 + sra.link().len() + 16 + 16;
     let mut bytes2 = sra.encode();
     bytes2[..20].copy_from_slice(victim.as_bytes());
     bytes2[id_offset..id_offset + 32].copy_from_slice(&forged_id);
@@ -140,10 +138,7 @@ pub fn plagiarism() -> AttackOutcome {
     let _ = p.submit_detailed(&thief, t_detailed);
     let payouts = p.mine_blocks(10);
     let thief_paid = payouts.iter().any(|pay| pay.wallet == thief.address());
-    let victim_paid = p
-        .payouts()
-        .iter()
-        .any(|pay| pay.wallet == victim.address());
+    let victim_paid = p.payouts().iter().any(|pay| pay.wallet == victim.address());
     AttackOutcome {
         attack: "plagiarism",
         succeeded: thief_paid,
@@ -349,11 +344,15 @@ pub fn collusion() -> AttackOutcome {
             return Ok(());
         }
         let detailed = crate::report::DetailedReport::decode(r.payload()).map_err(|e| {
-            smartcrowd_chain::ChainError::RecordRejected { reason: e.to_string() }
+            smartcrowd_chain::ChainError::RecordRejected {
+                reason: e.to_string(),
+            }
         })?;
-        verify::verify_detailed(&detailed, &initial, &system, &verifier, None).map_err(
-            |e| smartcrowd_chain::ChainError::RecordRejected { reason: e.to_string() },
-        )
+        verify::verify_detailed(&detailed, &initial, &system, &verifier, None).map_err(|e| {
+            smartcrowd_chain::ChainError::RecordRejected {
+                reason: e.to_string(),
+            }
+        })
     });
     let accepted = validate_block(&honest_store, &dirty_block, &validator).is_ok();
     AttackOutcome {
@@ -405,7 +404,11 @@ mod tests {
     fn forgery_fails_and_isolates() {
         let o = forged_reports_until_isolation();
         assert!(!o.succeeded, "{}", o.detail);
-        assert!(o.detail.contains("isolation after round Some"), "{}", o.detail);
+        assert!(
+            o.detail.contains("isolation after round Some"),
+            "{}",
+            o.detail
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub struct RiskTolerance {
 
 impl Default for RiskTolerance {
     fn default() -> Self {
-        RiskTolerance { max_high: 0, max_medium: 2, max_low: 5 }
+        RiskTolerance {
+            max_high: 0,
+            max_medium: 2,
+            max_low: 5,
+        }
     }
 }
 
@@ -65,16 +69,13 @@ pub fn advise(platform: &Platform, sra_id: &SraId, tolerance: RiskTolerance) -> 
     let mut low = 0;
     let mut entries = Vec::new();
     for v in &vulnerabilities {
-        match platform.library().get(*v) {
-            Some(entry) => {
-                entries.push(entry);
-                match entry.severity {
-                    Severity::High => high += 1,
-                    Severity::Medium => medium += 1,
-                    Severity::Low => low += 1,
-                }
+        if let Some(entry) = platform.library().get(*v) {
+            entries.push(entry);
+            match entry.severity {
+                Severity::High => high += 1,
+                Severity::Medium => medium += 1,
+                Severity::Low => low += 1,
             }
-            None => {}
         }
     }
     let risk_score = aggregate_risk(&entries);

@@ -208,7 +208,10 @@ impl SraEscrow {
                 reason: format!("escrow init failed: {:?}", receipt.fault),
             });
         }
-        Ok(SraEscrow { address, release_cost: deploy_receipt.fee + receipt.fee })
+        Ok(SraEscrow {
+            address,
+            release_cost: deploy_receipt.fee + receipt.fee,
+        })
     }
 
     /// Triggers the automatic payout of `μ·n` to `wallet` (Eq. 7). Must be
@@ -228,11 +231,7 @@ impl SraEscrow {
         n: u64,
         block: (u64, u64),
     ) -> Result<Receipt, CoreError> {
-        let data = calldata(&[
-            U256::ONE,
-            address_to_word(&wallet),
-            U256::from_u64(n),
-        ]);
+        let data = calldata(&[U256::ONE, address_to_word(&wallet), U256::from_u64(n)]);
         let ctx = CallContext::new(trigger, self.address).with_block(block.0, block.1);
         let receipt = vm.call(state, ctx, &data)?;
         if !receipt.success {
@@ -277,7 +276,9 @@ impl SraEscrow {
 
     /// Total vulnerabilities paid out so far (storage slot 2).
     pub fn paid_count(&self, state: &WorldState) -> u64 {
-        state.storage_get(&self.address, &U256::from_u64(2)).low_u64()
+        state
+            .storage_get(&self.address, &U256::from_u64(2))
+            .low_u64()
     }
 }
 
@@ -329,7 +330,9 @@ impl ReportRegistry {
 
     /// Number of reports registered so far.
     pub fn count(&self, state: &WorldState) -> u64 {
-        state.storage_get(&self.address, &U256::from_u64(10)).low_u64()
+        state
+            .storage_get(&self.address, &U256::from_u64(10))
+            .low_u64()
     }
 }
 
@@ -391,7 +394,8 @@ mod tests {
         let e = escrow(&vm, &mut state, provider, trigger);
         let before = state.balance(&detector);
         // n = 3 vulnerabilities at μ = 25 → 75 ether.
-        e.payout(&vm, &mut state, trigger, detector, 3, (1010, 2)).unwrap();
+        e.payout(&vm, &mut state, trigger, detector, 3, (1010, 2))
+            .unwrap();
         assert_eq!(state.balance(&detector) - before, Ether::from_ether(75));
         assert_eq!(e.balance(&state), Ether::from_ether(925));
         assert_eq!(e.paid_count(&state), 3);
@@ -403,9 +407,15 @@ mod tests {
         // block payouts nor fabricate them.
         let (vm, mut state, provider, trigger, detector) = setup();
         let e = escrow(&vm, &mut state, provider, trigger);
-        let err = e.payout(&vm, &mut state, provider, detector, 1, (1010, 2)).unwrap_err();
+        let err = e
+            .payout(&vm, &mut state, provider, detector, 1, (1010, 2))
+            .unwrap_err();
         assert!(matches!(err, CoreError::PayoutFailed { .. }));
-        assert_eq!(e.balance(&state), Ether::from_ether(1000), "escrow untouched");
+        assert_eq!(
+            e.balance(&state),
+            Ether::from_ether(1000),
+            "escrow untouched"
+        );
     }
 
     #[test]
@@ -437,7 +447,9 @@ mod tests {
         let receipt = vm.call(&mut state, ctx, &data).unwrap();
         assert!(!receipt.success);
         // Trigger unchanged: attacker still cannot pay out.
-        let err = e.payout(&vm, &mut state, attacker, attacker, 40, (0, 0)).unwrap_err();
+        let err = e
+            .payout(&vm, &mut state, attacker, attacker, 40, (0, 0))
+            .unwrap_err();
         assert!(matches!(err, CoreError::PayoutFailed { .. }));
     }
 
@@ -446,12 +458,15 @@ mod tests {
         let (vm, mut state, provider, trigger, detector) = setup();
         let e = escrow(&vm, &mut state, provider, trigger);
         // 41 × 25 = 1025 > 1000: the transfer faults, nothing moves.
-        let err = e.payout(&vm, &mut state, trigger, detector, 41, (0, 0)).unwrap_err();
+        let err = e
+            .payout(&vm, &mut state, trigger, detector, 41, (0, 0))
+            .unwrap_err();
         assert!(matches!(err, CoreError::PayoutFailed { .. }));
         assert_eq!(e.balance(&state), Ether::from_ether(1000));
         assert_eq!(e.paid_count(&state), 0, "count rolled back with the revert");
         // Exactly-exhausting payout succeeds.
-        e.payout(&vm, &mut state, trigger, detector, 40, (0, 0)).unwrap();
+        e.payout(&vm, &mut state, trigger, detector, 40, (0, 0))
+            .unwrap();
         assert_eq!(e.balance(&state), Ether::ZERO);
     }
 
@@ -465,7 +480,10 @@ mod tests {
         // Paper Fig. 6(b): "each detection report can consume around 0.011
         // ether".
         let cost = receipt.fee.as_f64();
-        assert!((0.006..=0.016).contains(&cost), "report cost {cost} should be ≈0.011");
+        assert!(
+            (0.006..=0.016).contains(&cost),
+            "report cost {cost} should be ≈0.011"
+        );
         assert_eq!(reg.count(&state), 1);
     }
 
@@ -474,7 +492,8 @@ mod tests {
         let (vm, mut state, provider, _, detector) = setup();
         let reg = ReportRegistry::deploy(&vm, &mut state, provider).unwrap();
         for i in 0..5u8 {
-            reg.submit(&vm, &mut state, detector, &[i; 32], (0, 0)).unwrap();
+            reg.submit(&vm, &mut state, detector, &[i; 32], (0, 0))
+                .unwrap();
         }
         assert_eq!(reg.count(&state), 5);
         // Stored report ids land in distinct slots.

@@ -29,7 +29,12 @@ pub struct Detector {
 impl Detector {
     /// Creates a detector with an explicit scanner and capability.
     pub fn new(keypair: KeyPair, scanner: Scanner, capability: DetectionCapability) -> Self {
-        Detector { keypair, scanner, capability, threads: 1 }
+        Detector {
+            keypair,
+            scanner,
+            capability,
+            threads: 1,
+        }
     }
 
     /// The detector's signing keys.
@@ -96,11 +101,9 @@ impl DetectorFleet {
         let mut rng = SimRng::seed_from_u64(seed);
         let detectors = (1..=count)
             .map(|threads| {
-                let capability = DetectionCapability::new(
-                    base_capability * threads as f64 / count as f64,
-                );
-                let coverage_size =
-                    ((library.len() as f64) * capability.dc).round() as usize;
+                let capability =
+                    DetectionCapability::new(base_capability * threads as f64 / count as f64);
+                let coverage_size = ((library.len() as f64) * capability.dc).round() as usize;
                 let coverage = library
                     .sample_ids(coverage_size.min(library.len()), &mut rng)
                     .expect("coverage fits the library");

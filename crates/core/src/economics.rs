@@ -215,8 +215,14 @@ mod tests {
             assert!(at.abs() < 1e-6, "balance at VPB = {at}");
             let above = p.provider_balance(z, 600.0, insurance, vpb + 0.01);
             let below = p.provider_balance(z, 600.0, insurance, vpb - 0.01);
-            assert!((above + 10.0).abs() < 1e-6, "VPB+0.01 → −10 ETH, got {above}");
-            assert!((below - 10.0).abs() < 1e-6, "VPB−0.01 → +10 ETH, got {below}");
+            assert!(
+                (above + 10.0).abs() < 1e-6,
+                "VPB+0.01 → −10 ETH, got {above}"
+            );
+            assert!(
+                (below - 10.0).abs() < 1e-6,
+                "VPB−0.01 → +10 ETH, got {below}"
+            );
         }
     }
 
@@ -250,7 +256,10 @@ mod tests {
             let xi = threads as f64 / 36.0;
             let income = p.detector_income(xi, vp);
             let cost = p.detector_cost(xi, vp);
-            assert!(cost < income / 100.0, "threads={threads}: {cost} vs {income}");
+            assert!(
+                cost < income / 100.0,
+                "threads={threads}: {cost} vs {income}"
+            );
         }
     }
 

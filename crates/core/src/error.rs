@@ -83,7 +83,10 @@ impl fmt::Display for CoreError {
                 write!(f, "H(R*) does not match the commitment H_R* in R†")
             }
             CoreError::PhaseMismatch => {
-                write!(f, "detailed report does not match its initial report's detector/SRA")
+                write!(
+                    f,
+                    "detailed report does not match its initial report's detector/SRA"
+                )
             }
             CoreError::AutoVerifFailed { rejected } => {
                 write!(f, "AutoVerif returned FALSE for claims {rejected:?}")

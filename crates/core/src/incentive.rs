@@ -30,7 +30,10 @@ impl Proportion {
     /// Panics when `den` is zero.
     pub fn new(num: u64, den: u64) -> Self {
         assert!(den != 0, "zero denominator");
-        Proportion { num: num.min(den), den }
+        Proportion {
+            num: num.min(den),
+            den,
+        }
     }
 
     /// As a float (analysis only).
@@ -83,6 +86,9 @@ pub mod expected {
 
     /// Eq. 13 — detector balance over time `t` with SRA period `θ`:
     /// `bd_i = N·ξ_i·t·[ρ_i(μ−ψ) − c]/θ`.
+    // One parameter per symbol of Eq. 13; grouping them into a struct
+    // would obscure the correspondence with the paper.
+    #[allow(clippy::too_many_arguments)]
     pub fn detector_balance(
         n_vulns: f64,
         xi: f64,

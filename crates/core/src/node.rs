@@ -239,7 +239,10 @@ impl ProviderNode {
     /// Algorithm 1 lines 10–24 against local state.
     fn check_detailed(&mut self, report: &DetailedReport) -> Result<(), CoreError> {
         let key = (*report.sra_id(), report.detector());
-        let initial = self.initials.get(&key).ok_or(CoreError::InitialNotConfirmed)?;
+        let initial = self
+            .initials
+            .get(&key)
+            .ok_or(CoreError::InitialNotConfirmed)?;
         let Some(system) = self.images.get(report.sra_id()) else {
             return Err(CoreError::NotFound); // artifact not downloaded yet
         };
@@ -289,8 +292,7 @@ impl ProviderNode {
         // validate_block needs the parent; when we don't have it yet, the
         // sync buffer holds the block and it is re-checked on connect.
         if self.store.block(&block.header().prev).is_some()
-            && validate_block(&self.store, &block, &FnValidator(|_r: &Record| Ok(())))
-                .is_err()
+            && validate_block(&self.store, &block, &FnValidator(|_r: &Record| Ok(()))).is_err()
         {
             return;
         }
@@ -321,7 +323,9 @@ impl ProviderNode {
             }
             match record.kind() {
                 RecordKind::Sra => {
-                    let Ok(sra) = Sra::decode(record.payload()) else { return false };
+                    let Ok(sra) = Sra::decode(record.payload()) else {
+                        return false;
+                    };
                     if sra.verify().is_err() {
                         return false;
                     }
@@ -334,7 +338,9 @@ impl ProviderNode {
                     if r.verify().is_err() {
                         return false;
                     }
-                    self.initials.entry((*r.sra_id(), r.detector())).or_insert(r);
+                    self.initials
+                        .entry((*r.sra_id(), r.detector()))
+                        .or_insert(r);
                 }
                 RecordKind::DetailedReport => {
                     let Ok(r) = DetailedReport::decode(record.payload()) else {
@@ -367,7 +373,9 @@ impl ProviderNode {
             Difficulty::from_u64(1),
             self.address,
         );
-        self.store.insert(block.clone()).expect("own block extends own tip");
+        self.store
+            .insert(block.clone())
+            .expect("own block extends own tip");
         let mut out = Outbox::default();
         out.push(Message::Block(Box::new(block.clone())));
         (block, out)
@@ -401,11 +409,7 @@ mod tests {
     ) -> SraId {
         let mut rng = SimRng::seed_from_u64(5);
         let system = IoTSystem::build("fw", "1", library, vulns, &mut rng).unwrap();
-        let (sra_id, out) = a.release(
-            system,
-            Ether::from_ether(1000),
-            Ether::from_ether(25),
-        );
+        let (sra_id, out) = a.release(system, Ether::from_ether(1000), Ether::from_ether(25));
         // Deliver the SRA to b; b requests the image; a serves; b verifies.
         for m in out.broadcast {
             for reply in b.handle(m).broadcast {
@@ -422,7 +426,10 @@ mod tests {
         let (mut a, mut b, library) = setup_two_nodes();
         let sra_id = release_and_sync(&mut a, &mut b, &library, vec![VulnId(1)]);
         assert!(b.sras.contains_key(&sra_id));
-        assert!(b.images.contains_key(&sra_id), "b downloaded and verified the image");
+        assert!(
+            b.images.contains_key(&sra_id),
+            "b downloaded and verified the image"
+        );
         assert_eq!(b.mempool_len(), 1, "the SRA record is queued");
     }
 
@@ -453,7 +460,11 @@ mod tests {
         b.handle(Message::Record(initial_record));
         assert_eq!(b.mempool_len(), 2);
         b.handle(Message::Record(detailed_record));
-        assert_eq!(b.mempool_len(), 3, "AutoVerif passed against the downloaded image");
+        assert_eq!(
+            b.mempool_len(),
+            3,
+            "AutoVerif passed against the downloaded image"
+        );
         assert_eq!(b.scoreboard().score(&detector.address()).confirmed, 1);
     }
 
@@ -490,7 +501,10 @@ mod tests {
     fn blocks_propagate_and_clear_mempools() {
         let (mut a, mut b, library) = setup_two_nodes();
         release_and_sync(&mut a, &mut b, &library, vec![]);
-        let (block, out) = a.mine(Block::genesis(Difficulty::from_u64(1)).header().timestamp + 15, 16);
+        let (block, out) = a.mine(
+            Block::genesis(Difficulty::from_u64(1)).header().timestamp + 15,
+            16,
+        );
         assert_eq!(a.store().best_height(), 1);
         for m in out.broadcast {
             b.handle(m);
@@ -511,7 +525,10 @@ mod tests {
             b.handle(m); // b now awaits the image
         }
         // A malicious peer answers with garbage.
-        b.handle(Message::ImageResponse { image_hash: hash, image: vec![0u8; 64] });
+        b.handle(Message::ImageResponse {
+            image_hash: hash,
+            image: vec![0u8; 64],
+        });
         assert!(b.images.is_empty(), "U_h mismatch rejected the download");
     }
 }

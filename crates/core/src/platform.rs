@@ -163,12 +163,19 @@ impl Platform {
             .enumerate()
             .map(|(i, &hp)| {
                 let keypair = KeyPair::from_seed(format!("provider-{i}").as_bytes());
-                ProviderHandle { address: keypair.address(), keypair, hash_power: hp }
+                ProviderHandle {
+                    address: keypair.address(),
+                    keypair,
+                    hash_power: hp,
+                }
             })
             .collect();
         let participants = providers
             .iter()
-            .map(|p| SimParticipant { address: p.address, hash_power: p.hash_power })
+            .map(|p| SimParticipant {
+                address: p.address,
+                hash_power: p.hash_power,
+            })
             .collect();
         let sim = SimMiner::new(participants, config.mean_block_time, config.seed);
         let mut state = WorldState::new();
@@ -181,8 +188,8 @@ impl Platform {
         state.credit(trigger, Ether::from_ether(1000)); // gas float for triggers
         genesis_allocated += Ether::from_ether(1000);
         let vm = Vm::default();
-        let registry = ReportRegistry::deploy(&vm, &mut state, trigger)
-            .expect("registry deploys at genesis");
+        let registry =
+            ReportRegistry::deploy(&vm, &mut state, trigger).expect("registry deploys at genesis");
         let store = ChainStore::new(Block::genesis(Difficulty::from_u64(1)));
         let library = VulnLibrary::synthetic(config.library_size, config.seed ^ 0xdead);
         Platform {
@@ -259,7 +266,10 @@ impl Platform {
 
     /// Cumulative gas spent by a detector on report submission.
     pub fn detector_cost(&self, addr: &Address) -> Ether {
-        self.detector_costs.get(addr).copied().unwrap_or(Ether::ZERO)
+        self.detector_costs
+            .get(addr)
+            .copied()
+            .unwrap_or(Ether::ZERO)
     }
 
     /// Cumulative mining income (block rewards + record fees) of a
@@ -296,7 +306,10 @@ impl Platform {
     /// block rewards)`. The two must always be equal — gas fees and
     /// payouts move currency, they never create or destroy it.
     pub fn audit_supply(&self) -> (Ether, Ether) {
-        (self.state.total_supply(), self.genesis_allocated + self.minted)
+        (
+            self.state.total_supply(),
+            self.genesis_allocated + self.minted,
+        )
     }
 
     fn block_ctx(&self) -> (u64, u64) {
@@ -323,7 +336,11 @@ impl Platform {
         insurance: Ether,
         incentive_per_vuln: Ether,
     ) -> Result<SraId, CoreError> {
-        let provider = self.providers.get(provider_index).ok_or(CoreError::NotFound)?.clone();
+        let provider = self
+            .providers
+            .get(provider_index)
+            .ok_or(CoreError::NotFound)?
+            .clone();
         if insurance < self.config.min_insurance {
             return Err(CoreError::InsuranceTooLow);
         }
@@ -460,14 +477,22 @@ impl Platform {
         report: InitialReport,
     ) -> Result<Digest, CoreError> {
         verify::verify_initial(&report, Some(&self.scoreboard))?;
-        let entry = self.sras.get_mut(report.sra_id()).ok_or(CoreError::UnknownSra)?;
+        let entry = self
+            .sras
+            .get_mut(report.sra_id())
+            .ok_or(CoreError::UnknownSra)?;
         if entry.initial_by_detector.contains_key(&report.detector()) {
             return Err(CoreError::DuplicateReport);
         }
         let fee = self.config.report_fee;
         let nonce = self.store.best_height() * 1000 + self.mempool.len() as u64;
-        let record =
-            Record::signed(RecordKind::InitialReport, report.encode(), fee, nonce, detector);
+        let record = Record::signed(
+            RecordKind::InitialReport,
+            report.encode(),
+            fee,
+            nonce,
+            detector,
+        );
         let record_id = record.id();
         let detector_addr = report.detector();
         entry.initial_by_detector.insert(detector_addr, report);
@@ -476,14 +501,13 @@ impl Platform {
         self.mempool.insert(record)?;
         // Meter the on-chain submission cost (Fig. 6(b)).
         let block = self.block_ctx();
-        let receipt = self.registry.submit(
-            &self.vm,
-            &mut self.state,
-            detector_addr,
-            &record_id,
-            block,
-        )?;
-        *self.detector_costs.entry(detector_addr).or_insert(Ether::ZERO) += receipt.fee;
+        let receipt =
+            self.registry
+                .submit(&self.vm, &mut self.state, detector_addr, &record_id, block)?;
+        *self
+            .detector_costs
+            .entry(detector_addr)
+            .or_insert(Ether::ZERO) += receipt.fee;
         Ok(record_id)
     }
 
@@ -502,7 +526,10 @@ impl Platform {
         detector: &KeyPair,
         report: DetailedReport,
     ) -> Result<Digest, CoreError> {
-        let entry = self.sras.get(report.sra_id()).ok_or(CoreError::UnknownSra)?;
+        let entry = self
+            .sras
+            .get(report.sra_id())
+            .ok_or(CoreError::UnknownSra)?;
         let initial = entry
             .initial_by_detector
             .get(&report.detector())
@@ -523,21 +550,25 @@ impl Platform {
         )?;
         let fee = self.config.report_fee;
         let nonce = self.store.best_height() * 1000 + self.mempool.len() as u64;
-        let record =
-            Record::signed(RecordKind::DetailedReport, report.encode(), fee, nonce, detector);
+        let record = Record::signed(
+            RecordKind::DetailedReport,
+            report.encode(),
+            fee,
+            nonce,
+            detector,
+        );
         let record_id = record.id();
         let detector_addr = report.detector();
         self.ensure_detector_funded(detector_addr);
         self.mempool.insert(record)?;
         let block = self.block_ctx();
-        let receipt = self.registry.submit(
-            &self.vm,
-            &mut self.state,
-            detector_addr,
-            &record_id,
-            block,
-        )?;
-        *self.detector_costs.entry(detector_addr).or_insert(Ether::ZERO) += receipt.fee;
+        let receipt =
+            self.registry
+                .submit(&self.vm, &mut self.state, detector_addr, &record_id, block)?;
+        *self
+            .detector_costs
+            .entry(detector_addr)
+            .or_insert(Ether::ZERO) += receipt.fee;
         self.pending_detailed.insert(record_id, report);
         Ok(record_id)
     }
@@ -564,7 +595,9 @@ impl Platform {
             }
         }
         *self.mining_income.entry(miner).or_insert(Ether::ZERO) += earned;
-        self.store.insert(block).expect("sim-mined block extends the best tip");
+        self.store
+            .insert(block)
+            .expect("sim-mined block extends the best tip");
         let fired = self.process_confirmations();
         (miner, fired)
     }
@@ -585,8 +618,12 @@ impl Platform {
             if c.kind != RecordKind::DetailedReport {
                 continue;
             }
-            let Some(report) = self.pending_detailed.remove(&c.record_id) else { continue };
-            let Some(entry) = self.sras.get_mut(report.sra_id()) else { continue };
+            let Some(report) = self.pending_detailed.remove(&c.record_id) else {
+                continue;
+            };
+            let Some(entry) = self.sras.get_mut(report.sra_id()) else {
+                continue;
+            };
             // First-confirmer-wins: only novel vulnerabilities pay (§VI-B:
             // "only the detection result that has not been submitted before
             // can be recorded").
@@ -614,8 +651,12 @@ impl Platform {
             );
             match escrow.payout(&self.vm, &mut self.state, self.trigger, wallet, n, block) {
                 Ok(_) => {
-                    let payout =
-                        Payout { sra_id, wallet, vulnerabilities: n, amount: mu.scaled(n) };
+                    let payout = Payout {
+                        sra_id,
+                        wallet,
+                        vulnerabilities: n,
+                        amount: mu.scaled(n),
+                    };
                     self.payouts.push(payout.clone());
                     fired.push(payout);
                 }
@@ -630,7 +671,9 @@ impl Platform {
 
     /// Consumer query: confirmed vulnerabilities recorded for an SRA.
     pub fn confirmed_vulnerabilities(&self, sra_id: &SraId) -> Vec<VulnId> {
-        let Some(entry) = self.sras.get(sra_id) else { return Vec::new() };
+        let Some(entry) = self.sras.get(sra_id) else {
+            return Vec::new();
+        };
         let mut v: Vec<VulnId> = entry.paid_vulns.iter().copied().collect();
         v.sort();
         v
@@ -650,13 +693,8 @@ mod tests {
     fn release(p: &mut Platform, vulns: Vec<VulnId>) -> SraId {
         let mut rng = SimRng::seed_from_u64(77);
         let system = IoTSystem::build("cam-fw", "1.0", p.library(), vulns, &mut rng).unwrap();
-        p.release_system(
-            0,
-            system,
-            Ether::from_ether(1000),
-            Ether::from_ether(25),
-        )
-        .unwrap()
+        p.release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
+            .unwrap()
     }
 
     #[test]
@@ -735,20 +773,14 @@ mod tests {
         let slow = KeyPair::from_seed(b"slow");
         for kp in [&fast, &slow] {
             p.fund(kp.address(), Ether::from_ether(10));
-            let (initial, _) = create_report_pair(
-                kp,
-                sra_id,
-                Findings::new(vec![VulnId(3)], "same finding"),
-            );
+            let (initial, _) =
+                create_report_pair(kp, sra_id, Findings::new(vec![VulnId(3)], "same finding"));
             p.submit_initial(kp, initial).unwrap();
         }
         p.mine_blocks(8);
         for kp in [&fast, &slow] {
-            let (_, detailed) = create_report_pair(
-                kp,
-                sra_id,
-                Findings::new(vec![VulnId(3)], "same finding"),
-            );
+            let (_, detailed) =
+                create_report_pair(kp, sra_id, Findings::new(vec![VulnId(3)], "same finding"));
             p.submit_detailed(kp, detailed).unwrap();
         }
         let payouts = p.mine_blocks(10);
@@ -849,8 +881,7 @@ mod wallet_payout_tests {
     fn payout_lands_in_the_designated_wallet() {
         let mut p = Platform::new(PlatformConfig::paper());
         let mut rng = SimRng::seed_from_u64(61);
-        let system =
-            IoTSystem::build("fw", "1", p.library(), vec![VulnId(1)], &mut rng).unwrap();
+        let system = IoTSystem::build("fw", "1", p.library(), vec![VulnId(1)], &mut rng).unwrap();
         let sra_id = p
             .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
             .unwrap();

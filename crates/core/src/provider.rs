@@ -125,7 +125,11 @@ mod tests {
 
     #[test]
     fn ledger_balance() {
-        let ledger = ProviderLedger { income: 100.0, forfeited: 30.0, gas: 0.5 };
+        let ledger = ProviderLedger {
+            income: 100.0,
+            forfeited: 30.0,
+            gas: 0.5,
+        };
         assert!((ledger.balance() - 69.5).abs() < 1e-12);
         assert_eq!(ProviderLedger::default().balance(), 0.0);
     }

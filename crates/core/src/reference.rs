@@ -71,7 +71,9 @@ pub fn build_reference(
 ) -> BTreeMap<String, SystemDossier> {
     let mut by_name: BTreeMap<String, SystemDossier> = BTreeMap::new();
     for sra_id in platform.released_sras() {
-        let Some(sra) = platform.sra(&sra_id) else { continue };
+        let Some(sra) = platform.sra(&sra_id) else {
+            continue;
+        };
         let advisory = advise(platform, &sra_id, tolerance);
         let entry = VersionEntry {
             sra_id,

@@ -28,7 +28,10 @@ pub struct Findings {
 impl Findings {
     /// Creates findings over a set of vulnerability ids.
     pub fn new(vulnerabilities: Vec<VulnId>, notes: &str) -> Self {
-        Findings { vulnerabilities, notes: notes.to_string() }
+        Findings {
+            vulnerabilities,
+            notes: notes.to_string(),
+        }
     }
 
     /// Number of claimed vulnerabilities (`n_i` before recording).
@@ -56,7 +59,10 @@ impl Findings {
             vulnerabilities.push(VulnId(dec.take_u64()?));
         }
         let notes = dec.take_str()?.to_string();
-        Ok(Findings { vulnerabilities, notes })
+        Ok(Findings {
+            vulnerabilities,
+            notes,
+        })
     }
 }
 
@@ -168,12 +174,23 @@ impl InitialReport {
             let commitment = dec.take_array::<32>()?;
             let wallet = Address::from_bytes(dec.take_array::<20>()?);
             let id = dec.take_array::<32>()?;
-            let sig = Signature::from_bytes(&dec.take_array::<65>()?)
-                .map_err(|e| ChainError::Codec { detail: format!("bad signature: {e}") })?;
+            let sig =
+                Signature::from_bytes(&dec.take_array::<65>()?).map_err(|e| ChainError::Codec {
+                    detail: format!("bad signature: {e}"),
+                })?;
             dec.expect_end()?;
-            Ok(InitialReport { sra_id, detector, commitment, wallet, id, signature: sig })
+            Ok(InitialReport {
+                sra_id,
+                detector,
+                commitment,
+                wallet,
+                id,
+                signature: sig,
+            })
         };
-        inner().map_err(|e| CoreError::Payload { detail: e.to_string() })
+        inner().map_err(|e| CoreError::Payload {
+            detail: e.to_string(),
+        })
     }
 }
 
@@ -244,8 +261,7 @@ impl DetailedReport {
     /// - [`CoreError::PhaseMismatch`] when detector/SRA differ from `R†`;
     /// - [`CoreError::CommitmentMismatch`] when `H(R*) ≠ H_{R*}`.
     pub fn verify_against(&self, initial: &InitialReport) -> Result<(), CoreError> {
-        let expected =
-            Self::compute_id(&self.sra_id, &self.detector, &self.wallet, &self.findings);
+        let expected = Self::compute_id(&self.sra_id, &self.detector, &self.wallet, &self.findings);
         if expected != self.id {
             return Err(CoreError::DetailedReportIdMismatch);
         }
@@ -285,8 +301,10 @@ impl DetailedReport {
         let mut inner = || -> Result<DetailedReport, ChainError> {
             let unsigned = dec.take_bytes()?;
             let id = dec.take_array::<32>()?;
-            let sig = Signature::from_bytes(&dec.take_array::<65>()?)
-                .map_err(|e| ChainError::Codec { detail: format!("bad signature: {e}") })?;
+            let sig =
+                Signature::from_bytes(&dec.take_array::<65>()?).map_err(|e| ChainError::Codec {
+                    detail: format!("bad signature: {e}"),
+                })?;
             dec.expect_end()?;
             let mut udec = Decoder::new(unsigned);
             let sra_id = udec.take_array::<32>()?;
@@ -294,9 +312,18 @@ impl DetailedReport {
             let wallet = Address::from_bytes(udec.take_array::<20>()?);
             let findings = Findings::decode_from(&mut udec)?;
             udec.expect_end()?;
-            Ok(DetailedReport { sra_id, detector, wallet, findings, id, signature: sig })
+            Ok(DetailedReport {
+                sra_id,
+                detector,
+                wallet,
+                findings,
+                id,
+                signature: sig,
+            })
         };
-        inner().map_err(|e| CoreError::Payload { detail: e.to_string() })
+        inner().map_err(|e| CoreError::Payload {
+            detail: e.to_string(),
+        })
     }
 }
 
@@ -377,18 +404,18 @@ mod tests {
             Findings::new(vec![VulnId(99)], "own mediocre finding"),
         );
         // The thief's copy of A's findings:
-        let (_, stolen) = create_report_pair(
-            &thief,
-            *detailed_a.sra_id(),
-            detailed_a.findings().clone(),
-        );
+        let (_, stolen) =
+            create_report_pair(&thief, *detailed_a.sra_id(), detailed_a.findings().clone());
         // Stolen R* cannot verify against the thief's own earlier R†
         // (commitment mismatch), nor against A's R† (detector mismatch).
         assert_eq!(
             stolen.verify_against(&initial_b),
             Err(CoreError::CommitmentMismatch)
         );
-        assert_eq!(stolen.verify_against(&initial_a), Err(CoreError::PhaseMismatch));
+        assert_eq!(
+            stolen.verify_against(&initial_a),
+            Err(CoreError::PhaseMismatch)
+        );
     }
 
     #[test]
@@ -406,7 +433,10 @@ mod tests {
             &initial.wallet,
         );
         initial.id = fixed_id;
-        assert_eq!(initial.verify(), Err(CoreError::InitialReportSignatureInvalid));
+        assert_eq!(
+            initial.verify(),
+            Err(CoreError::InitialReportSignatureInvalid)
+        );
         let _ = detailed;
     }
 
@@ -425,7 +455,10 @@ mod tests {
     fn encode_decode_roundtrips() {
         let (_, initial, detailed) = pair();
         assert_eq!(InitialReport::decode(&initial.encode()).unwrap(), initial);
-        assert_eq!(DetailedReport::decode(&detailed.encode()).unwrap(), detailed);
+        assert_eq!(
+            DetailedReport::decode(&detailed.encode()).unwrap(),
+            detailed
+        );
     }
 
     #[test]
@@ -491,8 +524,7 @@ mod wallet_tests {
     #[test]
     fn default_pair_pays_the_detector_itself() {
         let kp = KeyPair::from_seed(b"solo");
-        let (initial, _) =
-            create_report_pair(&kp, [2u8; 32], Findings::new(vec![VulnId(1)], "x"));
+        let (initial, _) = create_report_pair(&kp, [2u8; 32], Findings::new(vec![VulnId(1)], "x"));
         assert_eq!(initial.wallet(), kp.address());
     }
 }

@@ -74,7 +74,10 @@ impl RetroMonitor {
     /// [`RetroMonitor::rescan`]). This is how a monitor bootstraps from a
     /// stored checkpoint after downtime.
     pub fn from_checkpoint(library_len: usize) -> Self {
-        RetroMonitor { seen_library_len: library_len, notified: HashSet::new() }
+        RetroMonitor {
+            seen_library_len: library_len,
+            notified: HashSet::new(),
+        }
     }
 
     /// Re-scans every released image against vulnerabilities published
@@ -96,11 +99,11 @@ impl RetroMonitor {
         }
         let mut out = Vec::new();
         for sra_id in platform.released_sras() {
-            let Some(system) = platform.download_image(&sra_id) else { continue };
+            let Some(system) = platform.download_image(&sra_id) else {
+                continue;
+            };
             for (vuln, severity, signature) in &new_entries {
-                if system.contains_signature(signature)
-                    && self.notified.insert((sra_id, *vuln))
-                {
+                if system.contains_signature(signature) && self.notified.insert((sra_id, *vuln)) {
                     out.push(RetroNotification {
                         sra_id,
                         system: format!("{} v{}", system.name(), system.version()),
@@ -150,8 +153,7 @@ mod tests {
         p.publish_vulnerability(future_entry);
         let mut rng = SimRng::seed_from_u64(8);
         let system =
-            IoTSystem::build("old-fw", "1.0", p.library(), vec![future_id], &mut rng)
-                .unwrap();
+            IoTSystem::build("old-fw", "1.0", p.library(), vec![future_id], &mut rng).unwrap();
         let sra_id = p
             .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
             .unwrap();
@@ -198,8 +200,7 @@ mod tests {
     fn unaffected_releases_stay_quiet() {
         let mut p = Platform::new(PlatformConfig::paper());
         let mut rng = SimRng::seed_from_u64(9);
-        let clean = IoTSystem::build("clean-fw", "1.0", p.library(), vec![], &mut rng)
-            .unwrap();
+        let clean = IoTSystem::build("clean-fw", "1.0", p.library(), vec![], &mut rng).unwrap();
         p.release_system(0, clean, Ether::from_ether(1000), Ether::from_ether(25))
             .unwrap();
         let mut monitor = RetroMonitor::new(&p);

@@ -189,8 +189,8 @@ impl Sra {
         if expected != self.id {
             return Err(CoreError::SraIdMismatch);
         }
-        let pk =
-            recover_public_key(&self.id, &self.signature).map_err(|_| CoreError::SraSignatureInvalid)?;
+        let pk = recover_public_key(&self.id, &self.signature)
+            .map_err(|_| CoreError::SraSignatureInvalid)?;
         if pk.address() != self.provider {
             return Err(CoreError::SraSignatureInvalid);
         }
@@ -237,7 +237,9 @@ impl Sra {
             let sig_bytes = dec.take_array::<65>()?;
             dec.expect_end()?;
             let signature = Signature::from_bytes(&sig_bytes).map_err(|e| {
-                smartcrowd_chain::ChainError::Codec { detail: format!("bad signature: {e}") }
+                smartcrowd_chain::ChainError::Codec {
+                    detail: format!("bad signature: {e}"),
+                }
             })?;
             Ok(Sra {
                 provider,
@@ -251,7 +253,9 @@ impl Sra {
                 signature,
             })
         };
-        inner().map_err(|e| CoreError::Payload { detail: e.to_string() })
+        inner().map_err(|e| CoreError::Payload {
+            detail: e.to_string(),
+        })
     }
 }
 
@@ -338,7 +342,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(matches!(Sra::decode(&[1, 2, 3]), Err(CoreError::Payload { .. })));
+        assert!(matches!(
+            Sra::decode(&[1, 2, 3]),
+            Err(CoreError::Payload { .. })
+        ));
         let (_, sra) = sample();
         let mut bytes = sra.encode();
         bytes.truncate(bytes.len() - 10);
@@ -348,8 +355,24 @@ mod tests {
     #[test]
     fn distinct_releases_distinct_ids() {
         let kp = KeyPair::from_seed(b"p");
-        let a = Sra::create(&kp, "fw", "1.0", [1; 32], "l", Ether::from_ether(1), Ether::ZERO);
-        let b = Sra::create(&kp, "fw", "1.1", [1; 32], "l", Ether::from_ether(1), Ether::ZERO);
+        let a = Sra::create(
+            &kp,
+            "fw",
+            "1.0",
+            [1; 32],
+            "l",
+            Ether::from_ether(1),
+            Ether::ZERO,
+        );
+        let b = Sra::create(
+            &kp,
+            "fw",
+            "1.1",
+            [1; 32],
+            "l",
+            Ether::from_ether(1),
+            Ether::ZERO,
+        );
         assert_ne!(a.id(), b.id());
     }
 }

@@ -66,7 +66,9 @@ pub fn verify_detailed(
         if let Some(board) = scoreboard {
             board.record_strike(detailed.detector());
         }
-        Err(CoreError::AutoVerifFailed { rejected: rejected.iter().map(|v| v.0).collect() })
+        Err(CoreError::AutoVerifFailed {
+            rejected: rejected.iter().map(|v| v.0).collect(),
+        })
     }
 }
 
@@ -104,9 +106,7 @@ mod tests {
         );
         let mut board = Scoreboard::default();
         assert!(verify_initial(&initial, Some(&board)).is_ok());
-        assert!(
-            verify_detailed(&detailed, &initial, &sys, &verifier, Some(&mut board)).is_ok()
-        );
+        assert!(verify_detailed(&detailed, &initial, &sys, &verifier, Some(&mut board)).is_ok());
         assert_eq!(board.score(&kp.address()).confirmed, 1);
         assert_eq!(board.score(&kp.address()).strikes, 0);
     }
@@ -116,11 +116,8 @@ mod tests {
         let (lib, sys, kp) = setup();
         let verifier = AutoVerifier::new(&lib);
         // Claims a vulnerability that is not in the artifact.
-        let (initial, detailed) = create_report_pair(
-            &kp,
-            [7; 32],
-            Findings::new(vec![VulnId(20)], "made up"),
-        );
+        let (initial, detailed) =
+            create_report_pair(&kp, [7; 32], Findings::new(vec![VulnId(20)], "made up"));
         let mut board = Scoreboard::default();
         let err =
             verify_detailed(&detailed, &initial, &sys, &verifier, Some(&mut board)).unwrap_err();
@@ -131,8 +128,7 @@ mod tests {
     #[test]
     fn isolated_detector_rejected_at_phase_one() {
         let (_, _, kp) = setup();
-        let (initial, _) =
-            create_report_pair(&kp, [7; 32], Findings::new(vec![VulnId(1)], ""));
+        let (initial, _) = create_report_pair(&kp, [7; 32], Findings::new(vec![VulnId(1)], ""));
         let mut board = Scoreboard::new(1);
         board.record_strike(kp.address());
         assert_eq!(
@@ -154,12 +150,14 @@ mod tests {
                 [round as u8; 32],
                 Findings::new(vec![VulnId(25)], "forged"),
             );
-            assert!(verify_initial(&initial, Some(&board)).is_ok(), "round {round}");
+            assert!(
+                verify_initial(&initial, Some(&board)).is_ok(),
+                "round {round}"
+            );
             let _ = verify_detailed(&detailed, &initial, &sys, &verifier, Some(&mut board));
         }
         // Fourth submission is filtered before any work happens.
-        let (initial, _) =
-            create_report_pair(&kp, [9; 32], Findings::new(vec![VulnId(1)], ""));
+        let (initial, _) = create_report_pair(&kp, [9; 32], Findings::new(vec![VulnId(1)], ""));
         assert_eq!(
             verify_initial(&initial, Some(&board)),
             Err(CoreError::DetectorIsolated)
@@ -176,6 +174,11 @@ mod tests {
             Findings::new(vec![VulnId(1), VulnId(21), VulnId(22)], "mixed"),
         );
         let err = verify_detailed(&detailed, &initial, &sys, &verifier, None).unwrap_err();
-        assert_eq!(err, CoreError::AutoVerifFailed { rejected: vec![21, 22] });
+        assert_eq!(
+            err,
+            CoreError::AutoVerifFailed {
+                rejected: vec![21, 22]
+            }
+        );
     }
 }

@@ -14,9 +14,7 @@ fn arb_findings() -> impl Strategy<Value = Findings> {
         proptest::collection::vec(1u64..10_000, 0..12),
         "[ -~]{0,60}",
     )
-        .prop_map(|(ids, notes)| {
-            Findings::new(ids.into_iter().map(VulnId).collect(), &notes)
-        })
+        .prop_map(|(ids, notes)| Findings::new(ids.into_iter().map(VulnId).collect(), &notes))
 }
 
 proptest! {
@@ -71,9 +69,9 @@ proptest! {
         let mut bytes = detailed.encode();
         let idx = flip_byte as usize % bytes.len();
         bytes[idx] ^= 0x01;
-        match DetailedReport::decode(&bytes) {
-            Ok(t) => prop_assert!(t.verify_against(&initial).is_err()),
-            Err(_) => {} // undecodable is also caught
+        // Undecodable (Err) is also caught.
+        if let Ok(t) = DetailedReport::decode(&bytes) {
+            prop_assert!(t.verify_against(&initial).is_err());
         }
     }
 

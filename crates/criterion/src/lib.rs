@@ -1,0 +1,213 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The container this workspace builds in has no network access, so the
+//! real crates-io `criterion` cannot be fetched. This crate implements the
+//! small API surface the benches in `crates/bench/benches/` use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`criterion_group!`],
+//! [`criterion_main!`] and a [`black_box`] re-export — with a simple
+//! warmup-then-sample measurement loop. Reported numbers are median
+//! per-iteration wall times; there is no statistical regression analysis,
+//! plotting, or baseline comparison.
+//!
+//! Swapping the real criterion back in requires no source changes to the
+//! benches: only the workspace dependency entry points elsewhere.
+
+// Wall-clock timing is this crate's entire purpose; the workspace-wide ban
+// on `Instant::now` (which keeps the protocol crates deterministic) does
+// not apply to the benchmark harness itself.
+#![allow(clippy::disallowed_methods)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long to spin before measuring, amortising cache/branch warmup.
+const WARMUP: Duration = Duration::from_millis(300);
+/// Wall-clock budget for the measurement phase of one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_secs(2);
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark: warm up, calibrate iterations-per-sample, take
+    /// timed samples, and print a median/min/max summary line.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            },
+        };
+        // Warmup: run the routine repeatedly until the budget elapses.
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < WARMUP {
+            routine(&mut bencher);
+        }
+        // Calibrate iterations-per-sample from warmup timing so each
+        // sample is long enough to be meaningful but short enough that
+        // `sample_size` samples fit in the measurement budget.
+        let per_iter = match bencher.mode {
+            Mode::Calibrate { elapsed, iters } if iters > 0 => elapsed.as_secs_f64() / iters as f64,
+            _ => 1e-9,
+        };
+        let per_sample = MEASURE_BUDGET.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            bencher.mode = Mode::Measure {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut bencher);
+            if let Mode::Measure { elapsed, iters } = bencher.mode {
+                samples.push(elapsed.as_secs_f64() / iters as f64);
+            }
+            // Heavy benches (e2e rounds) may blow the budget; cap wall time.
+            if measure_start.elapsed() > MEASURE_BUDGET * 4 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = samples[samples.len() / 2];
+        let (min, max) = (samples[0], samples[samples.len() - 1]);
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples x {iters_per_sample} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max),
+            samples.len(),
+        );
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Warmup pass: accumulate total elapsed time and iteration count.
+    Calibrate { elapsed: Duration, iters: u64 },
+    /// Timed pass: run exactly `iters` iterations and record the elapsed time.
+    Measure { iters: u64, elapsed: Duration },
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`]; call
+/// [`Bencher::iter`] exactly once per invocation with the code under test.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times `inner`, discarding its output via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        match self.mode {
+            Mode::Calibrate { elapsed, iters } => {
+                let start = Instant::now();
+                black_box(inner());
+                self.mode = Mode::Calibrate {
+                    elapsed: elapsed + start.elapsed(),
+                    iters: iters + 1,
+                };
+            }
+            Mode::Measure { iters, .. } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(inner());
+                }
+                self.mode = Mode::Measure {
+                    iters,
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two
+/// accepted forms (positional and `name`/`config`/`targets`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Expands to `fn main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0u64;
+        c.bench_function("shim/self-test", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn fmt_time_picks_sensible_units() {
+        assert!(fmt_time(2.0).ends_with('s'));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-9).ends_with("ns"));
+    }
+}

@@ -53,10 +53,16 @@ impl fmt::Display for CryptoError {
                 write!(f, "invalid length: expected {expected} bytes, got {actual}")
             }
             CryptoError::ScalarOutOfRange => {
-                write!(f, "scalar is zero or not less than the secp256k1 group order")
+                write!(
+                    f,
+                    "scalar is zero or not less than the secp256k1 group order"
+                )
             }
             CryptoError::FieldOutOfRange => {
-                write!(f, "field element is not less than the secp256k1 field prime")
+                write!(
+                    f,
+                    "field element is not less than the secp256k1 field prime"
+                )
             }
             CryptoError::PointNotOnCurve => write!(f, "point is not on the secp256k1 curve"),
             CryptoError::InvalidPublicKey => write!(f, "malformed public key encoding"),
@@ -80,7 +86,10 @@ mod tests {
         let variants: Vec<CryptoError> = vec![
             CryptoError::InvalidHex { position: Some(3) },
             CryptoError::InvalidHex { position: None },
-            CryptoError::InvalidLength { expected: 32, actual: 31 },
+            CryptoError::InvalidLength {
+                expected: 32,
+                actual: 31,
+            },
             CryptoError::ScalarOutOfRange,
             CryptoError::FieldOutOfRange,
             CryptoError::PointNotOnCurve,
@@ -102,7 +111,10 @@ mod tests {
 
     #[test]
     fn invalid_length_reports_both_sizes() {
-        let e = CryptoError::InvalidLength { expected: 64, actual: 65 };
+        let e = CryptoError::InvalidLength {
+            expected: 64,
+            actual: 65,
+        };
         let s = e.to_string();
         assert!(s.contains("64") && s.contains("65"));
     }

@@ -341,9 +341,8 @@ mod tests {
 
     #[test]
     fn add_wraps_at_p() {
-        let p_minus_1 = FieldElement::from_u256_reduced(
-            FieldElement::prime().wrapping_sub(&U256::ONE),
-        );
+        let p_minus_1 =
+            FieldElement::from_u256_reduced(FieldElement::prime().wrapping_sub(&U256::ONE));
         assert_eq!(p_minus_1.add(&FieldElement::ONE), FieldElement::ZERO);
         assert_eq!(p_minus_1.add(&FieldElement::from_u64(2)), FieldElement::ONE);
     }
@@ -415,9 +414,15 @@ mod tests {
     #[test]
     fn canonical_encoding_rejects_ge_p() {
         let bytes = U256::MAX.to_be_bytes();
-        assert_eq!(FieldElement::from_be_bytes(&bytes), Err(CryptoError::FieldOutOfRange));
+        assert_eq!(
+            FieldElement::from_be_bytes(&bytes),
+            Err(CryptoError::FieldOutOfRange)
+        );
         let p_bytes = FieldElement::prime().to_be_bytes();
-        assert_eq!(FieldElement::from_be_bytes(&p_bytes), Err(CryptoError::FieldOutOfRange));
+        assert_eq!(
+            FieldElement::from_be_bytes(&p_bytes),
+            Err(CryptoError::FieldOutOfRange)
+        );
         let ok = FieldElement::prime().wrapping_sub(&U256::ONE).to_be_bytes();
         assert!(FieldElement::from_be_bytes(&ok).is_ok());
     }

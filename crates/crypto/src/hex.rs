@@ -37,14 +37,16 @@ pub fn encode(bytes: &[u8]) -> String {
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
     let s = s.strip_prefix("0x").unwrap_or(s);
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(CryptoError::InvalidHex { position: None });
     }
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(s.len() / 2);
     for i in (0..bytes.len()).step_by(2) {
         let hi = nibble(bytes[i]).ok_or(CryptoError::InvalidHex { position: Some(i) })?;
-        let lo = nibble(bytes[i + 1]).ok_or(CryptoError::InvalidHex { position: Some(i + 1) })?;
+        let lo = nibble(bytes[i + 1]).ok_or(CryptoError::InvalidHex {
+            position: Some(i + 1),
+        })?;
         out.push((hi << 4) | lo);
     }
     Ok(out)
@@ -59,7 +61,10 @@ pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
 pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], CryptoError> {
     let v = decode(s)?;
     if v.len() != N {
-        return Err(CryptoError::InvalidLength { expected: N, actual: v.len() });
+        return Err(CryptoError::InvalidLength {
+            expected: N,
+            actual: v.len(),
+        });
     }
     let mut out = [0u8; N];
     out.copy_from_slice(&v);
@@ -99,13 +104,22 @@ mod tests {
 
     #[test]
     fn odd_length_rejected() {
-        assert_eq!(decode("abc"), Err(CryptoError::InvalidHex { position: None }));
+        assert_eq!(
+            decode("abc"),
+            Err(CryptoError::InvalidHex { position: None })
+        );
     }
 
     #[test]
     fn bad_character_position_reported() {
-        assert_eq!(decode("ab0g"), Err(CryptoError::InvalidHex { position: Some(3) }));
-        assert_eq!(decode("g0"), Err(CryptoError::InvalidHex { position: Some(0) }));
+        assert_eq!(
+            decode("ab0g"),
+            Err(CryptoError::InvalidHex { position: Some(3) })
+        );
+        assert_eq!(
+            decode("g0"),
+            Err(CryptoError::InvalidHex { position: Some(0) })
+        );
     }
 
     #[test]
@@ -113,6 +127,12 @@ mod tests {
         let ok: [u8; 2] = decode_array("beef").unwrap();
         assert_eq!(ok, [0xbe, 0xef]);
         let err = decode_array::<4>("beef");
-        assert_eq!(err, Err(CryptoError::InvalidLength { expected: 4, actual: 2 }));
+        assert_eq!(
+            err,
+            Err(CryptoError::InvalidLength {
+                expected: 4,
+                actual: 2
+            })
+        );
     }
 }

@@ -7,12 +7,30 @@
 //! Ethereum-compatible hash is required (addresses, `Δ_id`, `ID†`, `ID*`).
 
 const RC: [u64; 24] = [
-    0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
-    0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
-    0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
-    0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
-    0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
-    0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
 ];
 
 const RHO: [u32; 24] = [
@@ -178,12 +196,12 @@ mod tests {
         // 135, 136, 137 bytes cross the 136-byte rate boundary; verify the
         // sponge behaves consistently (distinct inputs → distinct digests,
         // stable across runs).
-        let a = keccak256(&vec![7u8; 135]);
-        let b = keccak256(&vec![7u8; 136]);
-        let c = keccak256(&vec![7u8; 137]);
+        let a = keccak256(&[7u8; 135]);
+        let b = keccak256(&[7u8; 136]);
+        let c = keccak256(&[7u8; 137]);
         assert_ne!(a, b);
         assert_ne!(b, c);
-        assert_eq!(keccak256(&vec![7u8; 136]), b);
+        assert_eq!(keccak256(&[7u8; 136]), b);
     }
 
     #[test]
@@ -193,7 +211,7 @@ mod tests {
         let d = keccak256(&zeros);
         // Self-consistency plus a structural check: not all-zero output.
         assert_ne!(d, [0u8; 32]);
-        assert_eq!(d, keccak256(&vec![0u8; 200]));
+        assert_eq!(d, keccak256(&[0u8; 200]));
     }
 
     #[test]

@@ -157,7 +157,10 @@ pub struct KeyPair {
 impl KeyPair {
     /// Builds a keypair from an existing private key.
     pub fn from_private(private: PrivateKey) -> Self {
-        KeyPair { private, public: private.public_key() }
+        KeyPair {
+            private,
+            public: private.public_key(),
+        }
     }
 
     /// Deterministic keypair from an arbitrary seed (see

@@ -108,11 +108,18 @@ impl MerkleTree {
         for level in &self.levels[..self.levels.len().saturating_sub(1)] {
             let sibling_index = i ^ 1;
             let sibling = *level.get(sibling_index).unwrap_or(&level[i]);
-            let side = if i % 2 == 0 { Side::Right } else { Side::Left };
+            let side = if i.is_multiple_of(2) {
+                Side::Right
+            } else {
+                Side::Left
+            };
             path.push((side, sibling));
             i /= 2;
         }
-        Some(MerkleProof { leaf_index: index, path })
+        Some(MerkleProof {
+            leaf_index: index,
+            path,
+        })
     }
 }
 

@@ -66,7 +66,11 @@ impl Jacobian {
     fn from_affine(p: &Point) -> Jacobian {
         match p {
             Point::Infinity => Jacobian::INFINITY,
-            Point::Affine { x, y } => Jacobian { x: *x, y: *y, z: FieldElement::ONE },
+            Point::Affine { x, y } => Jacobian {
+                x: *x,
+                y: *y,
+                z: FieldElement::ONE,
+            },
         }
     }
 
@@ -77,7 +81,10 @@ impl Jacobian {
         let zinv = self.z.invert();
         let zinv2 = zinv.square();
         let zinv3 = zinv2.mul(&zinv);
-        Point::Affine { x: self.x.mul(&zinv2), y: self.y.mul(&zinv3) }
+        Point::Affine {
+            x: self.x.mul(&zinv2),
+            y: self.y.mul(&zinv3),
+        }
     }
 
     /// Point doubling (dbl-2009-l formulas, `a = 0`).
@@ -102,7 +109,11 @@ impl Jacobian {
         let y3 = e.mul(&d.sub(&x3)).sub(&c8);
         let z3 = self.y.mul(&self.z);
         let z3 = z3.add(&z3);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General point addition (add-2007-bl formulas).
@@ -133,7 +144,11 @@ impl Jacobian {
         let x3 = r.square().sub(&hhh).sub(&v).sub(&v);
         let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&hhh));
         let z3 = self.z.mul(&other.z).mul(&h);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 }
 
@@ -221,7 +236,9 @@ impl Point {
 
     /// Point addition.
     pub fn add(&self, other: &Point) -> Point {
-        Jacobian::from_affine(self).add(&Jacobian::from_affine(other)).to_affine()
+        Jacobian::from_affine(self)
+            .add(&Jacobian::from_affine(other))
+            .to_affine()
     }
 
     /// Point doubling.
@@ -365,17 +382,17 @@ impl Point {
                 let mut yb = [0u8; 32];
                 xb.copy_from_slice(&bytes[1..33]);
                 yb.copy_from_slice(&bytes[33..65]);
-                let x = FieldElement::from_be_bytes(&xb)
-                    .map_err(|_| CryptoError::InvalidPublicKey)?;
-                let y = FieldElement::from_be_bytes(&yb)
-                    .map_err(|_| CryptoError::InvalidPublicKey)?;
+                let x =
+                    FieldElement::from_be_bytes(&xb).map_err(|_| CryptoError::InvalidPublicKey)?;
+                let y =
+                    FieldElement::from_be_bytes(&yb).map_err(|_| CryptoError::InvalidPublicKey)?;
                 Point::from_coordinates(x, y)
             }
             Some(tag @ (0x02 | 0x03)) if bytes.len() == 33 => {
                 let mut xb = [0u8; 32];
                 xb.copy_from_slice(&bytes[1..33]);
-                let x = FieldElement::from_be_bytes(&xb)
-                    .map_err(|_| CryptoError::InvalidPublicKey)?;
+                let x =
+                    FieldElement::from_be_bytes(&xb).map_err(|_| CryptoError::InvalidPublicKey)?;
                 let rhs = x.square().mul(&x).add(&FieldElement::from_u64(B));
                 let y = rhs.sqrt().ok_or(CryptoError::PointNotOnCurve)?;
                 let want_odd = *tag == 0x03;

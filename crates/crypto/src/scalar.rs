@@ -174,7 +174,10 @@ mod tests {
     #[test]
     fn canonical_parse_rejects_out_of_range() {
         let n_bytes = Scalar::order().to_be_bytes();
-        assert_eq!(Scalar::from_be_bytes(&n_bytes), Err(CryptoError::ScalarOutOfRange));
+        assert_eq!(
+            Scalar::from_be_bytes(&n_bytes),
+            Err(CryptoError::ScalarOutOfRange)
+        );
         assert_eq!(
             Scalar::from_be_bytes_nonzero(&[0u8; 32]),
             Err(CryptoError::ScalarOutOfRange)

@@ -75,14 +75,21 @@ impl Default for Sha256 {
 
 impl std::fmt::Debug for Sha256 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sha256").field("total_len", &self.total_len).finish()
+        f.debug_struct("Sha256")
+            .field("total_len", &self.total_len)
+            .finish()
     }
 }
 
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, buffer: [0u8; 64], buffer_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data`.
@@ -203,7 +210,9 @@ mod tests {
     #[test]
     fn nist_448_bits() {
         assert_eq!(
-            hx(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hx(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

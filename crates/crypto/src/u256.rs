@@ -89,7 +89,10 @@ impl U256 {
     pub fn from_hex(s: &str) -> Result<Self, CryptoError> {
         let s = s.strip_prefix("0x").unwrap_or(s);
         if s.len() > 64 {
-            return Err(CryptoError::InvalidLength { expected: 64, actual: s.len() });
+            return Err(CryptoError::InvalidLength {
+                expected: 64,
+                actual: s.len(),
+            });
         }
         let padded = format!("{s:0>64}");
         let bytes = hex::decode_array::<32>(&padded)?;
@@ -146,10 +149,10 @@ impl U256 {
     pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *slot = s2;
             carry = c1 | c2;
         }
         (U256(out), carry)
@@ -172,10 +175,10 @@ impl U256 {
     pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
+            *slot = d2;
             borrow = b1 | b2;
         }
         (U256(out), borrow)
@@ -201,9 +204,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let acc = out[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let acc = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 out[i + j] = acc as u64;
                 carry = acc >> 64;
             }
@@ -254,12 +255,12 @@ impl U256 {
         let limb_shift = n / 64;
         let bit_shift = n % 64;
         let mut out = [0u64; 4];
-        for i in 0..(4 - limb_shift) {
+        for (i, slot) in out.iter_mut().enumerate().take(4 - limb_shift) {
             let mut v = self.0[i + limb_shift] >> bit_shift;
             if bit_shift > 0 && i + limb_shift + 1 < 4 {
                 v |= self.0[i + limb_shift + 1] << (64 - bit_shift);
             }
-            out[i] = v;
+            *slot = v;
         }
         U256(out)
     }
@@ -355,8 +356,9 @@ mod tests {
 
     #[test]
     fn be_bytes_roundtrip() {
-        let v = U256::from_hex("0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20")
-            .unwrap();
+        let v =
+            U256::from_hex("0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20")
+                .unwrap();
         assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
         assert_eq!(v.to_be_bytes()[0], 0x01);
         assert_eq!(v.to_be_bytes()[31], 0x20);
@@ -373,7 +375,10 @@ mod tests {
     #[test]
     fn hex_too_long_rejected() {
         let s = "1".repeat(65);
-        assert!(matches!(U256::from_hex(&s), Err(CryptoError::InvalidLength { .. })));
+        assert!(matches!(
+            U256::from_hex(&s),
+            Err(CryptoError::InvalidLength { .. })
+        ));
     }
 
     #[test]

@@ -68,9 +68,8 @@ fn well_known_ethereum_test_addresses() {
     let sk =
         hex::decode_array::<32>("ac0974bec39a17e36ba4a6b4d238ff944bacb478cbed5efcae784d7bf4f2ff80")
             .unwrap();
-    let kp = KeyPair::from_private(
-        smartcrowd_crypto::keys::PrivateKey::from_be_bytes(&sk).unwrap(),
-    );
+    let kp =
+        KeyPair::from_private(smartcrowd_crypto::keys::PrivateKey::from_be_bytes(&sk).unwrap());
     assert_eq!(
         kp.address().to_string(),
         "0xf39fd6e51aad88f6f4ce6ab8827279cfffb92266"

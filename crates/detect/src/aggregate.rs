@@ -18,9 +18,34 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Words carrying no identity for matching purposes.
 const STOP_WORDS: &[&str] = &[
-    "a", "an", "the", "in", "on", "of", "to", "is", "was", "were", "via", "with", "and",
-    "or", "by", "for", "at", "this", "that", "has", "have", "its", "bug", "bugs",
-    "issue", "issues", "vulnerability", "flaw",
+    "a",
+    "an",
+    "the",
+    "in",
+    "on",
+    "of",
+    "to",
+    "is",
+    "was",
+    "were",
+    "via",
+    "with",
+    "and",
+    "or",
+    "by",
+    "for",
+    "at",
+    "this",
+    "that",
+    "has",
+    "have",
+    "its",
+    "bug",
+    "bugs",
+    "issue",
+    "issues",
+    "vulnerability",
+    "flaw",
 ];
 
 /// Normalizes a free-text description into a canonical matching key.
@@ -37,11 +62,17 @@ const STOP_WORDS: &[&str] = &[
 pub fn canonical_key(description: &str) -> String {
     let mut tokens: Vec<String> = description
         .chars()
-        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { ' ' })
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                ' '
+            }
+        })
         .collect::<String>()
         .split_whitespace()
         .filter(|t| !STOP_WORDS.contains(t))
-        .map(|t| stem(t))
+        .map(stem)
         .collect();
     tokens.sort();
     tokens.dedup();
@@ -163,8 +194,7 @@ mod tests {
             "buffer overflows via RTSP parser",
             "The RTSP Parser has a buffer overflow bug",
         ];
-        let keys: BTreeSet<String> =
-            variants.iter().map(|v| canonical_key(v)).collect();
+        let keys: BTreeSet<String> = variants.iter().map(|v| canonical_key(v)).collect();
         assert_eq!(keys.len(), 1, "all paraphrases collapse: {keys:?}");
     }
 
@@ -189,7 +219,11 @@ mod tests {
             .unwrap();
         assert_eq!(overflow.reporters.len(), 2);
         assert_eq!(overflow.wordings.len(), 2);
-        assert_eq!(overflow.resolved_id, Some(VulnId(3)), "id resolved from alice");
+        assert_eq!(
+            overflow.resolved_id,
+            Some(VulnId(3)),
+            "id resolved from alice"
+        );
         assert_eq!(agg.findings_of("bob"), 2);
         assert_eq!(agg.findings_of("alice"), 1);
         assert_eq!(agg.findings_of("nobody"), 0);

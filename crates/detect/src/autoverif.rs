@@ -124,7 +124,10 @@ mod tests {
         // "Simply submitting a forged detection report will make AutoVerif
         // output FALSE" (§V-C).
         assert!(!v.auto_verif(&sys, &[VulnId(20)]));
-        assert!(!v.auto_verif(&sys, &[VulnId(1), VulnId(20)]), "one forgery poisons the report");
+        assert!(
+            !v.auto_verif(&sys, &[VulnId(1), VulnId(20)]),
+            "one forgery poisons the report"
+        );
     }
 
     #[test]
@@ -138,7 +141,10 @@ mod tests {
     fn unknown_id_is_distinguished() {
         let (lib, sys) = setup();
         let v = AutoVerifier::new(&lib);
-        assert_eq!(v.verify_claim(&sys, VulnId(9999)), Verdict::UnknownVulnerability);
+        assert_eq!(
+            v.verify_claim(&sys, VulnId(9999)),
+            Verdict::UnknownVulnerability
+        );
         assert_eq!(v.verify_claim(&sys, VulnId(25)), Verdict::NotPresent);
     }
 

@@ -19,7 +19,9 @@ pub struct DetectionCapability {
 impl DetectionCapability {
     /// Creates a capability, clamped to `[0, 1]`.
     pub fn new(dc: f64) -> Self {
-        DetectionCapability { dc: dc.clamp(0.0, 1.0) }
+        DetectionCapability {
+            dc: dc.clamp(0.0, 1.0),
+        }
     }
 
     /// The paper's thread-count mapping: `threads/8 × base` for the 1–8
@@ -82,7 +84,12 @@ impl CapabilityPool {
             return vec![0.0; self.capabilities.len()];
         }
         // Probability at least one detector finds the vulnerability.
-        let p_any = 1.0 - self.capabilities.iter().map(|c| 1.0 - c.dc).product::<f64>();
+        let p_any = 1.0
+            - self
+                .capabilities
+                .iter()
+                .map(|c| 1.0 - c.dc)
+                .product::<f64>();
         self.capabilities
             .iter()
             .map(|c| p_any * c.dc / total)
@@ -113,7 +120,11 @@ impl CapabilityPool {
     /// Probability that at least one detector catches a given vulnerability
     /// — the platform-level coverage consumers experience.
     pub fn coverage(&self) -> f64 {
-        1.0 - self.capabilities.iter().map(|c| 1.0 - c.dc).product::<f64>()
+        1.0 - self
+            .capabilities
+            .iter()
+            .map(|c| 1.0 - c.dc)
+            .product::<f64>()
     }
 }
 

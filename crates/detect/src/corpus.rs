@@ -18,20 +18,26 @@ use smartcrowd_chain::rng::SimRng;
 use std::collections::BTreeSet;
 
 /// The six third-party services of Table I.
-pub const SCANNER_NAMES: [&str; 6] =
-    ["VirusTotal", "Quixxi", "Andrototal", "jaq.alibaba", "Ostorlab", "htbridge"];
+pub const SCANNER_NAMES: [&str; 6] = [
+    "VirusTotal",
+    "Quixxi",
+    "Andrototal",
+    "jaq.alibaba",
+    "Ostorlab",
+    "htbridge",
+];
 
 /// The two scanned apps of Table I.
 pub const APP_NAMES: [&str; 2] = ["Samsung Connect", "Samsung Smart Home"];
 
 /// Published Table-I counts: `EXPECTED[scanner][app] = (high, medium, low)`.
 pub const EXPECTED: [[(usize, usize, usize); 2]; 6] = [
-    [(0, 0, 0), (0, 0, 0)],    // VirusTotal
-    [(4, 6, 3), (3, 8, 4)],    // Quixxi
-    [(0, 0, 0), (0, 0, 0)],    // Andrototal
+    [(0, 0, 0), (0, 0, 0)],      // VirusTotal
+    [(4, 6, 3), (3, 8, 4)],      // Quixxi
+    [(0, 0, 0), (0, 0, 0)],      // Andrototal
     [(1, 14, 32), (21, 46, 55)], // jaq.alibaba
-    [(0, 2, 0), (0, 2, 2)],    // Ostorlab
-    [(1, 6, 5), (1, 4, 6)],    // htbridge
+    [(0, 2, 0), (0, 2, 2)],      // Ostorlab
+    [(1, 6, 5), (1, 4, 6)],      // htbridge
 ];
 
 /// A fully constructed Table-I scenario.
@@ -69,8 +75,9 @@ impl Table1Setup {
         let mut pools: Vec<Vec<Vec<VulnId>>> = Vec::new();
         for app in 0..2 {
             let mut app_pools = Vec::new();
-            for (sev_idx, severity) in
-                [Severity::High, Severity::Medium, Severity::Low].iter().enumerate()
+            for (sev_idx, severity) in [Severity::High, Severity::Medium, Severity::Low]
+                .iter()
+                .enumerate()
             {
                 let counts: Vec<usize> = EXPECTED
                     .iter()
@@ -121,14 +128,17 @@ impl Table1Setup {
         // scanner could make is really present in the image).
         let mut apps = Vec::with_capacity(2);
         for (app, name) in APP_NAMES.iter().enumerate() {
-            let ground_truth: Vec<VulnId> =
-                pools[app].iter().flatten().copied().collect();
+            let ground_truth: Vec<VulnId> = pools[app].iter().flatten().copied().collect();
             let sys = IoTSystem::build(name, "2018.11", &library, ground_truth, &mut rng)
                 .expect("pool ids are all in the library");
             apps.push(sys);
         }
 
-        Table1Setup { library, apps, scanners }
+        Table1Setup {
+            library,
+            apps,
+            scanners,
+        }
     }
 
     /// Runs every scanner over every app and returns
@@ -151,8 +161,11 @@ impl Table1Setup {
     /// Mean pairwise Jaccard overlap between non-empty scanner coverages —
     /// the "partially overlapped" statistic the table demonstrates.
     pub fn mean_pairwise_overlap(&self) -> f64 {
-        let nonempty: Vec<&Scanner> =
-            self.scanners.iter().filter(|s| !s.coverage().is_empty()).collect();
+        let nonempty: Vec<&Scanner> = self
+            .scanners
+            .iter()
+            .filter(|s| !s.coverage().is_empty())
+            .collect();
         let mut total = 0.0;
         let mut pairs = 0usize;
         for i in 0..nonempty.len() {
@@ -211,9 +224,18 @@ mod tests {
     #[test]
     fn zero_coverage_scanners_match_paper() {
         let setup = Table1Setup::build(2019);
-        assert!(setup.scanners[0].coverage().is_empty(), "VirusTotal row is all zeros");
-        assert!(setup.scanners[2].coverage().is_empty(), "Andrototal row is all zeros");
-        assert!(!setup.scanners[3].coverage().is_empty(), "jaq.alibaba finds plenty");
+        assert!(
+            setup.scanners[0].coverage().is_empty(),
+            "VirusTotal row is all zeros"
+        );
+        assert!(
+            setup.scanners[2].coverage().is_empty(),
+            "Andrototal row is all zeros"
+        );
+        assert!(
+            !setup.scanners[3].coverage().is_empty(),
+            "jaq.alibaba finds plenty"
+        );
     }
 
     #[test]

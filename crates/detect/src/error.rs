@@ -36,8 +36,14 @@ impl fmt::Display for DetectError {
             DetectError::ImageHashMismatch => {
                 write!(f, "firmware image hash does not match the announced U_h")
             }
-            DetectError::SampleTooLarge { requested, available } => {
-                write!(f, "cannot sample {requested} items from a population of {available}")
+            DetectError::SampleTooLarge {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "cannot sample {requested} items from a population of {available}"
+                )
             }
             DetectError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
         }
@@ -55,7 +61,10 @@ mod tests {
         for e in [
             DetectError::UnknownVulnerability { id: 7 },
             DetectError::ImageHashMismatch,
-            DetectError::SampleTooLarge { requested: 5, available: 3 },
+            DetectError::SampleTooLarge {
+                requested: 5,
+                available: 3,
+            },
             DetectError::InvalidConfig { detail: "x".into() },
         ] {
             assert!(!e.to_string().is_empty());

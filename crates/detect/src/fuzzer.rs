@@ -88,7 +88,9 @@ pub struct Fuzzer {
 impl Fuzzer {
     /// Creates a fuzzer with a campaign seed.
     pub fn new(seed: u64) -> Self {
-        Fuzzer { rng: SimRng::seed_from_u64(seed) }
+        Fuzzer {
+            rng: SimRng::seed_from_u64(seed),
+        }
     }
 
     /// Runs up to `budget` executions against `target`, stopping early when
@@ -192,7 +194,9 @@ mod tests {
         // On average, High entries are harder than Low ones.
         let mean = |sev: Severity| {
             let ids = lib.ids_by_severity(sev);
-            ids.iter().map(|&i| trigger_difficulty(&lib, i)).sum::<u64>() as f64
+            ids.iter()
+                .map(|&i| trigger_difficulty(&lib, i))
+                .sum::<u64>() as f64
                 / ids.len() as f64
         };
         assert!(mean(Severity::High) > mean(Severity::Low));

@@ -32,7 +32,10 @@ impl VulnLibrary {
     pub fn from_entries(entries: Vec<Vulnerability>) -> Self {
         let ordered_ids = entries.iter().map(|v| v.id).collect();
         let entries = entries.into_iter().map(|v| (v.id, v)).collect();
-        VulnLibrary { entries, ordered_ids }
+        VulnLibrary {
+            entries,
+            ordered_ids,
+        }
     }
 
     /// Generates `size` synthetic entries. Severity follows the roughly
@@ -100,12 +103,15 @@ impl VulnLibrary {
     ///
     /// Returns [`DetectError::UnknownVulnerability`].
     pub fn require(&self, id: VulnId) -> Result<&Vulnerability, DetectError> {
-        self.get(id).ok_or(DetectError::UnknownVulnerability { id: id.0 })
+        self.get(id)
+            .ok_or(DetectError::UnknownVulnerability { id: id.0 })
     }
 
     /// Iterates entries in id order.
     pub fn entries(&self) -> impl Iterator<Item = &Vulnerability> + '_ {
-        self.ordered_ids.iter().filter_map(move |id| self.entries.get(id))
+        self.ordered_ids
+            .iter()
+            .filter_map(move |id| self.entries.get(id))
     }
 
     /// All ids of a given severity.

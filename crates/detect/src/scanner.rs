@@ -29,8 +29,12 @@ pub struct ScanReport {
 impl ScanReport {
     /// All reported ids (true and false findings merged, sorted).
     pub fn reported(&self) -> Vec<VulnId> {
-        let mut all: Vec<VulnId> =
-            self.found.iter().chain(&self.false_positives).copied().collect();
+        let mut all: Vec<VulnId> = self
+            .found
+            .iter()
+            .chain(&self.false_positives)
+            .copied()
+            .collect();
         all.sort();
         all.dedup();
         all
@@ -120,7 +124,9 @@ impl Scanner {
         let mut found = Vec::new();
         let mut false_positives = Vec::new();
         for id in &self.coverage {
-            let Some(vuln) = library.get(*id) else { continue };
+            let Some(vuln) = library.get(*id) else {
+                continue;
+            };
             if system.contains_signature(&vuln.signature()) {
                 if rng.next_bool(self.detection_rate) {
                     found.push(*id);

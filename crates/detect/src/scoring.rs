@@ -112,12 +112,8 @@ mod tests {
     #[test]
     fn severity_orders_scores() {
         let c = Category::MemorySafety;
-        assert!(
-            risk_score(&vuln(Severity::High, c)) > risk_score(&vuln(Severity::Medium, c))
-        );
-        assert!(
-            risk_score(&vuln(Severity::Medium, c)) > risk_score(&vuln(Severity::Low, c))
-        );
+        assert!(risk_score(&vuln(Severity::High, c)) > risk_score(&vuln(Severity::Medium, c)));
+        assert!(risk_score(&vuln(Severity::Medium, c)) > risk_score(&vuln(Severity::Low, c)));
     }
 
     #[test]
@@ -131,8 +127,9 @@ mod tests {
     #[test]
     fn aggregate_is_anchored_by_the_worst_finding() {
         let critical = vuln(Severity::High, Category::RepackagedMalware);
-        let lows: Vec<Vulnerability> =
-            (0..20).map(|_| vuln(Severity::Low, Category::InfoLeak)).collect();
+        let lows: Vec<Vulnerability> = (0..20)
+            .map(|_| vuln(Severity::Low, Category::InfoLeak))
+            .collect();
         let mut with_lows: Vec<&Vulnerability> = lows.iter().collect();
         let many_lows = aggregate_risk(&with_lows);
         with_lows.push(&critical);

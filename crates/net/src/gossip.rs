@@ -31,7 +31,11 @@ pub struct LinkConfig {
 impl Default for LinkConfig {
     fn default() -> Self {
         // LAN-ish defaults comparable to the paper's single-host testbed.
-        LinkConfig { base_latency: 0.05, jitter: 0.05, drop_rate: 0.0 }
+        LinkConfig {
+            base_latency: 0.05,
+            jitter: 0.05,
+            drop_rate: 0.0,
+        }
     }
 }
 
@@ -231,7 +235,12 @@ impl GossipNet {
     pub fn step(&mut self) -> Option<Delivery> {
         let q = self.queue.pop()?;
         self.clock = self.clock.max(q.at);
-        Some(Delivery { at: q.at, from: q.from, to: q.to, message: q.message })
+        Some(Delivery {
+            at: q.at,
+            from: q.from,
+            to: q.to,
+            message: q.message,
+        })
     }
 
     /// Delivers everything scheduled up to time `t`, advancing the clock
@@ -270,12 +279,18 @@ mod tests {
     use super::*;
 
     fn msg() -> Message {
-        Message::ImageRequest { image_hash: [7u8; 32] }
+        Message::ImageRequest {
+            image_hash: [7u8; 32],
+        }
     }
 
     fn net(drop: f64) -> GossipNet {
         GossipNet::new(
-            LinkConfig { base_latency: 0.1, jitter: 0.05, drop_rate: drop },
+            LinkConfig {
+                base_latency: 0.1,
+                jitter: 0.05,
+                drop_rate: drop,
+            },
             99,
         )
     }

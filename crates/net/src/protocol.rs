@@ -73,8 +73,7 @@ mod tests {
     #[test]
     fn tags_and_sizes() {
         let kp = KeyPair::from_seed(b"n");
-        let record =
-            Record::signed(RecordKind::Transfer, vec![1, 2, 3], Ether::ZERO, 0, &kp);
+        let record = Record::signed(RecordKind::Transfer, vec![1, 2, 3], Ether::ZERO, 0, &kp);
         let m = Message::Record(record);
         assert_eq!(m.tag(), "record");
         assert!(m.wire_size() > 90);
@@ -83,9 +82,14 @@ mod tests {
         assert_eq!(b.tag(), "block");
         assert!(b.wire_size() > 50);
 
-        let req = Message::ImageRequest { image_hash: [0u8; 32] };
+        let req = Message::ImageRequest {
+            image_hash: [0u8; 32],
+        };
         assert_eq!(req.wire_size(), 32);
-        let resp = Message::ImageResponse { image_hash: [0u8; 32], image: vec![0; 100] };
+        let resp = Message::ImageResponse {
+            image_hash: [0u8; 32],
+            image: vec![0; 100],
+        };
         assert_eq!(resp.wire_size(), 132);
     }
 }

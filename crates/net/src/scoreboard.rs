@@ -46,7 +46,10 @@ pub struct Scoreboard {
 impl Scoreboard {
     /// Creates a scoreboard isolating peers at `strike_limit` strikes.
     pub fn new(strike_limit: u32) -> Self {
-        Scoreboard { scores: HashMap::new(), strike_limit: strike_limit.max(1) }
+        Scoreboard {
+            scores: HashMap::new(),
+            strike_limit: strike_limit.max(1),
+        }
     }
 
     /// The isolation threshold.
@@ -147,7 +150,10 @@ mod tests {
     fn unknown_peer_is_admitted() {
         let b = Scoreboard::default();
         assert!(b.admits(&Address::from_label("stranger")));
-        assert_eq!(b.score(&Address::from_label("stranger")), PeerScore::default());
+        assert_eq!(
+            b.score(&Address::from_label("stranger")),
+            PeerScore::default()
+        );
     }
 
     #[test]

@@ -107,7 +107,9 @@ impl SyncBuffer {
         let mut connected = 0;
         let mut frontier = vec![parent];
         while let Some(p) = frontier.pop() {
-            let Some(children) = self.orphans.remove(&p) else { continue };
+            let Some(children) = self.orphans.remove(&p) else {
+                continue;
+            };
             for child in children {
                 self.buffered -= 1;
                 if let Ok(id) = store.insert(child) {
@@ -155,7 +157,10 @@ mod tests {
         let (mut store, blocks) = chain(3);
         let mut sync = SyncBuffer::new();
         for b in blocks {
-            assert_eq!(sync.offer(&mut store, b), SyncOutcome::Connected { connected: 1 });
+            assert_eq!(
+                sync.offer(&mut store, b),
+                SyncOutcome::Connected { connected: 1 }
+            );
         }
         assert_eq!(store.best_height(), 3);
         assert_eq!(sync.buffered(), 0);
@@ -185,13 +190,25 @@ mod tests {
         let (mut store, blocks) = chain(2);
         let mut sync = SyncBuffer::new();
         sync.offer(&mut store, blocks[0].clone());
-        assert_eq!(sync.offer(&mut store, blocks[0].clone()), SyncOutcome::Duplicate);
+        assert_eq!(
+            sync.offer(&mut store, blocks[0].clone()),
+            SyncOutcome::Duplicate
+        );
         // Duplicate orphan too.
-        assert_eq!(sync.offer(&mut store, blocks[1].clone()), SyncOutcome::Connected { connected: 1 });
+        assert_eq!(
+            sync.offer(&mut store, blocks[1].clone()),
+            SyncOutcome::Connected { connected: 1 }
+        );
         let (mut store2, blocks2) = chain(3);
         let mut sync2 = SyncBuffer::new();
-        assert_eq!(sync2.offer(&mut store2, blocks2[2].clone()), SyncOutcome::Buffered);
-        assert_eq!(sync2.offer(&mut store2, blocks2[2].clone()), SyncOutcome::Duplicate);
+        assert_eq!(
+            sync2.offer(&mut store2, blocks2[2].clone()),
+            SyncOutcome::Buffered
+        );
+        assert_eq!(
+            sync2.offer(&mut store2, blocks2[2].clone()),
+            SyncOutcome::Duplicate
+        );
     }
 
     #[test]
@@ -236,13 +253,25 @@ mod tests {
         let mut store = ChainStore::new(genesis.clone());
         let m1 = Miner::new(Address::from_label("a"));
         let m2 = Miner::new(Address::from_label("b"));
-        let a1 = m1.mine_next(&genesis, vec![], genesis.header().timestamp + 15).unwrap();
-        let a2 = m1.mine_next(&a1, vec![], a1.header().timestamp + 15).unwrap();
-        let b1 = m2.mine_next(&genesis, vec![], genesis.header().timestamp + 16).unwrap();
+        let a1 = m1
+            .mine_next(&genesis, vec![], genesis.header().timestamp + 15)
+            .unwrap();
+        let a2 = m1
+            .mine_next(&a1, vec![], a1.header().timestamp + 15)
+            .unwrap();
+        let b1 = m2
+            .mine_next(&genesis, vec![], genesis.header().timestamp + 16)
+            .unwrap();
         let mut sync = SyncBuffer::new();
         assert_eq!(sync.offer(&mut store, a2.clone()), SyncOutcome::Buffered);
-        assert_eq!(sync.offer(&mut store, b1.clone()), SyncOutcome::Connected { connected: 1 });
-        assert_eq!(sync.offer(&mut store, a1.clone()), SyncOutcome::Connected { connected: 2 });
+        assert_eq!(
+            sync.offer(&mut store, b1.clone()),
+            SyncOutcome::Connected { connected: 1 }
+        );
+        assert_eq!(
+            sync.offer(&mut store, a1.clone()),
+            SyncOutcome::Connected { connected: 2 }
+        );
         // Longest fork wins.
         assert_eq!(store.best_tip(), a2.id());
         assert_eq!(store.len(), 4);

@@ -1,0 +1,88 @@
+//! `any::<T>()` — full-range value generation for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range generator.
+pub trait Arbitrary: Sized + Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl<T: Arbitrary + Copy + Default, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::arbitrary(rng);
+        }
+        out
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_cover_width() {
+        let mut rng = TestRng::from_seed(5);
+        let mut high_bits = false;
+        for _ in 0..64 {
+            if any::<u64>().generate(&mut rng) > u64::from(u32::MAX) {
+                high_bits = true;
+            }
+        }
+        assert!(high_bits, "u64 generation should exceed 32 bits");
+    }
+
+    #[test]
+    fn arrays_fill_every_slot() {
+        let mut rng = TestRng::from_seed(6);
+        let arr: [u64; 4] = any::<[u64; 4]>().generate(&mut rng);
+        assert!(arr.iter().any(|&v| v != 0));
+    }
+}

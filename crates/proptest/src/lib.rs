@@ -1,0 +1,166 @@
+//! A small, dependency-free, fully deterministic property-testing harness.
+//!
+//! The build environment for this workspace has no network access, so the
+//! upstream `proptest` crate cannot be fetched. This crate implements the
+//! subset of its API that the workspace's test suites actually use, under
+//! the same crate name, so the test sources remain portable:
+//!
+//! - the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`] and [`prop_oneof!`];
+//! - [`strategy::Strategy`] with `prop_map`, [`strategy::Just`] and unions;
+//! - `any::<T>()` for integers, `bool` and fixed-size integer arrays;
+//! - integer and `f64` range strategies (`0u8..4`, `0.01f64..0.5`, …);
+//! - [`collection::vec`] / [`collection::btree_set`] with size ranges;
+//! - `&str` character-class patterns such as `"[a-z0-9 ]{0,40}"`.
+//!
+//! ## Differences from upstream
+//!
+//! - **No shrinking.** A failing case reports the generated inputs and the
+//!   deterministic case seed instead of a minimized counterexample.
+//! - **Deterministic by construction.** Case seeds derive from the test
+//!   name and case index, so every run (local or CI) explores the same
+//!   inputs — there are no flaky property tests and no persistence files.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The conventional glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines deterministic property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a
+/// `#[test]`-able function that generates inputs from the listed
+/// strategies and runs the body for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run_cases(&config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $($arg),+
+                    );
+                    let __outcome = (move || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    __outcome.map_err(|e| e.with_inputs(&__inputs))
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current test case (with an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case when the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)+);
+    }};
+}
+
+/// Fails the current test case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated and does not count toward
+/// the configured case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::boxed($strat)),+
+        ])
+    };
+}

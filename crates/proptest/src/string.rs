@@ -1,0 +1,161 @@
+//! String generation from character-class patterns.
+//!
+//! Upstream proptest treats `&str` as a regex strategy. This shim supports
+//! the subset those patterns actually use in this workspace: sequences of
+//! character classes (`[a-z0-9 ]`, `[ -~]`) or literal characters, each
+//! with an optional `{n}` / `{min,max}` repetition suffix.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The candidate characters, expanded from the class.
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        if c == ']' {
+            break;
+        }
+        // `a-z` is a range unless `-` is the final member of the class.
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // consume '-'
+            match lookahead.peek() {
+                Some(&end) if end != ']' => {
+                    chars.next();
+                    chars.next();
+                    assert!(c <= end, "inverted range {c}-{end} in pattern {pattern:?}");
+                    out.extend((c..=end).filter(|ch| ch.is_ascii()));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(c);
+    }
+    assert!(
+        !out.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    out
+}
+
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => body.push(c),
+            None => panic!("unterminated repetition in pattern {pattern:?}"),
+        }
+    }
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition bound {s:?} in pattern {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((min, max)) => (parse(min), parse(max)),
+        None => {
+            let n = parse(&body);
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => vec![chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))],
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' => panic!(
+                "unsupported regex construct {c:?} in pattern {pattern:?}: \
+                 this shim only handles character classes and literals \
+                 with {{n}}/{{min,max}} repetitions"
+            ),
+            literal => vec![literal],
+        };
+        let (min, max) = parse_repetition(&mut chars, pattern);
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..count {
+                let idx = rng.below(atom.choices.len() as u64) as usize;
+                out.push(atom.choices[idx]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..100 {
+            let s = "[a-zA-Z0-9 ]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut rng = TestRng::from_seed(10);
+        for _ in 0..100 {
+            let s = "[ -~]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_and_dot_are_literals() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..100 {
+            let s = "[0-9.]{1,8}".generate(&mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_digit() || c == '.'));
+        }
+    }
+
+    #[test]
+    fn fixed_repetition_and_literal_sequence() {
+        let mut rng = TestRng::from_seed(12);
+        let s = "v[0-9]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('v'));
+    }
+}

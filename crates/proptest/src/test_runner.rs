@@ -1,0 +1,203 @@
+//! Deterministic case generation and execution.
+
+use std::fmt;
+
+/// The pseudo-random generator driving input generation: SplitMix64, which
+/// is statistically strong enough for test-input generation and trivially
+/// reproducible from a single `u64` seed.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded generation (Lemire); bias is negligible
+        // for test-input purposes.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion; the test fails.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// Attaches the generated inputs to a failure message.
+    pub fn with_inputs(self, inputs: &str) -> Self {
+        match self {
+            TestCaseError::Fail(msg) => TestCaseError::Fail(format!("{msg}\n  inputs: {inputs}")),
+            reject => reject,
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs `case` until `config.cases` cases succeed; rejected cases are
+/// regenerated (up to a bounded number of attempts) and failures panic
+/// with the case seed for reproduction.
+///
+/// # Panics
+///
+/// Panics when a case fails or when too many cases in a row are rejected.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = fnv1a(name);
+    let mut successes: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = u64::from(config.cases) * 16 + 1024;
+    while successes < config.cases {
+        attempt += 1;
+        assert!(
+            attempt <= max_attempts,
+            "property '{name}': too many rejected cases \
+             ({successes}/{} accepted after {attempt} attempts)",
+            config.cases
+        );
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' failed at case {} (attempt {attempt}, seed {seed:#x}):\n{msg}",
+                    successes + 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_seed(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..64 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn run_counts_successes() {
+        let mut calls = 0;
+        run_cases(&ProptestConfig::with_cases(10), "counting", |_| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn rejections_are_retried() {
+        let mut calls = 0u32;
+        run_cases(&ProptestConfig::with_cases(4), "rejecting", |rng| {
+            calls += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::reject("odd"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run_cases(&ProptestConfig::with_cases(4), "failing", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

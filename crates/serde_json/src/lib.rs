@@ -1,0 +1,291 @@
+//! Minimal, offline stand-in for the `serde_json` surface this workspace
+//! uses: the [`Value`] tree, the [`json!`] macro for object/array literals,
+//! and [`to_string_pretty`]. The container has no network access, so the
+//! real crates-io `serde_json` cannot be fetched; the bench binaries only
+//! build result blobs with `json!` and pretty-print them, which this crate
+//! covers without any derive machinery.
+//!
+//! Object keys keep insertion order (serde_json's `preserve_order`
+//! behaviour) so the emitted results files are stable and diffable.
+
+use std::fmt;
+
+/// An owned JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` — also used for non-finite floats, which JSON cannot express.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A finite floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A serialization error. The shim's serializer is total, so this is never
+/// constructed; it exists so call sites keep serde_json's `Result` shape.
+#[derive(Debug, Clone)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Int(i64::from(v))
+            }
+        }
+    )*};
+}
+
+from_signed!(i8, i16, i32, i64, u8, u16, u32);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        match i64::try_from(v) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::UInt(v),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::from(v as u64)
+    }
+}
+
+impl From<isize> for Value {
+    fn from(v: isize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_finite() {
+            Value::Float(v)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from(f64::from(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Builds a [`Value`] from an object literal (`json!({ "k": v, ... })`),
+/// `null`, or any expression convertible via [`From`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $((($key).to_string(), $crate::Value::from($val))),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::Value::from($val)),*])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    const STEP: usize = 2;
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            // `{}` on f64 prints the shortest representation that
+            // round-trips, which is valid JSON for all finite values.
+            out.push_str(&format!("{f}"));
+        }
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                write_value(out, item, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_into(out, key);
+                out.push_str(": ");
+                write_value(out, val, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints `value` with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's signature.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_round_trip_shape() {
+        let v = json!({
+            "name": "fig3",
+            "count": 5u64,
+            "mean": 15.35,
+            "nested": json!({"a": 1u32}),
+            "list": [1u8, 2, 3],
+            "rows": vec![vec!["a".to_string()], vec!["b".to_string()]],
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"name\": \"fig3\""));
+        assert!(s.contains("\"mean\": 15.35"));
+        assert!(s.contains("\"count\": 5"));
+    }
+
+    #[test]
+    fn keys_keep_insertion_order() {
+        let v = json!({"z": 1u8, "a": 2u8});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.find("\"z\"").unwrap() < s.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({"k": "a\"b\\c\nd"});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains(r#""a\"b\\c\nd""#));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::from(f64::NAN), Value::Null);
+        assert_eq!(Value::from(f64::INFINITY), Value::Null);
+    }
+
+    #[test]
+    fn arrays_of_floats_serialize() {
+        let v = json!({"xs": [300.0, 600.0]});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("300"));
+        assert!(s.contains("600"));
+    }
+}

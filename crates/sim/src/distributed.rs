@@ -131,8 +131,7 @@ impl DistributedSim {
     pub fn heal(&mut self) {
         self.net.heal_partition();
         for i in 0..self.nodes.len() {
-            let blocks: Vec<Block> =
-                self.nodes[i].store().canonical_blocks().cloned().collect();
+            let blocks: Vec<Block> = self.nodes[i].store().canonical_blocks().cloned().collect();
             for b in blocks {
                 if b.header().height == 0 {
                     continue;
@@ -183,8 +182,11 @@ impl DistributedSim {
 
     /// The set of distinct best tips (diagnostics).
     pub fn tips(&self) -> Vec<String> {
-        let mut tips: Vec<String> =
-            self.nodes.iter().map(|n| n.store().best_tip().to_string()).collect();
+        let mut tips: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| n.store().best_tip().to_string())
+            .collect();
         tips.sort();
         tips.dedup();
         tips
@@ -194,9 +196,9 @@ impl DistributedSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smartcrowd_chain::record::{Record, RecordKind};
     use smartcrowd_chain::rng::SimRng;
     use smartcrowd_core::report::{create_report_pair, Findings};
-    use smartcrowd_chain::record::{Record, RecordKind};
     use smartcrowd_detect::vulnerability::VulnId;
 
     #[test]
@@ -212,14 +214,8 @@ mod tests {
         let mut sim = DistributedSim::new(4, 2);
         let library = VulnLibrary::synthetic(200, 2 ^ 0x11b);
         let mut rng = SimRng::seed_from_u64(9);
-        let system =
-            IoTSystem::build("fw", "1", &library, vec![VulnId(3)], &mut rng).unwrap();
-        let sra_id = sim.release_from(
-            0,
-            system,
-            Ether::from_ether(1000),
-            Ether::from_ether(25),
-        );
+        let system = IoTSystem::build("fw", "1", &library, vec![VulnId(3)], &mut rng).unwrap();
+        let sra_id = sim.release_from(0, system, Ether::from_ether(1000), Ether::from_ether(25));
         // A detector submits through node 2.
         let detector = KeyPair::from_seed(b"dist-detector");
         let (initial, detailed) =
@@ -249,9 +245,14 @@ mod tests {
         // Every node's canonical chain holds the SRA and both reports.
         for (i, node) in sim.nodes().iter().enumerate() {
             let sras = node.store().records_of_kind(RecordKind::Sra).len();
-            let initials = node.store().records_of_kind(RecordKind::InitialReport).len();
-            let detaileds =
-                node.store().records_of_kind(RecordKind::DetailedReport).len();
+            let initials = node
+                .store()
+                .records_of_kind(RecordKind::InitialReport)
+                .len();
+            let detaileds = node
+                .store()
+                .records_of_kind(RecordKind::DetailedReport)
+                .len();
             assert_eq!((sras, initials, detaileds), (1, 1, 1), "node {i}");
         }
     }
@@ -280,7 +281,11 @@ mod tests {
         let mut sim = DistributedSim::new_with_link(
             4,
             11,
-            LinkConfig { base_latency: 0.05, jitter: 0.05, drop_rate: 0.15 },
+            LinkConfig {
+                base_latency: 0.05,
+                jitter: 0.05,
+                drop_rate: 0.15,
+            },
         );
         sim.mine_rounds(20);
         // Convergence is not guaranteed round-by-round under loss; one
@@ -299,14 +304,8 @@ mod tests {
         let mut sim = DistributedSim::new(3, 4);
         let library = VulnLibrary::synthetic(200, 4 ^ 0x11b);
         let mut rng = SimRng::seed_from_u64(10);
-        let system =
-            IoTSystem::build("fw", "1", &library, vec![VulnId(5)], &mut rng).unwrap();
-        let sra_id = sim.release_from(
-            1,
-            system,
-            Ether::from_ether(1000),
-            Ether::from_ether(25),
-        );
+        let system = IoTSystem::build("fw", "1", &library, vec![VulnId(5)], &mut rng).unwrap();
+        let sra_id = sim.release_from(1, system, Ether::from_ether(1000), Ether::from_ether(25));
         let cheat = KeyPair::from_seed(b"dist-cheat");
         let (initial, forged) = create_report_pair(
             &cheat,
@@ -336,7 +335,9 @@ mod tests {
         sim.mine_rounds(4);
         for node in sim.nodes() {
             assert_eq!(
-                node.store().records_of_kind(RecordKind::DetailedReport).len(),
+                node.store()
+                    .records_of_kind(RecordKind::DetailedReport)
+                    .len(),
                 0,
                 "no forged detailed report on any chain"
             );

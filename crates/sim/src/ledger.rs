@@ -45,8 +45,16 @@ pub struct RunLedger {
 impl RunLedger {
     /// Net balance of a detector: earnings − reporting gas.
     pub fn detector_balance(&self, addr: &Address) -> f64 {
-        let earn = self.detector_earnings.get(addr).copied().unwrap_or(Ether::ZERO);
-        let cost = self.detector_costs.get(addr).copied().unwrap_or(Ether::ZERO);
+        let earn = self
+            .detector_earnings
+            .get(addr)
+            .copied()
+            .unwrap_or(Ether::ZERO);
+        let cost = self
+            .detector_costs
+            .get(addr)
+            .copied()
+            .unwrap_or(Ether::ZERO);
         earn.as_f64() - cost.as_f64()
     }
 
@@ -58,10 +66,18 @@ impl RunLedger {
             .and_then(|s| s.last())
             .map(|s| s.income.as_f64())
             .unwrap_or(0.0);
-        let forfeit =
-            self.provider_forfeits.get(addr).copied().unwrap_or(Ether::ZERO).as_f64();
-        let gas =
-            self.provider_release_gas.get(addr).copied().unwrap_or(Ether::ZERO).as_f64();
+        let forfeit = self
+            .provider_forfeits
+            .get(addr)
+            .copied()
+            .unwrap_or(Ether::ZERO)
+            .as_f64();
+        let gas = self
+            .provider_release_gas
+            .get(addr)
+            .copied()
+            .unwrap_or(Ether::ZERO)
+            .as_f64();
         income - forfeit - gas
     }
 
@@ -92,7 +108,10 @@ mod tests {
         let a = Address::from_label("p");
         l.provider_income.insert(
             a,
-            vec![IncomeSample { time: 10.0, income: Ether::from_ether(100) }],
+            vec![IncomeSample {
+                time: 10.0,
+                income: Ether::from_ether(100),
+            }],
         );
         l.provider_forfeits.insert(a, Ether::from_ether(30));
         l.provider_release_gas.insert(a, Ether::from_milliether(95));

@@ -65,17 +65,15 @@ pub fn simulate_full(config: &SimConfig) -> (RunLedger, Platform) {
     let mut version = 0u64;
     let mut last_clock = 0.0f64;
 
-    let provider_addrs: Vec<Address> =
-        platform.providers().iter().map(|p| p.address).collect();
+    let provider_addrs: Vec<Address> = platform.providers().iter().map(|p| p.address).collect();
 
     while platform.clock() < config.duration_secs {
         // --- Phase #1: release on the SRA cadence θ --------------------
         if platform.clock() >= next_release {
             next_release += config.sra_period_secs;
             version += 1;
-            let system =
-                generate_release("iot-fw", version, &policy, &library, &mut rng)
-                    .expect("library supports the policy");
+            let system = generate_release("iot-fw", version, &policy, &library, &mut rng)
+                .expect("library supports the policy");
             let vulnerable = !system.ground_truth().is_empty();
             let releasing = if config.rotate_providers {
                 (version as usize - 1) % provider_addrs.len()
@@ -97,13 +95,15 @@ pub fn simulate_full(config: &SimConfig) -> (RunLedger, Platform) {
                 open_windows.push((sra_id, platform.store().best_height()));
                 // --- Phase #2a: distributed detection + initial reports ----
                 let sra = platform.sra(&sra_id).expect("just released").clone();
-                let image = platform.download_image(&sra_id).expect("image hosted").clone();
+                let image = platform
+                    .download_image(&sra_id)
+                    .expect("image hosted")
+                    .clone();
                 for (idx, detector) in fleet.detectors().iter().enumerate() {
                     if let Some((initial, detailed)) =
                         detector.detect(&sra, &image, &library, &mut rng)
                     {
-                        if let Ok(record_id) =
-                            platform.submit_initial(detector.keypair(), initial)
+                        if let Ok(record_id) = platform.submit_initial(detector.keypair(), initial)
                         {
                             pending.push(PendingReveal {
                                 detector_index: idx,
@@ -152,7 +152,10 @@ pub fn simulate_full(config: &SimConfig) -> (RunLedger, Platform) {
                 .provider_income
                 .entry(*addr)
                 .or_default()
-                .push(IncomeSample { time: clock, income: platform.mining_income(addr) });
+                .push(IncomeSample {
+                    time: clock,
+                    income: platform.mining_income(addr),
+                });
         }
     }
 
@@ -177,8 +180,10 @@ pub fn simulate_full(config: &SimConfig) -> (RunLedger, Platform) {
 
     // Post-run accounting.
     for payout in platform.payouts() {
-        *ledger.detector_earnings.entry(payout.wallet).or_insert(Ether::ZERO) +=
-            payout.amount;
+        *ledger
+            .detector_earnings
+            .entry(payout.wallet)
+            .or_insert(Ether::ZERO) += payout.amount;
     }
     for d in fleet.detectors() {
         let cost = platform.detector_cost(&d.address());
@@ -188,12 +193,17 @@ pub fn simulate_full(config: &SimConfig) -> (RunLedger, Platform) {
     }
     for (sra_id, provider_addr) in &releases {
         let forfeited = platform.forfeited(sra_id);
-        *ledger.provider_forfeits.entry(*provider_addr).or_insert(Ether::ZERO) += forfeited;
+        *ledger
+            .provider_forfeits
+            .entry(*provider_addr)
+            .or_insert(Ether::ZERO) += forfeited;
         if let Some(gas) = platform.release_cost(sra_id) {
-            *ledger.provider_release_gas.entry(*provider_addr).or_insert(Ether::ZERO) += gas;
+            *ledger
+                .provider_release_gas
+                .entry(*provider_addr)
+                .or_insert(Ether::ZERO) += gas;
         }
-        ledger.confirmed_vulnerabilities +=
-            platform.confirmed_vulnerabilities(sra_id).len() as u64;
+        ledger.confirmed_vulnerabilities += platform.confirmed_vulnerabilities(sra_id).len() as u64;
     }
     (ledger, platform)
 }
@@ -224,15 +234,13 @@ mod tests {
     #[test]
     fn vulnerable_releases_produce_payouts_and_forfeits() {
         let ledger = simulate(&quick_config());
-        assert!(ledger.confirmed_vulnerabilities > 0, "fleet should find planted vulns");
-        let total_earned: f64 = ledger
-            .detector_earnings
-            .values()
-            .map(|e| e.as_f64())
-            .sum();
+        assert!(
+            ledger.confirmed_vulnerabilities > 0,
+            "fleet should find planted vulns"
+        );
+        let total_earned: f64 = ledger.detector_earnings.values().map(|e| e.as_f64()).sum();
         assert!(total_earned > 0.0);
-        let total_forfeited: f64 =
-            ledger.provider_forfeits.values().map(|e| e.as_f64()).sum();
+        let total_forfeited: f64 = ledger.provider_forfeits.values().map(|e| e.as_f64()).sum();
         // Forfeits equal μ × confirmed vulnerabilities.
         let expected = 25.0 * ledger.confirmed_vulnerabilities as f64;
         assert!(
@@ -250,8 +258,11 @@ mod tests {
         let ledger = simulate(&c);
         // Compare the strongest and weakest earners (fleet order is by
         // seed-derived address; use earnings spread instead of identity).
-        let mut earnings: Vec<f64> =
-            ledger.detector_earnings.values().map(|e| e.as_f64()).collect();
+        let mut earnings: Vec<f64> = ledger
+            .detector_earnings
+            .values()
+            .map(|e| e.as_f64())
+            .collect();
         earnings.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(earnings.len() >= 2, "at least two detectors earned");
         let top = earnings.last().unwrap();
@@ -267,8 +278,7 @@ mod tests {
         assert_eq!(ledger.vulnerable_releases, 0);
         assert_eq!(ledger.confirmed_vulnerabilities, 0);
         assert!(ledger.detector_earnings.is_empty());
-        let total_forfeited: f64 =
-            ledger.provider_forfeits.values().map(|e| e.as_f64()).sum();
+        let total_forfeited: f64 = ledger.provider_forfeits.values().map(|e| e.as_f64()).sum();
         assert_eq!(total_forfeited, 0.0);
     }
 

@@ -23,7 +23,10 @@ pub fn sweep_vp(base: &SimConfig, vps: &[f64]) -> Vec<SweepPoint> {
         .map(|&vp| {
             let mut cfg = base.clone();
             cfg.vulnerability_proportion = vp;
-            SweepPoint { x: vp, ledger: simulate(&cfg) }
+            SweepPoint {
+                x: vp,
+                ledger: simulate(&cfg),
+            }
         })
         .collect()
 }
@@ -35,7 +38,10 @@ pub fn sweep_duration(base: &SimConfig, durations_secs: &[f64]) -> Vec<SweepPoin
         .map(|&d| {
             let mut cfg = base.clone();
             cfg.duration_secs = d;
-            SweepPoint { x: d, ledger: simulate(&cfg) }
+            SweepPoint {
+                x: d,
+                ledger: simulate(&cfg),
+            }
         })
         .collect()
 }
@@ -48,7 +54,10 @@ pub fn sweep_seeds(base: &SimConfig, seeds: &[u64]) -> Vec<SweepPoint> {
         .map(|&s| {
             let mut cfg = base.clone();
             cfg.seed = s;
-            SweepPoint { x: s as f64, ledger: simulate(&cfg) }
+            SweepPoint {
+                x: s as f64,
+                ledger: simulate(&cfg),
+            }
         })
         .collect()
 }
@@ -76,7 +85,12 @@ mod tests {
     #[test]
     fn vp_sweep_orders_forfeits() {
         let points = sweep_vp(&quick(), &[0.0, 1.0]);
-        let forfeit = |l: &RunLedger| l.provider_forfeits.values().map(|e| e.as_f64()).sum::<f64>();
+        let forfeit = |l: &RunLedger| {
+            l.provider_forfeits
+                .values()
+                .map(|e| e.as_f64())
+                .sum::<f64>()
+        };
         assert!(forfeit(&points[1].ledger) >= forfeit(&points[0].ledger));
         assert_eq!(forfeit(&points[0].ledger), 0.0);
     }

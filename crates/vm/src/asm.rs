@@ -48,7 +48,10 @@ fn parse_u256(token: &str, line: usize) -> Result<U256, VmError> {
         token
             .parse::<u128>()
             .map(U256::from_u128)
-            .map_err(|_| VmError::Parse { line, detail: format!("bad literal '{token}'") })
+            .map_err(|_| VmError::Parse {
+                line,
+                detail: format!("bad literal '{token}'"),
+            })
     }?;
     Ok(parsed)
 }
@@ -73,7 +76,9 @@ fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let mnemonic = parts.next().expect("non-empty line has a token");
+        let Some(mnemonic) = parts.next() else {
+            continue; // blank after comment stripping
+        };
         let operand = parts.next();
         if parts.next().is_some() {
             return Err(VmError::Parse {
@@ -153,7 +158,9 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, VmError> {
         match item {
             Item::Label(name) => {
                 if labels.insert(name.clone(), offset).is_some() {
-                    return Err(VmError::DuplicateLabel { label: name.clone() });
+                    return Err(VmError::DuplicateLabel {
+                        label: name.clone(),
+                    });
                 }
                 offset += 1; // the implicit JUMPDEST
             }
@@ -179,9 +186,9 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, VmError> {
                 code.extend_from_slice(&v.to_be_bytes());
             }
             Item::PushLabel(name) => {
-                let target = labels
-                    .get(name)
-                    .ok_or_else(|| VmError::UndefinedLabel { label: name.clone() })?;
+                let target = labels.get(name).ok_or_else(|| VmError::UndefinedLabel {
+                    label: name.clone(),
+                })?;
                 code.push(Op::Push8 as u8);
                 code.extend_from_slice(&(*target as u64).to_be_bytes());
             }
@@ -254,10 +261,9 @@ mod tests {
 
     #[test]
     fn push32_large_value() {
-        let code = assemble(
-            "PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff\n",
-        )
-        .unwrap();
+        let code =
+            assemble("PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff\n")
+                .unwrap();
         assert_eq!(code.len(), 33);
         assert!(code[1..].iter().all(|&b| b == 0xff));
     }
@@ -332,7 +338,10 @@ mod tests {
 
     #[test]
     fn bad_label_names_rejected() {
-        assert!(matches!(assemble("bad label:\nSTOP\n"), Err(VmError::Parse { .. })));
+        assert!(matches!(
+            assemble("bad label:\nSTOP\n"),
+            Err(VmError::Parse { .. })
+        ));
         assert!(matches!(assemble(":\nSTOP\n"), Err(VmError::Parse { .. })));
     }
 }

@@ -70,6 +70,8 @@ pub enum VmError {
         /// The offending offset.
         offset: usize,
     },
+    /// The static verifier rejected the bytecode at deploy time.
+    Verify(crate::verify::VerifyError),
 }
 
 impl fmt::Display for VmError {
@@ -98,6 +100,7 @@ impl fmt::Display for VmError {
             VmError::MemoryLimit { offset } => {
                 write!(f, "memory access at {offset} exceeds the limit")
             }
+            VmError::Verify(e) => write!(f, "bytecode rejected by the verifier: {e}"),
         }
     }
 }
@@ -122,10 +125,16 @@ mod tests {
             VmError::StepLimit,
             VmError::UnknownAccount,
             VmError::AddressCollision,
-            VmError::Parse { line: 4, detail: "bad".into() },
-            VmError::UndefinedLabel { label: "loop".into() },
+            VmError::Parse {
+                line: 4,
+                detail: "bad".into(),
+            },
+            VmError::UndefinedLabel {
+                label: "loop".into(),
+            },
             VmError::DuplicateLabel { label: "x".into() },
             VmError::MemoryLimit { offset: 1 << 30 },
+            VmError::Verify(crate::verify::VerifyError::SwapZero { pc: 6 }),
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -120,7 +120,9 @@ pub struct Vm {
 
 impl Default for Vm {
     fn default() -> Self {
-        Vm { step_limit: STEP_LIMIT }
+        Vm {
+            step_limit: STEP_LIMIT,
+        }
     }
 }
 
@@ -167,10 +169,15 @@ impl Vm {
     /// Deploys `code` from `ctx.caller`, charging intrinsic deployment gas.
     /// `ctx.contract` is ignored; the derived address is returned.
     ///
+    /// The bytecode must pass the static verifier ([`crate::verify`]):
+    /// malformed streams, provable stack faults and bad static jump
+    /// targets are rejected before any gas is charged.
+    ///
     /// # Errors
     ///
     /// Returns structural code errors ([`VmError::InvalidOpcode`],
-    /// [`VmError::TruncatedImmediate`]), [`VmError::AddressCollision`], or
+    /// [`VmError::TruncatedImmediate`]), verifier rejections
+    /// ([`VmError::Verify`]), [`VmError::AddressCollision`], or
     /// [`VmError::InsufficientCallerFunds`] when the deployer cannot pay.
     pub fn deploy(
         &self,
@@ -178,13 +185,19 @@ impl Vm {
         ctx: &CallContext,
         code: Vec<u8>,
     ) -> Result<(Address, Receipt), VmError> {
-        analyze_jumpdests(&code)?; // reject malformed code outright
+        crate::verify::verify(&code)?; // reject malformed code outright
         let gas_used = gas::deploy_intrinsic_gas(code.len());
         if gas_used > ctx.gas_limit {
-            return Err(VmError::OutOfGas { used: gas_used, limit: ctx.gas_limit });
+            return Err(VmError::OutOfGas {
+                used: gas_used,
+                limit: ctx.gas_limit,
+            });
         }
         let fee = gas::gas_to_ether(gas_used, ctx.gas_price_wei);
-        let reserve = ctx.value.checked_add(fee).ok_or(VmError::InsufficientCallerFunds)?;
+        let reserve = ctx
+            .value
+            .checked_add(fee)
+            .ok_or(VmError::InsufficientCallerFunds)?;
         if state.balance(&ctx.caller) < reserve {
             return Err(VmError::InsufficientCallerFunds);
         }
@@ -238,7 +251,7 @@ impl Vm {
         state: &mut WorldState,
         ctx: CallContext,
         calldata: &[u8],
-        mut tracer: Option<&mut Vec<TraceStep>>,
+        tracer: Option<&mut Vec<TraceStep>>,
     ) -> Result<Receipt, VmError> {
         let code: Vec<u8> = state
             .account(&ctx.contract)
@@ -246,7 +259,10 @@ impl Vm {
             .map(|a| a.code.clone())
             .ok_or(VmError::UnknownAccount)?;
         let max_fee = gas::gas_to_ether(ctx.gas_limit, ctx.gas_price_wei);
-        let reserve = ctx.value.checked_add(max_fee).ok_or(VmError::InsufficientCallerFunds)?;
+        let reserve = ctx
+            .value
+            .checked_add(max_fee)
+            .ok_or(VmError::InsufficientCallerFunds)?;
         if state.balance(&ctx.caller) < reserve {
             return Err(VmError::InsufficientCallerFunds);
         }
@@ -279,9 +295,12 @@ impl Vm {
         };
 
         let outcome = if m.gas_used > m.gas_limit {
-            Err(VmError::OutOfGas { used: m.gas_limit, limit: m.gas_limit })
+            Err(VmError::OutOfGas {
+                used: m.gas_limit,
+                limit: m.gas_limit,
+            })
         } else {
-            self.run(&mut m, state, &ctx, calldata, tracer.as_deref_mut())
+            self.run(&mut m, state, &ctx, calldata, tracer)
         };
 
         let gas_used = m.gas_used.min(ctx.gas_limit);
@@ -389,8 +408,18 @@ impl Vm {
                     }
                     m.stack.swap(len - 1, len - 1 - n);
                 }
-                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod | Op::Lt | Op::Gt | Op::Eq
-                | Op::And | Op::Or | Op::Xor | Op::Min => {
+                Op::Add
+                | Op::Sub
+                | Op::Mul
+                | Op::Div
+                | Op::Mod
+                | Op::Lt
+                | Op::Gt
+                | Op::Eq
+                | Op::And
+                | Op::Or
+                | Op::Xor
+                | Op::Min => {
                     let rhs = m.pop()?;
                     let lhs = m.pop()?;
                     let out = match op {
@@ -435,7 +464,9 @@ impl Vm {
                 Op::Not => {
                     let v = m.pop()?;
                     let limbs = v.limbs();
-                    m.push(U256::from_limbs([!limbs[0], !limbs[1], !limbs[2], !limbs[3]]))?;
+                    m.push(U256::from_limbs([
+                        !limbs[0], !limbs[1], !limbs[2], !limbs[3],
+                    ]))?;
                 }
                 Op::Keccak => {
                     let len = m.pop()?.low_u64() as usize;
@@ -491,7 +522,11 @@ impl Vm {
                     let value = m.pop()?;
                     // Dynamic cost depends on slot freshness: peek first.
                     let fresh = state.storage_get(&ctx.contract, &key).is_zero();
-                    m.charge(if fresh { gas::SSTORE_NEW_GAS } else { gas::SSTORE_UPDATE_GAS })?;
+                    m.charge(if fresh {
+                        gas::SSTORE_NEW_GAS
+                    } else {
+                        gas::SSTORE_UPDATE_GAS
+                    })?;
                     state.storage_set(ctx.contract, key, value);
                 }
                 Op::MLoad => {
@@ -567,7 +602,10 @@ impl Machine<'_> {
         self.gas_used = self.gas_used.saturating_add(gas);
         if self.gas_used > self.gas_limit {
             self.gas_used = self.gas_limit;
-            Err(VmError::OutOfGas { used: self.gas_limit, limit: self.gas_limit })
+            Err(VmError::OutOfGas {
+                used: self.gas_limit,
+                limit: self.gas_limit,
+            })
         } else {
             Ok(())
         }
@@ -582,7 +620,9 @@ impl Machine<'_> {
     }
 
     fn pop(&mut self) -> Result<U256, VmError> {
-        self.stack.pop().ok_or(VmError::StackUnderflow { pc: self.pc })
+        self.stack
+            .pop()
+            .ok_or(VmError::StackUnderflow { pc: self.pc })
     }
 
     fn jump(&mut self, dest: usize) -> Result<(), VmError> {
@@ -594,7 +634,9 @@ impl Machine<'_> {
     }
 
     fn touch_memory(&mut self, offset: usize, len: usize) -> Result<(), VmError> {
-        let end = offset.checked_add(len).ok_or(VmError::MemoryLimit { offset })?;
+        let end = offset
+            .checked_add(len)
+            .ok_or(VmError::MemoryLimit { offset })?;
         if end > MEMORY_LIMIT {
             return Err(VmError::MemoryLimit { offset });
         }
@@ -631,6 +673,27 @@ mod tests {
         (receipt, state, contract)
     }
 
+    /// Plants bytecode the deploy-time verifier would reject, bypassing
+    /// [`WorldState::deploy_contract`], so the interpreter's own runtime
+    /// checks (defense in depth) can be exercised directly.
+    fn plant_unverified(code: &str) -> (WorldState, Address, Address) {
+        let mut state = WorldState::new();
+        let owner = Address::from_label("owner");
+        state.credit(owner, Ether::from_ether(1000));
+        let bytecode = assemble(code).expect("test program assembles");
+        let contract = WorldState::contract_address(&owner, 0);
+        state.account_mut(contract).code = bytecode;
+        state.credit(contract, Ether::from_ether(100));
+        (state, owner, contract)
+    }
+
+    fn run_unverified(code: &str) -> Receipt {
+        let (mut state, owner, contract) = plant_unverified(code);
+        Vm::default()
+            .call(&mut state, CallContext::new(owner, contract), &[])
+            .unwrap()
+    }
+
     #[test]
     fn arithmetic_natural_order() {
         let (r, _, _) = run("PUSH 10\nPUSH 3\nSUB\nRETURNVAL\n", &[]);
@@ -655,9 +718,8 @@ mod tests {
 
     #[test]
     fn storage_persists_across_calls() {
-        let (mut state, owner, contract) = setup(
-            "PUSH 0\nSLOAD\nPUSH 1\nADD\nPUSH 0\nSSTORE\nPUSH 0\nSLOAD\nRETURNVAL\n",
-        );
+        let (mut state, owner, contract) =
+            setup("PUSH 0\nSLOAD\nPUSH 1\nADD\nPUSH 0\nSSTORE\nPUSH 0\nSLOAD\nRETURNVAL\n");
         let vm = Vm::default();
         for expected in 1..=3u64 {
             let r = vm
@@ -682,8 +744,7 @@ mod tests {
 
     #[test]
     fn revert_rolls_back_state_but_charges_fee() {
-        let (mut state, owner, contract) =
-            setup("PUSH 9\nPUSH 0\nSSTORE\nPUSH 77\nREVERT\n");
+        let (mut state, owner, contract) = setup("PUSH 9\nPUSH 0\nSSTORE\nPUSH 77\nREVERT\n");
         let owner_before = state.balance(&owner);
         let vm = Vm::default();
         let r = vm
@@ -702,7 +763,9 @@ mod tests {
         let code = format!(
             "PUSH32 0x{}\nPUSH32 0x{}\nTRANSFER\nSTOP\n",
             smartcrowd_crypto::hex::encode(&payee_word.to_be_bytes()),
-            smartcrowd_crypto::hex::encode(&U256::from_u128(Ether::from_ether(5).wei()).to_be_bytes()),
+            smartcrowd_crypto::hex::encode(
+                &U256::from_u128(Ether::from_ether(5).wei()).to_be_bytes()
+            ),
         );
         let (r, state, _) = run(&code, &[]);
         assert!(r.success, "fault: {:?}", r.fault);
@@ -712,7 +775,9 @@ mod tests {
         let code = format!(
             "PUSH32 0x{}\nPUSH32 0x{}\nTRANSFER\nSTOP\n",
             smartcrowd_crypto::hex::encode(&payee_word.to_be_bytes()),
-            smartcrowd_crypto::hex::encode(&U256::from_u128(Ether::from_ether(500).wei()).to_be_bytes()),
+            smartcrowd_crypto::hex::encode(
+                &U256::from_u128(Ether::from_ether(500).wei()).to_be_bytes()
+            ),
         );
         let (r, state, _) = run(&code, &[]);
         assert!(!r.success);
@@ -732,8 +797,14 @@ mod tests {
                 &[],
             )
             .unwrap();
-        assert_eq!(r.return_value.unwrap().low_u128(), Ether::from_ether(7).wei());
-        assert_eq!(state.balance(&contract), contract_before + Ether::from_ether(7));
+        assert_eq!(
+            r.return_value.unwrap().low_u128(),
+            Ether::from_ether(7).wei()
+        );
+        assert_eq!(
+            state.balance(&contract),
+            contract_before + Ether::from_ether(7)
+        );
     }
 
     #[test]
@@ -756,7 +827,9 @@ mod tests {
 
     #[test]
     fn bad_jump_faults() {
-        let (r, _, _) = run("PUSH 3\nJUMP\nSTOP\n", &[]);
+        // The verifier rejects this at deploy; planted directly, the
+        // runtime check must still catch it.
+        let r = run_unverified("PUSH 3\nJUMP\nSTOP\n");
         assert!(!r.success);
         assert!(matches!(r.fault, Some(VmError::BadJump { .. })));
     }
@@ -780,8 +853,28 @@ mod tests {
 
     #[test]
     fn stack_underflow_faults() {
-        let (r, _, _) = run("ADD\n", &[]);
+        // Rejected at deploy by the verifier; planted directly, the
+        // runtime check must still catch it.
+        let r = run_unverified("ADD\n");
         assert!(matches!(r.fault, Some(VmError::StackUnderflow { .. })));
+    }
+
+    #[test]
+    fn deploy_rejects_provable_stack_fault() {
+        let mut state = WorldState::new();
+        let owner = Address::from_label("owner");
+        state.credit(owner, Ether::from_ether(10));
+        let vm = Vm::default();
+        let err = vm
+            .deploy(
+                &mut state,
+                &CallContext::new(owner, Address::ZERO),
+                assemble("ADD\n").unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, VmError::Verify(_)), "got {err:?}");
+        // Nothing was deployed and no fee was charged.
+        assert_eq!(state.balance(&owner), Ether::from_ether(10));
     }
 
     #[test]
@@ -857,7 +950,11 @@ mod tests {
         state.credit(owner, Ether::from_ether(10));
         let vm = Vm::default();
         let err = vm
-            .call(&mut state, CallContext::new(owner, Address::from_label("nope")), &[])
+            .call(
+                &mut state,
+                CallContext::new(owner, Address::from_label("nope")),
+                &[],
+            )
             .unwrap_err();
         assert_eq!(err, VmError::UnknownAccount);
     }
@@ -875,8 +972,7 @@ mod tests {
 
     #[test]
     fn step_limit_guards_infinite_loops() {
-        let (mut state, owner, contract) =
-            setup("loop:\nJUMPDEST\nPUSH 1\nPUSH @loop\nJUMPI\n");
+        let (mut state, owner, contract) = setup("loop:\nJUMPDEST\nPUSH 1\nPUSH @loop\nJUMPI\n");
         let vm = Vm::default().with_step_limit(1000);
         let r = vm
             .call(
@@ -917,7 +1013,11 @@ mod tests {
         state.credit(owner, Ether::from_ether(10));
         let vm = Vm::default();
         let err = vm
-            .deploy(&mut state, &CallContext::new(owner, Address::ZERO), vec![0xfe])
+            .deploy(
+                &mut state,
+                &CallContext::new(owner, Address::ZERO),
+                vec![0xfe],
+            )
             .unwrap_err();
         assert!(matches!(err, VmError::InvalidOpcode { .. }));
     }
@@ -980,7 +1080,8 @@ mod trace_tests {
                     .unwrap()
                     .0
             } else {
-                vm.call(&mut state, CallContext::new(owner, contract), &[]).unwrap()
+                vm.call(&mut state, CallContext::new(owner, contract), &[])
+                    .unwrap()
             }
         };
         assert_eq!(run(false), run(true));

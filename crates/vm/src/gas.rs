@@ -51,13 +51,27 @@ pub fn static_cost(op: Op) -> u64 {
     match op {
         Op::Stop | Op::Return | Op::JumpDest => 1,
         Op::Push8 | Op::Push32 | Op::Pop | Op::Dup | Op::Swap => 3,
-        Op::Add | Op::Sub | Op::Lt | Op::Gt | Op::Eq | Op::IsZero | Op::And | Op::Or
-        | Op::Xor | Op::Not | Op::Min => 3,
+        Op::Add
+        | Op::Sub
+        | Op::Lt
+        | Op::Gt
+        | Op::Eq
+        | Op::IsZero
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Not
+        | Op::Min => 3,
         Op::Mul | Op::Div | Op::Mod => 5,
         Op::Keccak => 30,
         Op::EcRecover => 3_000, // mirrors the EVM ecrecover precompile
-        Op::SelfAddr | Op::Caller | Op::CallValue | Op::CallDataSize | Op::Timestamp
-        | Op::Number | Op::SelfBalance => 2,
+        Op::SelfAddr
+        | Op::Caller
+        | Op::CallValue
+        | Op::CallDataSize
+        | Op::Timestamp
+        | Op::Number
+        | Op::SelfBalance => 2,
         Op::CallDataLoad | Op::MLoad | Op::MStore => 3,
         Op::Balance => 100,
         Op::SLoad => 100,

@@ -123,10 +123,48 @@ impl Op {
     pub fn from_byte(b: u8) -> Result<Op, VmError> {
         use Op::*;
         const TABLE: &[Op] = &[
-            Stop, Push8, Push32, Pop, Dup, Swap, Add, Sub, Mul, Div, Mod, Lt, Gt, Eq, IsZero,
-            And, Or, Xor, Not, Min, Keccak, EcRecover, SelfAddr, Caller, CallValue,
-            CallDataSize, CallDataLoad, Timestamp, Number, Balance, SelfBalance, SLoad,
-            SStore, MLoad, MStore, Jump, JumpI, JumpDest, Transfer, Log, ReturnVal, Return,
+            Stop,
+            Push8,
+            Push32,
+            Pop,
+            Dup,
+            Swap,
+            Add,
+            Sub,
+            Mul,
+            Div,
+            Mod,
+            Lt,
+            Gt,
+            Eq,
+            IsZero,
+            And,
+            Or,
+            Xor,
+            Not,
+            Min,
+            Keccak,
+            EcRecover,
+            SelfAddr,
+            Caller,
+            CallValue,
+            CallDataSize,
+            CallDataLoad,
+            Timestamp,
+            Number,
+            Balance,
+            SelfBalance,
+            SLoad,
+            SStore,
+            MLoad,
+            MStore,
+            Jump,
+            JumpI,
+            JumpDest,
+            Transfer,
+            Log,
+            ReturnVal,
+            Return,
             Revert,
         ];
         TABLE
@@ -200,10 +238,48 @@ impl Op {
         let upper = s.to_ascii_uppercase();
         use Op::*;
         const ALL: &[Op] = &[
-            Stop, Push8, Push32, Pop, Dup, Swap, Add, Sub, Mul, Div, Mod, Lt, Gt, Eq, IsZero,
-            And, Or, Xor, Not, Min, Keccak, EcRecover, SelfAddr, Caller, CallValue,
-            CallDataSize, CallDataLoad, Timestamp, Number, Balance, SelfBalance, SLoad,
-            SStore, MLoad, MStore, Jump, JumpI, JumpDest, Transfer, Log, ReturnVal, Return,
+            Stop,
+            Push8,
+            Push32,
+            Pop,
+            Dup,
+            Swap,
+            Add,
+            Sub,
+            Mul,
+            Div,
+            Mod,
+            Lt,
+            Gt,
+            Eq,
+            IsZero,
+            And,
+            Or,
+            Xor,
+            Not,
+            Min,
+            Keccak,
+            EcRecover,
+            SelfAddr,
+            Caller,
+            CallValue,
+            CallDataSize,
+            CallDataLoad,
+            Timestamp,
+            Number,
+            Balance,
+            SelfBalance,
+            SLoad,
+            SStore,
+            MLoad,
+            MStore,
+            Jump,
+            JumpI,
+            JumpDest,
+            Transfer,
+            Log,
+            ReturnVal,
+            Return,
             Revert,
         ];
         ALL.iter().copied().find(|op| op.mnemonic() == upper)
@@ -249,7 +325,10 @@ mod tests {
 
     #[test]
     fn unknown_byte_rejected() {
-        assert_eq!(Op::from_byte(0xfe), Err(VmError::InvalidOpcode { byte: 0xfe }));
+        assert_eq!(
+            Op::from_byte(0xfe),
+            Err(VmError::InvalidOpcode { byte: 0xfe })
+        );
     }
 
     #[test]

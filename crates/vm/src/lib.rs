@@ -17,6 +17,42 @@
 //! - **automatic triggering**: a confirmed record invokes a contract entry
 //!   point with no human in the loop (§IV, Phase #4).
 //!
+//! # Deploy-time verification
+//!
+//! [`WorldState::deploy_contract`] and [`Vm::deploy`] refuse bytecode the
+//! static verifier ([`verify`]) can prove faulty, returning
+//! [`VmError::Verify`]. The verifier enforces four rules:
+//!
+//! 1. **Decode** — every byte must decode into a whole instruction;
+//!    unknown opcodes and truncated `PUSH` immediates are rejected.
+//! 2. **Jump targets** — a `JUMP`/`JUMPI` whose destination comes from an
+//!    immediately preceding `PUSH` must target a `JUMPDEST`; a dynamic
+//!    `JUMP` in a program with no `JUMPDEST` at all always faults and is
+//!    rejected.
+//! 3. **Stack safety** — abstract interpretation over the control-flow
+//!    graph proves no execution path can underflow the operand stack or
+//!    push past `STACK_LIMIT` (1024). `SWAP 0` is rejected outright.
+//! 4. **Gas bound** — acyclic programs get a worst-case-path gas bound in
+//!    the returned [`VerifyReport`]; looping programs verify but report
+//!    `gas_bound: None` (only the runtime meter limits them).
+//!
+//! The stack analysis uses this per-opcode pops/pushes table (mirroring
+//! the interpreter exactly):
+//!
+//! | Opcodes | Pops | Pushes |
+//! |---|---|---|
+//! | `STOP`, `RETURN`, `JUMPDEST` | 0 | 0 |
+//! | `PUSH`, `PUSH32`, `SELFADDR`, `CALLER`, `CALLVALUE`, `CALLDATASIZE`, `TIMESTAMP`, `NUMBER`, `SELFBALANCE` | 0 | 1 |
+//! | `POP`, `LOG`, `RETURNVAL`, `REVERT`, `JUMP` | 1 | 0 |
+//! | `ISZERO`, `NOT`, `ECRECOVER`, `CALLDATALOAD`, `BALANCE`, `SLOAD`, `MLOAD` | 1 | 1 |
+//! | `ADD`, `SUB`, `MUL`, `DIV`, `MOD`, `LT`, `GT`, `EQ`, `AND`, `OR`, `XOR`, `MIN`, `KECCAK` | 2 | 1 |
+//! | `SSTORE`, `MSTORE`, `JUMPI`, `TRANSFER` | 2 | 0 |
+//! | `DUP n` | 0 (needs depth ≥ n+1) | 1 |
+//! | `SWAP n` (n ≥ 1) | 0 (needs depth ≥ n+1) | 0 |
+//!
+//! Tests that must exercise the interpreter's own runtime checks plant
+//! bytecode directly via [`WorldState::account_mut`], bypassing the gate.
+//!
 //! # Example
 //!
 //! ```
@@ -44,6 +80,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The unwrap/expect wall (configured in the workspace clippy.toml): a panic
+// in the VM can split the replicated state machine, so library code must
+// surface failures as typed errors. Tests are exempt.
+#![warn(clippy::disallowed_methods)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 
 pub mod asm;
 pub mod error;
@@ -52,8 +93,10 @@ pub mod gas;
 pub mod isa;
 pub mod receipt;
 pub mod state;
+pub mod verify;
 
 pub use error::VmError;
 pub use exec::{CallContext, Vm};
 pub use receipt::Receipt;
 pub use state::WorldState;
+pub use verify::{VerifyError, VerifyReport};

@@ -85,7 +85,10 @@ impl WorldState {
 
     /// The balance of an account (zero if absent).
     pub fn balance(&self, addr: &Address) -> Ether {
-        self.accounts.get(addr).map(|a| a.balance).unwrap_or(Ether::ZERO)
+        self.accounts
+            .get(addr)
+            .map(|a| a.balance)
+            .unwrap_or(Ether::ZERO)
     }
 
     /// Mints currency into an account (genesis allocation / block rewards —
@@ -96,12 +99,9 @@ impl WorldState {
     }
 
     fn journal_balance(&mut self, addr: Address) {
-        if self.journal.is_some() {
-            let prev = self.balance(&addr);
-            self.journal
-                .as_mut()
-                .expect("checked above")
-                .push(JournalEntry::Balance(addr, prev));
+        let prev = self.balance(&addr);
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(JournalEntry::Balance(addr, prev));
         }
     }
 
@@ -112,7 +112,10 @@ impl WorldState {
     ///
     /// Panics if a transaction is already open (no nesting).
     pub fn begin_transaction(&mut self) {
-        assert!(self.journal.is_none(), "nested transactions are not supported");
+        assert!(
+            self.journal.is_none(),
+            "nested transactions are not supported"
+        );
         self.journal = Some(Vec::new());
     }
 
@@ -132,7 +135,9 @@ impl WorldState {
     ///
     /// Panics if no transaction is open.
     pub fn rollback(&mut self) {
-        let journal = self.journal.take().expect("no open transaction");
+        let Some(journal) = self.journal.take() else {
+            panic!("no open transaction");
+        };
         for entry in journal.into_iter().rev() {
             match entry {
                 JournalEntry::Balance(addr, prev) => {
@@ -193,18 +198,29 @@ impl WorldState {
 
     /// Deploys contract code from `deployer`, consuming one nonce.
     ///
+    /// The code must pass the static verifier — this is the hard gate: no
+    /// path deploys unverified code into the state (tests that need a
+    /// contract with invalid code plant it via [`WorldState::account_mut`]).
+    ///
     /// # Errors
     ///
     /// Returns [`VmError::AddressCollision`] if the derived address already
-    /// holds code.
+    /// holds code, or the verifier's rejection ([`VmError::Verify`],
+    /// [`VmError::InvalidOpcode`], [`VmError::TruncatedImmediate`]).
     pub fn deploy_contract(
         &mut self,
         deployer: Address,
         code: Vec<u8>,
     ) -> Result<Address, VmError> {
+        crate::verify::verify(&code)?;
         let nonce = self.account_mut(deployer).nonce;
         let addr = Self::contract_address(&deployer, nonce);
-        if self.accounts.get(&addr).map(Account::is_contract).unwrap_or(false) {
+        if self
+            .accounts
+            .get(&addr)
+            .map(Account::is_contract)
+            .unwrap_or(false)
+        {
             return Err(VmError::AddressCollision);
         }
         self.account_mut(deployer).nonce += 1;
@@ -269,7 +285,8 @@ mod tests {
     fn credit_debit_transfer() {
         let mut s = WorldState::new();
         s.credit(addr("a"), Ether::from_ether(5));
-        s.transfer(addr("a"), addr("b"), Ether::from_ether(2)).unwrap();
+        s.transfer(addr("a"), addr("b"), Ether::from_ether(2))
+            .unwrap();
         assert_eq!(s.balance(&addr("a")), Ether::from_ether(3));
         assert_eq!(s.balance(&addr("b")), Ether::from_ether(2));
         assert!(s.debit(addr("b"), Ether::from_ether(3)).is_err());
@@ -280,7 +297,8 @@ mod tests {
         let mut s = WorldState::new();
         s.credit(addr("a"), Ether::from_ether(10));
         let before = s.total_supply();
-        s.transfer(addr("a"), addr("b"), Ether::from_ether(4)).unwrap();
+        s.transfer(addr("a"), addr("b"), Ether::from_ether(4))
+            .unwrap();
         assert_eq!(s.total_supply(), before);
     }
 
@@ -302,6 +320,35 @@ mod tests {
         assert_ne!(c1, c2);
         assert_eq!(s.account(&d).unwrap().nonce, 2);
         assert!(s.account(&c1).unwrap().is_contract());
+    }
+
+    #[test]
+    fn deploy_rejects_malformed_corpus_with_typed_errors() {
+        use crate::isa::Op;
+        // (label, bytecode): each is provably faulty in a different way.
+        let corpus: Vec<(&str, Vec<u8>)> = vec![
+            ("stack underflow", vec![Op::Add as u8]),
+            // PUSH 3; JUMP — destination 3 lands inside the push immediate.
+            (
+                "jump into immediate",
+                crate::asm::assemble("PUSH 3\nJUMP\n").unwrap(),
+            ),
+            ("unknown opcode", vec![0xfe]),
+            ("truncated PUSH32", vec![Op::Push32 as u8, 1, 2, 3]),
+        ];
+        for (label, code) in corpus {
+            let mut s = WorldState::new();
+            let d = addr("deployer");
+            let err = s.deploy_contract(d, code).unwrap_err();
+            match err {
+                VmError::Verify(_)
+                | VmError::InvalidOpcode { .. }
+                | VmError::TruncatedImmediate { .. } => {}
+                other => panic!("{label}: unexpected error {other:?}"),
+            }
+            // Rejection happens before any state change.
+            assert!(s.account(&d).is_none(), "{label}: nonce was consumed");
+        }
     }
 
     #[test]
@@ -345,7 +392,8 @@ mod journal_tests {
         let reference = s.clone();
 
         s.begin_transaction();
-        s.transfer(addr("a"), addr("b"), Ether::from_ether(4)).unwrap();
+        s.transfer(addr("a"), addr("b"), Ether::from_ether(4))
+            .unwrap();
         s.storage_set(addr("c"), U256::ONE, U256::from_u64(99));
         s.storage_set(addr("c"), U256::from_u64(2), U256::from_u64(1));
         s.credit(addr("d"), Ether::from_ether(3));
@@ -364,7 +412,8 @@ mod journal_tests {
         let mut s = WorldState::new();
         s.credit(addr("a"), Ether::from_ether(10));
         s.begin_transaction();
-        s.transfer(addr("a"), addr("b"), Ether::from_ether(4)).unwrap();
+        s.transfer(addr("a"), addr("b"), Ether::from_ether(4))
+            .unwrap();
         s.commit();
         assert_eq!(s.balance(&addr("b")), Ether::from_ether(4));
     }

@@ -11,7 +11,11 @@ fn main() {
     let outcomes = run_gauntlet();
     let mut defended = 0;
     for o in &outcomes {
-        let verdict = if o.succeeded { "ATTACK SUCCEEDED" } else { "defended" };
+        let verdict = if o.succeeded {
+            "ATTACK SUCCEEDED"
+        } else {
+            "defended"
+        };
         println!("[{verdict:>16}] {}\n{:>18} {}\n", o.attack, "└─", o.detail);
         if !o.succeeded {
             defended += 1;
@@ -23,7 +27,11 @@ fn main() {
     println!("{:>12} {:>10}", "hash share", "win rate");
     for share in [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
         let rate = majority_attack_win_rate(share, 6, 40);
-        let marker = if share > 0.5 { "  ← majority wins" } else { "" };
+        let marker = if share > 0.5 {
+            "  ← majority wins"
+        } else {
+            ""
+        };
         println!("{share:>11.0}% {rate:>10.2}{marker}", share = share * 100.0);
     }
     println!(
@@ -31,5 +39,9 @@ fn main() {
          attacker's private chain loses the fork-choice race, so recorded \
          detection results stay authoritative."
     );
-    assert_eq!(defended, outcomes.len(), "all staged attacks must be defended");
+    assert_eq!(
+        defended,
+        outcomes.len(),
+        "all staged attacks must be defended"
+    );
 }

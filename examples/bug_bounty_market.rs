@@ -28,7 +28,10 @@ fn main() {
     );
 
     println!("detector ledgers (capability grows with thread count):");
-    println!("{:<12} {:>14} {:>14} {:>14}", "detector", "earned (ETH)", "gas (ETH)", "net (ETH)");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "detector", "earned (ETH)", "gas (ETH)", "net (ETH)"
+    );
     let mut total = 0.0;
     for threads in 1..=8u32 {
         let addr = KeyPair::from_seed(format!("fleet-detector-{threads}").as_bytes()).address();

@@ -39,7 +39,12 @@ fn main() {
     for (name, vendor, vulns) in catalog {
         let system = IoTSystem::build(name, "1.0", &library, vulns, &mut rng).unwrap();
         let sra_id = platform
-            .release_system(vendor, system, Ether::from_ether(500), Ether::from_ether(20))
+            .release_system(
+                vendor,
+                system,
+                Ether::from_ether(500),
+                Ether::from_ether(20),
+            )
             .unwrap();
         let sra = platform.sra(&sra_id).unwrap().clone();
         let image = platform.download_image(&sra_id).unwrap().clone();
@@ -47,7 +52,7 @@ fn main() {
         for d in fleet.detectors() {
             if let Some((initial, detailed)) = d.detect(&sra, &image, &library, &mut rng) {
                 if platform.submit_initial(d.keypair(), initial).is_ok() {
-                    reveals.push((d.keypair().clone(), detailed));
+                    reveals.push((*d.keypair(), detailed));
                 }
             }
         }
@@ -75,7 +80,10 @@ fn main() {
         println!("{name:<16} confirmed H/M/L = {h}/{m}/{l:<3} → {decision}");
         for v in &a.vulnerabilities {
             if let Some(entry) = platform.library().get(*v) {
-                println!("  · {} [{}] {}", entry.id, entry.severity, entry.description);
+                println!(
+                    "  · {} [{}] {}",
+                    entry.id, entry.severity, entry.description
+                );
             }
         }
     }

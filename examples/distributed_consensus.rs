@@ -26,12 +26,7 @@ fn main() {
     let mut rng = SimRng::seed_from_u64(40);
     let system =
         IoTSystem::build("gateway-fw", "5.1", &library, vec![VulnId(8)], &mut rng).unwrap();
-    let sra_id = sim.release_from(
-        0,
-        system,
-        Ether::from_ether(1000),
-        Ether::from_ether(25),
-    );
+    let sra_id = sim.release_from(0, system, Ether::from_ether(1000), Ether::from_ether(25));
     println!("node 0 released gateway-fw v5.1; SRA + image gossiped to all peers");
 
     // A detector reports through node 3.
@@ -67,8 +62,14 @@ fn main() {
         sim.nodes()[0].store().best_height()
     );
     for (i, node) in sim.nodes().iter().enumerate() {
-        let detaileds = node.store().records_of_kind(RecordKind::DetailedReport).len();
-        println!("  node {i}: tip {} | detailed reports on chain: {detaileds}", node.store().best_tip());
+        let detaileds = node
+            .store()
+            .records_of_kind(RecordKind::DetailedReport)
+            .len();
+        println!(
+            "  node {i}: tip {} | detailed reports on chain: {detaileds}",
+            node.store().best_tip()
+        );
     }
 
     // Partition node 4 and keep mining.

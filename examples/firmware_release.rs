@@ -29,7 +29,11 @@ fn main() {
     let vendor_addr = platform.providers()[vendor].address;
 
     let releases = [
-        ("1.0", vec![VulnId(5), VulnId(9), VulnId(12)], "initial release, 3 bugs"),
+        (
+            "1.0",
+            vec![VulnId(5), VulnId(9), VulnId(12)],
+            "initial release, 3 bugs",
+        ),
         ("2.0", vec![], "patch release, clean"),
         ("2.1", vec![VulnId(40)], "regression: repackaged payload"),
     ];
@@ -39,7 +43,12 @@ fn main() {
         let system = IoTSystem::build("smart-lock-fw", version, &library, vulns, &mut rng)
             .expect("valid vulns");
         let sra_id = platform
-            .release_system(vendor, system, Ether::from_ether(500), Ether::from_ether(20))
+            .release_system(
+                vendor,
+                system,
+                Ether::from_ether(500),
+                Ether::from_ether(20),
+            )
             .expect("vendor funds the release");
 
         // The fleet audits the release.
@@ -47,14 +56,16 @@ fn main() {
         let image = platform.download_image(&sra_id).unwrap().clone();
         let mut reveals = Vec::new();
         for detector in fleet.detectors() {
-            if let Some((initial, detailed)) = detector.detect(&sra, &image, &library, &mut rng)
-            {
+            if let Some((initial, detailed)) = detector.detect(&sra, &image, &library, &mut rng) {
                 if platform.submit_initial(detector.keypair(), initial).is_ok() {
-                    reveals.push((detector.keypair().clone(), detailed));
+                    reveals.push((*detector.keypair(), detailed));
                 }
             }
         }
-        println!("  {} detectors found something and committed R†", reveals.len());
+        println!(
+            "  {} detectors found something and committed R†",
+            reveals.len()
+        );
         platform.mine_blocks(8);
         let mut accepted = 0;
         for (kp, detailed) in reveals {

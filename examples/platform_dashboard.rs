@@ -33,7 +33,12 @@ fn main() {
         let vulns = library.sample_ids(vuln_count, &mut rng).unwrap();
         let system = IoTSystem::build(name, "1.0", &library, vulns, &mut rng).unwrap();
         let sra_id = platform
-            .release_system(vendor, system, Ether::from_ether(800), Ether::from_ether(20))
+            .release_system(
+                vendor,
+                system,
+                Ether::from_ether(800),
+                Ether::from_ether(20),
+            )
             .unwrap();
         let sra = platform.sra(&sra_id).unwrap().clone();
         let image = platform.download_image(&sra_id).unwrap().clone();
@@ -41,7 +46,7 @@ fn main() {
         for d in fleet.detectors() {
             if let Some((initial, detailed)) = d.detect(&sra, &image, &library, &mut rng) {
                 if platform.submit_initial(d.keypair(), initial).is_ok() {
-                    reveals.push((d.keypair().clone(), detailed));
+                    reveals.push((*d.keypair(), detailed));
                 }
             }
         }
@@ -54,7 +59,10 @@ fn main() {
 
     // ---- Chain statistics ------------------------------------------------
     let stats = chain_stats(platform.store());
-    println!("chain: height {} / {} blocks stored", stats.height, stats.total_blocks);
+    println!(
+        "chain: height {} / {} blocks stored",
+        stats.height, stats.total_blocks
+    );
     println!("mean block interval: {:.1}s", stats.mean_block_interval);
     println!("records by kind:");
     for (kind, count) in &stats.records_by_kind {

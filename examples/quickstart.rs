@@ -35,10 +35,11 @@ fn main() {
     let sra_id = platform
         .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
         .expect("provider can fund the release");
+    println!("\nPhase 1  SRA released: smart-camera-fw v2.4.1, insurance 1000 ETH, μ = 25 ETH");
     println!(
-        "\nPhase 1  SRA released: smart-camera-fw v2.4.1, insurance 1000 ETH, μ = 25 ETH"
+        "         escrow holds {}",
+        platform.escrow_balance(&sra_id).unwrap()
     );
-    println!("         escrow holds {}", platform.escrow_balance(&sra_id).unwrap());
 
     // Phase 2a — a detector scans and submits its initial report R†.
     let detector = KeyPair::from_seed(b"quickstart-detector");

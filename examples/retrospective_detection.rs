@@ -39,8 +39,7 @@ fn main() {
     )
     .unwrap();
     let clean =
-        IoTSystem::build("thermostat-fw", "1.2", platform.library(), vec![], &mut rng)
-            .unwrap();
+        IoTSystem::build("thermostat-fw", "1.2", platform.library(), vec![], &mut rng).unwrap();
     let affected_sra = platform
         .release_system(0, affected, Ether::from_ether(1000), Ether::from_ether(25))
         .unwrap();

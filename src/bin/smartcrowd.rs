@@ -90,10 +90,14 @@ fn cmd_demo() -> Result<(), String> {
         sra_id,
         Findings::new(vec![VulnId(1), VulnId(2)], "demo findings"),
     );
-    platform.submit_initial(&detector, initial).map_err(|e| e.to_string())?;
+    platform
+        .submit_initial(&detector, initial)
+        .map_err(|e| e.to_string())?;
     platform.mine_blocks(8);
     println!("R† submitted and finalized after 8 blocks");
-    platform.submit_detailed(&detector, detailed).map_err(|e| e.to_string())?;
+    platform
+        .submit_detailed(&detector, detailed)
+        .map_err(|e| e.to_string())?;
     let payouts = platform.mine_blocks(8);
     for p in &payouts {
         println!(
@@ -148,19 +152,24 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     for (flag, value) in parse_flags(args)? {
         match flag.as_str() {
             "duration" => {
-                cfg.duration_secs =
-                    value.parse().map_err(|_| format!("bad duration '{value}'"))?
+                cfg.duration_secs = value
+                    .parse()
+                    .map_err(|_| format!("bad duration '{value}'"))?
             }
             "vp" => {
                 cfg.vulnerability_proportion =
                     value.parse().map_err(|_| format!("bad vp '{value}'"))?
             }
             "insurance" => {
-                let eth: u64 = value.parse().map_err(|_| format!("bad insurance '{value}'"))?;
+                let eth: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad insurance '{value}'"))?;
                 cfg.insurance = Ether::from_ether(eth);
             }
             "detectors" => {
-                cfg.detectors = value.parse().map_err(|_| format!("bad detectors '{value}'"))?
+                cfg.detectors = value
+                    .parse()
+                    .map_err(|_| format!("bad detectors '{value}'"))?
             }
             "seed" => cfg.seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?,
             "export" => export = Some(value),
@@ -170,12 +179,18 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let (ledger, platform) = simulate_full(&cfg);
     println!("simulated {:.0}s of platform time", ledger.final_time);
     println!("  blocks mined:            {}", ledger.blocks_mined);
-    println!("  mean block interval:     {:.2}s", ledger.mean_block_time());
+    println!(
+        "  mean block interval:     {:.2}s",
+        ledger.mean_block_time()
+    );
     println!(
         "  releases:                {} ({} vulnerable)",
         ledger.releases, ledger.vulnerable_releases
     );
-    println!("  vulnerabilities confirmed: {}", ledger.confirmed_vulnerabilities);
+    println!(
+        "  vulnerabilities confirmed: {}",
+        ledger.confirmed_vulnerabilities
+    );
     let earned: f64 = ledger.detector_earnings.values().map(|e| e.as_f64()).sum();
     let forfeited: f64 = ledger.provider_forfeits.values().map(|e| e.as_f64()).sum();
     println!("  bounties paid:           {earned:.2} ETH");
@@ -214,7 +229,10 @@ fn cmd_table1() -> Result<(), String> {
     use smartcrowd::detect::corpus::{Table1Setup, EXPECTED, SCANNER_NAMES};
     let setup = Table1Setup::build(2019);
     let rows = setup.run(7);
-    println!("{:<12} {:>22} {:>22}", "service", "Connect H/M/L", "SmartHome H/M/L");
+    println!(
+        "{:<12} {:>22} {:>22}",
+        "service", "Connect H/M/L", "SmartHome H/M/L"
+    );
     for (i, row) in rows.iter().enumerate() {
         println!(
             "{:<12} {:>22} {:>22}",
@@ -243,7 +261,10 @@ mod tests {
         let parsed = parse_flags(&flags(&["--vp", "0.3", "--seed", "7"])).unwrap();
         assert_eq!(
             parsed,
-            vec![("vp".to_string(), "0.3".to_string()), ("seed".to_string(), "7".to_string())]
+            vec![
+                ("vp".to_string(), "0.3".to_string()),
+                ("seed".to_string(), "7".to_string())
+            ]
         );
     }
 

@@ -61,8 +61,7 @@ fn description_aggregation_prevents_reworded_double_claims() {
     // platform's first-confirmer rule pays only once.
     let mut p = Platform::new(PlatformConfig::paper());
     let mut rng = SimRng::seed_from_u64(22);
-    let system = IoTSystem::build("fw", "1", p.library(), vec![VulnId(9)], &mut rng)
-        .unwrap();
+    let system = IoTSystem::build("fw", "1", p.library(), vec![VulnId(9)], &mut rng).unwrap();
     let sra_id = p
         .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
         .unwrap();

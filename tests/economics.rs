@@ -42,7 +42,10 @@ fn income_scales_linearly_with_time() {
             .sum()
     };
     let ratio = total(1) / total(0);
-    assert!((ratio - 3.0).abs() < 0.8, "3× duration ≈ 3× income, got {ratio:.2}");
+    assert!(
+        (ratio - 3.0).abs() < 0.8,
+        "3× duration ≈ 3× income, got {ratio:.2}"
+    );
 }
 
 #[test]
@@ -54,7 +57,13 @@ fn forfeits_grow_with_vp() {
     let points = sweep_vp(&base, &[0.0, 0.5, 1.0]);
     let forfeits: Vec<f64> = points
         .iter()
-        .map(|p| p.ledger.provider_forfeits.values().map(|e| e.as_f64()).sum())
+        .map(|p| {
+            p.ledger
+                .provider_forfeits
+                .values()
+                .map(|e| e.as_f64())
+                .sum()
+        })
         .collect();
     assert_eq!(forfeits[0], 0.0);
     assert!(forfeits[1] > 0.0);
@@ -100,8 +109,7 @@ fn analytic_vpb_brackets_measured_income() {
         let mut c = cfg.clone();
         c.seed = s;
         let ledger = simulate(&c);
-        let platform =
-            smartcrowd::core::platform::Platform::new(cfg.platform.clone());
+        let platform = smartcrowd::core::platform::Platform::new(cfg.platform.clone());
         let addr = platform.providers()[2].address;
         measured += ledger
             .provider_income
@@ -156,14 +164,8 @@ fn platform_supply_is_conserved_through_a_busy_run() {
     let mut rng = SimRng::seed_from_u64(77);
     for round in 0..3u64 {
         let vulns = library.sample_ids(4, &mut rng).unwrap();
-        let system = IoTSystem::build(
-            "audit-fw",
-            &format!("{round}.0"),
-            &library,
-            vulns,
-            &mut rng,
-        )
-        .unwrap();
+        let system =
+            IoTSystem::build("audit-fw", &format!("{round}.0"), &library, vulns, &mut rng).unwrap();
         let sra_id = p
             .release_system(
                 (round % 5) as usize,
@@ -178,7 +180,7 @@ fn platform_supply_is_conserved_through_a_busy_run() {
         for d in fleet.detectors() {
             if let Some((i, det)) = d.detect(&sra, &image, &library, &mut rng) {
                 if p.submit_initial(d.keypair(), i).is_ok() {
-                    reveals.push((d.keypair().clone(), det));
+                    reveals.push((*d.keypair(), det));
                 }
             }
         }

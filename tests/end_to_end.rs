@@ -36,7 +36,7 @@ fn fleet_audits_release_and_splits_bounty() {
     for d in fleet.detectors() {
         if let Some((initial, detailed)) = d.detect(&sra, &image, &library, &mut rng) {
             p.submit_initial(d.keypair(), initial).unwrap();
-            reveals.push((d.keypair().clone(), detailed));
+            reveals.push((*d.keypair(), detailed));
         }
     }
     assert!(reveals.len() >= 4, "most of the fleet finds something");
@@ -77,7 +77,10 @@ fn settlement_refunds_clean_release() {
     // provider 1 earned nothing because no blocks were attributed here).
     let after = p.balance(&provider_addr);
     let spent = before.saturating_sub(after + p.mining_income(&provider_addr));
-    assert!(spent < Ether::from_milliether(200), "only gas spent, got {spent}");
+    assert!(
+        spent < Ether::from_milliether(200),
+        "only gas spent, got {spent}"
+    );
 }
 
 #[test]
@@ -125,15 +128,13 @@ fn chain_records_survive_and_index_by_kind() {
     use smartcrowd::chain::record::RecordKind;
     let mut p = platform();
     let mut rng = SimRng::seed_from_u64(4);
-    let system =
-        IoTSystem::build("fw", "1", p.library(), vec![VulnId(1)], &mut rng).unwrap();
+    let system = IoTSystem::build("fw", "1", p.library(), vec![VulnId(1)], &mut rng).unwrap();
     let sra_id = p
         .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
         .unwrap();
     let d = KeyPair::from_seed(b"d");
     p.fund(d.address(), Ether::from_ether(10));
-    let (initial, detailed) =
-        create_report_pair(&d, sra_id, Findings::new(vec![VulnId(1)], "one"));
+    let (initial, detailed) = create_report_pair(&d, sra_id, Findings::new(vec![VulnId(1)], "one"));
     p.submit_initial(&d, initial).unwrap();
     p.mine_blocks(8);
     p.submit_detailed(&d, detailed).unwrap();
@@ -154,15 +155,13 @@ fn chain_records_survive_and_index_by_kind() {
 fn detector_without_initial_cannot_reveal() {
     let mut p = platform();
     let mut rng = SimRng::seed_from_u64(5);
-    let system =
-        IoTSystem::build("fw", "1", p.library(), vec![VulnId(1)], &mut rng).unwrap();
+    let system = IoTSystem::build("fw", "1", p.library(), vec![VulnId(1)], &mut rng).unwrap();
     let sra_id = p
         .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
         .unwrap();
     let d = KeyPair::from_seed(b"impatient");
     p.fund(d.address(), Ether::from_ether(10));
-    let (_, detailed) =
-        create_report_pair(&d, sra_id, Findings::new(vec![VulnId(1)], "one"));
+    let (_, detailed) = create_report_pair(&d, sra_id, Findings::new(vec![VulnId(1)], "one"));
     p.mine_blocks(8);
     let err = p.submit_detailed(&d, detailed).unwrap_err();
     assert_eq!(err, smartcrowd::core::CoreError::InitialNotConfirmed);

@@ -34,8 +34,16 @@ fn balances_are_positive_for_honest_detectors() {
     // detector nets a profit (the premise that attracts participation).
     let ledger = simulate(&busy_config(900.0));
     for addr in fleet_addresses() {
-        let earned = ledger.detector_earnings.get(&addr).copied().unwrap_or(Ether::ZERO);
-        let cost = ledger.detector_costs.get(&addr).copied().unwrap_or(Ether::ZERO);
+        let earned = ledger
+            .detector_earnings
+            .get(&addr)
+            .copied()
+            .unwrap_or(Ether::ZERO);
+        let cost = ledger
+            .detector_costs
+            .get(&addr)
+            .copied()
+            .unwrap_or(Ether::ZERO);
         if cost.is_zero() {
             continue; // this detector found nothing this run
         }
@@ -55,7 +63,7 @@ fn balances_scale_with_capability_share() {
     let seeds: Vec<u64> = (0..10).collect();
     let points = sweep_seeds(&busy_config(900.0), &seeds);
     let addrs = fleet_addresses();
-    let mut totals = vec![0.0f64; 8];
+    let mut totals = [0.0f64; 8];
     for p in &points {
         for (i, addr) in addrs.iter().enumerate() {
             totals[i] += p

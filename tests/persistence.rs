@@ -29,7 +29,11 @@ fn simulated_chain_roundtrips_through_persistence() {
     assert_eq!(stats_a.confirmed_records, stats_b.confirmed_records);
 
     // Every report is still locatable with identical confirmations.
-    for kind in [RecordKind::Sra, RecordKind::InitialReport, RecordKind::DetailedReport] {
+    for kind in [
+        RecordKind::Sra,
+        RecordKind::InitialReport,
+        RecordKind::DetailedReport,
+    ] {
         let originals = original.records_of_kind(kind);
         for (record, confs) in &originals {
             let (restored_record, restored_confs) = restored
@@ -57,7 +61,12 @@ fn tampering_any_record_in_the_dump_is_caught() {
     // checks fire). The tip block's own header is deliberately excluded:
     // at difficulty 1 a mutated tip header is a *different valid block*,
     // which only a signed checkpoint — not self-validation — could catch.
-    let positions = [dump.len() / 4, dump.len() / 3, dump.len() / 2, (dump.len() * 2) / 3];
+    let positions = [
+        dump.len() / 4,
+        dump.len() / 3,
+        dump.len() / 2,
+        (dump.len() * 2) / 3,
+    ];
     for &pos in &positions {
         let mut corrupted = dump.clone();
         corrupted[pos] ^= 0xff;

@@ -48,7 +48,9 @@ fn forgers_are_isolated_before_exhausting_the_platform() {
 fn providers_cannot_repudiate_incentives() {
     let o = repudiation();
     assert!(!o.succeeded);
-    assert!(o.detail.contains("escrow auto-paid without provider consent: true"));
+    assert!(o
+        .detail
+        .contains("escrow auto-paid without provider consent: true"));
 }
 
 #[test]
@@ -84,5 +86,7 @@ fn win_rate_is_monotone_in_hash_share() {
 fn collusion_block_rejected_by_honest_providers() {
     let o = smartcrowd::core::attacks::collusion();
     assert!(!o.succeeded, "{}", o.detail);
-    assert!(o.detail.contains("accepted the colluding provider's block: false"));
+    assert!(o
+        .detail
+        .contains("accepted the colluding provider's block: false"));
 }

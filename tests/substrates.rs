@@ -63,7 +63,8 @@ fn partitioned_provider_catches_up_via_block_sync() {
             .mine_next(&parent, vec![], parent.header().timestamp + 15)
             .unwrap();
         main_store.insert(b.clone()).unwrap();
-        net.broadcast(miner_node, Message::Block(Box::new(b.clone()))).unwrap();
+        net.broadcast(miner_node, Message::Block(Box::new(b.clone())))
+            .unwrap();
         blocks.push(b.clone());
         parent = b;
     }
@@ -74,7 +75,8 @@ fn partitioned_provider_catches_up_via_block_sync() {
     // Heal and re-broadcast (a trivial sync protocol).
     net.heal_partition();
     for b in &blocks {
-        net.broadcast(miner_node, Message::Block(Box::new(b.clone()))).unwrap();
+        net.broadcast(miner_node, Message::Block(Box::new(b.clone())))
+            .unwrap();
     }
     // Gossip jitter can reorder deliveries: buffer and connect by height,
     // as a real sync implementation does.
@@ -148,13 +150,17 @@ fn record_fees_flow_to_the_including_miner() {
 fn drop_heavy_network_still_converges_with_retries() {
     // 30% loss: repeated broadcast eventually reaches every provider.
     let mut net = GossipNet::new(
-        LinkConfig { base_latency: 0.05, jitter: 0.01, drop_rate: 0.3 },
+        LinkConfig {
+            base_latency: 0.05,
+            jitter: 0.01,
+            drop_rate: 0.3,
+        },
         13,
     );
     let src = net.register();
     let dst: Vec<_> = (0..4).map(|_| net.register()).collect();
     let r = record(9);
-    let mut received = vec![false; 4];
+    let mut received = [false; 4];
     for _ in 0..12 {
         net.broadcast(src, Message::Record(r.clone())).unwrap();
         for d in net.drain() {
