@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use smartcrowd_chain::Ether;
 use smartcrowd_core::contracts::{ReportRegistry, SraEscrow, REPORT_REGISTRY_ASM, SRA_ESCROW_ASM};
 use smartcrowd_crypto::Address;
+use smartcrowd_vm::analysis::{analyze, AnalysisConfig};
 use smartcrowd_vm::asm::assemble;
 use smartcrowd_vm::exec::{CallContext, Vm};
 use smartcrowd_vm::verify::verify;
@@ -76,6 +77,35 @@ fn bench_verifier(c: &mut Criterion) {
     });
 }
 
+fn bench_analysis(c: &mut Criterion) {
+    // The full abstract-interpretation pipeline (depth + ranges + loops +
+    // gas verdict + diagnostics) on the escrow contract.
+    let escrow = assemble(SRA_ESCROW_ASM).unwrap();
+    let config = AnalysisConfig::default();
+    c.bench_function("vm/analyze-escrow", |b| {
+        b.iter(|| analyze(black_box(&escrow), &config).unwrap())
+    });
+
+    // 64 back-to-back counter loops: stresses the SCC decomposition, the
+    // range fixpoint with widening, and the trip-count pattern matcher.
+    let mut src = String::new();
+    for i in 0..64 {
+        src.push_str(&format!(
+            "PUSH {}\nl{i}:\nJUMPDEST\nPUSH 1\nSUB\nDUP 0\nPUSH @l{i}\nJUMPI\nPOP\n",
+            10 + i
+        ));
+    }
+    src.push_str("STOP\n");
+    let loopy = assemble(&src).unwrap();
+    c.bench_function("vm/analyze-64-counter-loops", |b| {
+        b.iter(|| {
+            let a = analyze(black_box(&loopy), &config).unwrap();
+            assert!(a.gas.is_bounded());
+            a
+        })
+    });
+}
+
 fn bench_contracts(c: &mut Criterion) {
     let vm = Vm::default();
     c.bench_function("vm/escrow-deploy+init", |b| {
@@ -139,6 +169,7 @@ criterion_group!(
     bench_assembler,
     bench_interpreter,
     bench_verifier,
+    bench_analysis,
     bench_contracts
 );
 criterion_main!(benches);

@@ -35,7 +35,7 @@ impl From<usize> for SizeRange {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`fn@vec`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

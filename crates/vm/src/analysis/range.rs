@@ -1,0 +1,446 @@
+//! Value-range / constant-propagation domain over stack slots and storage.
+//!
+//! Each tracked stack slot carries an [`Interval`]; storage is a finite
+//! map from statically-known keys to intervals (an absent key means `⊤`,
+//! and a store through an unknown key clobbers the whole map). The domain
+//! never rejects a program — its job is precision, not gating — and its
+//! results feed three consumers: provable div-by-zero and out-of-bounds
+//! memory diagnostics ([`scan`]), per-contract storage-effect summaries
+//! ([`StorageSummary`]), and initial counter values for the loop
+//! trip-count analysis.
+
+use crate::analysis::cfg::{stack_effect, Cfg, Insn};
+use crate::analysis::diagnostics::{Diagnostic, DiagnosticKind, Severity};
+use crate::analysis::engine::{run, Domain};
+use crate::analysis::lattice::{Interval, Lattice, TOP};
+use crate::error::VmError;
+use crate::exec::MEMORY_LIMIT;
+use crate::isa::Op;
+use smartcrowd_crypto::U256;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Abstract machine state: intervals for the tracked top of the stack and
+/// for storage slots with statically-known keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeState {
+    /// Tracked stack slots, bottom first (`last()` is the top). May be
+    /// shorter than the concrete stack after joins of different depths;
+    /// reads past the tracked region yield `⊤`.
+    pub stack: Vec<Interval>,
+    /// Known storage slots. Absent keys are `⊤`.
+    pub storage: BTreeMap<U256, Interval>,
+}
+
+impl RangeState {
+    fn pop(&mut self) -> Interval {
+        self.stack.pop().unwrap_or(TOP)
+    }
+
+    fn push(&mut self, v: Interval) {
+        self.stack.push(v);
+    }
+
+    /// The interval `n` slots below the top (`⊤` when untracked).
+    pub fn peek(&self, n: usize) -> Interval {
+        let len = self.stack.len();
+        if n < len {
+            self.stack[len - 1 - n]
+        } else {
+            TOP
+        }
+    }
+}
+
+impl Lattice for RangeState {
+    /// Top-aligned join: stacks are merged slot-by-slot from the top and
+    /// truncated to the shorter one. This is sound because slots below
+    /// the common depth simply become untracked (`⊤` on read), and the
+    /// depth domain — not this one — proves access safety.
+    fn join(&self, other: &Self) -> Self {
+        let keep = self.stack.len().min(other.stack.len());
+        let stack = (0..keep)
+            .map(|i| {
+                self.stack[self.stack.len() - keep + i]
+                    .join(&other.stack[other.stack.len() - keep + i])
+            })
+            .collect();
+        let storage = self
+            .storage
+            .iter()
+            .filter_map(|(k, v)| other.storage.get(k).map(|w| (*k, v.join(w))))
+            .collect();
+        RangeState { stack, storage }
+    }
+
+    fn widen(&self, newer: &Self) -> Self {
+        let keep = self.stack.len().min(newer.stack.len());
+        let stack = (0..keep)
+            .map(|i| {
+                self.stack[self.stack.len() - keep + i]
+                    .widen(&newer.stack[newer.stack.len() - keep + i])
+            })
+            .collect();
+        let storage = self
+            .storage
+            .iter()
+            .filter_map(|(k, v)| newer.storage.get(k).map(|w| (*k, v.widen(w))))
+            .collect();
+        RangeState { stack, storage }
+    }
+}
+
+fn const_fold2(op: Op, a: U256, b: U256) -> U256 {
+    let (x, y) = (a.limbs(), b.limbs());
+    match op {
+        Op::Or => U256::from_limbs([x[0] | y[0], x[1] | y[1], x[2] | y[2], x[3] | y[3]]),
+        Op::Xor => U256::from_limbs([x[0] ^ y[0], x[1] ^ y[1], x[2] ^ y[2], x[3] ^ y[3]]),
+        _ => unreachable!("const_fold2 only handles Or/Xor"),
+    }
+}
+
+/// Abstractly executes one instruction. Infallible: unknown effects
+/// degrade to `⊤` rather than erroring.
+pub fn step(state: &mut RangeState, insn: &Insn) {
+    match insn.op {
+        Op::Push8 | Op::Push32 => state.push(Interval::exact(insn.push)),
+        Op::Dup => {
+            let v = state.peek(insn.index_imm as usize);
+            state.push(v);
+        }
+        Op::Swap => {
+            let n = insn.index_imm as usize;
+            let len = state.stack.len();
+            if n < len {
+                state.stack.swap(len - 1, len - 1 - n);
+            } else if len > 0 {
+                // The partner slot is untracked: the top receives an
+                // unknown value.
+                state.stack[len - 1] = TOP;
+            }
+        }
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Mod
+        | Op::Lt
+        | Op::Gt
+        | Op::Eq
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Min => {
+            let rhs = state.pop();
+            let lhs = state.pop();
+            let out = match insn.op {
+                Op::Add => lhs.add(&rhs),
+                Op::Sub => lhs.sub(&rhs),
+                Op::Mul => lhs.mul(&rhs),
+                Op::Div => lhs.div(&rhs),
+                Op::Mod => lhs.rem(&rhs),
+                Op::Lt => lhs.lt(&rhs),
+                Op::Gt => lhs.gt(&rhs),
+                Op::Eq => lhs.eq(&rhs),
+                Op::And => lhs.bitand(&rhs),
+                Op::Min => lhs.min_abs(&rhs),
+                Op::Or | Op::Xor => match (lhs.as_const(), rhs.as_const()) {
+                    (Some(a), Some(b)) => Interval::exact(const_fold2(insn.op, a, b)),
+                    _ => TOP,
+                },
+                _ => unreachable!(),
+            };
+            state.push(out);
+        }
+        Op::IsZero => {
+            let v = state.pop();
+            state.push(v.is_zero_abs());
+        }
+        Op::Not => {
+            let v = state.pop();
+            let out = v.as_const().map_or(TOP, |c| {
+                let x = c.limbs();
+                Interval::exact(U256::from_limbs([!x[0], !x[1], !x[2], !x[3]]))
+            });
+            state.push(out);
+        }
+        Op::SLoad => {
+            let key = state.pop();
+            let out = key
+                .as_const()
+                .and_then(|k| state.storage.get(&k).copied())
+                .unwrap_or(TOP);
+            state.push(out);
+        }
+        Op::SStore => {
+            let key = state.pop();
+            let value = state.pop();
+            match key.as_const() {
+                Some(k) => {
+                    state.storage.insert(k, value);
+                }
+                // A store through an unknown key may hit any slot.
+                None => state.storage.clear(),
+            }
+        }
+        op => {
+            // Everything else: generic pops, unknown pushes. DUP/SWAP are
+            // handled above; stack_effect covers the rest.
+            let (pops, pushes) = stack_effect(op);
+            for _ in 0..pops {
+                state.pop();
+            }
+            for _ in 0..pushes {
+                state.push(TOP);
+            }
+        }
+    }
+}
+
+/// The range domain (no parameters; precision knobs live in the engine's
+/// widening budget).
+#[derive(Debug)]
+pub struct RangeDomain;
+
+impl Domain for RangeDomain {
+    type State = RangeState;
+
+    fn entry_state(&self, _cfg: &Cfg) -> RangeState {
+        RangeState {
+            stack: Vec::new(),
+            storage: BTreeMap::new(),
+        }
+    }
+
+    fn transfer(&self, cfg: &Cfg, block: usize, state: &RangeState) -> Result<RangeState, VmError> {
+        let mut s = state.clone();
+        for insn in cfg.block_insns(block) {
+            step(&mut s, insn);
+        }
+        Ok(s)
+    }
+}
+
+/// Which storage slots a contract may read or write, as proven by the
+/// range analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageSummary {
+    /// Statically-known keys the contract may `SLOAD`.
+    pub reads: BTreeSet<U256>,
+    /// Statically-known keys the contract may `SSTORE`.
+    pub writes: BTreeSet<U256>,
+    /// Whether some `SLOAD` key could not be resolved (the contract may
+    /// read *any* slot).
+    pub reads_unknown: bool,
+    /// Whether some `SSTORE` key could not be resolved (the contract may
+    /// write *any* slot).
+    pub writes_unknown: bool,
+}
+
+/// Runs the range domain to a fixpoint.
+///
+/// # Errors
+///
+/// Only structural [`VmError`]s bubbled up from the engine; the domain
+/// itself never rejects.
+pub fn analyze_ranges(
+    cfg: &Cfg,
+    widen_after: usize,
+) -> Result<BTreeMap<usize, RangeState>, VmError> {
+    run(cfg, &RangeDomain, widen_after)
+}
+
+/// Post-pass over the fixpoint: walks every reachable block re-deriving
+/// per-instruction states and collects provable-fault diagnostics plus the
+/// storage-effect summary.
+pub fn scan(cfg: &Cfg, entry: &BTreeMap<usize, RangeState>) -> (Vec<Diagnostic>, StorageSummary) {
+    let mut diags = Vec::new();
+    let mut summary = StorageSummary::default();
+
+    // A memory access is *provably* out of bounds only when the whole
+    // interval lies past the limit and truncation to the interpreter's
+    // 64-bit offset cannot wrap it back in range.
+    let fits_u64 = |i: &Interval| i.hi.bits() <= 64;
+    let provably_oob = |offset: &Interval, len: u128| {
+        fits_u64(offset) && u128::from(offset.lo.low_u64()) + len > MEMORY_LIMIT as u128
+    };
+
+    for (&block, state) in entry {
+        let mut s = state.clone();
+        for insn in cfg.block_insns(block) {
+            match insn.op {
+                Op::Div | Op::Mod => {
+                    let rhs = s.peek(0);
+                    if rhs.is_zero() {
+                        diags.push(Diagnostic {
+                            severity: Severity::Warning,
+                            kind: DiagnosticKind::DivByZero,
+                            pc: insn.pc,
+                            message: format!(
+                                "{:?} by a provably zero divisor always yields 0",
+                                insn.op
+                            ),
+                        });
+                    }
+                }
+                Op::MLoad | Op::MStore => {
+                    let offset = s.peek(0);
+                    if provably_oob(&offset, 32) {
+                        diags.push(Diagnostic {
+                            severity: Severity::Error,
+                            kind: DiagnosticKind::OobMemory,
+                            pc: insn.pc,
+                            message: format!(
+                                "memory access at offset >= {} always exceeds the {}-byte limit",
+                                offset.lo.low_u64(),
+                                MEMORY_LIMIT
+                            ),
+                        });
+                    }
+                }
+                Op::Keccak => {
+                    let len = s.peek(0);
+                    let offset = s.peek(1);
+                    if fits_u64(&len)
+                        && fits_u64(&offset)
+                        && u128::from(offset.lo.low_u64()) + u128::from(len.lo.low_u64())
+                            > MEMORY_LIMIT as u128
+                    {
+                        diags.push(Diagnostic {
+                            severity: Severity::Error,
+                            kind: DiagnosticKind::OobMemory,
+                            pc: insn.pc,
+                            message: format!(
+                                "KECCAK over [{}, +{}) always exceeds the {}-byte limit",
+                                offset.lo.low_u64(),
+                                len.lo.low_u64(),
+                                MEMORY_LIMIT
+                            ),
+                        });
+                    }
+                }
+                Op::EcRecover => {
+                    let offset = s.peek(0);
+                    if provably_oob(&offset, 97) {
+                        diags.push(Diagnostic {
+                            severity: Severity::Error,
+                            kind: DiagnosticKind::OobMemory,
+                            pc: insn.pc,
+                            message: format!(
+                                "ECRECOVER reads 97 bytes at offset >= {}, past the {}-byte limit",
+                                offset.lo.low_u64(),
+                                MEMORY_LIMIT
+                            ),
+                        });
+                    }
+                }
+                Op::SLoad => match s.peek(0).as_const() {
+                    Some(k) => {
+                        summary.reads.insert(k);
+                    }
+                    None => summary.reads_unknown = true,
+                },
+                Op::SStore => match s.peek(0).as_const() {
+                    Some(k) => {
+                        summary.writes.insert(k);
+                    }
+                    None => summary.writes_unknown = true,
+                },
+                _ => {}
+            }
+            step(&mut s, insn);
+        }
+    }
+    (diags, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn ranges(src: &str) -> (Cfg, BTreeMap<usize, RangeState>) {
+        let cfg = Cfg::build(&assemble(src).expect("assembles")).expect("builds");
+        let entry = analyze_ranges(&cfg, 2).expect("fixpoint");
+        (cfg, entry)
+    }
+
+    #[test]
+    fn constants_propagate_through_arithmetic() {
+        let (cfg, entry) = ranges("PUSH 2\nPUSH 3\nADD\nPUSH @end\nJUMP\nend:\nSTOP\n");
+        let end = cfg.block_starts().last().expect("end block");
+        let state = &entry[&end];
+        assert_eq!(state.peek(0).as_const(), Some(U256::from_u64(5)));
+    }
+
+    #[test]
+    fn storage_constants_flow_through_sload() {
+        let (cfg, entry) =
+            ranges("PUSH 7\nPUSH 1\nSSTORE\nPUSH 1\nSLOAD\nPUSH @end\nJUMP\nend:\nSTOP\n");
+        let end = cfg.block_starts().last().expect("end block");
+        assert_eq!(entry[&end].peek(0).as_const(), Some(U256::from_u64(7)));
+    }
+
+    #[test]
+    fn unknown_key_store_clobbers_storage() {
+        // The second SSTORE's key comes from calldata: slot 1's known
+        // value must not survive it.
+        let (cfg, entry) = ranges(
+            "PUSH 7\nPUSH 1\nSSTORE\nPUSH 9\nPUSH 0\nCALLDATALOAD\nSSTORE\n\
+             PUSH 1\nSLOAD\nPUSH @end\nJUMP\nend:\nSTOP\n",
+        );
+        let end = cfg.block_starts().last().expect("end block");
+        assert!(entry[&end].peek(0).is_top());
+    }
+
+    #[test]
+    fn scan_flags_provable_div_by_zero() {
+        let (cfg, entry) = ranges("PUSH 8\nPUSH 0\nDIV\nPOP\nSTOP\n");
+        let (diags, _) = scan(&cfg, &entry);
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::DivByZero && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn scan_flags_provable_oob_memory() {
+        let oob = (MEMORY_LIMIT as u64) + 1;
+        let (cfg, entry) = ranges(&format!("PUSH {oob}\nMLOAD\nPOP\nSTOP\n"));
+        let (diags, _) = scan(&cfg, &entry);
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::OobMemory && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn in_bounds_memory_is_clean() {
+        let (cfg, entry) = ranges("PUSH 0\nMLOAD\nPOP\nSTOP\n");
+        let (diags, _) = scan(&cfg, &entry);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn storage_summary_collects_known_keys() {
+        let (cfg, entry) = ranges("PUSH 5\nPUSH 2\nSSTORE\nPUSH 3\nSLOAD\nPOP\nSTOP\n");
+        let (_, summary) = scan(&cfg, &entry);
+        assert!(summary.writes.contains(&U256::from_u64(2)));
+        assert!(summary.reads.contains(&U256::from_u64(3)));
+        assert!(!summary.reads_unknown && !summary.writes_unknown);
+    }
+
+    #[test]
+    fn unknown_sload_key_sets_flag() {
+        let (cfg, entry) = ranges("PUSH 0\nCALLDATALOAD\nSLOAD\nPOP\nSTOP\n");
+        let (_, summary) = scan(&cfg, &entry);
+        assert!(summary.reads_unknown);
+    }
+
+    #[test]
+    fn widening_converges_on_accumulator_loop() {
+        // Slot 0 grows every iteration; widening must drive it to top
+        // instead of looping forever.
+        let (_, entry) = ranges(
+            "loop:\nJUMPDEST\nPUSH 0\nSLOAD\nPUSH 1\nADD\nPUSH 0\nSSTORE\nPUSH 1\nPUSH @loop\nJUMPI\n",
+        );
+        assert!(entry.contains_key(&0), "loop head analyzed");
+    }
+}

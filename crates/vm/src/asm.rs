@@ -12,6 +12,13 @@
 //! - `DUP <n>` / `SWAP <n>` take a small immediate;
 //! - `label:` defines a jump target and implicitly emits a `JUMPDEST`.
 //!
+//! ## Source maps
+//!
+//! [`assemble_with_source_map`] additionally returns a [`SourceMap`]
+//! recording the source line/column of every emitted instruction, so
+//! diagnostics from the verifier and the abstract-interpretation engine
+//! (`scvm-lint`) can point at the listing instead of raw byte offsets.
+//!
 //! ```
 //! use smartcrowd_vm::asm::assemble;
 //!
@@ -27,7 +34,77 @@
 use crate::error::VmError;
 use crate::isa::Op;
 use smartcrowd_crypto::U256;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// A line/column position in assembly source (both 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based column of the instruction's first character.
+    pub col: usize,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps emitted instruction offsets (program counters) back to source
+/// positions. Built by [`assemble_with_source_map`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    spans: BTreeMap<usize, Span>,
+    /// Length of the emitted bytecode: offsets at or past this are not
+    /// inside any instruction.
+    end: usize,
+}
+
+impl SourceMap {
+    /// The span of the instruction starting exactly at `pc`, if any.
+    pub fn span_at(&self, pc: usize) -> Option<Span> {
+        self.spans.get(&pc).copied()
+    }
+
+    /// The span of the instruction covering `pc` (the nearest instruction
+    /// start at or before `pc` — useful for offsets into immediates).
+    pub fn enclosing(&self, pc: usize) -> Option<Span> {
+        if pc >= self.end {
+            return None;
+        }
+        self.spans.range(..=pc).next_back().map(|(_, s)| *s)
+    }
+
+    /// Human-readable position of `pc`: `"line L, column C"` when mapped,
+    /// `"pc N"` otherwise.
+    pub fn describe(&self, pc: usize) -> String {
+        match self.enclosing(pc) {
+            Some(span) => format!("line {}, column {}", span.line, span.col),
+            None => format!("pc {pc}"),
+        }
+    }
+
+    /// The program counter a [`VmError`] points at, when it carries one.
+    pub fn vm_error_pc(e: &VmError) -> Option<usize> {
+        match e {
+            VmError::TruncatedImmediate { pc }
+            | VmError::StackUnderflow { pc }
+            | VmError::StackOverflow { pc } => Some(*pc),
+            VmError::Verify(v) => Some(v.pc()),
+            _ => None,
+        }
+    }
+
+    /// Renders a [`VmError`] with its source span (when the error names a
+    /// program counter that maps back to the listing).
+    pub fn describe_vm_error(&self, e: &VmError) -> String {
+        match Self::vm_error_pc(e).and_then(|pc| self.enclosing(pc)) {
+            Some(span) => format!("{span}: {e}"),
+            None => e.to_string(),
+        }
+    }
+}
 
 enum Item {
     Op(Op),
@@ -56,7 +133,7 @@ fn parse_u256(token: &str, line: usize) -> Result<U256, VmError> {
     Ok(parsed)
 }
 
-fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
+fn tokenize(source: &str) -> Result<Vec<(Span, Item)>, VmError> {
     let mut items = Vec::new();
     for (lineno, raw) in source.lines().enumerate() {
         let line_number = lineno + 1;
@@ -64,6 +141,10 @@ fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
         if line.is_empty() {
             continue;
         }
+        let span = Span {
+            line: line_number,
+            col: raw.len() - raw.trim_start().len() + 1,
+        };
         if let Some(label) = line.strip_suffix(':') {
             let label = label.trim();
             if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
@@ -72,7 +153,7 @@ fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
                     detail: format!("bad label '{label}'"),
                 });
             }
-            items.push((line_number, Item::Label(label.to_string())));
+            items.push((span, Item::Label(label.to_string())));
             continue;
         }
         let mut parts = line.split_whitespace();
@@ -97,7 +178,7 @@ fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
                     detail: "PUSH needs an operand".to_string(),
                 })?;
                 if let Some(label) = token.strip_prefix('@') {
-                    items.push((line_number, Item::PushLabel(label.to_string())));
+                    items.push((span, Item::PushLabel(label.to_string())));
                 } else {
                     let v = parse_u256(token, line_number)?;
                     if v.bits() > 64 {
@@ -106,7 +187,7 @@ fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
                             detail: format!("'{token}' exceeds 64 bits; use PUSH32"),
                         });
                     }
-                    items.push((line_number, Item::Push8(v.low_u64())));
+                    items.push((span, Item::Push8(v.low_u64())));
                 }
             }
             Op::Push32 => {
@@ -114,7 +195,7 @@ fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
                     line: line_number,
                     detail: "PUSH32 needs an operand".to_string(),
                 })?;
-                items.push((line_number, Item::Push32(parse_u256(token, line_number)?)));
+                items.push((span, Item::Push32(parse_u256(token, line_number)?)));
             }
             Op::Dup | Op::Swap => {
                 let token = operand.ok_or_else(|| VmError::Parse {
@@ -125,8 +206,8 @@ fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
                     line: line_number,
                     detail: format!("bad immediate '{token}'"),
                 })?;
-                items.push((line_number, Item::Op(op)));
-                items.push((line_number, Item::Immediate(n)));
+                items.push((span, Item::Op(op)));
+                items.push((span, Item::Immediate(n)));
             }
             _ => {
                 if operand.is_some() {
@@ -135,7 +216,7 @@ fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
                         detail: format!("{} takes no operand", op.mnemonic()),
                     });
                 }
-                items.push((line_number, Item::Op(op)));
+                items.push((span, Item::Op(op)));
             }
         }
     }
@@ -149,6 +230,17 @@ fn tokenize(source: &str) -> Result<Vec<(usize, Item)>, VmError> {
 /// Returns [`VmError::Parse`], [`VmError::DuplicateLabel`] or
 /// [`VmError::UndefinedLabel`].
 pub fn assemble(source: &str) -> Result<Vec<u8>, VmError> {
+    assemble_with_source_map(source).map(|(code, _)| code)
+}
+
+/// Assembles SCVM source into bytecode plus a [`SourceMap`] from emitted
+/// instruction offsets back to source line/column spans.
+///
+/// # Errors
+///
+/// Returns [`VmError::Parse`], [`VmError::DuplicateLabel`] or
+/// [`VmError::UndefinedLabel`].
+pub fn assemble_with_source_map(source: &str) -> Result<(Vec<u8>, SourceMap), VmError> {
     let items = tokenize(source)?;
 
     // Pass 1: lay out offsets and collect labels.
@@ -171,9 +263,13 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, VmError> {
         }
     }
 
-    // Pass 2: emit.
+    // Pass 2: emit, recording each instruction-start offset's span.
     let mut code = Vec::with_capacity(offset);
-    for (_, item) in &items {
+    let mut map = SourceMap::default();
+    for (span, item) in &items {
+        if !matches!(item, Item::Immediate(_)) {
+            map.spans.insert(code.len(), *span);
+        }
         match item {
             Item::Label(_) => code.push(Op::JumpDest as u8),
             Item::Op(op) => code.push(*op as u8),
@@ -195,7 +291,8 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, VmError> {
             Item::Immediate(n) => code.push(*n),
         }
     }
-    Ok(code)
+    map.end = code.len();
+    Ok((code, map))
 }
 
 /// Disassembles bytecode back into listing form.
@@ -343,5 +440,51 @@ mod tests {
             Err(VmError::Parse { .. })
         ));
         assert!(matches!(assemble(":\nSTOP\n"), Err(VmError::Parse { .. })));
+    }
+
+    #[test]
+    fn source_map_tracks_lines_and_columns() {
+        let src = "PUSH 2\n  PUSH 3\nADD\nRETURNVAL\n";
+        let (code, map) = assemble_with_source_map(src).unwrap();
+        assert_eq!(code.len(), 20);
+        assert_eq!(map.span_at(0), Some(Span { line: 1, col: 1 }));
+        // Second PUSH is indented by two spaces.
+        assert_eq!(map.span_at(9), Some(Span { line: 2, col: 3 }));
+        assert_eq!(map.span_at(18), Some(Span { line: 3, col: 1 }));
+        assert_eq!(map.span_at(19), Some(Span { line: 4, col: 1 }));
+    }
+
+    #[test]
+    fn source_map_enclosing_covers_immediates() {
+        let (_, map) = assemble_with_source_map("PUSH 2\nSTOP\n").unwrap();
+        // pc 5 is inside the PUSH immediate: report the PUSH's span.
+        assert_eq!(map.enclosing(5), Some(Span { line: 1, col: 1 }));
+        assert_eq!(map.span_at(5), None);
+        assert!(map.describe(5).contains("line 1"));
+        assert!(
+            map.describe(999).contains("pc 999"),
+            "unmapped pc falls back"
+        );
+    }
+
+    #[test]
+    fn source_map_covers_labels_and_dups() {
+        let (code, map) = assemble_with_source_map("a:\nPUSH 1\nPUSH 2\nDUP 1\nSTOP\n").unwrap();
+        // JUMPDEST at 0, PUSHes at 1 and 10, DUP at 19 (+imm), STOP at 21.
+        assert_eq!(map.span_at(0), Some(Span { line: 1, col: 1 }));
+        assert_eq!(map.span_at(19), Some(Span { line: 4, col: 1 }));
+        assert_eq!(map.span_at(21), Some(Span { line: 5, col: 1 }));
+        assert_eq!(code.len(), 22);
+    }
+
+    #[test]
+    fn source_map_renders_vm_errors_with_spans() {
+        let (_, map) = assemble_with_source_map("PUSH 1\nPUSH 2\nSWAP 0\nSTOP\n").unwrap();
+        let err = VmError::Verify(crate::verify::VerifyError::SwapZero { pc: 18 });
+        let rendered = map.describe_vm_error(&err);
+        assert!(rendered.starts_with("3:1:"), "got {rendered}");
+        // Errors without a pc render unchanged.
+        let plain = map.describe_vm_error(&VmError::InsufficientBalance);
+        assert_eq!(plain, VmError::InsufficientBalance.to_string());
     }
 }

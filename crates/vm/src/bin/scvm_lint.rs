@@ -1,0 +1,128 @@
+//! `scvm-lint` — static diagnostics for SCVM assembly listings.
+//!
+//! Assembles each `.scvm` file, runs the full abstract-interpretation
+//! pipeline ([`smartcrowd_vm::analysis::analyze`]) and prints ranked
+//! diagnostics with source line/column spans:
+//!
+//! ```text
+//! scvm-lint [--deny-warnings] [--max-trips N] FILE...
+//! ```
+//!
+//! Exit status is `2` on usage errors, `1` when any file fails to
+//! assemble, is rejected by the deploy gate, or produces an
+//! `error`-severity diagnostic (also `warning`-severity under
+//! `--deny-warnings`), and `0` otherwise.
+
+use smartcrowd_vm::analysis::{analyze, AnalysisConfig, Severity};
+use smartcrowd_vm::asm::assemble_with_source_map;
+use std::process::ExitCode;
+
+struct Options {
+    deny_warnings: bool,
+    config: AnalysisConfig,
+    files: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: scvm-lint [--deny-warnings] [--max-trips N] FILE...");
+    ExitCode::from(2)
+}
+
+fn parse_args(args: &[String]) -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        deny_warnings: false,
+        config: AnalysisConfig::default(),
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--max-trips" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("scvm-lint: --max-trips needs an integer argument");
+                    return Err(usage());
+                };
+                opts.config.max_trip_count = n;
+            }
+            "--help" | "-h" => return Err(usage()),
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            unknown => {
+                eprintln!("scvm-lint: unknown option '{unknown}'");
+                return Err(usage());
+            }
+        }
+    }
+    if opts.files.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+/// Lints one file. Returns the worst severity it produced, `None` when the
+/// listing is clean.
+fn lint_file(path: &str, config: &AnalysisConfig) -> Option<Severity> {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: cannot read: {e}");
+            return Some(Severity::Error);
+        }
+    };
+    let (code, map) = match assemble_with_source_map(&source) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return Some(Severity::Error);
+        }
+    };
+    let analysis = match analyze(&code, config) {
+        Ok(a) => a,
+        Err(e) => {
+            // Deploy-gate rejection: render with the source span when the
+            // error names a program counter.
+            eprintln!("error: {path}: {}", map.describe_vm_error(&e));
+            return Some(Severity::Error);
+        }
+    };
+
+    for d in &analysis.diagnostics {
+        println!("{}", d.render(path, Some(&map)));
+    }
+    println!(
+        "{path}: {} instructions, {} blocks, max stack {}, gas {}",
+        analysis.cfg.instruction_count(),
+        analysis.cfg.block_count(),
+        analysis.max_stack_depth,
+        analysis.gas,
+    );
+    analysis.diagnostics.iter().map(|d| d.severity).min()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let mut worst: Option<Severity> = None;
+    for path in &opts.files {
+        let sev = lint_file(path, &opts.config);
+        worst = match (worst, sev) {
+            (Some(w), Some(s)) => Some(w.min(s)),
+            (w, s) => w.or(s),
+        };
+    }
+
+    let deny = match worst {
+        Some(Severity::Error) => true,
+        Some(Severity::Warning) => opts.deny_warnings,
+        _ => false,
+    };
+    if deny {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

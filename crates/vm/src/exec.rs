@@ -599,15 +599,21 @@ fn xor(a: U256, b: U256) -> U256 {
 
 impl Machine<'_> {
     fn charge(&mut self, gas: u64) -> Result<(), VmError> {
-        self.gas_used = self.gas_used.saturating_add(gas);
-        if self.gas_used > self.gas_limit {
-            self.gas_used = self.gas_limit;
-            Err(VmError::OutOfGas {
-                used: self.gas_limit,
-                limit: self.gas_limit,
-            })
-        } else {
-            Ok(())
+        // Checked, not saturating: with `gas_limit == u64::MAX` a saturated
+        // sum would sit exactly at the limit and the overflow would never
+        // fault, handing out unmetered execution past 2^64 gas.
+        match self.gas_used.checked_add(gas) {
+            Some(total) if total <= self.gas_limit => {
+                self.gas_used = total;
+                Ok(())
+            }
+            _ => {
+                self.gas_used = self.gas_limit;
+                Err(VmError::OutOfGas {
+                    used: self.gas_limit,
+                    limit: self.gas_limit,
+                })
+            }
         }
     }
 
@@ -692,6 +698,28 @@ mod tests {
         Vm::default()
             .call(&mut state, CallContext::new(owner, contract), &[])
             .unwrap()
+    }
+
+    #[test]
+    fn charge_overflow_faults_instead_of_saturating() {
+        let mut m = Machine {
+            code: &[],
+            jumpdests: Vec::new(),
+            stack: Vec::new(),
+            memory: Vec::new(),
+            pc: 0,
+            gas_used: u64::MAX - 1,
+            gas_limit: u64::MAX,
+            logs: Vec::new(),
+        };
+        // Filling the meter exactly to a maximal limit is still in budget.
+        m.charge(1).expect("exactly at the limit");
+        assert_eq!(m.gas_used, u64::MAX);
+        // The next charge overflows the accumulator. A saturating add
+        // would leave gas_used == gas_limit and never fault — unmetered
+        // execution. The checked add must report OutOfGas.
+        assert!(matches!(m.charge(1), Err(VmError::OutOfGas { .. })));
+        assert_eq!(m.gas_used, u64::MAX);
     }
 
     #[test]

@@ -32,9 +32,14 @@
 //! 3. **Stack safety** — abstract interpretation over the control-flow
 //!    graph proves no execution path can underflow the operand stack or
 //!    push past `STACK_LIMIT` (1024). `SWAP 0` is rejected outright.
-//! 4. **Gas bound** — acyclic programs get a worst-case-path gas bound in
-//!    the returned [`VerifyReport`]; looping programs verify but report
-//!    `gas_bound: None` (only the runtime meter limits them).
+//! 4. **Gas verdict** — the loop-aware analysis ([`analysis`]) prices the
+//!    worst-case path over the SCC condensation: acyclic programs and
+//!    programs whose loops have a provable trip count (counter patterns
+//!    such as `PUSH 10 ; loop: … SUB … JUMPI`) get a finite
+//!    [`analysis::GasVerdict::Bounded`] in the returned [`VerifyReport`];
+//!    loops with no provable bound verify but carry an explicit
+//!    [`analysis::GasVerdict::Unbounded`] naming a witness block (only the
+//!    runtime meter limits them).
 //!
 //! The stack analysis uses this per-opcode pops/pushes table (mirroring
 //! the interpreter exactly):
@@ -86,6 +91,7 @@
 #![warn(clippy::disallowed_methods)]
 #![cfg_attr(test, allow(clippy::disallowed_methods))]
 
+pub mod analysis;
 pub mod asm;
 pub mod error;
 pub mod exec;
@@ -95,6 +101,7 @@ pub mod receipt;
 pub mod state;
 pub mod verify;
 
+pub use analysis::{analyze, Analysis, AnalysisConfig, GasVerdict};
 pub use error::VmError;
 pub use exec::{CallContext, Vm};
 pub use receipt::Receipt;

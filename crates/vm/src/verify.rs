@@ -12,47 +12,46 @@
 //!    rejected (these reuse the existing [`VmError::InvalidOpcode`] /
 //!    [`VmError::TruncatedImmediate`] errors).
 //! 2. **Control-flow graph** — instructions are grouped into basic blocks
-//!    (leaders: offset 0, every `JUMPDEST`, every instruction following a
-//!    halt or jump). `JUMP`/`JUMPI` whose destination comes from an
-//!    immediately preceding `PUSH` in the same block are *static*: their
-//!    target must be a `JUMPDEST` or the program is rejected. Other jumps
-//!    are *dynamic* and conservatively may reach every `JUMPDEST`; a
+//!    ([`crate::analysis::cfg`]). `JUMP`/`JUMPI` whose destination comes
+//!    from an immediately preceding `PUSH` in the same block are *static*:
+//!    their target must be a `JUMPDEST` or the program is rejected. Other
+//!    jumps are *dynamic* and conservatively may reach every `JUMPDEST`; a
 //!    dynamic `JUMP` in a program with no `JUMPDEST` at all is rejected
 //!    (it faults on every execution).
-//! 3. **Stack-depth abstract interpretation** — each reachable block's
-//!    entry depth is tracked as an interval `[lo, hi]`, propagated to a
-//!    fixpoint over the CFG (union merge at join points). Every opcode
-//!    shifts depth by a constant, so interval endpoints are depths some
-//!    real path achieves: `lo` below an instruction's operand count proves
-//!    a reachable stack underflow, and `hi` past [`STACK_LIMIT`] proves a
-//!    reachable overflow — both reject. `SWAP 0` (a guaranteed runtime
-//!    fault) is rejected outright.
-//! 4. **Gas bound** — for an acyclic (reachable) CFG the verifier computes
-//!    the worst-case gas over all paths, charging every `SSTORE` at the
-//!    fresh-slot rate, every `TRANSFER` at full cost, every `KECCAK` at
-//!    the maximum in-bounds length, plus one worst-case memory expansion
-//!    to [`MEMORY_LIMIT`] if any memory-touching opcode is reachable. A
-//!    cyclic CFG yields no bound (`gas_bound: None`) — loops are
-//!    statically unbounded and only the runtime gas meter limits them.
+//! 3. **Stack-depth abstract interpretation** — the depth domain
+//!    ([`crate::analysis::depth`]) runs on the shared fixpoint engine and
+//!    proves no execution path can underflow the operand stack or push
+//!    past [`STACK_LIMIT`]. `SWAP 0` (a guaranteed runtime fault) is
+//!    rejected outright.
+//! 4. **Gas verdict** — the loop-aware gas analysis
+//!    ([`crate::analysis::gasbound`]) computes a worst-case bound over the
+//!    SCC condensation: acyclic programs get the longest-path bound,
+//!    cyclic programs with provably bounded loops get `trips × cycle`
+//!    pricing, and loops with no provable trip count yield an explicit
+//!    [`GasVerdict::Unbounded`] naming a witness block. Every `SSTORE` is
+//!    charged at the fresh-slot rate, every `TRANSFER` at full cost, every
+//!    `KECCAK` at the maximum in-bounds length, plus one worst-case memory
+//!    expansion if any memory-touching opcode is reachable.
 //!
 //! Unreachable blocks are *flagged* in the [`VerifyReport`], not rejected:
-//! dead code wastes deploy gas but cannot fault.
+//! dead code wastes deploy gas but cannot fault. Richer findings
+//! (div-by-zero, out-of-bounds memory, storage-effect summaries) are
+//! available from [`crate::analysis::analyze`] and the `scvm-lint` CLI.
 //!
 //! The runtime keeps all of its own checks (defense in depth); the
 //! verifier's guarantee is that for verified code no execution can hit
 //! `StackUnderflow`/`StackOverflow`, and executions whose jumps are all
 //! static can never hit `BadJump`.
 
+use crate::analysis::{analyze, AnalysisConfig, GasVerdict};
 use crate::error::VmError;
-use crate::exec::{MEMORY_LIMIT, STACK_LIMIT};
-use crate::gas;
-use crate::isa::Op;
-use std::collections::{BTreeMap, BTreeSet};
+use crate::exec::STACK_LIMIT;
 
 /// A violation found by the static verifier.
 ///
 /// Each variant names the program counter of the offending instruction so
-/// a provider can map the rejection back to its assembly listing.
+/// a provider can map the rejection back to its assembly listing (via
+/// [`crate::asm::SourceMap`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum VerifyError {
@@ -92,6 +91,19 @@ pub enum VerifyError {
         /// Program counter of the swap.
         pc: usize,
     },
+}
+
+impl VerifyError {
+    /// The program counter of the offending instruction.
+    pub fn pc(&self) -> usize {
+        match self {
+            VerifyError::StackUnderflow { pc, .. }
+            | VerifyError::StackOverflow { pc, .. }
+            | VerifyError::BadStaticJump { pc, .. }
+            | VerifyError::JumpWithoutTargets { pc }
+            | VerifyError::SwapZero { pc } => *pc,
+        }
+    }
 }
 
 impl std::fmt::Display for VerifyError {
@@ -135,437 +147,16 @@ pub struct VerifyReport {
     /// The highest operand-stack depth any execution path can reach.
     pub max_stack_depth: usize,
     /// Worst-case execution gas over all paths (excluding the intrinsic
-    /// deploy/call gas), or `None` when the control-flow graph is cyclic
-    /// and the cost is therefore statically unbounded.
-    pub gas_bound: Option<u64>,
-}
-
-/// One decoded instruction.
-#[derive(Debug, Clone, Copy)]
-struct Insn {
-    pc: usize,
-    op: Op,
-    /// `DUP`/`SWAP` index operand.
-    index_imm: u8,
-    /// Low 64 bits of a `PUSH` immediate — exactly the value the
-    /// interpreter would use as a jump destination (`low_u64`).
-    push_low: u64,
-}
-
-/// Stack-depth interval on entry to a block. Every opcode moves the depth
-/// by a constant, so both endpoints are realized by concrete paths; checks
-/// against them prove faults rather than merely suspecting them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Depth {
-    lo: usize,
-    hi: usize,
-}
-
-impl Depth {
-    fn union(self, other: Depth) -> Depth {
-        Depth {
-            lo: self.lo.min(other.lo),
-            hi: self.hi.max(other.hi),
-        }
-    }
-}
-
-/// How a basic block hands control onward.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Exit {
-    /// `STOP`/`RETURN`/`RETURNVAL`/`REVERT`, or falling off the code end.
-    Halt,
-    /// Unconditional jump to a statically-known `JUMPDEST`.
-    StaticJump(usize),
-    /// Conditional jump to a statically-known `JUMPDEST`, else fall through.
-    StaticBranch { dest: usize, fallthrough: usize },
-    /// `JUMP` with a runtime-computed destination: any `JUMPDEST`.
-    DynamicJump,
-    /// `JUMPI` with a runtime-computed destination: any `JUMPDEST`, or
-    /// fall through.
-    DynamicBranch { fallthrough: usize },
-    /// Straight-line flow into the next block.
-    FallThrough(usize),
-}
-
-#[derive(Debug)]
-struct Block {
-    /// Indices into the instruction list: `[first, last]` inclusive.
-    /// The block's code offset is its key in the CFG map.
-    first: usize,
-    last: usize,
-    exit: Exit,
-}
-
-/// The number of operands an opcode pops and pushes. `DUP`/`SWAP` have
-/// index-dependent requirements handled separately.
-fn stack_effect(op: Op) -> (usize, usize) {
-    match op {
-        Op::Stop | Op::Return | Op::JumpDest => (0, 0),
-        Op::Push8 | Op::Push32 => (0, 1),
-        Op::Pop | Op::Log | Op::ReturnVal | Op::Revert | Op::Jump => (1, 0),
-        Op::Dup | Op::Swap => (0, 0), // handled via index_imm
-        Op::Add
-        | Op::Sub
-        | Op::Mul
-        | Op::Div
-        | Op::Mod
-        | Op::Lt
-        | Op::Gt
-        | Op::Eq
-        | Op::And
-        | Op::Or
-        | Op::Xor
-        | Op::Min
-        | Op::Keccak => (2, 1),
-        Op::IsZero
-        | Op::Not
-        | Op::EcRecover
-        | Op::CallDataLoad
-        | Op::Balance
-        | Op::SLoad
-        | Op::MLoad => (1, 1),
-        Op::SelfAddr
-        | Op::Caller
-        | Op::CallValue
-        | Op::CallDataSize
-        | Op::Timestamp
-        | Op::Number
-        | Op::SelfBalance => (0, 1),
-        Op::SStore | Op::MStore | Op::JumpI | Op::Transfer => (2, 0),
-    }
-}
-
-/// Whether the opcode can grow scratch memory (and therefore pay the
-/// memory-expansion gas).
-fn touches_memory(op: Op) -> bool {
-    matches!(op, Op::Keccak | Op::EcRecover | Op::MLoad | Op::MStore)
-}
-
-/// Worst-case gas one instruction can charge without faulting: the static
-/// cost plus the most expensive dynamic component (fresh `SSTORE` slot,
-/// full `TRANSFER`, `KECCAK` over the largest in-bounds range). Memory
-/// expansion is accounted once per program, not per instruction.
-fn worst_case_gas(op: Op) -> u64 {
-    let dynamic = match op {
-        Op::SStore => gas::SSTORE_NEW_GAS,
-        Op::Transfer => gas::TRANSFER_GAS,
-        Op::Keccak => 6 * (MEMORY_LIMIT as u64 / 32 + 1),
-        _ => 0,
-    };
-    gas::static_cost(op) + dynamic
-}
-
-/// Decodes `code` into whole instructions.
-fn decode(code: &[u8]) -> Result<Vec<Insn>, VmError> {
-    let mut insns = Vec::new();
-    let mut pc = 0usize;
-    while pc < code.len() {
-        let op = Op::from_byte(code[pc])?;
-        let imm = op.immediate_len();
-        if pc + 1 + imm > code.len() {
-            return Err(VmError::TruncatedImmediate { pc });
-        }
-        let mut insn = Insn {
-            pc,
-            op,
-            index_imm: 0,
-            push_low: 0,
-        };
-        match op {
-            Op::Dup | Op::Swap => insn.index_imm = code[pc + 1],
-            Op::Push8 => {
-                let mut b = [0u8; 8];
-                b.copy_from_slice(&code[pc + 1..pc + 9]);
-                insn.push_low = u64::from_be_bytes(b);
-            }
-            Op::Push32 => {
-                // The interpreter truncates jump destinations to the low
-                // 64 bits; mirror that exactly.
-                let mut b = [0u8; 8];
-                b.copy_from_slice(&code[pc + 25..pc + 33]);
-                insn.push_low = u64::from_be_bytes(b);
-            }
-            _ => {}
-        }
-        insns.push(insn);
-        pc += 1 + imm;
-    }
-    Ok(insns)
-}
-
-fn is_terminator(op: Op) -> bool {
-    matches!(
-        op,
-        Op::Stop | Op::Return | Op::ReturnVal | Op::Revert | Op::Jump | Op::JumpI
-    )
-}
-
-/// Partitions the instruction stream into basic blocks and resolves each
-/// block's exit edges. Returns the blocks keyed by start offset plus the
-/// set of `JUMPDEST` offsets.
-fn build_cfg(insns: &[Insn]) -> Result<(BTreeMap<usize, Block>, BTreeSet<usize>), VmError> {
-    let jumpdests: BTreeSet<usize> = insns
-        .iter()
-        .filter(|i| i.op == Op::JumpDest)
-        .map(|i| i.pc)
-        .collect();
-
-    let mut leaders: BTreeSet<usize> = BTreeSet::new();
-    if !insns.is_empty() {
-        leaders.insert(0);
-    }
-    for (i, insn) in insns.iter().enumerate() {
-        if insn.op == Op::JumpDest {
-            leaders.insert(i);
-        }
-        if is_terminator(insn.op) && i + 1 < insns.len() {
-            leaders.insert(i + 1);
-        }
-    }
-
-    let leader_list: Vec<usize> = leaders.iter().copied().collect();
-    let mut blocks = BTreeMap::new();
-    for (bi, &first) in leader_list.iter().enumerate() {
-        let last = leader_list
-            .get(bi + 1)
-            .map_or(insns.len() - 1, |&next| next - 1);
-        let last_insn = &insns[last];
-        // A jump is static when the destination provably comes from the
-        // instruction just before it in the same block: within a block,
-        // control is straight-line, so the pushed immediate is on top of
-        // the stack when the jump executes.
-        let static_dest = (last > first)
-            .then(|| &insns[last - 1])
-            .filter(|p| matches!(p.op, Op::Push8 | Op::Push32))
-            .map(|p| usize::try_from(p.push_low).unwrap_or(usize::MAX));
-        let fallthrough_pc = |idx: usize| insns.get(idx + 1).map(|i| i.pc);
-        let exit = match last_insn.op {
-            Op::Stop | Op::Return | Op::ReturnVal | Op::Revert => Exit::Halt,
-            Op::Jump => match static_dest {
-                Some(dest) => {
-                    if !jumpdests.contains(&dest) {
-                        return Err(VmError::Verify(VerifyError::BadStaticJump {
-                            pc: last_insn.pc,
-                            dest,
-                        }));
-                    }
-                    Exit::StaticJump(dest)
-                }
-                None => {
-                    if jumpdests.is_empty() {
-                        return Err(VmError::Verify(VerifyError::JumpWithoutTargets {
-                            pc: last_insn.pc,
-                        }));
-                    }
-                    Exit::DynamicJump
-                }
-            },
-            Op::JumpI => {
-                // Falling off the end after a JUMPI's false branch halts
-                // cleanly, same as running past the last instruction.
-                match (static_dest, fallthrough_pc(last)) {
-                    (Some(dest), ft) => {
-                        if !jumpdests.contains(&dest) {
-                            return Err(VmError::Verify(VerifyError::BadStaticJump {
-                                pc: last_insn.pc,
-                                dest,
-                            }));
-                        }
-                        match ft {
-                            Some(fallthrough) => Exit::StaticBranch { dest, fallthrough },
-                            None => Exit::StaticJump(dest),
-                        }
-                    }
-                    (None, ft) => {
-                        if jumpdests.is_empty() {
-                            // cond == 0 still falls through, so this is
-                            // only conservative routing, not a rejection.
-                            match ft {
-                                Some(fallthrough) => Exit::FallThrough(fallthrough),
-                                None => Exit::Halt,
-                            }
-                        } else {
-                            match ft {
-                                Some(fallthrough) => Exit::DynamicBranch { fallthrough },
-                                None => Exit::DynamicJump,
-                            }
-                        }
-                    }
-                }
-            }
-            _ => match fallthrough_pc(last) {
-                Some(next) => Exit::FallThrough(next),
-                None => Exit::Halt, // running past the end halts cleanly
-            },
-        };
-        blocks.insert(insns[first].pc, Block { first, last, exit });
-    }
-    Ok((blocks, jumpdests))
-}
-
-/// Abstract-interprets the stack depth through one block. On success
-/// returns the exit interval and the deepest point reached inside.
-fn interpret_block(insns: &[Insn], block: &Block, entry: Depth) -> Result<(Depth, usize), VmError> {
-    let mut depth = entry;
-    let mut deepest = entry.hi;
-    for insn in &insns[block.first..=block.last] {
-        let (pops, pushes) = match insn.op {
-            Op::Dup => {
-                let n = insn.index_imm as usize;
-                // DUP n reads the item n below the top: needs n+1 operands.
-                if depth.lo < n + 1 {
-                    return Err(VmError::Verify(VerifyError::StackUnderflow {
-                        pc: insn.pc,
-                        depth: depth.lo,
-                        needs: n + 1,
-                    }));
-                }
-                (0, 1)
-            }
-            Op::Swap => {
-                let n = insn.index_imm as usize;
-                if n == 0 {
-                    return Err(VmError::Verify(VerifyError::SwapZero { pc: insn.pc }));
-                }
-                if depth.lo < n + 1 {
-                    return Err(VmError::Verify(VerifyError::StackUnderflow {
-                        pc: insn.pc,
-                        depth: depth.lo,
-                        needs: n + 1,
-                    }));
-                }
-                (0, 0)
-            }
-            op => {
-                let (pops, pushes) = stack_effect(op);
-                if depth.lo < pops {
-                    return Err(VmError::Verify(VerifyError::StackUnderflow {
-                        pc: insn.pc,
-                        depth: depth.lo,
-                        needs: pops,
-                    }));
-                }
-                (pops, pushes)
-            }
-        };
-        depth = Depth {
-            lo: depth.lo - pops + pushes,
-            hi: depth.hi - pops + pushes,
-        };
-        if depth.hi > STACK_LIMIT {
-            return Err(VmError::Verify(VerifyError::StackOverflow {
-                pc: insn.pc,
-                depth: depth.hi,
-            }));
-        }
-        deepest = deepest.max(depth.hi);
-    }
-    Ok((depth, deepest))
-}
-
-/// The successors of a block as code offsets.
-fn successors(block: &Block, jumpdests: &BTreeSet<usize>) -> Vec<usize> {
-    match &block.exit {
-        Exit::Halt => Vec::new(),
-        Exit::StaticJump(dest) => vec![*dest],
-        Exit::StaticBranch { dest, fallthrough } => vec![*dest, *fallthrough],
-        Exit::DynamicJump => jumpdests.iter().copied().collect(),
-        Exit::DynamicBranch { fallthrough } => {
-            let mut s: Vec<usize> = jumpdests.iter().copied().collect();
-            s.push(*fallthrough);
-            s
-        }
-        Exit::FallThrough(next) => vec![*next],
-    }
-}
-
-/// Longest-path gas bound from `entry` over the reachable CFG, or `None`
-/// if the CFG is cyclic.
-fn gas_bound(
-    insns: &[Insn],
-    blocks: &BTreeMap<usize, Block>,
-    jumpdests: &BTreeSet<usize>,
-    reachable: &BTreeSet<usize>,
-    entry: usize,
-) -> Option<u64> {
-    // Iterative DFS three-coloring for cycle detection + reverse
-    // post-order; only reachable blocks participate.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Color {
-        White,
-        Gray,
-        Black,
-    }
-    let mut color: BTreeMap<usize, Color> = reachable.iter().map(|&b| (b, Color::White)).collect();
-    let mut post_order: Vec<usize> = Vec::with_capacity(reachable.len());
-    for &root in reachable {
-        if color[&root] != Color::White {
-            continue;
-        }
-        let mut stack = vec![(root, false)];
-        while let Some((node, children_done)) = stack.pop() {
-            if children_done {
-                color.insert(node, Color::Black);
-                post_order.push(node);
-                continue;
-            }
-            if color[&node] != Color::White {
-                continue;
-            }
-            color.insert(node, Color::Gray);
-            stack.push((node, true));
-            for succ in successors(&blocks[&node], jumpdests) {
-                match color.get(&succ) {
-                    Some(Color::Gray) => return None, // back edge: loop
-                    Some(Color::White) => stack.push((succ, false)),
-                    _ => {}
-                }
-            }
-        }
-    }
-
-    // DP over reverse post-order (topological order of the DAG):
-    // cost(block) = own worst-case gas + max over successors.
-    let block_cost = |b: &Block| -> u64 {
-        insns[b.first..=b.last]
-            .iter()
-            .map(|i| worst_case_gas(i.op))
-            .sum()
-    };
-    let mut best: BTreeMap<usize, u64> = BTreeMap::new();
-    for &node in &post_order {
-        let succ_best = successors(&blocks[&node], jumpdests)
-            .into_iter()
-            .filter_map(|s| best.get(&s).copied())
-            .max()
-            .unwrap_or(0);
-        best.insert(node, block_cost(&blocks[&node]).saturating_add(succ_best));
-    }
-
-    let mut bound = best.get(&entry).copied().unwrap_or(0);
-    // One worst-case memory expansion to the full MEMORY_LIMIT, charged
-    // once if any reachable instruction can touch memory (expansion gas
-    // is cumulative across a call, so a single full-size expansion is the
-    // ceiling no matter how many memory ops run).
-    let any_memory = reachable.iter().any(|b| {
-        let blk = &blocks[b];
-        insns[blk.first..=blk.last]
-            .iter()
-            .any(|i| touches_memory(i.op))
-    });
-    if any_memory {
-        bound = bound.saturating_add(3 * (MEMORY_LIMIT as u64 / 32));
-    }
-    Some(bound)
+    /// deploy/call gas): [`GasVerdict::Bounded`] when every loop has a
+    /// provable trip count, [`GasVerdict::Unbounded`] (with a witness
+    /// block) otherwise.
+    pub gas_bound: GasVerdict,
 }
 
 /// Statically verifies `code`, returning deploy-gate statistics.
 ///
-/// See the module documentation for the exact rules. Verification is
-/// linear-ish in code size (the fixpoint converges in at most
-/// `O(blocks · STACK_LIMIT)` block visits; real contracts converge in one
-/// or two passes).
+/// A thin wrapper over [`crate::analysis::analyze`] with the default
+/// configuration; see the module documentation for the exact rules.
 ///
 /// # Errors
 ///
@@ -574,54 +165,14 @@ fn gas_bound(
 /// faults, bad static jump targets, target-less dynamic jumps, and
 /// `SWAP 0`.
 pub fn verify(code: &[u8]) -> Result<VerifyReport, VmError> {
-    let insns = decode(code)?;
-    if insns.is_empty() {
-        return Ok(VerifyReport {
-            instructions: 0,
-            blocks: 0,
-            reachable_blocks: 0,
-            unreachable: Vec::new(),
-            max_stack_depth: 0,
-            gas_bound: Some(0),
-        });
-    }
-    let (blocks, jumpdests) = build_cfg(&insns)?;
-
-    // Worklist fixpoint over entry-depth intervals.
-    let entry_pc = insns[0].pc;
-    let mut entry_depth: BTreeMap<usize, Depth> = BTreeMap::new();
-    entry_depth.insert(entry_pc, Depth { lo: 0, hi: 0 });
-    let mut worklist: Vec<usize> = vec![entry_pc];
-    let mut max_stack_depth = 0usize;
-    while let Some(pc) = worklist.pop() {
-        let block = &blocks[&pc];
-        let entry = entry_depth[&pc];
-        let (exit, deepest) = interpret_block(&insns, block, entry)?;
-        max_stack_depth = max_stack_depth.max(deepest);
-        for succ in successors(block, &jumpdests) {
-            let merged = entry_depth.get(&succ).map_or(exit, |d| d.union(exit));
-            if entry_depth.get(&succ) != Some(&merged) {
-                entry_depth.insert(succ, merged);
-                worklist.push(succ);
-            }
-        }
-    }
-
-    let reachable: BTreeSet<usize> = entry_depth.keys().copied().collect();
-    let unreachable: Vec<usize> = blocks
-        .keys()
-        .copied()
-        .filter(|b| !reachable.contains(b))
-        .collect();
-    let bound = gas_bound(&insns, &blocks, &jumpdests, &reachable, entry_pc);
-
+    let analysis = analyze(code, &AnalysisConfig::default())?;
     Ok(VerifyReport {
-        instructions: insns.len(),
-        blocks: blocks.len(),
-        reachable_blocks: reachable.len(),
-        unreachable,
-        max_stack_depth,
-        gas_bound: bound,
+        instructions: analysis.cfg.instruction_count(),
+        blocks: analysis.cfg.block_count(),
+        reachable_blocks: analysis.reachable.len(),
+        unreachable: analysis.unreachable,
+        max_stack_depth: analysis.max_stack_depth,
+        gas_bound: analysis.gas,
     })
 }
 
@@ -629,6 +180,9 @@ pub fn verify(code: &[u8]) -> Result<VerifyReport, VmError> {
 mod tests {
     use super::*;
     use crate::asm::assemble;
+    use crate::exec::MEMORY_LIMIT;
+    use crate::gas;
+    use crate::isa::Op;
 
     fn verify_asm(src: &str) -> Result<VerifyReport, VmError> {
         verify(&assemble(src).expect("assembles"))
@@ -638,7 +192,7 @@ mod tests {
     fn empty_code_verifies() {
         let r = verify(&[]).unwrap();
         assert_eq!(r.blocks, 0);
-        assert_eq!(r.gas_bound, Some(0));
+        assert_eq!(r.gas_bound, GasVerdict::Bounded(0));
     }
 
     #[test]
@@ -650,7 +204,7 @@ mod tests {
         assert_eq!(r.max_stack_depth, 2);
         assert!(r.unreachable.is_empty());
         // 3 + 3 + 3 + 3 gas, no dynamic components.
-        assert_eq!(r.gas_bound, Some(12));
+        assert_eq!(r.gas_bound, GasVerdict::Bounded(12));
     }
 
     #[test]
@@ -681,7 +235,7 @@ mod tests {
     fn balanced_branches_verify() {
         let r =
             verify_asm("PUSH 1\nPUSH 1\nPUSH @other\nJUMPI\nPUSH 9\nPOP\nother:\nSTOP\n").unwrap();
-        assert!(r.gas_bound.is_some());
+        assert!(r.gas_bound.is_bounded());
     }
 
     #[test]
@@ -763,11 +317,47 @@ mod tests {
         ));
     }
 
+    // Supersedes PR 1's `loop_verifies_but_gas_is_unbounded`: a loop with
+    // a recognizable counter now gets a finite loop-aware bound, ...
     #[test]
-    fn loop_verifies_but_gas_is_unbounded() {
+    fn counter_bounded_loop_gets_finite_gas_bound() {
+        let r =
+            verify_asm("PUSH 10\nloop:\nJUMPDEST\nPUSH 1\nSUB\nDUP 0\nPUSH @loop\nJUMPI\nSTOP\n")
+                .unwrap();
+        let bound = r
+            .gas_bound
+            .bound()
+            .expect("counter loop must be finitely bounded");
+        // Ten trips through a cycle that includes at least the JUMPDEST,
+        // SUB, DUP and JUMPI: strictly more than one acyclic pass.
+        let one_pass: u64 = [
+            Op::Push8,
+            Op::JumpDest,
+            Op::Push8,
+            Op::Sub,
+            Op::Dup,
+            Op::Push8,
+            Op::JumpI,
+            Op::Stop,
+        ]
+        .iter()
+        .map(|&op| gas::static_cost(op))
+        .sum();
+        assert!(bound > one_pass, "{bound} must price 10 iterations");
+    }
+
+    // ... while a genuinely unbounded loop reports an explicit verdict
+    // with a witness block instead of a silent `None`.
+    #[test]
+    fn unbounded_loop_reports_witness_block() {
         let r = verify_asm("loop:\nJUMPDEST\nPUSH 1\nPUSH 0\nSSTORE\nPUSH 1\nPUSH @loop\nJUMPI\n")
             .unwrap();
-        assert_eq!(r.gas_bound, None, "cyclic CFG has no static bound");
+        assert_eq!(
+            r.gas_bound,
+            GasVerdict::Unbounded { witness_block: 0 },
+            "constant-true latch has no trip bound"
+        );
+        assert_eq!(r.gas_bound.bound(), None);
     }
 
     #[test]
@@ -808,7 +398,7 @@ mod tests {
             "PUSH 1\nPUSH 1\nPUSH @cheap\nJUMPI\nPUSH 5\nPUSH 0\nSSTORE\nSTOP\ncheap:\nSTOP\n",
         )
         .unwrap();
-        let bound = r.gas_bound.unwrap();
+        let bound = r.gas_bound.bound().unwrap();
         assert!(
             bound >= gas::SSTORE_NEW_GAS,
             "bound {bound} must include SSTORE"
@@ -820,10 +410,12 @@ mod tests {
         let without = verify_asm("PUSH 0\nPOP\nSTOP\n")
             .unwrap()
             .gas_bound
+            .bound()
             .unwrap();
         let with = verify_asm("PUSH 0\nMLOAD\nPOP\nSTOP\n")
             .unwrap()
             .gas_bound
+            .bound()
             .unwrap();
         assert!(with >= without + 3 * (MEMORY_LIMIT as u64 / 32));
     }
@@ -852,7 +444,7 @@ mod tests {
     }
 
     #[test]
-    fn verify_error_display_is_informative() {
+    fn verify_error_display_and_pc_are_informative() {
         let errors: Vec<VerifyError> = vec![
             VerifyError::StackUnderflow {
                 pc: 1,
@@ -864,8 +456,9 @@ mod tests {
             VerifyError::JumpWithoutTargets { pc: 4 },
             VerifyError::SwapZero { pc: 5 },
         ];
-        for e in errors {
+        for (i, e) in errors.iter().enumerate() {
             assert!(e.to_string().contains("pc"), "{e}");
+            assert_eq!(e.pc(), i + 1);
         }
     }
 }
