@@ -27,6 +27,13 @@ pub fn export_chain(store: &ChainStore) -> Vec<u8> {
 
 /// Rebuilds a store from a dump, re-validating every block.
 ///
+/// Proof-of-work targets are self-certified by each header, so the
+/// import additionally pins every block to the genesis difficulty —
+/// otherwise a tampered dump could lower a block's declared difficulty
+/// (down to a trivially-met target) and smuggle re-mined history past
+/// the structural checks. Every chain this workspace produces mines at
+/// its genesis difficulty, so the pin rejects only tampering.
+///
 /// # Errors
 ///
 /// Returns [`ChainError::Codec`] for malformed dumps and any validation
@@ -51,9 +58,20 @@ pub fn import_chain(bytes: &[u8]) -> Result<ChainStore, ChainError> {
             detail: "first block is not genesis".to_string(),
         });
     }
+    let difficulty = genesis.header().difficulty;
     let mut store = ChainStore::new(genesis);
     for _ in 1..count {
         let block = Block::decode(dec.take_bytes()?)?;
+        if block.header().difficulty != difficulty {
+            return Err(ChainError::Codec {
+                detail: format!(
+                    "difficulty drift in chain dump: block {} declares {}, genesis set {}",
+                    block.header().height,
+                    block.header().difficulty.value(),
+                    difficulty.value()
+                ),
+            });
+        }
         store.insert(block)?;
     }
     dec.expect_end()?;

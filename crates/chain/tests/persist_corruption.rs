@@ -1,0 +1,161 @@
+//! Persistence hardening: forked-store round-trips and exhaustive
+//! corruption sweeps over chain dumps.
+//!
+//! A provider restarting from disk must never panic on a damaged dump
+//! and must never accept one that smuggles non-canonical or tampered
+//! history — every corruption is surfaced as a typed [`ChainError`].
+
+use smartcrowd_chain::persist::{export_chain, import_chain};
+use smartcrowd_chain::pow::Miner;
+use smartcrowd_chain::record::{Record, RecordKind};
+use smartcrowd_chain::{Block, ChainError, ChainStore, Difficulty, Ether};
+use smartcrowd_crypto::keys::KeyPair;
+use smartcrowd_crypto::Address;
+
+/// Mining difficulty for the corruption sweeps. High enough that a
+/// flipped bit anywhere in a block's content fails the proof-of-work
+/// check (the header commits to the full content, so one flip moves the
+/// hash; at 1-in-65536 per position the fixed dump below has no
+/// surviving position), low enough that mining stays instant.
+const SWEEP_DIFFICULTY: u64 = 1 << 16;
+
+/// A store holding a 8-block canonical chain plus a 3-block side branch
+/// forked from height 4 — the restart-from-disk shape the chaos harness
+/// produces after an equivocation or partition.
+fn forked_store(difficulty: u64) -> (ChainStore, Vec<Block>) {
+    let genesis = Block::genesis(Difficulty::from_u64(difficulty));
+    let mut store = ChainStore::new(genesis.clone());
+    let miner = Miner::new(Address::from_label("canonical"));
+    let rival = Miner::new(Address::from_label("rival"));
+
+    let mut parent = genesis;
+    let mut canonical = Vec::new();
+    for i in 0..8u64 {
+        let kp = KeyPair::from_seed(&i.to_be_bytes());
+        let r = Record::signed(
+            RecordKind::InitialReport,
+            vec![i as u8; 4],
+            Ether::from_milliether(11),
+            i,
+            &kp,
+        );
+        let b = miner
+            .mine_next(&parent, vec![r], parent.header().timestamp + 15)
+            .unwrap();
+        store.insert(b.clone()).unwrap();
+        canonical.push(b.clone());
+        parent = b;
+    }
+
+    // Shorter rival branch off height 4: stored, never canonical.
+    let mut fork_parent = canonical[3].clone();
+    let mut fork = Vec::new();
+    for _ in 0..3 {
+        let b = rival
+            .mine_next(&fork_parent, vec![], fork_parent.header().timestamp + 30)
+            .unwrap();
+        store.insert(b.clone()).unwrap();
+        fork.push(b.clone());
+        fork_parent = b;
+    }
+    assert_eq!(store.best_tip(), canonical[7].id(), "main branch wins");
+    assert_eq!(store.len(), 12, "genesis + 8 canonical + 3 fork");
+    (store, fork)
+}
+
+#[test]
+fn forked_store_round_trips_canonical_chain_only() {
+    let (store, fork) = forked_store(1);
+    let dump = export_chain(&store);
+    let restored = import_chain(&dump).unwrap();
+
+    assert_eq!(restored.best_tip(), store.best_tip());
+    assert_eq!(restored.best_height(), store.best_height());
+    assert_eq!(restored.genesis_id(), store.genesis_id());
+    // The dump holds exactly the canonical chain: every canonical block
+    // is present at its height, and no fork block made it across.
+    for h in 0..=store.best_height() {
+        assert_eq!(
+            restored.block_at_height(h).map(Block::id),
+            store.block_at_height(h).map(Block::id),
+            "height {h} mismatch"
+        );
+    }
+    assert_eq!(restored.len() as u64, store.best_height() + 1);
+    for b in &fork {
+        assert!(
+            restored.block(&b.id()).is_none(),
+            "fork block leaked into the dump"
+        );
+    }
+    // Canonical records survive; a second round-trip is bit-identical.
+    for block in store.canonical_blocks() {
+        for record in block.records() {
+            assert!(restored.find_record(&record.id()).is_some());
+        }
+    }
+    assert_eq!(export_chain(&restored), dump);
+}
+
+#[test]
+fn truncation_at_every_prefix_length_is_a_typed_error() {
+    let (store, _) = forked_store(1);
+    let dump = export_chain(&store);
+    for len in 0..dump.len() {
+        assert!(
+            import_chain(&dump[..len]).is_err(),
+            "truncated dump of {len}/{} bytes imported",
+            dump.len()
+        );
+    }
+    // The untruncated dump still imports.
+    import_chain(&dump).unwrap();
+}
+
+#[test]
+fn bit_flip_sweep_returns_typed_errors_everywhere() {
+    let (store, _) = forked_store(SWEEP_DIFFICULTY);
+    let dump = export_chain(&store);
+    let mut survivors = Vec::new();
+    for pos in 0..dump.len() {
+        let mut bent = dump.clone();
+        bent[pos] ^= 0x01;
+        if import_chain(&bent).is_ok() {
+            survivors.push(pos);
+        }
+    }
+    assert!(
+        survivors.is_empty(),
+        "bit flips at {survivors:?} of {} bytes were accepted",
+        dump.len()
+    );
+}
+
+#[test]
+fn forged_magic_is_rejected_with_a_codec_error() {
+    let (store, _) = forked_store(1);
+    let mut dump = export_chain(&store);
+    // A plausible forgery: a future format revision's magic.
+    dump[..8].copy_from_slice(b"SCCHAIN2");
+    match import_chain(&dump) {
+        Err(ChainError::Codec { detail }) => {
+            assert!(detail.contains("magic"), "unexpected detail: {detail}")
+        }
+        other => panic!("forged magic produced {other:?}"),
+    }
+}
+
+#[test]
+fn forged_block_count_is_rejected() {
+    let (store, _) = forked_store(1);
+    let dump = export_chain(&store);
+    // The count is a big-endian u64 right after the 8-byte magic.
+    for forged in [0u64, 1, 3, 100, u64::MAX] {
+        let mut bent = dump.clone();
+        bent[8..16].copy_from_slice(&forged.to_be_bytes());
+        assert!(
+            import_chain(&bent).is_err(),
+            "forged count {forged} accepted"
+        );
+    }
+}

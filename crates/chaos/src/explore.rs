@@ -1,0 +1,228 @@
+//! The schedule explorer: seed sweeps and failing-plan shrinking.
+//!
+//! [`explore`] runs N seeds of randomized fault plans through
+//! [`run_plan`]. Every failure is handed to [`shrink`], which greedily
+//! minimizes the reproducing `(seed, plan)` pair along three axes, in
+//! order:
+//!
+//! 1. **fewer faults** — drop each event and keep the removal if the
+//!    run still fails;
+//! 2. **shorter horizon** — halve (then decrement) the round count;
+//! 3. **fewer nodes** — shave nodes off the fleet.
+//!
+//! Because a run is a pure function of `(plan, seed)`, a shrunk plan
+//! that still fails is a *guaranteed* reproducer, not a probabilistic
+//! one. The result renders as a ready-to-commit regression test via
+//! [`MinimizedFailure`]'s `Display`.
+
+use crate::plan::{FaultPlan, PlanConfig, RECOVERY_TAIL};
+use crate::sim::{run_plan, ChaosFailure, PlantedBug};
+use std::fmt;
+
+/// Bounds for an exploration sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// First seed in the sweep.
+    pub start_seed: u64,
+    /// Number of seeds to run.
+    pub seeds: u64,
+    /// Plan-generation bounds.
+    pub plan: PlanConfig,
+    /// Maximum candidate runs the shrinker may spend per failure.
+    pub shrink_budget: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            start_seed: 0,
+            seeds: 50,
+            plan: PlanConfig::default(),
+            shrink_budget: 200,
+        }
+    }
+}
+
+/// A failing schedule, shrunk to a minimal reproducing `(seed, plan)`.
+#[derive(Debug, Clone)]
+pub struct MinimizedFailure {
+    /// The reproducing seed.
+    pub seed: u64,
+    /// The minimized plan.
+    pub plan: FaultPlan,
+    /// The failure the minimized plan still provokes.
+    pub failure: ChaosFailure,
+    /// Candidate runs the shrinker spent.
+    pub shrink_runs: usize,
+    /// Whether the run was executed with a planted bug.
+    pub planted: bool,
+}
+
+impl fmt::Display for MinimizedFailure {
+    /// Renders a ready-to-commit regression test.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bug = if self.planted {
+            "Some(PlantedBug::AcceptEquivocation)"
+        } else {
+            "None"
+        };
+        writeln!(
+            f,
+            "/// Minimized failing schedule (shrunk in {} runs).",
+            self.shrink_runs
+        )?;
+        writeln!(f, "/// Failure: {}", self.failure)?;
+        writeln!(f, "#[test]")?;
+        writeln!(f, "fn chaos_regression_seed_{}() {{", self.seed)?;
+        let plan = self.plan.to_string();
+        let mut lines = plan.lines();
+        if let Some(first) = lines.next() {
+            writeln!(f, "    let plan = {first}")?;
+        }
+        for line in lines {
+            writeln!(f, "    {line}")?;
+        }
+        writeln!(f, "    ;")?;
+        writeln!(f, "    run_plan(&plan, {}, {bug}).unwrap();", self.seed)?;
+        write!(f, "}}")
+    }
+}
+
+/// The result of an exploration sweep.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Seeds whose runs passed all oracles.
+    pub passed: u64,
+    /// Minimized failures (empty on a clean sweep).
+    pub failures: Vec<MinimizedFailure>,
+}
+
+/// Runs `cfg.seeds` randomized schedules; every failure is shrunk.
+#[must_use]
+pub fn explore(cfg: &ExploreConfig, bug: Option<PlantedBug>) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+        let plan = FaultPlan::random(seed, &cfg.plan);
+        match run_plan(&plan, seed, bug) {
+            Ok(_) => report.passed += 1,
+            Err(failure) => {
+                report
+                    .failures
+                    .push(shrink(plan, seed, failure, bug, cfg.shrink_budget));
+            }
+        }
+    }
+    report
+}
+
+/// Greedily shrinks a failing plan: fewer faults, then a shorter
+/// horizon, then fewer nodes — repeating until a fixpoint or until the
+/// run budget is spent. The returned plan is guaranteed to still fail
+/// under `seed`.
+#[must_use]
+pub fn shrink(
+    plan: FaultPlan,
+    seed: u64,
+    failure: ChaosFailure,
+    bug: Option<PlantedBug>,
+    budget: usize,
+) -> MinimizedFailure {
+    let mut best = plan;
+    let mut best_failure = failure;
+    let mut runs = 0usize;
+    let mut progress = true;
+    while progress && runs < budget {
+        progress = false;
+        // Axis 1: fewer faults.
+        let mut i = 0;
+        while i < best.events.len() && runs < budget {
+            let candidate = best.without_event(i);
+            runs += 1;
+            if let Err(f) = run_plan(&candidate, seed, bug) {
+                best = candidate;
+                best_failure = f;
+                progress = true;
+                // The same index now holds the next event.
+            } else {
+                i += 1;
+            }
+        }
+        // Axis 2: shorter horizon (halve while far out, then decrement).
+        while runs < budget {
+            let target = if best.rounds > 2 * RECOVERY_TAIL {
+                best.rounds / 2
+            } else {
+                best.rounds.saturating_sub(1)
+            };
+            let candidate = best.with_rounds(target);
+            if candidate.rounds >= best.rounds {
+                break;
+            }
+            runs += 1;
+            if let Err(f) = run_plan(&candidate, seed, bug) {
+                best = candidate;
+                best_failure = f;
+                progress = true;
+            } else {
+                break;
+            }
+        }
+        // Axis 3: fewer nodes.
+        while best.nodes > 2 && runs < budget {
+            let candidate = best.with_nodes(best.nodes - 1);
+            runs += 1;
+            if let Err(f) = run_plan(&candidate, seed, bug) {
+                best = candidate;
+                best_failure = f;
+                progress = true;
+            } else {
+                break;
+            }
+        }
+    }
+    MinimizedFailure {
+        seed,
+        plan: best,
+        failure: best_failure,
+        shrink_runs: runs,
+        planted: bug.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_clean_sweep_passes() {
+        let cfg = ExploreConfig {
+            seeds: 3,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&cfg, None);
+        assert_eq!(report.passed, 3, "failures: {:?}", report.failures);
+        assert!(report.failures.is_empty());
+    }
+
+    #[test]
+    fn minimized_failure_renders_a_regression_test() {
+        let plan = FaultPlan::random(0, &PlanConfig::default());
+        let failure = ChaosFailure::PumpDiverged {
+            seed: 0,
+            round: 1,
+            iterations: 10_000,
+            pending: 3,
+        };
+        let m = MinimizedFailure {
+            seed: 0,
+            plan,
+            failure,
+            shrink_runs: 12,
+            planted: false,
+        };
+        let rendered = m.to_string();
+        assert!(rendered.contains("#[test]"));
+        assert!(rendered.contains("fn chaos_regression_seed_0()"));
+        assert!(rendered.contains("run_plan(&plan, 0, None).unwrap();"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Invariant oracles checked after every chaos round.
+//!
+//! Four oracles, each phrased so that under the plan generator's
+//! constraints (partitions heal, crashes restart, Byzantine strict
+//! minority, faults bounded below finality depth) a violation is a
+//! genuine protocol bug:
+//!
+//! 1. **Agreement** — honest running nodes that can currently talk to
+//!    each other (same partition group) agree on every block at
+//!    confirmation depth.
+//! 2. **Finality** — no node's confirmed prefix ever rolls back: once a
+//!    block is final on a node, it stays final at that height forever.
+//! 3. **Conservation** — on every node's confirmed chain, insurance
+//!    deposits exactly equal detector payouts plus escrow remaining
+//!    ([`crate::settle::settle_confirmed`]).
+//! 4. **Convergence** — after the final heal and recovery tail, every
+//!    honest running node holds the same best tip and the same
+//!    settlement.
+
+use crate::settle::settle_confirmed;
+use smartcrowd_chain::{BlockId, ChainStore, CONFIRMATION_DEPTH};
+use std::fmt;
+
+/// Which oracle fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Same-partition honest nodes disagree at confirmation depth.
+    Agreement,
+    /// A node's confirmed prefix rolled back.
+    Finality,
+    /// Escrow accounting broke (overdraw, imbalance, overflow).
+    Conservation,
+    /// Honest nodes failed to converge after recovery.
+    Convergence,
+}
+
+impl fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OracleKind::Agreement => "agreement",
+            OracleKind::Finality => "finality",
+            OracleKind::Conservation => "conservation",
+            OracleKind::Convergence => "convergence",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An oracle violation: the failing invariant, when, and the evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub oracle: OracleKind,
+    /// The mining round after which the check failed.
+    pub round: usize,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} oracle violated after round {}: {}",
+            self.oracle, self.round, self.detail
+        )
+    }
+}
+
+/// One node's view as the oracles see it.
+#[derive(Debug)]
+pub struct NodeView<'a> {
+    /// The node's chain store; `None` while crashed.
+    pub store: Option<&'a ChainStore>,
+    /// Whether the node is honest (Byzantine nodes are exempt from the
+    /// honest-agreement checks; their stores are their own problem).
+    pub honest: bool,
+    /// Current partition group (nodes in different groups cannot talk, so
+    /// agreement between them is not yet due).
+    pub group: usize,
+}
+
+/// The confirmed prefix of a store's canonical chain.
+fn confirmed_prefix(store: &ChainStore) -> Vec<BlockId> {
+    let final_height = store.best_height().saturating_sub(CONFIRMATION_DEPTH);
+    if store.best_height() <= CONFIRMATION_DEPTH {
+        return vec![store.genesis_id()];
+    }
+    (0..=final_height)
+        .filter_map(|h| store.block_at_height(h).map(smartcrowd_chain::Block::id))
+        .collect()
+}
+
+/// Append-only ledger of every node's finalized blocks, used by the
+/// finality oracle to detect rollbacks across rounds.
+#[derive(Debug)]
+pub struct Oracles {
+    finalized: Vec<Vec<BlockId>>,
+}
+
+impl Oracles {
+    /// Fresh ledger for `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Oracles {
+        Oracles {
+            finalized: vec![Vec::new(); n],
+        }
+    }
+
+    /// Runs the per-round oracles (agreement, finality, conservation)
+    /// over the given views.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] found.
+    pub fn check_round(&mut self, round: usize, views: &[NodeView<'_>]) -> Result<(), Violation> {
+        // Finality: each running node's confirmed prefix extends what we
+        // recorded for it before. (Byzantine nodes included: even an
+        // equivocator's own store must never roll back its finalized
+        // prefix — the store is honest code.)
+        for (i, view) in views.iter().enumerate() {
+            let Some(store) = view.store else { continue };
+            let prefix = confirmed_prefix(store);
+            let ledger = &mut self.finalized[i];
+            let common = ledger.len().min(prefix.len());
+            if prefix[..common] != ledger[..common] {
+                let at = (0..common).find(|&k| prefix[k] != ledger[k]).unwrap_or(0);
+                return Err(Violation {
+                    oracle: OracleKind::Finality,
+                    round,
+                    detail: format!(
+                        "node {i} rolled back finalized block at height {at}: \
+                         had {}, now {}",
+                        ledger[at], prefix[at]
+                    ),
+                });
+            }
+            if prefix.len() > ledger.len() {
+                ledger.extend_from_slice(&prefix[ledger.len()..]);
+            }
+        }
+
+        // Agreement: honest running nodes in the same partition group
+        // share their finalized prefixes (compare the overlap).
+        for i in 0..views.len() {
+            for j in (i + 1)..views.len() {
+                let (a, b) = (&views[i], &views[j]);
+                if !a.honest || !b.honest || a.group != b.group {
+                    continue;
+                }
+                let (Some(sa), Some(sb)) = (a.store, b.store) else {
+                    continue;
+                };
+                let pa = confirmed_prefix(sa);
+                let pb = confirmed_prefix(sb);
+                let common = pa.len().min(pb.len());
+                if pa[..common] != pb[..common] {
+                    let at = (0..common).find(|&k| pa[k] != pb[k]).unwrap_or(0);
+                    return Err(Violation {
+                        oracle: OracleKind::Agreement,
+                        round,
+                        detail: format!(
+                            "honest nodes {i} and {j} disagree at finalized height {at}: \
+                             {} vs {}",
+                            pa[at], pb[at]
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Conservation: every honest running node's confirmed chain
+        // settles exactly.
+        for (i, view) in views.iter().enumerate() {
+            if !view.honest {
+                continue;
+            }
+            let Some(store) = view.store else { continue };
+            if let Err(e) = settle_confirmed(store) {
+                return Err(Violation {
+                    oracle: OracleKind::Conservation,
+                    round,
+                    detail: format!("node {i}: {e}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the end-of-run convergence oracle: all honest running nodes
+    /// share one best tip and one settlement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Violation`] with [`OracleKind::Convergence`].
+    pub fn check_convergence(&self, round: usize, views: &[NodeView<'_>]) -> Result<(), Violation> {
+        let honest: Vec<(usize, &ChainStore)> = views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.honest)
+            .filter_map(|(i, v)| v.store.map(|s| (i, s)))
+            .collect();
+        let Some((first, first_store)) = honest.first() else {
+            return Ok(());
+        };
+        let tip = first_store.best_tip();
+        for (i, store) in &honest[1..] {
+            if store.best_tip() != tip {
+                return Err(Violation {
+                    oracle: OracleKind::Convergence,
+                    round,
+                    detail: format!(
+                        "nodes {first} and {i} end with different tips: {} vs {}",
+                        tip,
+                        store.best_tip()
+                    ),
+                });
+            }
+        }
+        let baseline = settle_confirmed(first_store).map_err(|e| Violation {
+            oracle: OracleKind::Conservation,
+            round,
+            detail: format!("node {first}: {e}"),
+        })?;
+        for (i, store) in &honest[1..] {
+            let s = settle_confirmed(store).map_err(|e| Violation {
+                oracle: OracleKind::Conservation,
+                round,
+                detail: format!("node {i}: {e}"),
+            })?;
+            if s != baseline {
+                return Err(Violation {
+                    oracle: OracleKind::Convergence,
+                    round,
+                    detail: format!(
+                        "nodes {first} and {i} settle differently: \
+                         payouts {} vs {}",
+                        baseline.payouts, s.payouts
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrowd_chain::{Block, Difficulty};
+
+    fn chain(n: u64) -> ChainStore {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let mut store = ChainStore::new(genesis.clone());
+        let mut parent = genesis;
+        for i in 0..n {
+            let block = Block::assemble(
+                &parent,
+                vec![],
+                parent.header().timestamp + 1 + i,
+                Difficulty::from_u64(1),
+                smartcrowd_crypto::Address::from_label("m"),
+            );
+            store.insert(block.clone()).unwrap();
+            parent = block;
+        }
+        store
+    }
+
+    #[test]
+    fn identical_chains_pass_all_round_oracles() {
+        let a = chain(10);
+        let b = chain(10);
+        let mut oracles = Oracles::new(2);
+        let views = [
+            NodeView {
+                store: Some(&a),
+                honest: true,
+                group: 0,
+            },
+            NodeView {
+                store: Some(&b),
+                honest: true,
+                group: 0,
+            },
+        ];
+        oracles.check_round(1, &views).unwrap();
+        oracles.check_convergence(1, &views).unwrap();
+    }
+
+    #[test]
+    fn divergent_tips_fail_convergence_but_not_agreement_below_finality() {
+        let a = chain(3);
+        let b = {
+            let genesis = Block::genesis(Difficulty::from_u64(1));
+            let mut store = ChainStore::new(genesis.clone());
+            let block = Block::assemble(
+                &genesis,
+                vec![],
+                genesis.header().timestamp + 99,
+                Difficulty::from_u64(1),
+                smartcrowd_crypto::Address::from_label("n"),
+            );
+            store.insert(block).unwrap();
+            store
+        };
+        let mut oracles = Oracles::new(2);
+        let views = [
+            NodeView {
+                store: Some(&a),
+                honest: true,
+                group: 0,
+            },
+            NodeView {
+                store: Some(&b),
+                honest: true,
+                group: 0,
+            },
+        ];
+        // Divergence is shallower than finality: agreement holds.
+        oracles.check_round(1, &views).unwrap();
+        // But the tips differ, so convergence fails.
+        let err = oracles.check_convergence(1, &views).unwrap_err();
+        assert_eq!(err.oracle, OracleKind::Convergence);
+    }
+
+    #[test]
+    fn crashed_and_byzantine_nodes_are_exempt() {
+        let a = chain(12);
+        let mut oracles = Oracles::new(3);
+        let views = [
+            NodeView {
+                store: Some(&a),
+                honest: true,
+                group: 0,
+            },
+            NodeView {
+                store: None,
+                honest: true,
+                group: 0,
+            },
+            NodeView {
+                store: Some(&a),
+                honest: false,
+                group: 0,
+            },
+        ];
+        oracles.check_round(5, &views).unwrap();
+        oracles.check_convergence(5, &views).unwrap();
+    }
+
+    #[test]
+    fn finality_rollback_is_detected() {
+        let long = chain(12);
+        let mut oracles = Oracles::new(1);
+        oracles
+            .check_round(
+                1,
+                &[NodeView {
+                    store: Some(&long),
+                    honest: true,
+                    group: 0,
+                }],
+            )
+            .unwrap();
+        // Replace the node's store with a conflicting chain of the same
+        // length — its finalized prefix differs from the ledger.
+        let other = {
+            let genesis = Block::genesis(Difficulty::from_u64(1));
+            let mut store = ChainStore::new(genesis.clone());
+            let mut parent = genesis;
+            for i in 0..12 {
+                let block = Block::assemble(
+                    &parent,
+                    vec![],
+                    parent.header().timestamp + 50 + i,
+                    Difficulty::from_u64(1),
+                    smartcrowd_crypto::Address::from_label("q"),
+                );
+                store.insert(block.clone()).unwrap();
+                parent = block;
+            }
+            store
+        };
+        let err = oracles
+            .check_round(
+                2,
+                &[NodeView {
+                    store: Some(&other),
+                    honest: true,
+                    group: 0,
+                }],
+            )
+            .unwrap_err();
+        assert_eq!(err.oracle, OracleKind::Finality);
+    }
+}

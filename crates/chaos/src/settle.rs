@@ -1,0 +1,286 @@
+//! Escrow settlement over a node's *confirmed* canonical chain.
+//!
+//! The conservation oracle needs an exact, replayable statement of where
+//! every wei of insurance went. [`settle_confirmed`] walks the canonical
+//! chain, registers each confirmed SRA's insurance as an escrow deposit
+//! and pays each confirmed detailed report `μ · n` (Eq. 7 with ρ = 1)
+//! out of its SRA's escrow, all in checked `u128` arithmetic. The
+//! invariant is exact equality:
+//!
+//! ```text
+//! deposits == payouts + escrow_remaining
+//! ```
+//!
+//! and any overdraw (a report paying more than its escrow holds) or
+//! arithmetic overflow is a typed [`SettleError`], which the oracle
+//! converts into a violation.
+
+use smartcrowd_chain::record::RecordKind;
+use smartcrowd_chain::{ChainStore, Ether};
+use smartcrowd_core::report::DetailedReport;
+use smartcrowd_core::sra::{Sra, SraId};
+use smartcrowd_crypto::Address;
+use std::collections::{BTreeMap, HashSet};
+
+/// Escrow ledger for one SRA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SraEscrow {
+    /// The provider that posted the insurance.
+    pub provider: Address,
+    /// Insurance deposited (`I` in the paper).
+    pub insurance: Ether,
+    /// Per-vulnerability incentive (`μ`).
+    pub mu: Ether,
+    /// Total paid out to detectors so far.
+    pub paid: Ether,
+}
+
+impl SraEscrow {
+    /// Insurance still held in escrow.
+    #[must_use]
+    pub fn remaining(&self) -> Ether {
+        self.insurance.saturating_sub(self.paid)
+    }
+}
+
+/// The settlement a node's confirmed chain implies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Settlement {
+    /// Total insurance deposited across confirmed SRAs.
+    pub deposits: Ether,
+    /// Total paid to detectors across confirmed detailed reports.
+    pub payouts: Ether,
+    /// Per-SRA escrow ledgers.
+    pub escrows: BTreeMap<SraId, SraEscrow>,
+    /// Per-detector cumulative credits.
+    pub detector_credits: BTreeMap<Address, Ether>,
+    /// Confirmed detailed reports whose SRA is not (yet) confirmed; their
+    /// payouts are pending, not lost, so they do not enter the identity.
+    pub pending_reports: usize,
+}
+
+impl Settlement {
+    /// Escrow remaining across all SRAs.
+    #[must_use]
+    pub fn escrow_remaining(&self) -> Ether {
+        self.escrows.values().map(SraEscrow::remaining).sum()
+    }
+
+    /// Checks the conservation identity and the credit cross-foot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SettleError::Imbalance`] when
+    /// `deposits != payouts + escrow_remaining`, or
+    /// [`SettleError::CreditMismatch`] when the per-detector credits do
+    /// not sum to `payouts`.
+    pub fn verify(&self) -> Result<(), SettleError> {
+        let rhs = self
+            .payouts
+            .checked_add(self.escrow_remaining())
+            .ok_or(SettleError::Overflow)?;
+        if self.deposits != rhs {
+            return Err(SettleError::Imbalance {
+                deposits: self.deposits,
+                payouts: self.payouts,
+                remaining: self.escrow_remaining(),
+            });
+        }
+        let credited: Ether = self.detector_credits.values().copied().sum();
+        if credited != self.payouts {
+            return Err(SettleError::CreditMismatch {
+                credited,
+                payouts: self.payouts,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why settlement failed — each variant is a conservation violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SettleError {
+    /// A confirmed report would pay out more than its escrow holds.
+    Overdraw {
+        /// The overdrawn SRA.
+        sra: SraId,
+        /// Escrow balance before the payout.
+        remaining: Ether,
+        /// The payout that did not fit.
+        payout: Ether,
+    },
+    /// `deposits != payouts + escrow_remaining`.
+    Imbalance {
+        /// Total insurance deposited.
+        deposits: Ether,
+        /// Total paid out.
+        payouts: Ether,
+        /// Escrow remaining.
+        remaining: Ether,
+    },
+    /// Per-detector credits do not cross-foot to total payouts.
+    CreditMismatch {
+        /// Sum of per-detector credits.
+        credited: Ether,
+        /// Total payouts.
+        payouts: Ether,
+    },
+    /// `u128` wei arithmetic overflowed.
+    Overflow,
+}
+
+impl std::fmt::Display for SettleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SettleError::Overdraw {
+                sra,
+                remaining,
+                payout,
+            } => write!(
+                f,
+                "escrow overdraw on SRA {}: payout {payout} exceeds remaining {remaining}",
+                smartcrowd_crypto::hex::encode(&sra[..8])
+            ),
+            SettleError::Imbalance {
+                deposits,
+                payouts,
+                remaining,
+            } => write!(
+                f,
+                "conservation imbalance: deposits {deposits} != payouts {payouts} + remaining {remaining}"
+            ),
+            SettleError::CreditMismatch { credited, payouts } => write!(
+                f,
+                "detector credits {credited} do not sum to payouts {payouts}"
+            ),
+            SettleError::Overflow => write!(f, "wei arithmetic overflowed"),
+        }
+    }
+}
+
+impl std::error::Error for SettleError {}
+
+/// Settles the *confirmed* prefix of a node's canonical chain.
+///
+/// Two passes: first register every confirmed SRA (a report may be mined
+/// into an earlier block than its SRA under adversarial ordering), then
+/// pay every confirmed detailed report in chain order. Records are
+/// deduplicated by id so a record that somehow appears twice settles
+/// once.
+///
+/// # Errors
+///
+/// Returns [`SettleError::Overdraw`] when a payout exceeds its SRA's
+/// remaining escrow and [`SettleError::Overflow`] on wei overflow.
+pub fn settle_confirmed(store: &ChainStore) -> Result<Settlement, SettleError> {
+    let mut settlement = Settlement::default();
+    let mut seen: HashSet<smartcrowd_crypto::Digest> = HashSet::new();
+
+    for (record, _confs) in store.records_of_kind(RecordKind::Sra) {
+        if !store.record_confirmed(&record.id()) || !seen.insert(record.id()) {
+            continue;
+        }
+        let Ok(sra) = Sra::decode(record.payload()) else {
+            continue;
+        };
+        settlement.deposits = settlement
+            .deposits
+            .checked_add(sra.insurance())
+            .ok_or(SettleError::Overflow)?;
+        settlement.escrows.entry(*sra.id()).or_insert(SraEscrow {
+            provider: sra.provider(),
+            insurance: sra.insurance(),
+            mu: sra.incentive_per_vuln(),
+            paid: Ether::ZERO,
+        });
+    }
+
+    for (record, _confs) in store.records_of_kind(RecordKind::DetailedReport) {
+        if !store.record_confirmed(&record.id()) || !seen.insert(record.id()) {
+            continue;
+        }
+        let Ok(report) = DetailedReport::decode(record.payload()) else {
+            continue;
+        };
+        let Some(escrow) = settlement.escrows.get_mut(report.sra_id()) else {
+            settlement.pending_reports += 1;
+            continue;
+        };
+        let payout = escrow.mu.scaled(report.findings().len() as u64);
+        if payout > escrow.remaining() {
+            return Err(SettleError::Overdraw {
+                sra: *report.sra_id(),
+                remaining: escrow.remaining(),
+                payout,
+            });
+        }
+        escrow.paid = escrow
+            .paid
+            .checked_add(payout)
+            .ok_or(SettleError::Overflow)?;
+        settlement.payouts = settlement
+            .payouts
+            .checked_add(payout)
+            .ok_or(SettleError::Overflow)?;
+        let credit = settlement
+            .detector_credits
+            .entry(report.wallet())
+            .or_insert(Ether::ZERO);
+        *credit = credit.checked_add(payout).ok_or(SettleError::Overflow)?;
+    }
+
+    settlement.verify()?;
+    Ok(settlement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrowd_chain::{Block, Difficulty};
+
+    #[test]
+    fn empty_chain_settles_to_zero() {
+        let store = ChainStore::new(Block::genesis(Difficulty::from_u64(1)));
+        let s = settle_confirmed(&store).unwrap();
+        assert_eq!(s.deposits, Ether::ZERO);
+        assert_eq!(s.payouts, Ether::ZERO);
+        assert!(s.escrows.is_empty());
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn imbalance_is_detected() {
+        let mut s = Settlement {
+            payouts: Ether::from_ether(5),
+            ..Settlement::default()
+        };
+        s.detector_credits
+            .insert(Address::from_label("x"), Ether::from_ether(5));
+        assert!(matches!(s.verify(), Err(SettleError::Imbalance { .. })));
+    }
+
+    #[test]
+    fn credit_mismatch_is_detected() {
+        let s = Settlement {
+            deposits: Ether::from_ether(5),
+            payouts: Ether::from_ether(5),
+            ..Settlement::default()
+        };
+        // deposits == payouts + 0 fails first; make them balance via an
+        // escrow that is fully drained, then break the credit cross-foot.
+        let mut s2 = s;
+        s2.escrows.insert(
+            smartcrowd_crypto::keccak::keccak256(b"sra"),
+            SraEscrow {
+                provider: Address::from_label("p"),
+                insurance: Ether::from_ether(5),
+                mu: Ether::from_ether(1),
+                paid: Ether::from_ether(5),
+            },
+        );
+        assert!(matches!(
+            s2.verify(),
+            Err(SettleError::CreditMismatch { .. })
+        ));
+    }
+}

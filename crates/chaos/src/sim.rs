@@ -1,0 +1,837 @@
+//! The chaos simulator: executes a [`FaultPlan`] deterministically.
+//!
+//! [`ChaosSim`] runs N [`ProviderNode`]s over a seeded [`GossipNet`] and a
+//! hash-power-weighted mining race, applying the plan's faults at round
+//! boundaries:
+//!
+//! - **Partitions** cut and heal via the gossip fabric; a heal triggers
+//!   the anti-entropy rebroadcast so laggards reconcile before the next
+//!   fault lands.
+//! - **Crashes** export the node's chain through
+//!   [`smartcrowd_chain::persist::export_chain`] (the "disk"), drop all
+//!   soft state, and discard deliveries; restarts import the dump and
+//!   rebuild verification state with [`ProviderNode::restore`].
+//! - **Byzantine behaviours** act when the misbehaving node wins a round
+//!   (withholding, equivocation) or on every round (flooding).
+//!
+//! A workload of SRA releases and detector reports runs underneath so the
+//! conservation oracle has real escrow flows to audit. Everything is a
+//! pure function of `(plan, seed)`: re-running reproduces byte-identical
+//! traces, which is what makes shrinking possible.
+//!
+//! The harness can also *plant a bug* ([`PlantedBug`]) by disabling the
+//! reconciliation machinery, which is how the test-suite proves the
+//! oracles and the shrinker actually detect protocol violations rather
+//! than vacuously passing.
+//!
+//! [`FaultPlan`]: crate::plan::FaultPlan
+
+use crate::oracle::{NodeView, Oracles, Violation};
+use crate::plan::{ByzantineBehavior, FaultKind, FaultPlan};
+use crate::settle::settle_confirmed;
+use smartcrowd_chain::persist::{export_chain, import_chain};
+use smartcrowd_chain::record::{Record, RecordKind};
+use smartcrowd_chain::rng::SimRng;
+use smartcrowd_chain::simminer::{SimMiner, SimParticipant, PAPER_HASH_POWERS};
+use smartcrowd_chain::{Block, Difficulty, Ether};
+use smartcrowd_core::node::{Outbox, ProviderNode};
+use smartcrowd_core::report::{create_report_pair, Findings};
+use smartcrowd_crypto::keys::KeyPair;
+use smartcrowd_detect::library::VulnLibrary;
+use smartcrowd_detect::system::IoTSystem;
+use smartcrowd_detect::vulnerability::VulnId;
+use smartcrowd_net::{GossipNet, Message, NodeId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-block record capacity.
+const BLOCK_CAPACITY: usize = 64;
+
+/// Safety bound on message-pump iterations per pump call.
+const PUMP_LIMIT: usize = 10_000;
+
+/// Extra honest rounds granted after the horizon for convergence
+/// (longest-chain convergence needs continued honest progress to break
+/// equal-work ties left by the last fault).
+const EPILOGUE_LIMIT: usize = 14;
+
+/// A bug deliberately planted in the harness (never in production code)
+/// to prove the oracles catch real protocol violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlantedBug {
+    /// Nodes accept equivocating forks without the reconciliation
+    /// machinery: block re-gossip on orphan connection, `BlockRequest`
+    /// gap repair and the heal-time anti-entropy rebroadcast are all
+    /// disabled, so an equivocator's split-brain never resolves.
+    AcceptEquivocation,
+}
+
+/// Why a chaos run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosFailure {
+    /// An invariant oracle fired.
+    Oracle(Violation),
+    /// The gossip pump failed to quiesce.
+    PumpDiverged {
+        /// The run seed (replays the schedule).
+        seed: u64,
+        /// The round the pump diverged in.
+        round: usize,
+        /// Iterations executed before giving up.
+        iterations: usize,
+        /// Deliveries still pending.
+        pending: usize,
+    },
+    /// A crash-restart round-trip through the persistence layer failed.
+    Persist {
+        /// The round of the failing restart.
+        round: usize,
+        /// The underlying chain error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosFailure::Oracle(v) => write!(f, "{v}"),
+            ChaosFailure::PumpDiverged {
+                seed,
+                round,
+                iterations,
+                pending,
+            } => write!(
+                f,
+                "message pump diverged in round {round} (seed {seed}): \
+                 {pending} deliveries pending after {iterations} iterations"
+            ),
+            ChaosFailure::Persist { round, detail } => {
+                write!(
+                    f,
+                    "crash-restart persistence failed in round {round}: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosFailure {}
+
+/// Summary of a passing run.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Rounds executed (horizon plus any epilogue rounds).
+    pub rounds: usize,
+    /// Final canonical height on the honest nodes.
+    pub best_height: u64,
+    /// Insurance deposited on the confirmed chain.
+    pub deposits: Ether,
+    /// Detector payouts on the confirmed chain.
+    pub payouts: Ether,
+    /// Confirmed reports still awaiting their SRA's confirmation.
+    pub pending_reports: usize,
+    /// Messages the link layer duplicated.
+    pub duplicated: u64,
+}
+
+/// A node slot: a running provider or a crash dump on "disk".
+enum Slot {
+    Running(Box<ProviderNode>),
+    Crashed { disk: Vec<u8> },
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Slot::Running(_) => f.write_str("Running"),
+            Slot::Crashed { disk } => write!(f, "Crashed({} bytes)", disk.len()),
+        }
+    }
+}
+
+/// The deterministic chaos simulator for one `(plan, seed)` pair.
+#[derive(Debug)]
+pub struct ChaosSim {
+    plan: FaultPlan,
+    seed: u64,
+    bug: Option<PlantedBug>,
+    slots: Vec<Slot>,
+    keypairs: Vec<KeyPair>,
+    node_ids: Vec<NodeId>,
+    groups: Vec<usize>,
+    byzantine: BTreeMap<usize, ByzantineBehavior>,
+    /// Withheld blocks: `(release_round, owner, block)` in prefix order.
+    withheld: Vec<(usize, usize, Block)>,
+    net: GossipNet,
+    race: SimMiner,
+    rng: SimRng,
+    library: VulnLibrary,
+    genesis_timestamp: u64,
+    round: usize,
+    garbage_nonce: u64,
+}
+
+impl ChaosSim {
+    /// Boots the plan's node fleet over a seeded network.
+    #[must_use]
+    pub fn new(plan: &FaultPlan, seed: u64, bug: Option<PlantedBug>) -> ChaosSim {
+        assert!(plan.nodes > 0, "plan needs at least one node");
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let library = VulnLibrary::synthetic(200, seed ^ 0x11b);
+        let mut net = GossipNet::new(plan.link, seed);
+        let mut slots = Vec::with_capacity(plan.nodes);
+        let mut keypairs = Vec::with_capacity(plan.nodes);
+        let mut node_ids = Vec::with_capacity(plan.nodes);
+        let mut participants = Vec::with_capacity(plan.nodes);
+        for i in 0..plan.nodes {
+            let keypair = KeyPair::from_seed(format!("chaos-node-{i}").as_bytes());
+            let node = ProviderNode::new(keypair, genesis.clone(), library.clone());
+            participants.push(SimParticipant {
+                address: node.address(),
+                hash_power: PAPER_HASH_POWERS[i % PAPER_HASH_POWERS.len()],
+            });
+            node_ids.push(net.register());
+            keypairs.push(keypair);
+            slots.push(Slot::Running(Box::new(node)));
+        }
+        let race = SimMiner::new(participants, 15.35, seed ^ 0xace);
+        ChaosSim {
+            plan: plan.clone(),
+            seed,
+            bug,
+            slots,
+            keypairs,
+            node_ids,
+            groups: vec![0; plan.nodes],
+            byzantine: BTreeMap::new(),
+            withheld: Vec::new(),
+            net,
+            race,
+            rng: SimRng::seed_from_u64(seed ^ 0x5eed),
+            library,
+            genesis_timestamp: genesis.header().timestamp,
+            round: 0,
+            garbage_nonce: 0,
+        }
+    }
+
+    /// Oracle views of every node.
+    #[must_use]
+    pub fn views(&self) -> Vec<NodeView<'_>> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| NodeView {
+                store: match slot {
+                    Slot::Running(node) => Some(node.store()),
+                    Slot::Crashed { .. } => None,
+                },
+                honest: !self.byzantine.contains_key(&i),
+                group: self.groups[i],
+            })
+            .collect()
+    }
+
+    /// Whether every honest running node holds the same best tip.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        let mut tip = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if self.byzantine.contains_key(&i) {
+                continue;
+            }
+            let Slot::Running(node) = slot else { continue };
+            let t = node.store().best_tip();
+            match tip {
+                None => tip = Some(t),
+                Some(prev) if prev != t => return false,
+                Some(_) => {}
+            }
+        }
+        true
+    }
+
+    fn first_honest_running(&self) -> Option<usize> {
+        self.slots.iter().enumerate().find_map(|(i, slot)| {
+            (matches!(slot, Slot::Running(_)) && !self.byzantine.contains_key(&i)).then_some(i)
+        })
+    }
+
+    fn index_of(&self, id: NodeId) -> usize {
+        self.node_ids
+            .iter()
+            .position(|n| *n == id)
+            .expect("delivery to registered node")
+    }
+
+    /// Broadcasts an outbox verbatim (used for a miner's own block and
+    /// workload records — never subject to the planted bug).
+    fn broadcast_raw(&mut self, idx: usize, out: Outbox) {
+        for m in out.broadcast {
+            self.net
+                .broadcast(self.node_ids[idx], m)
+                .expect("registered node");
+        }
+    }
+
+    /// Broadcasts a *handler* outbox. Under [`PlantedBug::AcceptEquivocation`]
+    /// the reconciliation messages (block re-gossip, gap-repair requests)
+    /// are silently dropped — that is the planted bug.
+    fn broadcast_reconciling(&mut self, idx: usize, out: Outbox) {
+        for m in out.broadcast {
+            if self.bug == Some(PlantedBug::AcceptEquivocation)
+                && matches!(m, Message::Block(_) | Message::BlockRequest { .. })
+            {
+                continue;
+            }
+            self.net
+                .broadcast(self.node_ids[idx], m)
+                .expect("registered node");
+        }
+    }
+
+    /// Delivers queued messages until the network is quiet. Deliveries to
+    /// crashed nodes are dropped on the floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosFailure::PumpDiverged`] past the iteration budget.
+    pub fn pump(&mut self) -> Result<(), ChaosFailure> {
+        let mut iterations = 0;
+        while self.net.has_pending() {
+            iterations += 1;
+            if iterations >= PUMP_LIMIT {
+                return Err(ChaosFailure::PumpDiverged {
+                    seed: self.seed,
+                    round: self.round,
+                    iterations,
+                    pending: self.net.drain().len(),
+                });
+            }
+            let deliveries = self.net.drain();
+            for d in deliveries {
+                let idx = self.index_of(d.to);
+                let out = match &mut self.slots[idx] {
+                    Slot::Running(node) => node.handle(d.message),
+                    Slot::Crashed { .. } => continue,
+                };
+                self.broadcast_reconciling(idx, out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies every fault scheduled for `round`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pump divergence from heals and persistence failures
+    /// from restarts.
+    pub fn apply_events(&mut self, round: usize) -> Result<(), ChaosFailure> {
+        let due: Vec<FaultKind> = self
+            .plan
+            .events
+            .iter()
+            .filter(|e| e.round == round)
+            .map(|e| e.kind.clone())
+            .collect();
+        for kind in due {
+            match kind {
+                FaultKind::Partition { minority } => {
+                    let ids: Vec<NodeId> = minority
+                        .iter()
+                        .filter(|&&i| i < self.node_ids.len())
+                        .map(|&i| self.node_ids[i])
+                        .collect();
+                    self.net.partition(&ids);
+                    for g in &mut self.groups {
+                        *g = 0;
+                    }
+                    for &i in &minority {
+                        if i < self.groups.len() {
+                            self.groups[i] = 1;
+                        }
+                    }
+                }
+                FaultKind::Heal => self.heal()?,
+                FaultKind::Crash { node } => {
+                    if let Slot::Running(n) = &self.slots[node] {
+                        let disk = export_chain(n.store());
+                        self.slots[node] = Slot::Crashed { disk };
+                    }
+                }
+                FaultKind::Restart { node } => self.restart(node, round)?,
+                FaultKind::Byzantine { node, behavior } => {
+                    self.byzantine.insert(node, behavior);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn restart(&mut self, node: usize, round: usize) -> Result<(), ChaosFailure> {
+        let Slot::Crashed { disk } = &self.slots[node] else {
+            return Ok(());
+        };
+        let store = import_chain(disk).map_err(|e| ChaosFailure::Persist {
+            round,
+            detail: e.to_string(),
+        })?;
+        let provider = ProviderNode::restore(self.keypairs[node], store, self.library.clone());
+        self.slots[node] = Slot::Running(Box::new(provider));
+        Ok(())
+    }
+
+    /// Heals any partition and runs the anti-entropy resync.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pump divergence.
+    pub fn heal(&mut self) -> Result<(), ChaosFailure> {
+        self.net.heal_partition();
+        for g in &mut self.groups {
+            *g = 0;
+        }
+        self.anti_entropy()
+    }
+
+    /// Anti-entropy: every honest running node rebroadcasts its canonical
+    /// chain so laggards catch up. A no-op (plain pump) under the planted
+    /// bug — the bug removes exactly this machinery.
+    fn anti_entropy(&mut self) -> Result<(), ChaosFailure> {
+        if self.bug.is_some() {
+            return self.pump();
+        }
+        for i in 0..self.slots.len() {
+            if self.byzantine.contains_key(&i) {
+                continue;
+            }
+            let blocks: Vec<Block> = match &self.slots[i] {
+                Slot::Running(node) => node
+                    .store()
+                    .canonical_blocks()
+                    .filter(|b| b.header().height > 0)
+                    .cloned()
+                    .collect(),
+                Slot::Crashed { .. } => continue,
+            };
+            for b in blocks {
+                self.net
+                    .broadcast(self.node_ids[i], Message::Block(Box::new(b)))
+                    .expect("registered node");
+            }
+        }
+        self.pump()
+    }
+
+    /// Runs one mining round: the race picks a winner; a crashed winner
+    /// loses the round, a Byzantine winner misbehaves, everyone else
+    /// mines and broadcasts. Flooders spam every round, and due withheld
+    /// forks release.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pump divergence.
+    pub fn mine_round(&mut self) -> Result<(), ChaosFailure> {
+        let event = self.race.next_event();
+        let winner = event.winner;
+        let timestamp = self.genesis_timestamp + self.race.clock().ceil() as u64;
+        let behavior = self.byzantine.get(&winner).cloned();
+        if matches!(self.slots[winner], Slot::Running(_)) {
+            match behavior {
+                Some(ByzantineBehavior::Withhold { rounds }) => {
+                    let block = {
+                        let Slot::Running(node) = &mut self.slots[winner] else {
+                            unreachable!("checked running above")
+                        };
+                        node.mine(timestamp, BLOCK_CAPACITY).0
+                    };
+                    self.withheld.push((self.round + rounds, winner, block));
+                }
+                Some(ByzantineBehavior::Equivocate) => self.equivocate(winner, timestamp),
+                _ => {
+                    // Honest mining (flooders mine honestly; their
+                    // misbehaviour is the per-round spam below).
+                    let out = {
+                        let Slot::Running(node) = &mut self.slots[winner] else {
+                            unreachable!("checked running above")
+                        };
+                        node.mine(timestamp, BLOCK_CAPACITY).1
+                    };
+                    self.broadcast_raw(winner, out);
+                }
+            }
+        }
+        self.release_due_withheld();
+        self.flood();
+        self.pump()
+    }
+
+    /// Double-mines two sibling blocks on the winner's tip and sends one
+    /// to each half of the network; the equivocator adopts one arm and
+    /// re-gossips nothing.
+    fn equivocate(&mut self, winner: usize, timestamp: u64) {
+        let (block_a, block_b) = {
+            let Slot::Running(node) = &mut self.slots[winner] else {
+                return;
+            };
+            let parent = node.store().best_block().clone();
+            let t = timestamp.max(parent.header().timestamp);
+            let address = node.address();
+            let a = Block::assemble(&parent, vec![], t, Difficulty::from_u64(1), address);
+            let b = Block::assemble(&parent, vec![], t + 1, Difficulty::from_u64(1), address);
+            // The equivocator silently adopts arm A (outbox discarded).
+            let _ = node.handle(Message::Block(Box::new(a.clone())));
+            (a, b)
+        };
+        let mut toggle = false;
+        for i in 0..self.slots.len() {
+            if i == winner || matches!(self.slots[i], Slot::Crashed { .. }) {
+                continue;
+            }
+            let arm = if toggle { &block_b } else { &block_a };
+            toggle = !toggle;
+            self.net
+                .send(
+                    self.node_ids[winner],
+                    self.node_ids[i],
+                    Message::Block(Box::new(arm.clone())),
+                )
+                .expect("registered node");
+        }
+    }
+
+    /// Broadcasts every withheld block whose release round is due, in the
+    /// order the forks were mined (prefix order).
+    fn release_due_withheld(&mut self) {
+        let round = self.round;
+        let mut due = Vec::new();
+        self.withheld.retain(|(release, owner, block)| {
+            if *release <= round {
+                due.push((*owner, block.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        for (owner, block) in due {
+            if matches!(self.slots[owner], Slot::Crashed { .. }) {
+                continue;
+            }
+            self.net
+                .broadcast(self.node_ids[owner], Message::Block(Box::new(block)))
+                .expect("registered node");
+        }
+    }
+
+    /// Per-round spam from flooding Byzantine nodes.
+    fn flood(&mut self) {
+        let flooders: Vec<(usize, ByzantineBehavior)> = self
+            .byzantine
+            .iter()
+            .filter(|(i, _)| matches!(self.slots[**i], Slot::Running(_)))
+            .map(|(i, b)| (*i, b.clone()))
+            .collect();
+        for (idx, behavior) in flooders {
+            match behavior {
+                ByzantineBehavior::GarbageFlood { per_round } => {
+                    for _ in 0..per_round {
+                        let len = 16 + self.rng.next_below(32) as usize;
+                        let payload: Vec<u8> =
+                            (0..len).map(|_| self.rng.next_u64() as u8).collect();
+                        self.garbage_nonce += 1;
+                        let record = Record::signed(
+                            RecordKind::DetailedReport,
+                            payload,
+                            Ether::from_microether(5),
+                            1_000_000 + self.garbage_nonce,
+                            &self.keypairs[idx],
+                        );
+                        self.net
+                            .broadcast(self.node_ids[idx], Message::Record(record))
+                            .expect("registered node");
+                    }
+                }
+                ByzantineBehavior::StaleFlood { per_round } => {
+                    let heights: Vec<u64> = {
+                        let Slot::Running(node) = &self.slots[idx] else {
+                            continue;
+                        };
+                        let best = node.store().best_height();
+                        if best == 0 {
+                            continue;
+                        }
+                        (0..per_round)
+                            .map(|_| 1 + self.rng.next_below(best))
+                            .collect()
+                    };
+                    let blocks: Vec<Block> = {
+                        let Slot::Running(node) = &self.slots[idx] else {
+                            continue;
+                        };
+                        heights
+                            .iter()
+                            .filter_map(|h| node.store().block_at_height(*h).cloned())
+                            .collect()
+                    };
+                    for b in blocks {
+                        self.net
+                            .broadcast(self.node_ids[idx], Message::Block(Box::new(b)))
+                            .expect("registered node");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Injects the round-0 workload: an SRA release plus a detector
+    /// report pair, so escrow flows exist for the conservation oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pump divergence.
+    pub fn inject_initial_workload(&mut self) -> Result<(), ChaosFailure> {
+        self.release_and_report(0x01, vec![VulnId(3)], "chaos-fw-alpha")
+    }
+
+    /// Injects the mid-run workload (second release, two findings) so
+    /// escrow flows also cross the faulty window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pump divergence.
+    pub fn inject_mid_workload(&mut self) -> Result<(), ChaosFailure> {
+        self.release_and_report(0x02, vec![VulnId(5), VulnId(9)], "chaos-fw-beta")
+    }
+
+    fn release_and_report(
+        &mut self,
+        tag: u8,
+        vulns: Vec<VulnId>,
+        name: &str,
+    ) -> Result<(), ChaosFailure> {
+        let Some(entry) = self.first_honest_running() else {
+            return Ok(());
+        };
+        let mut build_rng = SimRng::seed_from_u64(self.seed ^ u64::from(tag));
+        let system = IoTSystem::build(name, "1", &self.library, vulns.clone(), &mut build_rng)
+            .expect("workload vulns exist in the library");
+        let (sra_id, out) = {
+            let Slot::Running(node) = &mut self.slots[entry] else {
+                unreachable!("first_honest_running returned a running node")
+            };
+            node.release(system, Ether::from_ether(1000), Ether::from_ether(25))
+        };
+        self.broadcast_raw(entry, out);
+        self.pump()?;
+        let detector = KeyPair::from_seed(format!("chaos-detector-{tag}").as_bytes());
+        let (initial, detailed) =
+            create_report_pair(&detector, sra_id, Findings::new(vulns, "chaos workload"));
+        let submissions = [
+            (RecordKind::InitialReport, initial.encode(), 0),
+            (RecordKind::DetailedReport, detailed.encode(), 1),
+        ];
+        for (kind, payload, nonce) in submissions {
+            let record =
+                Record::signed(kind, payload, Ether::from_milliether(11), nonce, &detector);
+            let message = Message::Record(record);
+            let out = {
+                let Slot::Running(node) = &mut self.slots[entry] else {
+                    unreachable!("entry node is running")
+                };
+                node.handle(message.clone())
+            };
+            self.net
+                .broadcast(self.node_ids[entry], message)
+                .expect("registered node");
+            self.broadcast_reconciling(entry, out);
+            self.pump()?;
+        }
+        Ok(())
+    }
+
+    /// One epilogue round: only honest nodes mine (the adversary has
+    /// stopped), so equal-work ties left by the last fault break.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pump divergence.
+    pub fn mine_honest_round(&mut self) -> Result<(), ChaosFailure> {
+        let event = self.race.next_event();
+        let winner = event.winner;
+        let timestamp = self.genesis_timestamp + self.race.clock().ceil() as u64;
+        if !self.byzantine.contains_key(&winner) {
+            if let Slot::Running(node) = &mut self.slots[winner] {
+                let out = node.mine(timestamp, BLOCK_CAPACITY).1;
+                self.broadcast_raw(winner, out);
+            }
+        }
+        self.pump()
+    }
+
+    fn set_round(&mut self, round: usize) {
+        self.round = round;
+    }
+}
+
+/// Executes `plan` under `seed`, checking every oracle after every round.
+///
+/// After the horizon the run enters a bounded epilogue — anti-entropy plus
+/// honest-only mining — until the honest nodes converge, then the
+/// convergence oracle gives the final verdict.
+///
+/// # Errors
+///
+/// Returns the first [`ChaosFailure`] encountered: an oracle
+/// [`Violation`], a diverged message pump, or a persistence failure
+/// during crash-restart.
+pub fn run_plan(
+    plan: &FaultPlan,
+    seed: u64,
+    bug: Option<PlantedBug>,
+) -> Result<ChaosOutcome, ChaosFailure> {
+    let mut sim = ChaosSim::new(plan, seed, bug);
+    let mut oracles = Oracles::new(plan.nodes);
+    let mid = (plan.rounds / 2).max(1);
+    sim.inject_initial_workload()?;
+    for round in 0..plan.rounds {
+        sim.set_round(round);
+        sim.apply_events(round)?;
+        if round == mid {
+            sim.inject_mid_workload()?;
+        }
+        sim.mine_round()?;
+        oracles
+            .check_round(round, &sim.views())
+            .map_err(ChaosFailure::Oracle)?;
+    }
+    let mut round = plan.rounds;
+    for _ in 0..EPILOGUE_LIMIT {
+        if sim.converged() {
+            break;
+        }
+        sim.set_round(round);
+        sim.heal()?;
+        if sim.converged() {
+            break;
+        }
+        sim.mine_honest_round()?;
+        oracles
+            .check_round(round, &sim.views())
+            .map_err(ChaosFailure::Oracle)?;
+        round += 1;
+    }
+    oracles
+        .check_convergence(round, &sim.views())
+        .map_err(ChaosFailure::Oracle)?;
+
+    let views = sim.views();
+    // Shrinking can legitimately produce plans with no honest running
+    // node left; such runs pass vacuously with an empty outcome.
+    let Some(honest_store) = views.iter().filter(|v| v.honest).find_map(|v| v.store) else {
+        return Ok(ChaosOutcome {
+            rounds: round,
+            best_height: 0,
+            deposits: Ether::ZERO,
+            payouts: Ether::ZERO,
+            pending_reports: 0,
+            duplicated: sim.net.duplicated(),
+        });
+    };
+    let settlement = settle_confirmed(honest_store).map_err(|e| {
+        ChaosFailure::Oracle(Violation {
+            oracle: crate::oracle::OracleKind::Conservation,
+            round,
+            detail: e.to_string(),
+        })
+    })?;
+    Ok(ChaosOutcome {
+        rounds: round,
+        best_height: honest_store.best_height(),
+        deposits: settlement.deposits,
+        payouts: settlement.payouts,
+        pending_reports: settlement.pending_reports,
+        duplicated: sim.net.duplicated(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultEvent;
+    use smartcrowd_net::LinkConfig;
+
+    fn quiet_plan(rounds: usize) -> FaultPlan {
+        FaultPlan {
+            nodes: 4,
+            rounds,
+            link: LinkConfig::default(),
+            events: vec![],
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_passes_with_escrow_flows() {
+        let outcome = run_plan(&quiet_plan(16), 7, None).unwrap();
+        assert!(outcome.best_height >= 14, "height {}", outcome.best_height);
+        // Both workloads confirm: 25 ETH (1 finding) + 50 ETH (2 findings).
+        assert_eq!(outcome.deposits, Ether::from_ether(2000));
+        assert_eq!(outcome.payouts, Ether::from_ether(75));
+        assert_eq!(outcome.pending_reports, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let plan = {
+            let mut p = quiet_plan(18);
+            p.events.push(FaultEvent {
+                round: 3,
+                kind: FaultKind::Partition { minority: vec![3] },
+            });
+            p.events.push(FaultEvent {
+                round: 6,
+                kind: FaultKind::Heal,
+            });
+            p
+        };
+        let a = run_plan(&plan, 21, None).unwrap();
+        let b = run_plan(&plan, 21, None).unwrap();
+        assert_eq!(a.best_height, b.best_height);
+        assert_eq!(a.payouts, b.payouts);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn crash_restart_recovers_via_persistence() {
+        let mut plan = quiet_plan(18);
+        plan.events.push(FaultEvent {
+            round: 4,
+            kind: FaultKind::Crash { node: 2 },
+        });
+        plan.events.push(FaultEvent {
+            round: 7,
+            kind: FaultKind::Restart { node: 2 },
+        });
+        let outcome = run_plan(&plan, 5, None).unwrap();
+        assert!(outcome.best_height >= 12);
+    }
+
+    #[test]
+    fn planted_equivocation_bug_is_caught_by_an_oracle() {
+        let mut plan = quiet_plan(24);
+        plan.events.push(FaultEvent {
+            round: 2,
+            kind: FaultKind::Byzantine {
+                node: 1,
+                behavior: ByzantineBehavior::Equivocate,
+            },
+        });
+        // Without the bug the reconciliation machinery resolves the
+        // split-brain and the run passes.
+        run_plan(&plan, 9, None).unwrap();
+        // With the bug the same plan violates agreement or convergence.
+        let failure = run_plan(&plan, 9, Some(PlantedBug::AcceptEquivocation)).unwrap_err();
+        assert!(matches!(failure, ChaosFailure::Oracle(_)), "{failure}");
+    }
+}

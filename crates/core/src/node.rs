@@ -95,6 +95,66 @@ impl ProviderNode {
         }
     }
 
+    /// Reboots a node from a recovered chain store (the crash-restart
+    /// story of `persist::export_chain` → crash → `persist::import_chain`).
+    ///
+    /// The chain is the only state that survives a crash; all soft state —
+    /// mempool, sync buffer, downloaded artifacts, hosted images,
+    /// scoreboard — is lost. Verified SRAs and initial reports are
+    /// re-derived from the canonical chain so Algorithm 1 can keep running,
+    /// and the record nonce resumes past the highest on-chain nonce this
+    /// key already used (a replayed nonce would produce duplicate record
+    /// ids).
+    pub fn restore(keypair: KeyPair, store: ChainStore, library: VulnLibrary) -> Self {
+        let address = keypair.address();
+        let mut sras = HashMap::new();
+        let mut initials = HashMap::new();
+        let mut nonce = 0u64;
+        for block in store.canonical_blocks() {
+            for record in block.records() {
+                if record.sender() == address {
+                    nonce = nonce.max(record.nonce());
+                }
+                match record.kind() {
+                    RecordKind::Sra => {
+                        if let Ok(sra) = Sra::decode(record.payload()) {
+                            if sra.verify().is_ok() {
+                                sras.insert(*sra.id(), sra);
+                            }
+                        }
+                    }
+                    RecordKind::InitialReport => {
+                        if let Ok(report) = InitialReport::decode(record.payload()) {
+                            if report.verify().is_ok() {
+                                initials
+                                    .entry((*report.sra_id(), report.detector()))
+                                    .or_insert(report);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        ProviderNode {
+            address,
+            keypair,
+            store,
+            mempool: Mempool::default(),
+            sync: SyncBuffer::new(),
+            scoreboard: Scoreboard::default(),
+            library,
+            sras,
+            images: HashMap::new(),
+            hosted: HashMap::new(),
+            pending_images: HashSet::new(),
+            initials,
+            deferred_detailed: Vec::new(),
+            requested_blocks: HashSet::new(),
+            nonce,
+        }
+    }
+
     /// The node's account address.
     pub fn address(&self) -> Address {
         self.address
@@ -512,6 +572,66 @@ mod tests {
         assert_eq!(b.store().best_height(), 1);
         assert_eq!(b.store().best_tip(), block.id());
         assert_eq!(b.mempool_len(), 0, "included records cleared");
+    }
+
+    #[test]
+    fn restart_from_persisted_chain_rebuilds_verification_state() {
+        use smartcrowd_chain::persist::{export_chain, import_chain};
+        let (mut a, mut b, library) = setup_two_nodes();
+        let sra_id = release_and_sync(&mut a, &mut b, &library, vec![VulnId(1)]);
+        // Put the SRA on chain so it survives the crash.
+        let (block, out) = a.mine(
+            Block::genesis(Difficulty::from_u64(1)).header().timestamp + 15,
+            16,
+        );
+        for m in out.broadcast {
+            b.handle(m);
+        }
+        // Crash b: only the exported chain survives.
+        let disk = export_chain(b.store());
+        let restored_store = import_chain(&disk).unwrap();
+        let mut b2 = ProviderNode::restore(KeyPair::from_seed(b"node-b"), restored_store, library);
+        assert_eq!(b2.store().best_tip(), block.id());
+        assert!(
+            b2.sras.contains_key(&sra_id),
+            "SRA re-derived from the canonical chain"
+        );
+        assert_eq!(b2.mempool_len(), 0, "mempool is soft state");
+        assert!(b2.images.is_empty(), "artifacts are soft state");
+        // The restarted node keeps participating: it accepts the next block.
+        let (block2, out) = a.mine(block.header().timestamp + 15, 16);
+        for m in out.broadcast {
+            b2.handle(m);
+        }
+        assert_eq!(b2.store().best_tip(), block2.id());
+    }
+
+    #[test]
+    fn restart_resumes_nonce_past_on_chain_records() {
+        let (mut a, mut b, library) = setup_two_nodes();
+        let sra_id = release_and_sync(&mut a, &mut b, &library, vec![VulnId(1)]);
+        let (_, out) = a.mine(
+            Block::genesis(Difficulty::from_u64(1)).header().timestamp + 15,
+            16,
+        );
+        for m in out.broadcast {
+            b.handle(m);
+        }
+        // Restart the *provider* a from its own chain: its SRA record
+        // (nonce 1) is on chain, so the next release must use nonce 2.
+        let mut a2 = ProviderNode::restore(
+            KeyPair::from_seed(b"node-a"),
+            a.store().clone(),
+            library.clone(),
+        );
+        assert!(a2.sras.contains_key(&sra_id));
+        let mut rng = SimRng::seed_from_u64(8);
+        let system = IoTSystem::build("fw", "2", &library, vec![VulnId(2)], &mut rng).unwrap();
+        let (_, out) = a2.release(system, Ether::from_ether(1000), Ether::from_ether(25));
+        match &out.broadcast[0] {
+            Message::Record(r) => assert_eq!(r.nonce(), 2, "nonce resumed past chain state"),
+            other => panic!("expected record broadcast, got {other:?}"),
+        }
     }
 
     #[test]

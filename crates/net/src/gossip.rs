@@ -17,8 +17,9 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
-/// Link behaviour shared by all pairs.
-#[derive(Debug, Clone, Copy)]
+/// Link behaviour shared by all pairs (or overridden per directed pair
+/// with [`GossipNet::set_link`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Base one-way latency in seconds.
     pub base_latency: f64,
@@ -26,7 +27,18 @@ pub struct LinkConfig {
     pub jitter: f64,
     /// Probability a message is silently dropped.
     pub drop_rate: f64,
+    /// Probability a message is delivered *twice* (the second copy gets an
+    /// independent latency sample), modelling at-least-once gossip relays.
+    pub duplicate_rate: f64,
+    /// Probability a message is adversarially delayed by a multiple of the
+    /// nominal latency, so that later sends overtake it (reordering).
+    pub reorder_rate: f64,
 }
+
+/// How much a reordered message is delayed, as a multiple of the nominal
+/// `base_latency + jitter` budget: enough that several subsequent sends
+/// overtake it.
+const REORDER_STRETCH: f64 = 8.0;
 
 impl Default for LinkConfig {
     fn default() -> Self {
@@ -35,6 +47,8 @@ impl Default for LinkConfig {
             base_latency: 0.05,
             jitter: 0.05,
             drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
         }
     }
 }
@@ -101,6 +115,8 @@ impl PartialOrd for Queued {
 #[derive(Debug)]
 pub struct GossipNet {
     link: LinkConfig,
+    /// Per-directed-pair link overrides (asymmetric links, slow peers).
+    overrides: std::collections::HashMap<(usize, usize), LinkConfig>,
     rng: SimRng,
     nodes: usize,
     queue: BinaryHeap<Queued>,
@@ -109,9 +125,24 @@ pub struct GossipNet {
     /// Partition groups: nodes in different groups cannot communicate.
     /// Empty = fully connected.
     partition: Vec<usize>,
+    /// Timed partition/heal events, sorted by activation time; applied to
+    /// `partition` once the clock reaches them (partitions gate *sends*,
+    /// so in-flight messages still deliver — as on a real network, where
+    /// cutting a link does not recall packets already on the wire).
+    schedule: Vec<(f64, ScheduledCut)>,
     sent: u64,
     dropped: u64,
+    duplicated: u64,
     bytes: u64,
+}
+
+/// A scheduled topology change.
+#[derive(Debug, Clone)]
+enum ScheduledCut {
+    /// Isolate the listed nodes from the rest.
+    Partition(Vec<NodeId>),
+    /// Reconnect everyone.
+    Heal,
 }
 
 impl GossipNet {
@@ -119,14 +150,17 @@ impl GossipNet {
     pub fn new(link: LinkConfig, seed: u64) -> Self {
         GossipNet {
             link,
+            overrides: std::collections::HashMap::new(),
             rng: SimRng::seed_from_u64(seed),
             nodes: 0,
             queue: BinaryHeap::new(),
             clock: 0.0,
             seq: 0,
             partition: Vec::new(),
+            schedule: Vec::new(),
             sent: 0,
             dropped: 0,
+            duplicated: 0,
             bytes: 0,
         }
     }
@@ -157,6 +191,81 @@ impl GossipNet {
     /// `(sent, dropped, bytes)` counters.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.sent, self.dropped, self.bytes)
+    }
+
+    /// Messages that were delivered twice by link-level duplication.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Overrides the link behaviour for the directed pair `from → to`
+    /// (later sends on that pair use `cfg` instead of the global config).
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, cfg: LinkConfig) {
+        self.overrides.insert((from.0, to.0), cfg);
+    }
+
+    /// Overrides both directions of a pair at once.
+    pub fn set_link_symmetric(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        self.set_link(a, b, cfg);
+        self.set_link(b, a, cfg);
+    }
+
+    /// Removes every per-link override, restoring the global config.
+    pub fn clear_link_overrides(&mut self) {
+        self.overrides.clear();
+    }
+
+    /// The effective config for a directed pair.
+    fn link_for(&self, from: NodeId, to: NodeId) -> LinkConfig {
+        self.overrides
+            .get(&(from.0, to.0))
+            .copied()
+            .unwrap_or(self.link)
+    }
+
+    /// Schedules a partition isolating `minority` once the simulated clock
+    /// reaches `at`. Partitions gate sends: messages already in flight
+    /// still deliver.
+    pub fn schedule_partition_at(&mut self, at: f64, minority: &[NodeId]) {
+        self.schedule
+            .push((at, ScheduledCut::Partition(minority.to_vec())));
+        self.schedule
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+    }
+
+    /// Schedules a full heal once the simulated clock reaches `at`.
+    pub fn schedule_heal_at(&mut self, at: f64) {
+        self.schedule.push((at, ScheduledCut::Heal));
+        self.schedule
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+    }
+
+    /// Applies every scheduled cut whose activation time has passed.
+    fn apply_due_schedule(&mut self) {
+        while let Some((at, _)) = self.schedule.first() {
+            if *at > self.clock {
+                break;
+            }
+            let (_, cut) = self.schedule.remove(0);
+            match cut {
+                ScheduledCut::Partition(minority) => {
+                    // Inline `partition()` to avoid borrowing issues.
+                    for p in self.partition.iter_mut() {
+                        *p = 0;
+                    }
+                    for n in &minority {
+                        if n.0 < self.partition.len() {
+                            self.partition[n.0] = 1;
+                        }
+                    }
+                }
+                ScheduledCut::Heal => {
+                    for p in self.partition.iter_mut() {
+                        *p = 0;
+                    }
+                }
+            }
+        }
     }
 
     /// Splits the network: nodes in `group_b` can no longer exchange
@@ -195,21 +304,37 @@ impl GossipNet {
         if to.0 >= self.nodes {
             return Err(NetError::UnknownNode { node: to.0 });
         }
+        self.apply_due_schedule();
+        let link = self.link_for(from, to);
         self.sent += 1;
         self.bytes += message.wire_size() as u64;
-        if !self.reachable(from, to) || self.rng.next_bool(self.link.drop_rate) {
+        if !self.reachable(from, to) || self.rng.next_bool(link.drop_rate) {
             self.dropped += 1;
             return Ok(());
         }
-        let latency = self.link.base_latency + self.rng.next_f64() * self.link.jitter;
-        self.queue.push(Queued {
-            at: self.clock + latency,
-            seq: self.seq,
-            from,
-            to,
-            message,
-        });
-        self.seq += 1;
+        let copies = if self.rng.next_bool(link.duplicate_rate) {
+            self.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut latency = link.base_latency + self.rng.next_f64() * link.jitter;
+            if self.rng.next_bool(link.reorder_rate) {
+                // Adversarial reordering: hold the message long enough that
+                // several subsequent sends overtake it.
+                latency +=
+                    (link.base_latency + link.jitter) * REORDER_STRETCH * self.rng.next_f64();
+            }
+            self.queue.push(Queued {
+                at: self.clock + latency,
+                seq: self.seq,
+                from,
+                to,
+                message: message.clone(),
+            });
+            self.seq += 1;
+        }
         Ok(())
     }
 
@@ -235,6 +360,7 @@ impl GossipNet {
     pub fn step(&mut self) -> Option<Delivery> {
         let q = self.queue.pop()?;
         self.clock = self.clock.max(q.at);
+        self.apply_due_schedule();
         Some(Delivery {
             at: q.at,
             from: q.from,
@@ -256,6 +382,7 @@ impl GossipNet {
             }
         }
         self.clock = self.clock.max(t);
+        self.apply_due_schedule();
         out
     }
 
@@ -290,6 +417,7 @@ mod tests {
                 base_latency: 0.1,
                 jitter: 0.05,
                 drop_rate: drop,
+                ..LinkConfig::default()
             },
             99,
         )
@@ -407,6 +535,125 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut n = GossipNet::new(
+            LinkConfig {
+                duplicate_rate: 1.0,
+                ..LinkConfig::default()
+            },
+            3,
+        );
+        let a = n.register();
+        let b = n.register();
+        for _ in 0..10 {
+            n.send(a, b, msg()).unwrap();
+        }
+        assert_eq!(n.drain().len(), 20, "every message duplicated");
+        assert_eq!(n.duplicated(), 10);
+        let (sent, _, _) = n.stats();
+        assert_eq!(sent, 10, "duplicates are a link fault, not extra sends");
+    }
+
+    #[test]
+    fn reordering_lets_later_sends_overtake() {
+        let mut n = GossipNet::new(
+            LinkConfig {
+                base_latency: 0.1,
+                jitter: 0.0,
+                reorder_rate: 0.5,
+                ..LinkConfig::default()
+            },
+            17,
+        );
+        let a = n.register();
+        let b = n.register();
+        // Tag messages by image hash so arrival order is observable.
+        for i in 0..30u8 {
+            n.send(
+                a,
+                b,
+                Message::ImageRequest {
+                    image_hash: [i; 32],
+                },
+            )
+            .unwrap();
+        }
+        let order: Vec<u8> = n
+            .drain()
+            .into_iter()
+            .map(|d| match d.message {
+                Message::ImageRequest { image_hash } => image_hash[0],
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(
+            order.windows(2).any(|w| w[0] > w[1]),
+            "some message overtook an earlier one: {order:?}"
+        );
+    }
+
+    #[test]
+    fn per_link_override_shapes_one_pair_only() {
+        let mut n = net(0.0);
+        let a = n.register();
+        let b = n.register();
+        let c = n.register();
+        n.set_link(
+            a,
+            b,
+            LinkConfig {
+                drop_rate: 1.0,
+                ..LinkConfig::default()
+            },
+        );
+        n.send(a, b, msg()).unwrap();
+        n.send(a, c, msg()).unwrap();
+        let deliveries = n.drain();
+        assert_eq!(deliveries.len(), 1, "a→b black-holed, a→c fine");
+        assert_eq!(deliveries[0].to, c);
+        n.clear_link_overrides();
+        n.send(a, b, msg()).unwrap();
+        assert_eq!(n.drain().len(), 1, "override cleared");
+    }
+
+    #[test]
+    fn scheduled_partition_gates_sends_after_activation() {
+        let mut n = net(0.0);
+        let a = n.register();
+        let b = n.register();
+        n.schedule_partition_at(1.0, &[b]);
+        n.schedule_heal_at(2.0);
+        // Before the cut: delivers.
+        n.send(a, b, msg()).unwrap();
+        assert_eq!(n.drain().len(), 1);
+        // Advance past the cut: sends are now blocked.
+        n.run_until(1.5);
+        n.send(a, b, msg()).unwrap();
+        assert_eq!(n.drain().len(), 0, "partitioned");
+        // Advance past the heal: sends flow again.
+        n.run_until(2.5);
+        n.send(a, b, msg()).unwrap();
+        assert_eq!(n.drain().len(), 1, "healed");
+    }
+
+    #[test]
+    fn in_flight_messages_survive_a_scheduled_cut() {
+        let mut n = GossipNet::new(
+            LinkConfig {
+                base_latency: 1.0,
+                jitter: 0.0,
+                ..LinkConfig::default()
+            },
+            5,
+        );
+        let a = n.register();
+        let b = n.register();
+        n.schedule_partition_at(0.5, &[b]);
+        n.send(a, b, msg()).unwrap(); // sent at t=0, arrives t=1 > cut time
+        assert_eq!(n.drain().len(), 1, "packets on the wire are not recalled");
     }
 
     #[test]

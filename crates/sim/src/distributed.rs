@@ -10,6 +10,7 @@
 //! [`Platform`]: smartcrowd_core::platform::Platform
 //! [`ProviderNode`]: smartcrowd_core::node::ProviderNode
 
+use crate::error::SimError;
 use smartcrowd_chain::simminer::{SimMiner, SimParticipant, PAPER_HASH_POWERS};
 use smartcrowd_chain::{Block, Difficulty, Ether};
 use smartcrowd_core::node::{Outbox, ProviderNode};
@@ -33,6 +34,7 @@ pub struct DistributedSim {
     node_ids: Vec<NodeId>,
     race: SimMiner,
     genesis_timestamp: u64,
+    seed: u64,
 }
 
 impl DistributedSim {
@@ -69,6 +71,7 @@ impl DistributedSim {
             node_ids,
             race,
             genesis_timestamp: genesis.header().timestamp,
+            seed,
         }
     }
 
@@ -78,45 +81,66 @@ impl DistributedSim {
     }
 
     /// Releases a system from node `idx` and gossips the SRA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PumpDiverged`] when the gossip pump fails to
+    /// quiesce.
     pub fn release_from(
         &mut self,
         idx: usize,
         system: IoTSystem,
         insurance: Ether,
         mu: Ether,
-    ) -> SraId {
+    ) -> Result<SraId, SimError> {
         let (sra_id, out) = self.nodes[idx].release(system, insurance, mu);
         self.broadcast_from(idx, out);
-        self.pump();
-        sra_id
+        self.pump()?;
+        Ok(sra_id)
     }
 
     /// Injects a detector-signed record at node `idx` and gossips it.
-    pub fn inject_record(&mut self, idx: usize, message: Message) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PumpDiverged`] when the gossip pump fails to
+    /// quiesce.
+    pub fn inject_record(&mut self, idx: usize, message: Message) -> Result<(), SimError> {
         let out = self.nodes[idx].handle(message.clone());
         self.net
             .broadcast(self.node_ids[idx], message)
             .expect("registered node");
         self.broadcast_from(idx, out);
-        self.pump();
+        self.pump()
     }
 
     /// Runs one mining round: the race picks a winner, the winner mines
     /// from its own mempool, and the block gossips to everyone.
-    pub fn mine_round(&mut self) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PumpDiverged`] when the gossip pump fails to
+    /// quiesce.
+    pub fn mine_round(&mut self) -> Result<usize, SimError> {
         let event = self.race.next_event();
         let timestamp = self.genesis_timestamp + self.race.clock().ceil() as u64;
         let (_, out) = self.nodes[event.winner].mine(timestamp, BLOCK_CAPACITY);
         self.broadcast_from(event.winner, out);
-        self.pump();
-        event.winner
+        self.pump()?;
+        Ok(event.winner)
     }
 
     /// Mines `k` rounds.
-    pub fn mine_rounds(&mut self, k: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PumpDiverged`] when any round's pump fails to
+    /// quiesce.
+    pub fn mine_rounds(&mut self, k: usize) -> Result<(), SimError> {
         for _ in 0..k {
-            self.mine_round();
+            self.mine_round()?;
         }
+        Ok(())
     }
 
     /// Splits the network: the given node indices lose contact with the
@@ -128,7 +152,12 @@ impl DistributedSim {
 
     /// Heals the partition and resynchronizes: every node re-broadcasts
     /// its canonical chain so laggards catch up (a minimal sync protocol).
-    pub fn heal(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PumpDiverged`] when the gossip pump fails to
+    /// quiesce.
+    pub fn heal(&mut self) -> Result<(), SimError> {
         self.net.heal_partition();
         for i in 0..self.nodes.len() {
             let blocks: Vec<Block> = self.nodes[i].store().canonical_blocks().cloned().collect();
@@ -141,7 +170,7 @@ impl DistributedSim {
                     .expect("registered node");
             }
         }
-        self.pump();
+        self.pump()
     }
 
     fn broadcast_from(&mut self, idx: usize, out: Outbox) {
@@ -154,11 +183,23 @@ impl DistributedSim {
 
     /// Delivers queued messages (and the messages those deliveries
     /// generate) until the network is quiet.
-    pub fn pump(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PumpDiverged`] — carrying the run's seed so the
+    /// schedule can be replayed — when the nodes keep generating traffic
+    /// past the iteration budget instead of quiescing.
+    pub fn pump(&mut self) -> Result<(), SimError> {
         let mut iterations = 0;
         while self.net.has_pending() {
             iterations += 1;
-            assert!(iterations < PUMP_LIMIT, "message pump diverged");
+            if iterations >= PUMP_LIMIT {
+                return Err(SimError::PumpDiverged {
+                    seed: self.seed,
+                    iterations,
+                    pending: self.net.drain().len(),
+                });
+            }
             let deliveries = self.net.drain();
             for d in deliveries {
                 let idx = self
@@ -172,6 +213,7 @@ impl DistributedSim {
                 }
             }
         }
+        Ok(())
     }
 
     /// Whether every node holds the same best tip.
@@ -204,7 +246,7 @@ mod tests {
     #[test]
     fn five_nodes_converge_over_gossip() {
         let mut sim = DistributedSim::new(5, 1);
-        sim.mine_rounds(12);
+        sim.mine_rounds(12).unwrap();
         assert!(sim.converged(), "tips: {:?}", sim.tips());
         assert_eq!(sim.nodes()[0].store().best_height(), 12);
     }
@@ -215,7 +257,9 @@ mod tests {
         let library = VulnLibrary::synthetic(200, 2 ^ 0x11b);
         let mut rng = SimRng::seed_from_u64(9);
         let system = IoTSystem::build("fw", "1", &library, vec![VulnId(3)], &mut rng).unwrap();
-        let sra_id = sim.release_from(0, system, Ether::from_ether(1000), Ether::from_ether(25));
+        let sra_id = sim
+            .release_from(0, system, Ether::from_ether(1000), Ether::from_ether(25))
+            .unwrap();
         // A detector submits through node 2.
         let detector = KeyPair::from_seed(b"dist-detector");
         let (initial, detailed) =
@@ -229,7 +273,8 @@ mod tests {
                 0,
                 &detector,
             )),
-        );
+        )
+        .unwrap();
         sim.inject_record(
             2,
             Message::Record(Record::signed(
@@ -239,8 +284,9 @@ mod tests {
                 1,
                 &detector,
             )),
-        );
-        sim.mine_rounds(3);
+        )
+        .unwrap();
+        sim.mine_rounds(3).unwrap();
         assert!(sim.converged());
         // Every node's canonical chain holds the SRA and both reports.
         for (i, node) in sim.nodes().iter().enumerate() {
@@ -260,14 +306,14 @@ mod tests {
     #[test]
     fn partition_diverges_then_heals_to_majority_chain() {
         let mut sim = DistributedSim::new(5, 3);
-        sim.mine_rounds(3);
+        sim.mine_rounds(3).unwrap();
         assert!(sim.converged());
         // Cut node 4 off; mine while it is isolated.
         sim.partition(&[4]);
-        sim.mine_rounds(8);
+        sim.mine_rounds(8).unwrap();
         // With hash power flowing to whoever wins, the partitions very
         // likely diverged (node 4 only advanced when it won rounds).
-        sim.heal();
+        sim.heal().unwrap();
         assert!(sim.converged(), "after heal: {:?}", sim.tips());
         // The common chain is the longest one that was mined.
         let height = sim.nodes()[0].store().best_height();
@@ -285,12 +331,13 @@ mod tests {
                 base_latency: 0.05,
                 jitter: 0.05,
                 drop_rate: 0.15,
+                ..LinkConfig::default()
             },
         );
-        sim.mine_rounds(20);
+        sim.mine_rounds(20).unwrap();
         // Convergence is not guaranteed round-by-round under loss; one
         // anti-entropy pass must repair any residual divergence.
-        sim.heal();
+        sim.heal().unwrap();
         assert!(sim.converged(), "tips after anti-entropy: {:?}", sim.tips());
         assert!(
             sim.nodes()[0].store().best_height() >= 15,
@@ -305,7 +352,9 @@ mod tests {
         let library = VulnLibrary::synthetic(200, 4 ^ 0x11b);
         let mut rng = SimRng::seed_from_u64(10);
         let system = IoTSystem::build("fw", "1", &library, vec![VulnId(5)], &mut rng).unwrap();
-        let sra_id = sim.release_from(1, system, Ether::from_ether(1000), Ether::from_ether(25));
+        let sra_id = sim
+            .release_from(1, system, Ether::from_ether(1000), Ether::from_ether(25))
+            .unwrap();
         let cheat = KeyPair::from_seed(b"dist-cheat");
         let (initial, forged) = create_report_pair(
             &cheat,
@@ -321,7 +370,8 @@ mod tests {
                 0,
                 &cheat,
             )),
-        );
+        )
+        .unwrap();
         sim.inject_record(
             0,
             Message::Record(Record::signed(
@@ -331,8 +381,9 @@ mod tests {
                 1,
                 &cheat,
             )),
-        );
-        sim.mine_rounds(4);
+        )
+        .unwrap();
+        sim.mine_rounds(4).unwrap();
         for node in sim.nodes() {
             assert_eq!(
                 node.store()

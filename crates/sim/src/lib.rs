@@ -25,10 +25,12 @@
 
 pub mod config;
 pub mod distributed;
+pub mod error;
 pub mod ledger;
 pub mod run;
 pub mod sweep;
 
 pub use config::SimConfig;
+pub use error::SimError;
 pub use ledger::RunLedger;
 pub use run::simulate;

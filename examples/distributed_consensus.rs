@@ -26,7 +26,9 @@ fn main() {
     let mut rng = SimRng::seed_from_u64(40);
     let system =
         IoTSystem::build("gateway-fw", "5.1", &library, vec![VulnId(8)], &mut rng).unwrap();
-    let sra_id = sim.release_from(0, system, Ether::from_ether(1000), Ether::from_ether(25));
+    let sra_id = sim
+        .release_from(0, system, Ether::from_ether(1000), Ether::from_ether(25))
+        .expect("gossip quiesces");
     println!("node 0 released gateway-fw v5.1; SRA + image gossiped to all peers");
 
     // A detector reports through node 3.
@@ -42,7 +44,8 @@ fn main() {
             0,
             &detector,
         )),
-    );
+    )
+    .expect("gossip quiesces");
     sim.inject_record(
         3,
         Message::Record(Record::signed(
@@ -52,10 +55,11 @@ fn main() {
             1,
             &detector,
         )),
-    );
+    )
+    .expect("gossip quiesces");
     println!("detector submitted R† and R* through node 3 (AutoVerif ran on every node)\n");
 
-    sim.mine_rounds(5);
+    sim.mine_rounds(5).expect("gossip quiesces");
     println!(
         "after 5 mined rounds: converged = {}, height = {}",
         sim.converged(),
@@ -75,11 +79,11 @@ fn main() {
     // Partition node 4 and keep mining.
     println!("\n-- partitioning node 4; mining 6 more rounds --");
     sim.partition(&[4]);
-    sim.mine_rounds(6);
+    sim.mine_rounds(6).expect("gossip quiesces");
     println!("distinct tips during partition: {}", sim.tips().len());
 
     println!("-- healing the partition --");
-    sim.heal();
+    sim.heal().expect("gossip quiesces");
     println!(
         "after heal: converged = {}, height = {}, distinct tips = {}",
         sim.converged(),

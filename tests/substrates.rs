@@ -154,6 +154,7 @@ fn drop_heavy_network_still_converges_with_retries() {
             base_latency: 0.05,
             jitter: 0.01,
             drop_rate: 0.3,
+            ..LinkConfig::default()
         },
         13,
     );
