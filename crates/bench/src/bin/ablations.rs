@@ -184,9 +184,11 @@ fn ablation_simminer_vs_pow() {
         table::render(&["provider", "expected blocks", "observed blocks"], &rows)
     );
     println!("chi-square (4 dof, 95% critical value 9.49): {chi2:.2}");
-    let mean = stats::mean(&intervals);
-    let sd = stats::stddev(&intervals);
-    println!("interval mean {mean:.2}s, stddev {sd:.2}s (exponential ⇒ sd ≈ mean)");
+    let interval_summary = stats::Summary::of(&intervals);
+    println!(
+        "interval mean {:.2}s, stddev {:.2}s (exponential ⇒ sd ≈ mean)",
+        interval_summary.mean, interval_summary.stddev
+    );
 
     // Real PoW: attempt counts at difficulty D are geometric with mean D.
     let miner =
@@ -205,7 +207,7 @@ fn ablation_simminer_vs_pow() {
     }
     println!(
         "real PoW at D=512: mean attempts {:.0} (expected 512, geometric)",
-        stats::mean(&attempts)
+        stats::Summary::of(&attempts).mean
     );
     println!(
         "\n→ the simulated race preserves exactly the two statistics the \

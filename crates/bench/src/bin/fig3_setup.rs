@@ -66,16 +66,17 @@ fn main() {
     );
 
     // ---- Fig. 3(b): block-time distribution ----------------------------
-    let mean = stats::mean(&intervals);
-    let sd = stats::stddev(&intervals);
+    let summary = stats::Summary::of(&intervals);
+    let mean = summary.mean;
     println!("Fig. 3(b) — block time over {BLOCKS} blocks");
     println!("  measured mean: {mean:.2} s   (paper: 15.35 s)");
-    println!("  std dev:       {sd:.2} s   (exponential: ≈ mean)");
+    println!(
+        "  std dev:       {:.2} s   (exponential: ≈ mean)",
+        summary.stddev
+    );
     println!(
         "  p50 / p90 / p99: {:.1} / {:.1} / {:.1} s",
-        stats::quantile(&intervals, 0.5),
-        stats::quantile(&intervals, 0.9),
-        stats::quantile(&intervals, 0.99),
+        summary.p50, summary.p90, summary.p99,
     );
     println!("\n  histogram (0–60 s, 12 bins):");
     for (edge, count) in stats::histogram(&intervals, 0.0, 60.0, 12) {
@@ -107,7 +108,7 @@ fn main() {
         attempts.push(n as f64);
         parent = sealed;
     }
-    let mean_attempts = stats::mean(&attempts);
+    let mean_attempts = stats::Summary::of(&attempts).mean;
     println!(
         "  mean attempts over 8 blocks: {mean_attempts:.0} (expected ≈ 1024); \
          the simulated race reproduces this geometry without the hashing."
@@ -122,6 +123,7 @@ fn main() {
         "mean_block_time_s": mean,
         "paper_mean_block_time_s": 15.35,
         "pow_mean_attempts_d1024": mean_attempts,
+        "block_time_summary": summary.to_json(),
     });
     smartcrowd_bench::write_results("fig3_setup", &json);
 }

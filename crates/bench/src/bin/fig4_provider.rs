@@ -125,7 +125,7 @@ fn fig4b() {
                     (forfeit + gas) / p.ledger.releases.max(1) as f64
                 })
                 .collect();
-            let measured = stats::mean(&per_release);
+            let measured = stats::Summary::of(&per_release).mean;
             let analytic = econ.provider_punishment(Ether::from_ether(ins), vp);
             rows.push(vec![
                 ins.to_string(),

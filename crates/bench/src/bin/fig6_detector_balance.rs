@@ -132,7 +132,7 @@ fn main() {
     let mut rows_b = Vec::new();
     let mut _per_report: Vec<f64> = Vec::new();
     for (t, costs) in costs_by_thread.iter().enumerate() {
-        let mean_cost = stats::mean(costs);
+        let mean_cost = stats::Summary::of(costs).mean;
         // Each run submits up to 2 reports (R† + R*) per release round.
         rows_b.push(vec![format!("{} thread(s)", t + 1), table::f(mean_cost, 4)]);
         _per_report.extend(costs.iter().copied());
@@ -144,7 +144,7 @@ fn main() {
     // Normalize to a per-report figure via the registry's fixed gas.
     let single_report = measured_single_report_cost();
     println!("measured cost per report: {single_report:.4} ETH (paper: ≈0.011)");
-    let release_cost = stats::mean(&release_costs);
+    let release_cost = stats::Summary::of(&release_costs).mean;
     println!("measured SRA release cost: {release_cost:.4} ETH (paper: ≈0.095)");
     println!(
         "the reporting cost is negligible against the incentives above — the \

@@ -25,14 +25,27 @@ use std::path::Path;
 /// Writes a JSON results blob under `results/<name>.json`, creating the
 /// directory on demand. Errors are reported but non-fatal (experiments
 /// still print to stdout).
+///
+/// A telemetry snapshot of the run is printed and embedded under a
+/// top-level `"telemetry"` key, so every results blob carries the counters
+/// and latency histograms behind its headline numbers (see
+/// `OBSERVABILITY.md`).
 pub fn write_results(name: &str, json: &serde_json::Value) {
+    let snapshot = smartcrowd_telemetry::global().snapshot();
+    if !snapshot.subsystems().is_empty() {
+        println!("\n== telemetry snapshot ==\n\n{}", snapshot.render_table());
+    }
+    let mut blob = json.clone();
+    if let serde_json::Value::Object(entries) = &mut blob {
+        entries.push(("telemetry".to_string(), snapshot.to_json()));
+    }
     let dir = Path::new("results");
     if let Err(e) = fs::create_dir_all(dir) {
         eprintln!("warning: cannot create results dir: {e}");
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(json) {
+    match serde_json::to_string_pretty(&blob) {
         Ok(s) => {
             if let Err(e) = fs::write(&path, s) {
                 eprintln!("warning: cannot write {}: {e}", path.display());

@@ -48,6 +48,72 @@ pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<(f64, usize)>
         .collect()
 }
 
+/// One-stop aggregate over a sample.
+///
+/// Built exclusively from the sibling functions in this module
+/// ([`mean`], [`stddev`], [`quantile`]), so a binary that switches from
+/// inline calls to `Summary::of` reports bit-for-bit identical numbers —
+/// the EXPERIMENTS.md tables do not move. Mirrors the shape of a
+/// telemetry histogram snapshot (count / mean / quantiles / extrema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean ([`mean`]).
+    pub mean: f64,
+    /// Population standard deviation ([`stddev`]).
+    pub stddev: f64,
+    /// Median ([`quantile`] at 0.5).
+    pub p50: f64,
+    /// 90th percentile ([`quantile`] at 0.9).
+    pub p90: f64,
+    /// 99th percentile ([`quantile`] at 0.99).
+    pub p99: f64,
+    /// Smallest sample (0 for empty).
+    pub min: f64,
+    /// Largest sample (0 for empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Aggregates a sample. Empty input yields all-zero fields, matching
+    /// the conventions of the standalone functions.
+    pub fn of(xs: &[f64]) -> Summary {
+        Summary {
+            count: xs.len(),
+            mean: mean(xs),
+            stddev: stddev(xs),
+            p50: quantile(xs, 0.5),
+            p90: quantile(xs, 0.9),
+            p99: quantile(xs, 0.99),
+            min: if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().copied().fold(f64::INFINITY, f64::min)
+            },
+            max: if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            },
+        }
+    }
+
+    /// The summary as a JSON object for `results/*.json` blobs.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "min": self.min,
+            "max": self.max,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +134,25 @@ mod tests {
         assert_eq!(quantile(&xs, 0.5), 3.0);
         assert_eq!(quantile(&xs, 1.0), 5.0);
         assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_standalone_functions() {
+        let xs = [4.0, 1.0, 3.0, 2.0, 5.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, mean(&xs));
+        assert_eq!(s.stddev, stddev(&xs));
+        assert_eq!(s.p50, quantile(&xs, 0.5));
+        assert_eq!(s.p90, quantile(&xs, 0.9));
+        assert_eq!(s.p99, quantile(&xs, 0.99));
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.min, 0.0);
+        assert_eq!(empty.max, 0.0);
     }
 
     #[test]

@@ -71,6 +71,16 @@ impl Mempool {
     /// - [`ChainError::RecordRejected`] for a bad signature or duplicate.
     /// - [`ChainError::MempoolFull`] when full of higher-fee records.
     pub fn insert(&mut self, record: Record) -> Result<(), ChainError> {
+        let result = self.insert_inner(record);
+        match &result {
+            Ok(()) => smartcrowd_telemetry::counter!("chain.mempool.admitted").inc(),
+            Err(_) => smartcrowd_telemetry::counter!("chain.mempool.rejected").inc(),
+        }
+        self.update_occupancy();
+        result
+    }
+
+    fn insert_inner(&mut self, record: Record) -> Result<(), ChainError> {
         record.verify_signature()?;
         let id = record.id();
         if self.records.contains_key(&id) {
@@ -93,9 +103,14 @@ impl Mempool {
                 return Err(ChainError::MempoolFull);
             }
             self.records.remove(&victim_id);
+            smartcrowd_telemetry::counter!("chain.mempool.evicted").inc();
         }
         self.records.insert(id, record);
         Ok(())
+    }
+
+    fn update_occupancy(&self) {
+        smartcrowd_telemetry::gauge!("chain.mempool.occupancy").set(self.records.len() as i64);
     }
 
     /// Takes up to `n` records ordered by descending fee (miners maximize
@@ -106,9 +121,12 @@ impl Mempool {
         // Deterministic order: fee desc, id asc as tiebreak.
         all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(n);
-        all.into_iter()
+        let taken: Vec<Record> = all
+            .into_iter()
             .filter_map(|(id, _)| self.records.remove(&id))
-            .collect()
+            .collect();
+        self.update_occupancy();
+        taken
     }
 
     /// Peeks the same selection without removing.
@@ -124,6 +142,7 @@ impl Mempool {
         for r in block.records() {
             self.records.remove(&r.id());
         }
+        self.update_occupancy();
     }
 }
 

@@ -136,6 +136,12 @@ impl SimMiner {
         self.clock += interval;
         // Hash-power-weighted winner.
         let winner = self.rng.pick_cumulative(&self.cumulative);
+        // Simulated seconds → integer µs: deterministic under the seed.
+        smartcrowd_telemetry::histogram!(
+            "chain.miner.interval_us",
+            smartcrowd_telemetry::buckets::TIME_US
+        )
+        .observe((interval * 1e6) as u64);
         MiningEvent { winner, interval }
     }
 
@@ -146,6 +152,7 @@ impl SimMiner {
         let miner = self.participants[event.winner].address;
         let timestamp = parent.header().timestamp + self.clock_delta_secs(event.interval);
         let block = Block::assemble(parent, records, timestamp, Difficulty::from_u64(1), miner);
+        smartcrowd_telemetry::counter!("chain.miner.blocks_mined").inc();
         (event, block)
     }
 

@@ -130,6 +130,18 @@ impl ChainStore {
     ///   parent's.
     /// - Structural errors from [`Block::validate_structure`].
     pub fn insert(&mut self, block: Block) -> Result<BlockId, ChainError> {
+        let result = self.insert_inner(block);
+        match &result {
+            Ok(_) => {
+                smartcrowd_telemetry::counter!("chain.store.blocks_inserted").inc();
+                smartcrowd_telemetry::gauge!("chain.store.height").set(self.best_height() as i64);
+            }
+            Err(_) => smartcrowd_telemetry::counter!("chain.store.blocks_rejected").inc(),
+        }
+        result
+    }
+
+    fn insert_inner(&mut self, block: Block) -> Result<BlockId, ChainError> {
         let id = block.id();
         if self.blocks.contains_key(&id) {
             return Err(ChainError::DuplicateBlock { id });
@@ -160,8 +172,29 @@ impl ChainStore {
         // Fork choice: strictly more work wins; ties keep the incumbent
         // (first-seen rule, as in Bitcoin).
         if work > self.total_work[&self.best_tip] {
+            let old_tip = self.best_tip;
+            let extends_tip = self.blocks[&id].header().prev == old_tip;
             self.best_tip = id;
             self.rebuild_canonical();
+            if !extends_tip {
+                // The old tip was abandoned: the reorg depth is the number
+                // of blocks between it and the fork point (its deepest
+                // ancestor still canonical).
+                let mut depth = 0u64;
+                let mut cursor = old_tip;
+                while !self.is_canonical(&cursor) {
+                    depth += 1;
+                    cursor = self.blocks[&cursor].header().prev;
+                }
+                if depth > 0 {
+                    smartcrowd_telemetry::counter!("chain.store.reorgs").inc();
+                    smartcrowd_telemetry::histogram!(
+                        "chain.store.reorg_depth",
+                        smartcrowd_telemetry::buckets::REORG_DEPTH
+                    )
+                    .observe(depth);
+                }
+            }
         }
         Ok(id)
     }

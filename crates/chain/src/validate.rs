@@ -63,6 +63,19 @@ pub fn validate_block(
     block: &Block,
     validator: &dyn RecordValidator,
 ) -> Result<(), ChainError> {
+    let _span = smartcrowd_telemetry::span!("chain.validate_block");
+    let result = validate_block_inner(store, block, validator);
+    if result.is_err() {
+        smartcrowd_telemetry::counter!("chain.validate.rejected").inc();
+    }
+    result
+}
+
+fn validate_block_inner(
+    store: &ChainStore,
+    block: &Block,
+    validator: &dyn RecordValidator,
+) -> Result<(), ChainError> {
     block.validate_structure()?;
     let parent = store
         .block(&block.header().prev)

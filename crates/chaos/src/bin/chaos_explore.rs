@@ -9,16 +9,19 @@
 //! - `--explore`     deep nightly sweep: 200 seeds unless `--seeds` is given
 //! - `--plant-bug`   run with the planted equivocation-acceptance bug
 //!   (pipeline self-test: the sweep *should* find failures)
-//! - `--out PATH`    write minimized failures (regression-test snippets)
+//! - `--out PATH`    write minimized failures (regression-test snippets);
+//!   a telemetry snapshot is written next to it as `PATH.telemetry.json`
 //!
 //! Exits non-zero when any schedule fails, unless `--plant-bug` is set
 //! (where failures are the expected outcome and a *clean* sweep exits
 //! non-zero instead).
 
 use smartcrowd_chaos::{explore, ExploreConfig, PlantedBug};
+use smartcrowd_telemetry::TimeSource;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    smartcrowd_telemetry::set_time_source(TimeSource::Wall);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExploreConfig::default();
     let mut deep = false;
@@ -96,6 +99,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
                 println!("minimized failures written to {path}");
+                // A snapshot of what the cluster was doing when it failed
+                // (see OBSERVABILITY.md, "Reading snapshots from chaos
+                // failures").
+                let snap_path = format!("{path}.telemetry.json");
+                let snapshot = smartcrowd_telemetry::global().snapshot();
+                let json = serde_json::to_string_pretty(&snapshot.to_json())
+                    .unwrap_or_else(|_| String::from("{}"));
+                if let Err(e) = std::fs::write(&snap_path, json) {
+                    eprintln!("failed to write {snap_path}: {e}");
+                } else {
+                    println!("telemetry snapshot written to {snap_path}");
+                }
             }
             None => println!("{rendered}"),
         }

@@ -17,7 +17,7 @@
 //!   confirmation depth, no rollback past finality, exact conservation of
 //!   Ether across escrow deposits and detector payouts, and eventual
 //!   convergence after recovery, checked after every mining round.
-//! - **Schedule exploration** ([`explore`]) — seed sweeps whose failures
+//! - **Schedule exploration** ([`mod@explore`]) — seed sweeps whose failures
 //!   are greedily shrunk (fewer faults → shorter horizon → fewer nodes)
 //!   into ready-to-commit regression tests.
 //!
@@ -31,6 +31,11 @@
 //! let outcome = run_plan(&plan, 42, None).expect("oracles hold");
 //! assert!(outcome.best_height > 0);
 //! ```
+//!
+//! Fault injections are counted per kind (`chaos.faults.injected`) and
+//! oracle sweeps are spanned (`chaos.oracle.check.*`); `chaos_explore
+//! --out PATH` writes a registry snapshot next to any minimized failure
+//! as `PATH.telemetry.json` (see `OBSERVABILITY.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -114,6 +114,7 @@ impl Oracles {
     ///
     /// Returns the first [`Violation`] found.
     pub fn check_round(&mut self, round: usize, views: &[NodeView<'_>]) -> Result<(), Violation> {
+        let _span = smartcrowd_telemetry::span!("chaos.oracle.check");
         // Finality: each running node's confirmed prefix extends what we
         // recorded for it before. (Byzantine nodes included: even an
         // equivocator's own store must never roll back its finalized
@@ -194,6 +195,7 @@ impl Oracles {
     ///
     /// Returns a [`Violation`] with [`OracleKind::Convergence`].
     pub fn check_convergence(&self, round: usize, views: &[NodeView<'_>]) -> Result<(), Violation> {
+        let _span = smartcrowd_telemetry::span!("chaos.oracle.check");
         let honest: Vec<(usize, &ChainStore)> = views
             .iter()
             .enumerate()

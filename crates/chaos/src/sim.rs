@@ -336,6 +336,24 @@ impl ChaosSim {
             .map(|e| e.kind.clone())
             .collect();
         for kind in due {
+            {
+                use smartcrowd_telemetry::counter;
+                match &kind {
+                    FaultKind::Partition { .. } => {
+                        counter!("chaos.faults.injected", "kind" => "partition").inc()
+                    }
+                    FaultKind::Heal => counter!("chaos.faults.injected", "kind" => "heal").inc(),
+                    FaultKind::Crash { .. } => {
+                        counter!("chaos.faults.injected", "kind" => "crash").inc()
+                    }
+                    FaultKind::Restart { .. } => {
+                        counter!("chaos.faults.injected", "kind" => "restart").inc()
+                    }
+                    FaultKind::Byzantine { .. } => {
+                        counter!("chaos.faults.injected", "kind" => "byzantine").inc()
+                    }
+                }
+            }
             match kind {
                 FaultKind::Partition { minority } => {
                     let ids: Vec<NodeId> = minority

@@ -242,7 +242,10 @@ impl ProviderNode {
     }
 
     fn handle_record(&mut self, record: Record, out: &mut Outbox) {
+        use smartcrowd_telemetry::counter;
+        counter!("core.node.records_received").inc();
         if record.verify_signature().is_err() {
+            counter!("core.node.records_bad_sig").inc();
             return; // drop silently; sender is unauthenticated
         }
         match record.kind() {
@@ -343,10 +346,13 @@ impl ProviderNode {
     }
 
     fn handle_block(&mut self, block: Block, out: &mut Outbox) {
+        use smartcrowd_telemetry::counter;
+        counter!("core.node.blocks_received").inc();
         // Full §V-C verification before storage: structure + signatures +
         // semantic record checks, then connect via the sync buffer.
         let semantic = self.semantic_ok(&block);
         if !semantic {
+            counter!("core.node.blocks_rejected").inc();
             return;
         }
         // validate_block needs the parent; when we don't have it yet, the
@@ -436,6 +442,7 @@ impl ProviderNode {
         self.store
             .insert(block.clone())
             .expect("own block extends own tip");
+        smartcrowd_telemetry::counter!("core.node.blocks_mined").inc();
         let mut out = Outbox::default();
         out.push(Message::Block(Box::new(block.clone())));
         (block, out)

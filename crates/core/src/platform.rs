@@ -120,6 +120,11 @@ pub struct Payout {
     pub amount: Ether,
 }
 
+/// Whole milliether in an [`Ether`] amount (telemetry unit for escrow flows).
+fn milli(e: Ether) -> u64 {
+    (e.wei() / 1_000_000_000_000_000) as u64
+}
+
 /// The assembled SmartCrowd platform.
 #[derive(Debug)]
 pub struct Platform {
@@ -140,6 +145,9 @@ pub struct Platform {
     release_order: Vec<SraId>,
     /// Detailed reports waiting for finality, keyed by record id.
     pending_detailed: HashMap<Digest, DetailedReport>,
+    /// Sim-clock second at which each record was submitted (lifecycle
+    /// latency: submit → 6-block confirmation).
+    submit_times: HashMap<Digest, f64>,
     payouts: Vec<Payout>,
     /// Gas fees spent by each detector (reporting cost ledger, Fig. 6(b)).
     detector_costs: HashMap<Address, Ether>,
@@ -207,6 +215,7 @@ impl Platform {
             sras: HashMap::new(),
             release_order: Vec::new(),
             pending_detailed: HashMap::new(),
+            submit_times: HashMap::new(),
             payouts: Vec::new(),
             detector_costs: HashMap::new(),
             mining_income: HashMap::new(),
@@ -377,7 +386,10 @@ impl Platform {
             self.next_nonce(&provider.address),
             &provider.keypair,
         );
+        self.submit_times.insert(record.id(), self.sim.clock());
         self.mempool.insert(record)?;
+        smartcrowd_telemetry::counter!("core.sra.released").inc();
+        smartcrowd_telemetry::counter!("core.escrow.deposited_milli").add(milli(insurance));
         let id = *sra.id();
         self.release_order.push(id);
         self.sras.insert(
@@ -458,6 +470,8 @@ impl Platform {
         }
         let entry = self.sras.get_mut(sra_id).expect("checked above");
         entry.settled = true;
+        smartcrowd_telemetry::counter!("core.escrow.refunded_milli").add(milli(remaining));
+        smartcrowd_telemetry::counter!("core.sra.settled").inc();
         Ok(remaining)
     }
 
@@ -498,7 +512,9 @@ impl Platform {
         entry.initial_by_detector.insert(detector_addr, report);
         entry.record_id_of_initial.insert(detector_addr, record_id);
         self.ensure_detector_funded(detector_addr);
+        self.submit_times.insert(record_id, self.sim.clock());
         self.mempool.insert(record)?;
+        smartcrowd_telemetry::counter!("core.reports.submitted", "kind" => "initial").inc();
         // Meter the on-chain submission cost (Fig. 6(b)).
         let block = self.block_ctx();
         let receipt =
@@ -560,7 +576,9 @@ impl Platform {
         let record_id = record.id();
         let detector_addr = report.detector();
         self.ensure_detector_funded(detector_addr);
+        self.submit_times.insert(record_id, self.sim.clock());
         self.mempool.insert(record)?;
+        smartcrowd_telemetry::counter!("core.reports.submitted", "kind" => "detailed").inc();
         let block = self.block_ctx();
         let receipt =
             self.registry
@@ -615,6 +633,15 @@ impl Platform {
         let confirmed = self.watcher.poll(&self.store);
         let mut fired = Vec::new();
         for c in confirmed {
+            if let Some(submitted) = self.submit_times.remove(&c.record_id) {
+                let elapsed_us = ((self.sim.clock() - submitted) * 1e6) as u64;
+                smartcrowd_telemetry::histogram!(
+                    "core.lifecycle.submit_to_confirm_us",
+                    smartcrowd_telemetry::buckets::TIME_US
+                )
+                .observe(elapsed_us);
+                smartcrowd_telemetry::counter!("core.lifecycle.confirmed").inc();
+            }
             if c.kind != RecordKind::DetailedReport {
                 continue;
             }
@@ -657,6 +684,9 @@ impl Platform {
                         vulnerabilities: n,
                         amount: mu.scaled(n),
                     };
+                    smartcrowd_telemetry::counter!("core.incentive.payouts").inc();
+                    smartcrowd_telemetry::counter!("core.escrow.paid_milli")
+                        .add(milli(payout.amount));
                     self.payouts.push(payout.clone());
                     fired.push(payout);
                 }

@@ -30,6 +30,7 @@ pub fn verify_initial(
 ) -> Result<(), CoreError> {
     if let Some(board) = scoreboard {
         if !board.admits(&report.detector()) {
+            smartcrowd_telemetry::counter!("core.verify.isolated_rejections").inc();
             return Err(CoreError::DetectorIsolated);
         }
     }
@@ -56,12 +57,15 @@ pub fn verify_detailed(
 ) -> Result<(), CoreError> {
     detailed.verify_against(initial)?;
     let claims = &detailed.findings().vulnerabilities;
+    smartcrowd_telemetry::counter!("core.verify.autoverif_runs").inc();
     if verifier.auto_verif(system, claims) {
+        smartcrowd_telemetry::counter!("core.verify.autoverif_pass").inc();
         if let Some(board) = scoreboard {
             board.record_confirmed(detailed.detector());
         }
         Ok(())
     } else {
+        smartcrowd_telemetry::counter!("core.verify.autoverif_fail").inc();
         let (_, rejected) = verifier.triage(system, claims);
         if let Some(board) = scoreboard {
             board.record_strike(detailed.detector());

@@ -136,6 +136,18 @@ pub struct GossipNet {
     bytes: u64,
 }
 
+/// The `net.gossip.sent{type=…}` counter for a message's wire type.
+fn sent_counter(message: &Message) -> &'static smartcrowd_telemetry::Counter {
+    use smartcrowd_telemetry::counter;
+    match message {
+        Message::Record(_) => counter!("net.gossip.sent", "type" => "record"),
+        Message::Block(_) => counter!("net.gossip.sent", "type" => "block"),
+        Message::ImageRequest { .. } => counter!("net.gossip.sent", "type" => "image_request"),
+        Message::ImageResponse { .. } => counter!("net.gossip.sent", "type" => "image_response"),
+        Message::BlockRequest { .. } => counter!("net.gossip.sent", "type" => "block_request"),
+    }
+}
+
 /// A scheduled topology change.
 #[derive(Debug, Clone)]
 enum ScheduledCut {
@@ -308,12 +320,16 @@ impl GossipNet {
         let link = self.link_for(from, to);
         self.sent += 1;
         self.bytes += message.wire_size() as u64;
+        sent_counter(&message).inc();
+        smartcrowd_telemetry::counter!("net.gossip.bytes").add(message.wire_size() as u64);
         if !self.reachable(from, to) || self.rng.next_bool(link.drop_rate) {
             self.dropped += 1;
+            smartcrowd_telemetry::counter!("net.gossip.dropped").inc();
             return Ok(());
         }
         let copies = if self.rng.next_bool(link.duplicate_rate) {
             self.duplicated += 1;
+            smartcrowd_telemetry::counter!("net.gossip.duplicated").inc();
             2
         } else {
             1

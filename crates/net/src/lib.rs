@@ -19,6 +19,10 @@
 //!
 //! Everything is single-threaded and seeded: a simulation run is a pure
 //! function of its configuration, which the experiment harness relies on.
+//!
+//! The fabric is instrumented: sends by message type, bytes, drops and
+//! duplications (`net.gossip.*`), sync-buffer offer outcomes and orphan
+//! occupancy (`net.sync.*`). See `OBSERVABILITY.md` for the inventory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -74,6 +74,21 @@ impl SyncBuffer {
     /// Offers a block; connects it (and any unlocked descendants) when its
     /// parent is known, otherwise buffers it.
     pub fn offer(&mut self, store: &mut ChainStore, block: Block) -> SyncOutcome {
+        let outcome = self.offer_inner(store, block);
+        use smartcrowd_telemetry::{counter, gauge};
+        match &outcome {
+            SyncOutcome::Connected { .. } => {
+                counter!("net.sync.offers", "outcome" => "connected").inc()
+            }
+            SyncOutcome::Buffered => counter!("net.sync.offers", "outcome" => "buffered").inc(),
+            SyncOutcome::Duplicate => counter!("net.sync.offers", "outcome" => "duplicate").inc(),
+            SyncOutcome::Rejected(_) => counter!("net.sync.offers", "outcome" => "rejected").inc(),
+        }
+        gauge!("net.sync.orphans").set(self.buffered as i64);
+        outcome
+    }
+
+    fn offer_inner(&mut self, store: &mut ChainStore, block: Block) -> SyncOutcome {
         let id = block.id();
         if store.block(&id).is_some() {
             return SyncOutcome::Duplicate;

@@ -1,9 +1,11 @@
 //! Minimal, offline stand-in for the `serde_json` surface this workspace
 //! uses: the [`Value`] tree, the [`json!`] macro for object/array literals,
-//! and [`to_string_pretty`]. The container has no network access, so the
-//! real crates-io `serde_json` cannot be fetched; the bench binaries only
-//! build result blobs with `json!` and pretty-print them, which this crate
-//! covers without any derive machinery.
+//! [`to_string_pretty`], and a strict [`from_str`] parser. The container
+//! has no network access, so the real crates-io `serde_json` cannot be
+//! fetched; the bench binaries build result blobs with `json!` and
+//! pretty-print them, and the telemetry exporters parse snapshots back for
+//! round-trip checks — which this crate covers without any derive
+//! machinery.
 //!
 //! Object keys keep insertion order (serde_json's `preserve_order`
 //! behaviour) so the emitted results files are stable and diffable.
@@ -31,14 +33,28 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
-/// A serialization error. The shim's serializer is total, so this is never
-/// constructed; it exists so call sites keep serde_json's `Result` shape.
+/// A JSON error. The shim's serializer is total (serialization never
+/// constructs one — the `Result` mirrors serde_json's shape); the
+/// [`from_str`] parser reports malformed input through it with a byte
+/// offset and message.
 #[derive(Debug, Clone)]
-pub struct Error(());
+pub struct Error {
+    msg: String,
+    offset: usize,
+}
+
+impl Error {
+    fn parse(offset: usize, msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            offset,
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json serialization error")
+        write!(f, "json error at byte {}: {}", self.offset, self.msg)
     }
 }
 
@@ -240,6 +256,259 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Parses a JSON document into a [`Value`].
+///
+/// A strict recursive-descent parser covering the full JSON grammar
+/// (RFC 8259): objects keep key insertion order, integers that fit become
+/// [`Value::Int`] / [`Value::UInt`], anything with a fraction or exponent
+/// becomes [`Value::Float`]. Trailing non-whitespace input is an error.
+///
+/// # Errors
+///
+/// Returns an [`Error`] carrying the byte offset and a short message when
+/// the input is not valid JSON.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::parse(pos, "trailing characters after value"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => *pos += 1,
+            _ => break,
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::parse(*pos, format!("expected `{lit}`")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::parse(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(_) => Err(Error::parse(*pos, "unexpected character")),
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(Error::parse(*pos, "expected `,` or `]` in array")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // consume '{'
+    let mut entries = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(entries));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(Error::parse(*pos, "expected string key"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(Error::parse(*pos, "expected `:` after key"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        entries.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            _ => return Err(Error::parse(*pos, "expected `,` or `}` in object")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    *pos += 1; // consume opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::parse(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let unit = parse_hex4(bytes, pos)?;
+                        let c = if (0xd800..0xdc00).contains(&unit) {
+                            // High surrogate: a `\uXXXX` low surrogate
+                            // must follow immediately.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err(Error::parse(*pos, "unpaired surrogate"));
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err(Error::parse(*pos, "invalid low surrogate"));
+                            }
+                            let scalar = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                            char::from_u32(scalar)
+                                .ok_or_else(|| Error::parse(*pos, "invalid code point"))?
+                        } else {
+                            char::from_u32(unit)
+                                .ok_or_else(|| Error::parse(*pos, "unpaired surrogate"))?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(Error::parse(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(Error::parse(*pos, "unescaped control character"));
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar; the input is a &str, so byte
+                // boundaries are already valid.
+                let start = *pos;
+                let mut end = start + 1;
+                while end < bytes.len() && bytes[end] & 0xc0 == 0x80 {
+                    end += 1;
+                }
+                // Safe slice on char boundaries of the original &str.
+                let s = std::str::from_utf8(&bytes[start..end])
+                    .map_err(|_| Error::parse(start, "invalid utf-8"))?;
+                out.push_str(s);
+                *pos = end;
+            }
+        }
+    }
+}
+
+/// Parses the 4 hex digits after `\u`; on entry `*pos` is at `u`, on exit
+/// at the last hex digit.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    let start = *pos + 1;
+    let Some(hex) = bytes.get(start..start + 4) else {
+        return Err(Error::parse(*pos, "truncated \\u escape"));
+    };
+    let s = std::str::from_utf8(hex).map_err(|_| Error::parse(start, "invalid \\u escape"))?;
+    let v = u32::from_str_radix(s, 16).map_err(|_| Error::parse(start, "invalid \\u escape"))?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(Error::parse(*pos, "expected digit"));
+    }
+    let mut is_float = false;
+    if bytes.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(Error::parse(*pos, "expected fraction digit"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(Error::parse(*pos, "expected exponent digit"));
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error::parse(start, "invalid number"))?;
+    if is_float {
+        let f: f64 = text
+            .parse()
+            .map_err(|_| Error::parse(start, "invalid number"))?;
+        return Ok(Value::Float(f));
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(u) = text.parse::<u64>() {
+        return Ok(Value::UInt(u));
+    }
+    // Integer too large for 64 bits: fall back to the float value, like
+    // serde_json's arbitrary-precision-off behaviour.
+    let f: f64 = text
+        .parse()
+        .map_err(|_| Error::parse(start, "invalid number"))?;
+    Ok(Value::Float(f))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +556,79 @@ mod tests {
         let s = to_string_pretty(&v).unwrap();
         assert!(s.contains("300"));
         assert!(s.contains("600"));
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let v = json!({
+            "name": "snapshot",
+            "big": u64::MAX,
+            "neg": -42i64,
+            "pi": 3.5,
+            "flag": true,
+            "none": json!(null),
+            "text": "a\"b\\c\nd\te",
+            "arr": [1u8, 2, 3],
+            "nested": json!({"k": [json!({"deep": 1u8})]}),
+        });
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_scalars() {
+        assert_eq!(from_str(" null ").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("-17").unwrap(), Value::Int(-17));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn parse_decodes_unicode_escapes() {
+        assert_eq!(
+            from_str(r#""\u0041\u00e9\ud83d\ude00""#).unwrap(),
+            Value::String("Aé😀".to_string())
+        );
+        assert_eq!(
+            from_str("\"naïve — ✓\"").unwrap(),
+            Value::String("naïve — ✓".to_string())
+        );
+    }
+
+    #[test]
+    fn parse_keeps_object_key_order() {
+        let v = from_str(r#"{"z": 1, "a": 2}"#).unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("z".to_string(), Value::Int(1)),
+                ("a".to_string(), Value::Int(2)),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "nul",
+            "01x",
+            "1 2",
+            "\"unterminated",
+            "\"\\q\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(from_str(bad).is_err(), "should reject {bad:?}");
+        }
     }
 }

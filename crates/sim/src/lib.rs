@@ -19,6 +19,12 @@
 //! let ledger = simulate(&cfg);
 //! assert!(ledger.blocks_mined > 0);
 //! ```
+//!
+//! A run also populates the process-global telemetry registry through the
+//! layers it drives (`chain.*`, `vm.*`, `core.*`); snapshot it with
+//! `smartcrowd_telemetry::global().snapshot()` after `simulate` returns —
+//! under the default simulated clock the snapshot is seed-deterministic
+//! (see `OBSERVABILITY.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,394 @@
+//! Snapshot exporters: an aligned text table for terminals, a JSON tree
+//! (built on the vendored `serde_json`) for `results/*.json` blobs and
+//! chaos-failure dumps, and the Prometheus text exposition format.
+//!
+//! A [`Snapshot`] is an ordered, immutable copy of a registry: entries are
+//! sorted by canonical key, so any two snapshots of identical values render
+//! byte-identical output in all three formats.
+
+use crate::metrics::HistogramSnapshot;
+use serde_json::{json, Value};
+use std::fmt::Write as _;
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current total.
+    Counter(u64),
+    /// A gauge's current level.
+    Gauge(i64),
+    /// A histogram's buckets and aggregates.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// Whether this value carries any signal: a nonzero counter, a nonzero
+    /// gauge, or a histogram with at least one observation.
+    pub fn is_nonzero(&self) -> bool {
+        match self {
+            MetricValue::Counter(v) => *v != 0,
+            MetricValue::Gauge(v) => *v != 0,
+            MetricValue::Histogram(h) => h.count != 0,
+        }
+    }
+}
+
+/// One metric in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Canonical key: `name` or `name{k="v",…}`.
+    pub key: String,
+    /// The metric name without labels.
+    pub name: String,
+    /// Label pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// An ordered, immutable copy of a registry's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// All metrics, sorted by canonical key.
+    pub entries: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// True when no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a metric by canonical key.
+    pub fn get(&self, key: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|e| e.key == key).map(|e| &e.value)
+    }
+
+    /// The set of subsystems (the `<crate>` segment of the
+    /// `<crate>.<subsystem>.<name>` naming scheme) that have at least one
+    /// nonzero metric, in sorted order.
+    pub fn subsystems(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for entry in &self.entries {
+            if !entry.value.is_nonzero() {
+                continue;
+            }
+            let prefix = entry.name.split('.').next().unwrap_or("").to_string();
+            if !prefix.is_empty() && !out.contains(&prefix) {
+                out.push(prefix);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Renders an aligned text table:
+    ///
+    /// ```text
+    /// metric                         type       value
+    /// chain.mempool.admitted         counter    12
+    /// vm.exec.gas                    histogram  count=12 sum=40170 mean=3347.5 p50=5000 p99=21000 max=9170
+    /// ```
+    pub fn render_table(&self) -> String {
+        let key_width = self
+            .entries
+            .iter()
+            .map(|e| e.key.len())
+            .chain(["metric".len()])
+            .max()
+            .unwrap_or(6);
+        let mut out = String::new();
+        let _ = writeln!(out, "{:key_width$}  {:9}  value", "metric", "type");
+        for entry in &self.entries {
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{:key_width$}  {:9}  {v}", entry.key, "counter");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{:key_width$}  {:9}  {v}", entry.key, "gauge");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{:key_width$}  {:9}  count={} sum={} mean={:.1} p50={} p99={} max={}",
+                        entry.key,
+                        "histogram",
+                        h.count,
+                        h.sum,
+                        h.mean(),
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                        h.max.unwrap_or(0),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot as a JSON tree (`{"metrics": [...]}`),
+    /// suitable for embedding in `results/*.json` or chaos-failure dumps.
+    /// [`Snapshot::from_json`] inverts this exactly.
+    pub fn to_json(&self) -> Value {
+        let metrics: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|entry| {
+                let labels: Vec<Value> = entry
+                    .labels
+                    .iter()
+                    .map(|(k, v)| json!([k.as_str(), v.as_str()]))
+                    .collect();
+                match &entry.value {
+                    MetricValue::Counter(v) => json!({
+                        "key": entry.key.as_str(),
+                        "name": entry.name.as_str(),
+                        "labels": labels,
+                        "type": "counter",
+                        "value": *v,
+                    }),
+                    MetricValue::Gauge(v) => json!({
+                        "key": entry.key.as_str(),
+                        "name": entry.name.as_str(),
+                        "labels": labels,
+                        "type": "gauge",
+                        "value": *v,
+                    }),
+                    MetricValue::Histogram(h) => json!({
+                        "key": entry.key.as_str(),
+                        "name": entry.name.as_str(),
+                        "labels": labels,
+                        "type": "histogram",
+                        "bounds": h.bounds.clone(),
+                        "counts": h.counts.clone(),
+                        "sum": h.sum,
+                        "count": h.count,
+                        "min": h.min,
+                        "max": h.max,
+                    }),
+                }
+            })
+            .collect();
+        json!({ "metrics": metrics })
+    }
+
+    /// Reconstructs a snapshot from [`Snapshot::to_json`] output. Returns
+    /// `None` on any structural mismatch.
+    pub fn from_json(value: &Value) -> Option<Snapshot> {
+        let Value::Object(root) = value else {
+            return None;
+        };
+        let metrics = root.iter().find(|(k, _)| k == "metrics").map(|(_, v)| v)?;
+        let Value::Array(items) = metrics else {
+            return None;
+        };
+        let mut entries = Vec::with_capacity(items.len());
+        for item in items {
+            let Value::Object(fields) = item else {
+                return None;
+            };
+            let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            let key = as_str(field("key")?)?.to_string();
+            let name = as_str(field("name")?)?.to_string();
+            let mut labels = Vec::new();
+            if let Value::Array(pairs) = field("labels")? {
+                for pair in pairs {
+                    let Value::Array(kv) = pair else { return None };
+                    if kv.len() != 2 {
+                        return None;
+                    }
+                    labels.push((as_str(&kv[0])?.to_string(), as_str(&kv[1])?.to_string()));
+                }
+            } else {
+                return None;
+            }
+            let value = match as_str(field("type")?)? {
+                "counter" => MetricValue::Counter(as_u64(field("value")?)?),
+                "gauge" => MetricValue::Gauge(as_i64(field("value")?)?),
+                "histogram" => MetricValue::Histogram(HistogramSnapshot {
+                    bounds: as_u64_vec(field("bounds")?)?,
+                    counts: as_u64_vec(field("counts")?)?,
+                    sum: as_u64(field("sum")?)?,
+                    count: as_u64(field("count")?)?,
+                    min: as_opt_u64(field("min")?)?,
+                    max: as_opt_u64(field("max")?)?,
+                }),
+                _ => return None,
+            };
+            entries.push(MetricSnapshot {
+                key,
+                name,
+                labels,
+                value,
+            });
+        }
+        Some(Snapshot { entries })
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// names have dots replaced by underscores, labels carry over, and
+    /// histograms expand into cumulative `_bucket{le=…}` series plus
+    /// `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            let name = promethize(&entry.name);
+            let labels = render_labels(&entry.labels, None);
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name}{labels} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name}{labels} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (i, count) in h.counts.iter().enumerate() {
+                        cumulative += count;
+                        let le = match h.bounds.get(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        let le_labels = render_labels(&entry.labels, Some(&le));
+                        let _ = writeln!(out, "{name}_bucket{le_labels} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_sum{labels} {}", h.sum);
+                    let _ = writeln!(out, "{name}_count{labels} {}", h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::String(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) => u64::try_from(*i).ok(),
+        Value::UInt(u) => Some(*u),
+        _ => None,
+    }
+}
+
+fn as_i64(v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(i) => Some(*i),
+        Value::UInt(u) => i64::try_from(*u).ok(),
+        _ => None,
+    }
+}
+
+fn as_opt_u64(v: &Value) -> Option<Option<u64>> {
+    match v {
+        Value::Null => Some(None),
+        other => as_u64(other).map(Some),
+    }
+}
+
+fn as_u64_vec(v: &Value) -> Option<Vec<u64>> {
+    match v {
+        Value::Array(items) => items.iter().map(as_u64).collect(),
+        _ => None,
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus charset
+/// (`[a-zA-Z0-9_:]`).
+fn promethize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+        first = false;
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("chain.mempool.admitted", &[]).add(12);
+        r.counter("net.gossip.sent", &[("type", "block")]).add(5);
+        r.gauge("net.sync.orphans", &[]).set(3);
+        let h = r.histogram("vm.exec.gas", &[], &[1_000, 21_000]);
+        h.observe(500);
+        h.observe(20_000);
+        h.observe(1_000_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let table = sample().render_table();
+        assert!(table.contains("chain.mempool.admitted"));
+        assert!(table.contains("net.gossip.sent{type=\"block\"}"));
+        assert!(table.contains("count=3"));
+        let type_col = table.lines().next().unwrap().find("type").unwrap();
+        for line in table.lines().skip(1) {
+            let found = ["counter", "gauge", "histogram"]
+                .iter()
+                .filter_map(|t| line.find(t))
+                .min();
+            assert_eq!(found, Some(type_col), "misaligned: {line}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample();
+        let json = snap.to_json();
+        let text = serde_json::to_string_pretty(&json).unwrap();
+        let parsed = serde_json::from_str(&text).unwrap();
+        let back = Snapshot::from_json(&parsed).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let prom = sample().render_prometheus();
+        assert!(prom.contains("# TYPE vm_exec_gas histogram"));
+        assert!(prom.contains("vm_exec_gas_bucket{le=\"1000\"} 1"));
+        assert!(prom.contains("vm_exec_gas_bucket{le=\"21000\"} 2"));
+        assert!(prom.contains("vm_exec_gas_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("vm_exec_gas_count 3"));
+        assert!(prom.contains("net_gossip_sent{type=\"block\"} 5"));
+    }
+
+    #[test]
+    fn subsystems_reports_nonzero_prefixes() {
+        let snap = sample();
+        assert_eq!(snap.subsystems(), vec!["chain", "net", "vm"]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Lightweight spans: `span!("chain.validate_block")` returns a guard that
+//! increments `<name>.calls` on entry and, when the wall clock is enabled,
+//! records the elapsed time into the `<name>.time_us` histogram on drop.
+//!
+//! Nesting is tracked per thread: every entry also records the current
+//! nesting depth into the global `telemetry.span.depth` histogram, which is
+//! deterministic (it depends only on call structure, never on time).
+//!
+//! # Determinism and the time source
+//!
+//! The default [`TimeSource::Off`] records **no wall-clock readings at
+//! all** — spans count calls and nesting only — so seeded simulation runs
+//! produce byte-identical snapshots. Binaries that want real latencies
+//! (the bench bins, `chaos_explore`) opt in with
+//! [`set_time_source`]`(`[`TimeSource::Wall`]`)`. Durations measured on the
+//! *simulated* clock are not spans at all: the instrumented code converts
+//! sim seconds to integer microseconds and feeds an ordinary histogram,
+//! which is seed-deterministic by construction.
+
+use crate::metrics::{buckets, Counter, Histogram};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Where span durations come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeSource {
+    /// No wall-clock reads; spans record calls and nesting only. This is
+    /// the default and keeps seeded runs byte-identical.
+    Off,
+    /// Read `Instant::now()` on span entry/exit and record elapsed
+    /// microseconds. Opt-in for bench/CLI binaries.
+    Wall,
+}
+
+static TIME_SOURCE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the process-wide span time source.
+pub fn set_time_source(source: TimeSource) {
+    let v = match source {
+        TimeSource::Off => 0,
+        TimeSource::Wall => 1,
+    };
+    TIME_SOURCE.store(v, Ordering::Relaxed);
+}
+
+/// The current span time source.
+pub fn time_source() -> TimeSource {
+    match TIME_SOURCE.load(Ordering::Relaxed) {
+        1 => TimeSource::Wall,
+        _ => TimeSource::Off,
+    }
+}
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn depth_histogram() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        crate::registry::global().histogram("telemetry.span.depth", &[], buckets::SMALL_COUNT)
+    })
+}
+
+/// RAII guard produced by the `span!` macro. Creating one increments the
+/// span's call counter and nesting depth; dropping it closes the span.
+#[derive(Debug)]
+pub struct SpanGuard {
+    time: &'static Histogram,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Enters a span. Prefer the `span!` macro, which registers and caches
+    /// the two handles per call site.
+    pub fn enter(calls: &'static Counter, time: &'static Histogram) -> Self {
+        calls.inc();
+        let depth = DEPTH.with(|d| {
+            let depth = d.get() + 1;
+            d.set(depth);
+            depth
+        });
+        depth_histogram().observe(u64::from(depth));
+        let start = match time_source() {
+            TimeSource::Wall => Some(Instant::now()),
+            TimeSource::Off => None,
+        };
+        SpanGuard { time, start }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if let Some(start) = self.start {
+            let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.time.observe(us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::global;
+    use std::sync::Mutex;
+
+    // The two tests below toggle the process-wide time source; serialize
+    // them so the Off-mode test never observes the Wall window.
+    static TS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn spans_count_calls_and_depth_without_wall_clock() {
+        let _guard = TS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let calls = global().counter("test.span.calls", &[]);
+        let time = global().histogram("test.span.time_us", &[], buckets::TIME_US);
+        let before = calls.get();
+        {
+            let _outer = SpanGuard::enter(calls, time);
+            let _inner = SpanGuard::enter(calls, time);
+        }
+        assert_eq!(calls.get(), before + 2);
+        // TimeSource::Off (default): no durations recorded.
+        assert_eq!(time.snapshot().count, 0);
+        DEPTH.with(|d| assert_eq!(d.get(), 0));
+    }
+
+    #[test]
+    fn wall_clock_records_durations_when_enabled() {
+        let _guard = TS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let calls = global().counter("test.span2.calls", &[]);
+        let time = global().histogram("test.span2.time_us", &[], buckets::TIME_US);
+        set_time_source(TimeSource::Wall);
+        drop(SpanGuard::enter(calls, time));
+        set_time_source(TimeSource::Off);
+        assert_eq!(time.snapshot().count, 1);
+    }
+}

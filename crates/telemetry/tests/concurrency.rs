@@ -1,0 +1,92 @@
+//! Concurrency and monotonicity tests: the lock-free hot path must not
+//! lose updates under contention, and snapshots taken while a counter only
+//! grows must themselves be non-decreasing.
+
+use smartcrowd_telemetry::{MetricValue, Registry};
+use std::thread;
+
+#[test]
+fn contended_counter_loses_no_updates() {
+    let registry = Box::leak(Box::new(Registry::new()));
+    let counter = registry.counter("test.contended.counter", &[]);
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn contended_histogram_counts_every_observation() {
+    let registry = Box::leak(Box::new(Registry::new()));
+    let hist = registry.histogram("test.contended.hist", &[], &[10, 100, 1_000]);
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across all four buckets.
+                    hist.observe((t * PER_THREAD + i) % 2_000);
+                }
+            });
+        }
+    });
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.counts.iter().sum::<u64>(), THREADS * PER_THREAD);
+    assert_eq!(snap.min, Some(0));
+    assert_eq!(snap.max, Some(1_999));
+    // Sum of 0..2000 repeated (THREADS*PER_THREAD/2000) times.
+    let cycles = THREADS * PER_THREAD / 2_000;
+    assert_eq!(snap.sum, cycles * (1_999 * 2_000 / 2));
+}
+
+#[test]
+fn contended_gauge_balances_out() {
+    let registry = Box::leak(Box::new(Registry::new()));
+    let gauge = registry.gauge("test.contended.gauge", &[]);
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..10_000 {
+                    gauge.add(3);
+                    gauge.sub(3);
+                }
+            });
+        }
+    });
+    assert_eq!(gauge.get(), 0);
+}
+
+#[test]
+fn snapshots_of_growing_counter_are_monotonic() {
+    let registry = Box::leak(Box::new(Registry::new()));
+    let counter = registry.counter("test.monotonic.counter", &[]);
+    let writer = thread::spawn(move || {
+        for _ in 0..100_000 {
+            counter.inc();
+        }
+    });
+    let mut last = 0u64;
+    for _ in 0..200 {
+        let snap = registry.snapshot();
+        let Some(&MetricValue::Counter(v)) = snap.get("test.monotonic.counter") else {
+            panic!("counter missing from snapshot");
+        };
+        assert!(v >= last, "snapshot went backwards: {v} < {last}");
+        last = v;
+    }
+    writer.join().unwrap();
+    assert_eq!(
+        registry.counter("test.monotonic.counter", &[]).get(),
+        100_000
+    );
+}

@@ -15,7 +15,7 @@
 
 use crate::error::VmError;
 use crate::gas;
-use crate::isa::{analyze_jumpdests, Op};
+use crate::isa::{analyze_jumpdests, Op, OpClass};
 use crate::receipt::Receipt;
 use crate::state::WorldState;
 use smartcrowd_chain::Ether;
@@ -150,12 +150,49 @@ struct Machine<'a> {
     gas_used: u64,
     gas_limit: u64,
     logs: Vec<U256>,
+    /// Executed-instruction tally per [`OpClass`], accumulated locally in
+    /// the interpreter loop and flushed to the telemetry counters once per
+    /// call, keeping atomics out of the dispatch hot path.
+    op_counts: [u64; OpClass::ALL.len()],
 }
 
 enum Halt {
     Stop,
     Return(U256),
     Revert(U256),
+}
+
+/// Flushes one finished call's locally-accumulated telemetry: outcome
+/// counters, the gas histogram and the per-class executed-op counters.
+fn record_call_telemetry(m: &Machine<'_>, receipt: &Receipt) {
+    use smartcrowd_telemetry::{buckets, counter, histogram};
+    counter!("vm.exec.calls").inc();
+    histogram!("vm.exec.gas", buckets::GAS).observe(receipt.gas_used);
+    if receipt.success {
+        counter!("vm.exec.success").inc();
+    } else if receipt.fault.is_some() {
+        counter!("vm.exec.fault").inc();
+    } else {
+        counter!("vm.exec.revert").inc();
+    }
+    for class in OpClass::ALL {
+        let n = m.op_counts[class.index()];
+        if n == 0 {
+            continue;
+        }
+        let handle = match class {
+            OpClass::Stack => counter!("vm.exec.ops", "class" => "stack"),
+            OpClass::Arith => counter!("vm.exec.ops", "class" => "arith"),
+            OpClass::Crypto => counter!("vm.exec.ops", "class" => "crypto"),
+            OpClass::Env => counter!("vm.exec.ops", "class" => "env"),
+            OpClass::Storage => counter!("vm.exec.ops", "class" => "storage"),
+            OpClass::Memory => counter!("vm.exec.ops", "class" => "memory"),
+            OpClass::Control => counter!("vm.exec.ops", "class" => "control"),
+            OpClass::Value => counter!("vm.exec.ops", "class" => "value"),
+            OpClass::Halt => counter!("vm.exec.ops", "class" => "halt"),
+        };
+        handle.add(n);
+    }
 }
 
 impl Vm {
@@ -207,6 +244,7 @@ impl Vm {
         }
         state.debit(ctx.caller, fee)?;
         state.credit(ctx.fee_collector, fee);
+        smartcrowd_telemetry::counter!("vm.deploy.calls").inc();
         Ok((addr, Receipt::success(gas_used, fee)))
     }
 
@@ -292,6 +330,7 @@ impl Vm {
             gas_used: gas::call_intrinsic_gas(calldata.len()),
             gas_limit: ctx.gas_limit,
             logs: Vec::new(),
+            op_counts: [0; OpClass::ALL.len()],
         };
 
         let outcome = if m.gas_used > m.gas_limit {
@@ -338,6 +377,7 @@ impl Vm {
         // Fee is charged regardless of outcome.
         state.debit(ctx.caller, fee)?;
         state.credit(ctx.fee_collector, fee);
+        record_call_telemetry(&m, &receipt);
         Ok(receipt)
     }
 
@@ -359,6 +399,7 @@ impl Vm {
                 return Ok(Halt::Stop); // falling off the end halts cleanly
             }
             let op = Op::from_byte(m.code[m.pc])?;
+            m.op_counts[op.class().index()] += 1;
             if let Some(trace) = tracer.as_deref_mut() {
                 trace.push(TraceStep {
                     pc: m.pc,
@@ -711,6 +752,7 @@ mod tests {
             gas_used: u64::MAX - 1,
             gas_limit: u64::MAX,
             logs: Vec::new(),
+            op_counts: [0; OpClass::ALL.len()],
         };
         // Filling the meter exactly to a maximal limit is still in budget.
         m.charge(1).expect("exactly at the limit");

@@ -114,7 +114,113 @@ pub enum Op {
     Revert = 0x72,
 }
 
+/// Coarse opcode families, mirroring the ISA's byte-range grouping. The
+/// interpreter tallies executed instructions per class into the
+/// `vm.exec.ops{class=…}` telemetry counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Stack shuffling: `PUSH*`, `POP`, `DUP`, `SWAP`.
+    Stack,
+    /// Arithmetic, comparison and bitwise logic (`0x10`–`0x1d`).
+    Arith,
+    /// Cryptographic ops: `KECCAK`, `ECRECOVER`.
+    Crypto,
+    /// Environment reads (`0x30`–`0x38`): caller, value, timestamp, …
+    Env,
+    /// Persistent storage: `SLOAD`, `SSTORE`.
+    Storage,
+    /// Transient memory: `MLOAD`, `MSTORE`.
+    Memory,
+    /// Control flow: `JUMP`, `JUMPI`, `JUMPDEST`.
+    Control,
+    /// Value movement and events: `TRANSFER`, `LOG`.
+    Value,
+    /// Halting: `STOP`, `RETURN*`, `REVERT`.
+    Halt,
+}
+
+impl OpClass {
+    /// Every class, in index order.
+    pub const ALL: [OpClass; 9] = [
+        OpClass::Stack,
+        OpClass::Arith,
+        OpClass::Crypto,
+        OpClass::Env,
+        OpClass::Storage,
+        OpClass::Memory,
+        OpClass::Control,
+        OpClass::Value,
+        OpClass::Halt,
+    ];
+
+    /// Stable index of the class (for per-class accumulation arrays).
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Stack => 0,
+            OpClass::Arith => 1,
+            OpClass::Crypto => 2,
+            OpClass::Env => 3,
+            OpClass::Storage => 4,
+            OpClass::Memory => 5,
+            OpClass::Control => 6,
+            OpClass::Value => 7,
+            OpClass::Halt => 8,
+        }
+    }
+
+    /// The class's telemetry label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Stack => "stack",
+            OpClass::Arith => "arith",
+            OpClass::Crypto => "crypto",
+            OpClass::Env => "env",
+            OpClass::Storage => "storage",
+            OpClass::Memory => "memory",
+            OpClass::Control => "control",
+            OpClass::Value => "value",
+            OpClass::Halt => "halt",
+        }
+    }
+}
+
 impl Op {
+    /// The coarse [`OpClass`] this opcode belongs to.
+    pub fn class(self) -> OpClass {
+        match self {
+            Op::Push8 | Op::Push32 | Op::Pop | Op::Dup | Op::Swap => OpClass::Stack,
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Mod
+            | Op::Lt
+            | Op::Gt
+            | Op::Eq
+            | Op::IsZero
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Not
+            | Op::Min => OpClass::Arith,
+            Op::Keccak | Op::EcRecover => OpClass::Crypto,
+            Op::SelfAddr
+            | Op::Caller
+            | Op::CallValue
+            | Op::CallDataSize
+            | Op::CallDataLoad
+            | Op::Timestamp
+            | Op::Number
+            | Op::Balance
+            | Op::SelfBalance => OpClass::Env,
+            Op::SLoad | Op::SStore => OpClass::Storage,
+            Op::MLoad | Op::MStore => OpClass::Memory,
+            Op::Jump | Op::JumpI | Op::JumpDest => OpClass::Control,
+            Op::Transfer | Op::Log => OpClass::Value,
+            Op::Stop | Op::ReturnVal | Op::Return | Op::Revert => OpClass::Halt,
+        }
+    }
+
     /// Decodes an opcode byte.
     ///
     /// # Errors

@@ -165,6 +165,15 @@ pub struct VerifyReport {
 /// faults, bad static jump targets, target-less dynamic jumps, and
 /// `SWAP 0`.
 pub fn verify(code: &[u8]) -> Result<VerifyReport, VmError> {
+    let _span = smartcrowd_telemetry::span!("vm.verify");
+    let result = verify_inner(code);
+    if result.is_err() {
+        smartcrowd_telemetry::counter!("vm.verify.rejected").inc();
+    }
+    result
+}
+
+fn verify_inner(code: &[u8]) -> Result<VerifyReport, VmError> {
     let analysis = analyze(code, &AnalysisConfig::default())?;
     Ok(VerifyReport {
         instructions: analysis.cfg.instruction_count(),

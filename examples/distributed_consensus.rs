@@ -8,6 +8,7 @@
 use smartcrowd::chain::record::{Record, RecordKind};
 use smartcrowd::chain::rng::SimRng;
 use smartcrowd::chain::Ether;
+use smartcrowd::core::platform::{Platform, PlatformConfig};
 use smartcrowd::core::report::{create_report_pair, Findings};
 use smartcrowd::crypto::keys::KeyPair;
 use smartcrowd::detect::system::IoTSystem;
@@ -96,4 +97,51 @@ fn main() {
          history — the 'authoritative, complete and consistent reference' \
          of §I, with no coordinator anywhere."
     );
+
+    // The distributed race stores reports; the incentive payout itself is
+    // a contract execution. Run it on the platform so the snapshot below
+    // covers the VM layer too.
+    println!("\n-- escrow payout (contract execution on the platform) --");
+    let mut platform = Platform::new(PlatformConfig::paper());
+    let mut rng = SimRng::seed_from_u64(41);
+    let system = IoTSystem::build(
+        "gateway-fw",
+        "5.2",
+        platform.library(),
+        vec![VulnId(8)],
+        &mut rng,
+    )
+    .unwrap();
+    let sra_id = platform
+        .release_system(0, system, Ether::from_ether(1000), Ether::from_ether(25))
+        .expect("release verifies");
+    platform.fund(detector.address(), Ether::from_ether(10));
+    let (initial, detailed) =
+        create_report_pair(&detector, sra_id, Findings::new(vec![VulnId(8)], "found"));
+    platform
+        .submit_initial(&detector, initial)
+        .expect("R† admits");
+    platform.mine_blocks(8); // R† reaches 6-block finality
+    platform
+        .submit_detailed(&detector, detailed)
+        .expect("R* verifies");
+    let payouts = platform.mine_blocks(8); // R* finalizes → escrow pays
+    println!(
+        "escrow paid {} ether to the detector with no provider involvement",
+        payouts[0].amount.as_f64()
+    );
+
+    // Telemetry: the run above exercised every layer; the snapshot is
+    // seed-deterministic (see OBSERVABILITY.md).
+    let snapshot = smartcrowd::telemetry::global().snapshot();
+    println!("\n== telemetry snapshot ==\n");
+    println!("{}", snapshot.render_table());
+    let subsystems = snapshot.subsystems();
+    println!("active subsystems: {}", subsystems.join(", "));
+    for required in ["chain", "core", "net", "vm"] {
+        assert!(
+            subsystems.iter().any(|s| s == required),
+            "expected nonzero {required} metrics, got {subsystems:?}"
+        );
+    }
 }

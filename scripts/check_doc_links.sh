@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Check every relative markdown link in the repo's *.md files and fail on
+# dangling targets. External links (http/https/mailto) and pure in-page
+# anchors (#…) are skipped; a `path#anchor` link is checked for the path
+# only. Run from the repository root: bash scripts/check_doc_links.sh
+set -euo pipefail
+
+fail=0
+while IFS= read -r file; do
+    dir=$(dirname "$file")
+    # Inline links: [text](target). Markdown titles ("...") are stripped.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | "#"*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "dangling link in $file: ($target)"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" |
+        sed -E 's/^\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//')
+done < <(find . -name '*.md' -not -path './target/*' -not -path './.git/*')
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs link check failed"
+    exit 1
+fi
+echo "docs link check passed"

@@ -20,7 +20,9 @@
 //! - [`core`] — the SmartCrowd protocol itself (insuranced SRAs, two-phase
 //!   reports, Algorithm 1, incentive equations, attack scenarios, the
 //!   end-to-end [`core::platform::Platform`]);
-//! - [`sim`] — the experiment simulator and parameter sweeps.
+//! - [`sim`] — the experiment simulator and parameter sweeps;
+//! - [`telemetry`] — zero-dependency metrics and spans instrumenting every
+//!   layer above (see `OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -66,4 +68,5 @@ pub use smartcrowd_crypto as crypto;
 pub use smartcrowd_detect as detect;
 pub use smartcrowd_net as net;
 pub use smartcrowd_sim as sim;
+pub use smartcrowd_telemetry as telemetry;
 pub use smartcrowd_vm as vm;

@@ -1,0 +1,75 @@
+//! Telemetry determinism: under the default [`TimeSource::Off`] every
+//! metric is driven by seeded simulation state, so two identical runs must
+//! produce byte-identical snapshots — table, JSON and Prometheus renderings
+//! alike. This is what makes snapshots attachable to chaos failures as
+//! reproducible evidence (see OBSERVABILITY.md).
+//!
+//! The test owns the whole process-global registry, so it lives in its own
+//! integration-test binary: unit tests of other crates run in separate
+//! processes and cannot interleave writes.
+
+use smartcrowd::chain::rng::SimRng;
+use smartcrowd::chain::Ether;
+use smartcrowd::detect::system::IoTSystem;
+use smartcrowd::detect::vulnerability::VulnId;
+use smartcrowd::detect::VulnLibrary;
+use smartcrowd::sim::distributed::DistributedSim;
+use smartcrowd::telemetry;
+
+/// One seeded distributed run exercising chain, net and core metrics.
+fn seeded_run() {
+    let mut sim = DistributedSim::new(5, 7);
+    let library = VulnLibrary::synthetic(100, 7 ^ 0x11b);
+    let mut rng = SimRng::seed_from_u64(40);
+    let system = IoTSystem::build("fw", "1.0", &library, vec![VulnId(3)], &mut rng).unwrap();
+    sim.release_from(0, system, Ether::from_ether(1000), Ether::from_ether(25))
+        .expect("gossip quiesces");
+    sim.mine_rounds(4).expect("gossip quiesces");
+    sim.partition(&[4]);
+    sim.mine_rounds(4).expect("gossip quiesces");
+    sim.heal().expect("gossip quiesces");
+    assert!(sim.converged());
+}
+
+#[test]
+fn same_seed_runs_yield_identical_snapshots() {
+    assert_eq!(
+        telemetry::time_source(),
+        telemetry::TimeSource::Off,
+        "determinism holds only under the simulated clock"
+    );
+
+    telemetry::global().reset();
+    seeded_run();
+    let first = telemetry::global().snapshot();
+
+    telemetry::global().reset();
+    seeded_run();
+    let second = telemetry::global().snapshot();
+
+    assert_eq!(
+        first.render_table(),
+        second.render_table(),
+        "text table must be byte-identical across same-seed runs"
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&first.to_json()).unwrap(),
+        serde_json::to_string_pretty(&second.to_json()).unwrap(),
+        "JSON export must be byte-identical across same-seed runs"
+    );
+    assert_eq!(
+        first.render_prometheus(),
+        second.render_prometheus(),
+        "Prometheus export must be byte-identical across same-seed runs"
+    );
+
+    // The run touched several layers, and the snapshot is not trivially
+    // empty-equals-empty.
+    let subsystems = first.subsystems();
+    for required in ["chain", "core", "net"] {
+        assert!(
+            subsystems.iter().any(|s| s == required),
+            "expected nonzero {required} metrics, got {subsystems:?}"
+        );
+    }
+}
