@@ -193,9 +193,11 @@ fn ablation_simminer_vs_pow() {
     // Real PoW: attempt counts at difficulty D are geometric with mean D.
     let miner =
         smartcrowd_chain::pow::Miner::new(Address::from_label("pow")).with_max_attempts(10_000_000);
-    let mut attempts = Vec::new();
     let genesis = Block::genesis(Difficulty::from_u64(512));
-    for i in 0..16u64 {
+    // The 16 samples are independent searches: fan them out on the worker
+    // pool (results merge in sample order, so the mean is unchanged).
+    let samples: Vec<u64> = (0..16u64).collect();
+    let attempts: Vec<f64> = smartcrowd_pool::global().par_map(&samples, |&i| {
         let block = Block::assemble(
             &genesis,
             vec![],
@@ -203,8 +205,8 @@ fn ablation_simminer_vs_pow() {
             Difficulty::from_u64(512),
             Address::from_label("pow"),
         );
-        attempts.push(miner.measure_attempts(block).unwrap().1 as f64);
-    }
+        miner.measure_attempts(block).unwrap().1 as f64
+    });
     println!(
         "real PoW at D=512: mean attempts {:.0} (expected 512, geometric)",
         stats::Summary::of(&attempts).mean

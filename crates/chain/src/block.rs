@@ -5,9 +5,14 @@ use crate::difficulty::Difficulty;
 use crate::error::ChainError;
 use crate::header::{BlockHeader, BlockId};
 use crate::record::Record;
-use smartcrowd_crypto::merkle::MerkleTree;
+use smartcrowd_crypto::merkle::{leaf_hash, MerkleTree};
 use smartcrowd_crypto::{Address, Digest};
 use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// Record count at which Merkle-leaf hashing fans out on the global pool.
+/// Narrow blocks stay inline: spawn cost exceeds a handful of SHA-256d.
+const PAR_LEAF_THRESHOLD: usize = 64;
 
 /// A full block.
 ///
@@ -20,11 +25,24 @@ use std::collections::HashSet;
 /// assert_eq!(genesis.header().height, 0);
 /// assert!(genesis.records().is_empty());
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Block {
     header: BlockHeader,
     records: Vec<Record>,
+    /// Memoized block id. The header is only reachable mutably through
+    /// [`Block::header_mut`], which resets this cell, so the cache can
+    /// never go stale. Cloning carries the populated cache; equality
+    /// ignores it.
+    id_cache: OnceLock<BlockId>,
 }
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Self) -> bool {
+        self.header == other.header && self.records == other.records
+    }
+}
+
+impl Eq for Block {}
 
 /// Timestamp of the genesis block (2019-01-01T00:00:00Z, the paper's year).
 pub const GENESIS_TIMESTAMP: u64 = 1_546_300_800;
@@ -44,6 +62,7 @@ impl Block {
         Block {
             header,
             records: Vec::new(),
+            id_cache: OnceLock::new(),
         }
     }
 
@@ -66,19 +85,34 @@ impl Block {
             difficulty,
             miner,
         };
-        Block { header, records }
+        Block {
+            header,
+            records,
+            id_cache: OnceLock::new(),
+        }
     }
 
     /// Computes the Merkle root over a record list.
+    ///
+    /// Leaves are hashed from each record's memoized canonical encoding
+    /// (no re-serialization), and wide blocks fan the leaf hashing out on
+    /// the global pool. The result is independent of the thread count:
+    /// leaves are merged in record order before the tree is folded.
     pub fn merkle_root_of(records: &[Record]) -> Digest {
-        let encoded: Vec<Vec<u8>> = records.iter().map(Record::encode).collect();
-        MerkleTree::from_leaves(encoded.iter().map(|e| e.as_slice())).root()
+        MerkleTree::from_leaf_hashes(Self::leaf_hashes(records)).root()
+    }
+
+    fn leaf_hashes(records: &[Record]) -> Vec<Digest> {
+        if records.len() >= PAR_LEAF_THRESHOLD {
+            smartcrowd_pool::global().par_map(records, |r| leaf_hash(r.encoded()))
+        } else {
+            records.iter().map(|r| leaf_hash(r.encoded())).collect()
+        }
     }
 
     /// Builds the Merkle tree for proof generation.
     pub fn merkle_tree(&self) -> MerkleTree {
-        let encoded: Vec<Vec<u8>> = self.records.iter().map(Record::encode).collect();
-        MerkleTree::from_leaves(encoded.iter().map(|e| e.as_slice()))
+        MerkleTree::from_leaf_hashes(Self::leaf_hashes(&self.records))
     }
 
     /// The header.
@@ -87,7 +121,11 @@ impl Block {
     }
 
     /// Mutable header access (used by miners to set the winning nonce).
+    ///
+    /// Invalidates the memoized block id: any field write changes the
+    /// hashed preimage, so the next [`Block::id`] call recomputes.
     pub fn header_mut(&mut self) -> &mut BlockHeader {
+        self.id_cache = OnceLock::new();
         &mut self.header
     }
 
@@ -97,8 +135,16 @@ impl Block {
     }
 
     /// The block id (`CurBlockID`).
+    ///
+    /// Memoized behind a `OnceLock` (reset by [`Block::header_mut`]) so
+    /// repeated lookups — fork choice, canonical reindexing, confirmation
+    /// queries — stop re-encoding and re-hashing the header.
     pub fn id(&self) -> BlockId {
-        self.header.id()
+        if let Some(id) = self.id_cache.get() {
+            smartcrowd_telemetry::counter!("chain.idcache.hit").inc();
+            return *id;
+        }
+        *self.id_cache.get_or_init(|| self.header.id())
     }
 
     /// Structural self-validation: Merkle root matches records, record ids
@@ -130,7 +176,7 @@ impl Block {
         enc.put_bytes(&self.header.encode());
         enc.put_u64(self.records.len() as u64);
         for r in &self.records {
-            enc.put_bytes(&r.encode());
+            enc.put_bytes(r.encoded());
         }
         enc.finish()
     }
@@ -150,7 +196,11 @@ impl Block {
             records.push(Record::decode(dec.take_bytes()?)?);
         }
         dec.expect_end()?;
-        Ok(Block { header, records })
+        Ok(Block {
+            header,
+            records,
+            id_cache: OnceLock::new(),
+        })
     }
 }
 
@@ -267,6 +317,27 @@ mod tests {
         let b = child_with_records(2);
         let bytes = b.encode();
         assert!(Block::decode(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn id_cache_invalidated_by_header_mut() {
+        let mut b = child_with_records(2);
+        let before = b.id();
+        assert_eq!(b.id(), before, "repeated id() is stable");
+        b.header_mut().nonce += 1;
+        assert_ne!(b.id(), before, "mutation recomputes the id");
+        let clone = b.clone();
+        assert_eq!(clone.id(), b.id(), "clones carry the cache");
+    }
+
+    #[test]
+    fn parallel_merkle_root_matches_sequential() {
+        // 80 records exceeds PAR_LEAF_THRESHOLD, so leaves are hashed on
+        // the pool; the root must equal the leaf-by-leaf sequential tree.
+        let records: Vec<Record> = (0..80).map(record).collect();
+        let par = Block::merkle_root_of(&records);
+        let seq = MerkleTree::from_leaves(records.iter().map(|r| r.encoded())).root();
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod persist;
 pub mod pow;
 pub mod record;
 pub mod rng;
+pub mod sigcache;
 pub mod simminer;
 pub mod stats;
 pub mod store;

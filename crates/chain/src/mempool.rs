@@ -81,7 +81,11 @@ impl Mempool {
     }
 
     fn insert_inner(&mut self, record: Record) -> Result<(), ChainError> {
-        record.verify_signature()?;
+        // Admission goes through the verified-signature cache: a record
+        // re-gossiped after a restart (or already admitted by a peer path)
+        // skips the ECDSA recovery, and the ids admitted here feed the
+        // block-validation fast path in `validate`.
+        crate::sigcache::verify_cached(&record)?;
         let id = record.id();
         if self.records.contains_key(&id) {
             return Err(ChainError::RecordRejected {

@@ -14,6 +14,7 @@ use smartcrowd_crypto::keccak::keccak256;
 use smartcrowd_crypto::keys::{recover_public_key, KeyPair};
 use smartcrowd_crypto::{hex, Address, Digest};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// What a record contains.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -78,8 +79,21 @@ impl fmt::Display for RecordKind {
     }
 }
 
+/// Lazily computed canonical encoding and id of an (immutable) record.
+///
+/// A [`Record`] is frozen at construction — [`Record::signed`] and
+/// [`Record::decode`] are the only constructors and nothing mutates the
+/// fields afterwards — so both values are memoizable forever. Cloning a
+/// record clones the populated cache; the cache never participates in
+/// equality.
+#[derive(Clone, Debug, Default)]
+struct RecordCache {
+    encoded: OnceLock<Vec<u8>>,
+    id: OnceLock<Digest>,
+}
+
 /// A signed record awaiting (or holding) a place in a block.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone)]
 pub struct Record {
     kind: RecordKind,
     sender: Address,
@@ -87,6 +101,34 @@ pub struct Record {
     fee: Ether,
     nonce: u64,
     signature: Signature,
+    cache: RecordCache,
+}
+
+impl PartialEq for Record {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived state and deliberately excluded.
+        self.kind == other.kind
+            && self.sender == other.sender
+            && self.payload == other.payload
+            && self.fee == other.fee
+            && self.nonce == other.nonce
+            && self.signature == other.signature
+    }
+}
+
+impl Eq for Record {}
+
+impl fmt::Debug for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Record")
+            .field("kind", &self.kind)
+            .field("sender", &self.sender)
+            .field("payload_len", &self.payload.len())
+            .field("fee", &self.fee)
+            .field("nonce", &self.nonce)
+            .field("signature", &self.signature)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Record {
@@ -111,6 +153,7 @@ impl Record {
             fee,
             nonce,
             signature,
+            cache: RecordCache::default(),
         }
     }
 
@@ -162,8 +205,18 @@ impl Record {
 
     /// The record id: Keccak-256 over the full canonical encoding
     /// (including the signature).
+    ///
+    /// Memoized: the first call hashes the cached canonical encoding and
+    /// every later call (there are ~75 `.id()` call sites across the
+    /// workspace — mempool ordering, Merkle assembly, store indexing,
+    /// dedup sets) returns the stored digest without re-running Keccak.
+    /// `chain.idcache.hit` counts the skipped hashes.
     pub fn id(&self) -> Digest {
-        keccak256(&self.encode())
+        if let Some(id) = self.cache.id.get() {
+            smartcrowd_telemetry::counter!("chain.idcache.hit").inc();
+            return *id;
+        }
+        *self.cache.id.get_or_init(|| keccak256(self.encoded()))
     }
 
     /// Verifies that the signature recovers to the declared sender.
@@ -192,16 +245,30 @@ impl Record {
         Ok(())
     }
 
-    /// Canonical encoding.
+    /// Canonical encoding, as an owned buffer.
+    ///
+    /// Delegates to the memoized [`Record::encoded`]; prefer that accessor
+    /// on hot paths to avoid the copy.
     pub fn encode(&self) -> Vec<u8> {
-        let mut enc = Encoder::new();
-        enc.put_u8(self.kind as u8)
-            .put_array(self.sender.as_bytes())
-            .put_bytes(&self.payload)
-            .put_u128(self.fee.wei())
-            .put_u64(self.nonce)
-            .put_array(&self.signature.to_bytes());
-        enc.finish()
+        self.encoded().to_vec()
+    }
+
+    /// The memoized canonical encoding.
+    ///
+    /// Computed once per record instance (or adopted verbatim from the
+    /// wire bytes by [`Record::decode`]) and reused by Merkle-leaf
+    /// hashing, id derivation and block encoding.
+    pub fn encoded(&self) -> &[u8] {
+        self.cache.encoded.get_or_init(|| {
+            let mut enc = Encoder::new();
+            enc.put_u8(self.kind as u8)
+                .put_array(self.sender.as_bytes())
+                .put_bytes(&self.payload)
+                .put_u128(self.fee.wei())
+                .put_u64(self.nonce)
+                .put_array(&self.signature.to_bytes());
+            enc.finish()
+        })
     }
 
     /// Decodes a canonical encoding.
@@ -222,14 +289,21 @@ impl Record {
         let signature = Signature::from_bytes(&sig_bytes).map_err(|e| ChainError::Codec {
             detail: format!("bad signature: {e}"),
         })?;
-        Ok(Record {
+        let record = Record {
             kind,
             sender,
             payload,
             fee,
             nonce,
             signature,
-        })
+            cache: RecordCache::default(),
+        };
+        // The decoder consumed every byte and each field round-trips
+        // exactly (Signature::from_bytes validates without normalizing),
+        // so the input *is* the canonical encoding: adopt it instead of
+        // re-serializing on the first `encoded()`/`id()` call.
+        let _ = record.cache.encoded.set(bytes.to_vec());
+        Ok(record)
     }
 
     /// Short display id for logs.
@@ -288,6 +362,32 @@ mod tests {
         let (_, r) = sample();
         let decoded = Record::decode(&r.encode()).unwrap();
         assert_eq!(decoded, r);
+        assert_eq!(decoded.id(), r.id());
+    }
+
+    #[test]
+    fn memoized_encoding_and_id_are_stable() {
+        let (_, r) = sample();
+        // First call computes, later calls return the cached value.
+        let e1 = r.encoded().to_vec();
+        let e2 = r.encoded().to_vec();
+        assert_eq!(e1, e2);
+        assert_eq!(r.id(), r.id());
+        // Clones carry the populated cache and agree with a fresh record.
+        let clone = r.clone();
+        assert_eq!(clone.id(), r.id());
+        assert_eq!(clone.encoded(), r.encoded());
+    }
+
+    #[test]
+    fn decode_adopts_input_as_canonical_encoding() {
+        let (_, r) = sample();
+        let bytes = r.encode();
+        let decoded = Record::decode(&bytes).unwrap();
+        // The wire bytes were adopted verbatim as the memoized encoding —
+        // and they must equal what a from-scratch serialization produces.
+        assert_eq!(decoded.encoded(), bytes.as_slice());
+        assert_eq!(decoded.encode(), bytes);
         assert_eq!(decoded.id(), r.id());
     }
 

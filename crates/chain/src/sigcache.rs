@@ -1,0 +1,151 @@
+//! Process-wide verified-signature cache.
+//!
+//! Every record's ECDSA recovery used to run at least three times on its
+//! way to confirmation: once at mempool admission, once at gossip ingest
+//! and once (per validating node) inside block validation. Recovery is by
+//! far the most expensive operation in the pipeline, and all three checks
+//! recompute the *same* fact about the *same* bytes — the record id is
+//! the Keccak-256 of the full canonical encoding (signature included), so
+//! "id `d` carries a valid signature" is an immutable property of `d`.
+//!
+//! This module memoizes that fact in a bounded FIFO set. A hit proves the
+//! exact same bytes were verified before (any tampering changes the id),
+//! which preserves the §VI-A requirement that every block "must be
+//! correctly verified": the check still happens for every record — it is
+//! only the *redundant recomputation* that is skipped.
+//!
+//! `chain.sigcache.hit` / `chain.sigcache.miss` count the split; the
+//! end-to-end examples assert a nonzero hit rate, proving the dedup.
+//!
+//! Capacity is bounded ([`CAPACITY`]) with FIFO eviction, so an adversary
+//! flooding unique records cannot grow the set without bound; eviction
+//! only ever costs a re-verification, never correctness.
+
+use crate::error::ChainError;
+use crate::record::Record;
+use smartcrowd_crypto::Digest;
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Maximum number of verified record ids retained (FIFO eviction).
+pub const CAPACITY: usize = 16_384;
+
+#[derive(Debug, Default)]
+struct Inner {
+    set: HashSet<Digest>,
+    order: VecDeque<Digest>,
+}
+
+fn inner() -> MutexGuard<'static, Inner> {
+    static CACHE: OnceLock<Mutex<Inner>> = OnceLock::new();
+    let lock = CACHE.get_or_init(|| Mutex::new(Inner::default()));
+    // The cache holds no invariants across panics (it is a set of ids),
+    // so a poisoned lock is safe to enter.
+    match lock.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Whether `id` is a known-verified record id. Does not touch counters.
+pub fn contains(id: &Digest) -> bool {
+    inner().set.contains(id)
+}
+
+/// Marks `id` as carrying a verified signature.
+pub fn insert(id: Digest) {
+    let mut cache = inner();
+    if cache.set.insert(id) {
+        cache.order.push_back(id);
+        if cache.order.len() > CAPACITY {
+            if let Some(evicted) = cache.order.pop_front() {
+                cache.set.remove(&evicted);
+            }
+        }
+    }
+}
+
+/// Verifies a record's signature through the cache.
+///
+/// A cache hit returns immediately (the identical bytes were verified
+/// before); a miss runs the full ECDSA recovery and, on success, records
+/// the id for future callers.
+///
+/// # Errors
+///
+/// Returns [`ChainError::RecordRejected`] exactly as
+/// [`Record::verify_signature`] would — failures are never cached.
+pub fn verify_cached(record: &Record) -> Result<(), ChainError> {
+    let id = record.id();
+    if contains(&id) {
+        smartcrowd_telemetry::counter!("chain.sigcache.hit").inc();
+        return Ok(());
+    }
+    smartcrowd_telemetry::counter!("chain.sigcache.miss").inc();
+    record.verify_signature()?;
+    insert(id);
+    Ok(())
+}
+
+/// Current number of cached ids.
+pub fn len() -> usize {
+    inner().set.len()
+}
+
+/// Empties the cache. Benchmarks and determinism tests call this between
+/// runs so cache state (and the hit/miss counters' future behaviour) is a
+/// pure function of the run itself.
+pub fn reset() {
+    let mut cache = inner();
+    cache.set.clear();
+    cache.order.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::Ether;
+    use crate::record::RecordKind;
+    use smartcrowd_crypto::keys::KeyPair;
+
+    fn record(seed: u64) -> Record {
+        let kp = KeyPair::from_seed(&seed.to_be_bytes());
+        Record::signed(RecordKind::Transfer, vec![1], Ether::ZERO, seed, &kp)
+    }
+
+    #[test]
+    fn verified_record_is_cached() {
+        let r = record(9001);
+        assert!(!contains(&r.id()));
+        verify_cached(&r).unwrap();
+        assert!(contains(&r.id()));
+        // Second pass is served from the cache (still Ok).
+        verify_cached(&r).unwrap();
+    }
+
+    #[test]
+    fn tampered_record_never_cached() {
+        let r = record(9002);
+        let mut bytes = r.encode();
+        let payload_start = 1 + 20 + 8;
+        bytes[payload_start] ^= 0xff;
+        let tampered = Record::decode(&bytes).unwrap();
+        assert!(verify_cached(&tampered).is_err());
+        assert!(!contains(&tampered.id()));
+        // The tampered id differs from the original, so a prior
+        // verification of the original can never mask the tampering.
+        assert_ne!(tampered.id(), r.id());
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        // Insert synthetic ids well past capacity; the set stays bounded.
+        for i in 0..(CAPACITY + 512) {
+            let mut id = [0u8; 32];
+            id[..8].copy_from_slice(&(i as u64).to_be_bytes());
+            id[8] = 0xfe; // avoid colliding with other tests' record ids
+            insert(id);
+        }
+        assert!(len() <= CAPACITY);
+    }
+}

@@ -108,6 +108,13 @@ impl ChainStore {
         self.blocks.get(id)
     }
 
+    /// Fetches just a block's header by id. Linkage checks (parent height,
+    /// timestamp) need only the header; going through this accessor keeps
+    /// them independent of the record list.
+    pub fn header(&self, id: &BlockId) -> Option<&crate::header::BlockHeader> {
+        self.blocks.get(id).map(Block::header)
+    }
+
     /// The canonical block at `height`, if within the best chain.
     pub fn block_at_height(&self, height: u64) -> Option<&Block> {
         self.canonical

@@ -6,11 +6,28 @@
 //! against the local store (known parent, height, timestamp), per-record
 //! signature recovery, and finally an injectable semantic validator — the
 //! hook through which the core crate plugs Algorithm 1 and `AutoVerif()`.
+//!
+//! ## Fast path: cache + fan-out
+//!
+//! Signature recovery dominates validation cost, so [`validate_block`]
+//! fronts it with the [`crate::sigcache`] (records already admitted by a
+//! mempool or gossip ingest skip re-recovery entirely) and fans the
+//! remaining recoveries out on a [`smartcrowd_pool::Pool`]. The parallel
+//! path is **observably identical** to the sequential one: cache lookups
+//! and insertions happen on the caller's thread in record order, results
+//! are merged index-ordered, and the *first* failing record's error is
+//! returned exactly as the sequential loop would have. The semantic
+//! validator always runs sequentially, in record order, with early exit —
+//! it may carry state. [`validate_block_sequential`] preserves the
+//! original cache-free single-threaded pipeline as the differential
+//! reference for tests and benchmarks.
 
 use crate::block::Block;
 use crate::error::ChainError;
 use crate::record::Record;
+use crate::sigcache;
 use crate::store::ChainStore;
+use smartcrowd_pool::Pool;
 
 /// Semantic record validation, implemented by higher layers (the SmartCrowd
 /// core installs Algorithm 1 + `AutoVerif()` here).
@@ -63,42 +80,130 @@ pub fn validate_block(
     block: &Block,
     validator: &dyn RecordValidator,
 ) -> Result<(), ChainError> {
+    validate_block_with(store, block, validator, smartcrowd_pool::global())
+}
+
+/// [`validate_block`] with an explicit pool (tests and benchmarks pin the
+/// thread count; production callers use the global pool).
+///
+/// # Errors
+///
+/// Identical to [`validate_block`].
+pub fn validate_block_with(
+    store: &ChainStore,
+    block: &Block,
+    validator: &dyn RecordValidator,
+    pool: &Pool,
+) -> Result<(), ChainError> {
     let _span = smartcrowd_telemetry::span!("chain.validate_block");
-    let result = validate_block_inner(store, block, validator);
+    let result = validate_block_inner(store, block, validator, pool);
     if result.is_err() {
         smartcrowd_telemetry::counter!("chain.validate.rejected").inc();
     }
     result
 }
 
-fn validate_block_inner(
+/// The seed single-threaded pipeline, kept verbatim as the differential
+/// reference: no signature cache, no fan-out, strict record-order early
+/// exit. `crates/chain/tests/validate_differential.rs` proves the
+/// parallel path returns the same verdict — including the same *first*
+/// error — and `validate_bench` uses it as the baseline.
+///
+/// # Errors
+///
+/// Returns the first failure, exactly as [`validate_block`].
+pub fn validate_block_sequential(
     store: &ChainStore,
     block: &Block,
     validator: &dyn RecordValidator,
 ) -> Result<(), ChainError> {
     block.validate_structure()?;
-    let parent = store
-        .block(&block.header().prev)
-        .ok_or(ChainError::UnknownParent {
-            parent: block.header().prev,
-        })?;
-    if block.header().height != parent.header().height + 1 {
-        return Err(ChainError::Codec {
-            detail: format!(
-                "height {} does not follow parent {}",
-                block.header().height,
-                parent.header().height
-            ),
-        });
-    }
-    if block.header().timestamp < parent.header().timestamp {
-        return Err(ChainError::TimestampRegression { id: block.id() });
-    }
+    check_linkage(store, block)?;
     for record in block.records() {
         record.verify_signature()?;
         validator.validate(record)?;
     }
     Ok(())
+}
+
+fn validate_block_inner(
+    store: &ChainStore,
+    block: &Block,
+    validator: &dyn RecordValidator,
+    pool: &Pool,
+) -> Result<(), ChainError> {
+    block.validate_structure()?;
+    check_linkage(store, block)?;
+    let records = block.records();
+    let mut sig_results = cached_signature_results(records, pool);
+    // Interleave exactly like the sequential pipeline: for record `i`,
+    // its signature verdict is consulted before its semantic verdict, and
+    // the scan stops at the first failure — so the *same first error* is
+    // returned no matter how the recoveries above were scheduled.
+    for (record, sig) in records.iter().zip(sig_results.drain(..)) {
+        sig?;
+        validator.validate(record)?;
+    }
+    Ok(())
+}
+
+/// Linkage against the local store: known parent, consecutive height,
+/// monotone timestamp. Reads only the parent *header* via
+/// [`ChainStore::header`] — the record list of the parent is irrelevant
+/// here.
+fn check_linkage(store: &ChainStore, block: &Block) -> Result<(), ChainError> {
+    let parent = store
+        .header(&block.header().prev)
+        .ok_or(ChainError::UnknownParent {
+            parent: block.header().prev,
+        })?;
+    if block.header().height != parent.height + 1 {
+        return Err(ChainError::Codec {
+            detail: format!(
+                "height {} does not follow parent {}",
+                block.header().height,
+                parent.height
+            ),
+        });
+    }
+    if block.header().timestamp < parent.timestamp {
+        return Err(ChainError::TimestampRegression { id: block.id() });
+    }
+    Ok(())
+}
+
+/// Index-aligned signature verdicts for every record, recovered through
+/// the [`sigcache`] with the misses fanned out on `pool`.
+///
+/// Determinism: cache lookups, hit/miss accounting and cache insertions
+/// all happen on the caller's thread in record order; only the pure
+/// ECDSA recoveries run on workers, and their results are merged back by
+/// index. Thread count can therefore never change the returned verdicts,
+/// the cache's evolution, or any telemetry counter.
+fn cached_signature_results(records: &[Record], pool: &Pool) -> Vec<Result<(), ChainError>> {
+    let mut results: Vec<Result<(), ChainError>> = Vec::with_capacity(records.len());
+    let mut misses: Vec<usize> = Vec::new();
+    for (index, record) in records.iter().enumerate() {
+        if sigcache::contains(&record.id()) {
+            smartcrowd_telemetry::counter!("chain.sigcache.hit").inc();
+            results.push(Ok(()));
+        } else {
+            smartcrowd_telemetry::counter!("chain.sigcache.miss").inc();
+            misses.push(index);
+            results.push(Ok(())); // placeholder, overwritten below
+        }
+    }
+    if misses.is_empty() {
+        return results;
+    }
+    let verdicts = pool.par_map(&misses, |&index| records[index].verify_signature());
+    for (&index, verdict) in misses.iter().zip(verdicts) {
+        if verdict.is_ok() {
+            sigcache::insert(records[index].id());
+        }
+        results[index] = verdict;
+    }
+    results
 }
 
 #[cfg(test)]

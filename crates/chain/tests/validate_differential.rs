@@ -1,0 +1,165 @@
+//! Differential validation tests: the parallel cached pipeline
+//! ([`validate_block_with`]) must be observably identical to the seed
+//! single-threaded pipeline ([`validate_block_sequential`]) — the same
+//! verdict AND the same *first* error, for valid blocks, tampered
+//! signatures, and semantic rejections, at every thread count.
+
+use proptest::prelude::*;
+use smartcrowd_chain::block::Block;
+use smartcrowd_chain::record::{Record, RecordKind};
+use smartcrowd_chain::validate::{
+    validate_block_sequential, validate_block_with, AcceptAll, FnValidator,
+};
+use smartcrowd_chain::{ChainError, ChainStore, Difficulty, Ether};
+use smartcrowd_crypto::keys::KeyPair;
+use smartcrowd_crypto::Address;
+use smartcrowd_pool::Pool;
+
+fn record(seed: u64, nonce: u64) -> Record {
+    let kp = KeyPair::from_seed(&seed.to_be_bytes());
+    Record::signed(
+        RecordKind::Transfer,
+        vec![seed as u8, nonce as u8],
+        Ether::from_wei(seed as u128),
+        nonce,
+        &kp,
+    )
+}
+
+/// Flips one payload byte and re-decodes: a structurally valid record
+/// whose signature no longer matches its content.
+fn tamper(r: &Record) -> Record {
+    let mut bytes = r.encode();
+    let payload_start = 1 + 20 + 8;
+    bytes[payload_start] ^= 0xff;
+    Record::decode(&bytes).unwrap()
+}
+
+/// Mines a block holding `records` on a fresh genesis at difficulty 1,
+/// so only signature/semantic checks can fail downstream.
+fn block_with(records: Vec<Record>) -> (ChainStore, Block) {
+    let genesis = Block::genesis(Difficulty::from_u64(1));
+    let store = ChainStore::new(genesis.clone());
+    let block = smartcrowd_chain::pow::Miner::new(Address::from_label("p"))
+        .mine_next(&genesis, records, genesis.header().timestamp + 15)
+        .unwrap();
+    (store, block)
+}
+
+/// Asserts both pipelines agree exactly (verdict and first error) for the
+/// given block/validator at 1, 2 and 8 threads.
+fn assert_differential(
+    store: &ChainStore,
+    block: &Block,
+    validator: &dyn smartcrowd_chain::validate::RecordValidator,
+) {
+    let reference = validate_block_sequential(store, block, validator);
+    for threads in [1, 2, 8] {
+        let parallel = validate_block_with(store, block, validator, &Pool::new(threads));
+        assert_eq!(
+            parallel, reference,
+            "parallel ({threads} threads) diverged from sequential"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random mixes of good/tampered records and a nonce-keyed semantic
+    /// rejector: verdicts and first errors always match the sequential
+    /// reference.
+    #[test]
+    fn parallel_matches_sequential(
+        count in 1usize..6,
+        tamper_sel in 0usize..7, // 6 = no tampering
+        reject_sel in 0u64..7,   // 6 = no semantic rejection
+    ) {
+        let mut records: Vec<Record> =
+            (0..count as u64).map(|i| record(i + 1, i)).collect();
+        if tamper_sel < 6 {
+            let i = tamper_sel % records.len();
+            records[i] = tamper(&records[i]);
+        }
+        let (store, block) = block_with(records);
+        let reject = (reject_sel < 6).then_some(reject_sel);
+        let validator = FnValidator(move |r: &Record| {
+            if Some(r.nonce()) == reject {
+                Err(ChainError::RecordRejected {
+                    reason: format!("nonce {} banned", r.nonce()),
+                })
+            } else {
+                Ok(())
+            }
+        });
+        assert_differential(&store, &block, &validator);
+    }
+}
+
+#[test]
+fn wide_valid_block_matches_sequential() {
+    // 20 records exceeds the pool's inline threshold (16), so the misses
+    // genuinely fan out on multi-thread pools.
+    smartcrowd_chain::sigcache::reset();
+    let records: Vec<Record> = (0..20).map(|i| record(i + 100, i)).collect();
+    let (store, block) = block_with(records);
+    assert_differential(&store, &block, &AcceptAll);
+}
+
+#[test]
+fn first_error_is_positional_not_phase_ordered() {
+    // Record 0 fails *semantically*, record 1 fails its *signature*. A
+    // naive "all signatures first" pipeline would report record 1's
+    // signature error; the sequential order demands record 0's semantic
+    // error. Both pipelines must return the semantic error.
+    smartcrowd_chain::sigcache::reset();
+    let r0 = record(50, 0);
+    let r1 = tamper(&record(51, 1));
+    let (store, block) = block_with(vec![r0, r1]);
+    let validator = FnValidator(|r: &Record| {
+        if r.nonce() == 0 {
+            Err(ChainError::RecordRejected {
+                reason: "semantic failure at index 0".into(),
+            })
+        } else {
+            Ok(())
+        }
+    });
+    let reference = validate_block_sequential(&store, &block, &validator).unwrap_err();
+    assert!(
+        matches!(
+            &reference,
+            ChainError::RecordRejected { reason } if reason.contains("semantic")
+        ),
+        "sequential reference must fail on record 0's semantics, got {reference:?}"
+    );
+    assert_differential(&store, &block, &validator);
+}
+
+#[test]
+fn warm_cache_does_not_change_verdicts() {
+    // Validate the same block twice: the second pass is served from the
+    // signature cache, and the verdict must not change. A tampered block
+    // sharing a prefix with the cached one must still fail.
+    smartcrowd_chain::sigcache::reset();
+    let records: Vec<Record> = (0..4).map(|i| record(i + 200, i)).collect();
+    let (store, block) = block_with(records.clone());
+    let pool = Pool::new(4);
+    assert_eq!(
+        validate_block_with(&store, &block, &AcceptAll, &pool),
+        Ok(()),
+    );
+    assert_eq!(
+        validate_block_with(&store, &block, &AcceptAll, &pool),
+        Ok(()),
+        "warm-cache revalidation still passes"
+    );
+    let mut tampered = records;
+    tampered[2] = tamper(&tampered[2]);
+    let (store2, bad) = block_with(tampered);
+    let err = validate_block_with(&store2, &bad, &AcceptAll, &pool).unwrap_err();
+    assert_eq!(
+        err,
+        validate_block_sequential(&store2, &bad, &AcceptAll).unwrap_err()
+    );
+}

@@ -98,18 +98,27 @@ pub struct ExploreReport {
 }
 
 /// Runs `cfg.seeds` randomized schedules; every failure is shrunk.
+///
+/// Seeds are independent (a run is a pure function of `(plan, seed)`),
+/// so the sweep fans out on the global worker pool. Results are merged
+/// in ascending seed order, so the report — pass count, failure list and
+/// their ordering — is byte-identical to the sequential sweep regardless
+/// of thread count.
 #[must_use]
 pub fn explore(cfg: &ExploreConfig, bug: Option<PlantedBug>) -> ExploreReport {
-    let mut report = ExploreReport::default();
-    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+    let seeds: Vec<u64> = (cfg.start_seed..cfg.start_seed + cfg.seeds).collect();
+    let outcomes = smartcrowd_pool::global().par_map(&seeds, |&seed| {
         let plan = FaultPlan::random(seed, &cfg.plan);
         match run_plan(&plan, seed, bug) {
-            Ok(_) => report.passed += 1,
-            Err(failure) => {
-                report
-                    .failures
-                    .push(shrink(plan, seed, failure, bug, cfg.shrink_budget));
-            }
+            Ok(_) => None,
+            Err(failure) => Some(shrink(plan, seed, failure, bug, cfg.shrink_budget)),
+        }
+    });
+    let mut report = ExploreReport::default();
+    for outcome in outcomes {
+        match outcome {
+            None => report.passed += 1,
+            Some(minimized) => report.failures.push(minimized),
         }
     }
     report

@@ -244,7 +244,10 @@ impl ProviderNode {
     fn handle_record(&mut self, record: Record, out: &mut Outbox) {
         use smartcrowd_telemetry::counter;
         counter!("core.node.records_received").inc();
-        if record.verify_signature().is_err() {
+        // Cached verification: a record gossiped to N nodes pays for ECDSA
+        // recovery once, not N times (the mempool below would repeat it a
+        // third time otherwise — `chain.sigcache.hit` counts the dedup).
+        if smartcrowd_chain::sigcache::verify_cached(&record).is_err() {
             counter!("core.node.records_bad_sig").inc();
             return; // drop silently; sender is unauthenticated
         }
@@ -384,7 +387,9 @@ impl ProviderNode {
     /// signature, SRA verification, Algorithm 1 where state allows).
     fn semantic_ok(&mut self, block: &Block) -> bool {
         for record in block.records() {
-            if record.verify_signature().is_err() {
+            // Records that already passed mempool admission or gossip
+            // ingest on this process hit the cache and skip re-recovery.
+            if smartcrowd_chain::sigcache::verify_cached(record).is_err() {
                 return false;
             }
             match record.kind() {

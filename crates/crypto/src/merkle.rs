@@ -47,6 +47,15 @@ fn hash_leaf(data: &[u8]) -> Digest {
     sha256d(&buf)
 }
 
+/// The domain-separated leaf digest of one serialized record.
+///
+/// Exposed so callers can precompute leaves (possibly in parallel) and
+/// assemble the tree via [`MerkleTree::from_leaf_hashes`]; the result is
+/// identical to what [`MerkleTree::from_leaves`] computes internally.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    hash_leaf(data)
+}
+
 fn hash_node(left: &Digest, right: &Digest) -> Digest {
     let mut buf = [0u8; 65];
     buf[0] = NODE_PREFIX;

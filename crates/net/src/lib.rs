@@ -17,8 +17,12 @@
 //! - [`sync`] — out-of-order block reassembly so lagging providers catch
 //!   up after jitter or partitions.
 //!
-//! Everything is single-threaded and seeded: a simulation run is a pure
-//! function of its configuration, which the experiment harness relies on.
+//! The *fabric itself* is single-threaded and seeded: a simulation run is
+//! a pure function of its configuration, which the experiment harness
+//! relies on. Compute inside a simulation step (signature recovery,
+//! Merkle hashing) may still fan out on `smartcrowd-pool` workers — that
+//! pool's index-ordered merge keeps results byte-identical at any thread
+//! count, so the purity guarantee survives (see `DESIGN.md` §14).
 //!
 //! The fabric is instrumented: sends by message type, bytes, drops and
 //! duplications (`net.gossip.*`), sync-buffer offer outcomes and orphan

@@ -1,0 +1,330 @@
+//! # smartcrowd-pool — deterministic fan-out/join on std threads
+//!
+//! The paper's evaluation is bounded by block verification and PoW
+//! production (§VII), yet every hot loop in this workspace was written
+//! single-threaded. This crate is the zero-dependency parallel substrate
+//! the chain, chaos and bench layers fan out on: plain `std::thread::scope`
+//! workers plus atomics — no rayon, no crossbeam, no unsafe.
+//!
+//! ## Determinism contract
+//!
+//! Parallelism must never leak into results. [`Pool::par_map`] claims
+//! contiguous index chunks with an atomic cursor, each worker tags its
+//! chunk with its starting index, and the join merges chunks **in index
+//! order** — so the output is exactly `items.iter().map(f).collect()`
+//! regardless of thread count or OS scheduling. A seeded run therefore
+//! produces byte-identical results with `SMARTCROWD_THREADS=1` and `=8`,
+//! which the workspace's telemetry-snapshot determinism tests rely on.
+//!
+//! [`Pool::par_find`] is the one deliberately racy primitive: a
+//! first-winner search with cooperative cancellation (PoW nonce hunting),
+//! where *any* returned witness is valid by construction and callers must
+//! not depend on which worker wins.
+//!
+//! ## Telemetry
+//!
+//! `pool.tasks` counts fanned-out items and `pool.searches` counts
+//! first-winner searches (see `OBSERVABILITY.md`). Both are incremented
+//! once per call on the caller's thread, so the counts are independent of
+//! the thread count.
+//!
+//! ```
+//! use smartcrowd_pool::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The unwrap/expect wall (configured in the workspace clippy.toml): the
+// pool runs inside consensus-critical validation, so library code must
+// not introduce panics of its own. Tests are exempt.
+#![warn(clippy::disallowed_methods)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable overriding the global pool's thread count.
+pub const THREADS_ENV: &str = "SMARTCROWD_THREADS";
+
+/// Below this many items [`Pool::par_map`] runs inline on the caller's
+/// thread: spawn cost dwarfs the work for tiny batches.
+pub const MIN_PARALLEL_ITEMS: usize = 16;
+
+/// A fixed-width scoped thread pool.
+///
+/// Threads are spawned per call via [`std::thread::scope`], which lets
+/// tasks borrow from the caller's stack without `'static` bounds or
+/// unsafe code, and propagates worker panics to the caller on join.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+}
+
+/// Cooperative cancellation flag shared by [`Pool::par_find`] workers.
+///
+/// Workers should poll [`CancelToken::is_cancelled`] every few hundred
+/// iterations and bail out once another worker has produced a witness.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Whether some worker already won the search.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Signals every other worker to stop.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Pool {
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Builds a pool from the environment: `SMARTCROWD_THREADS` when set
+    /// to a positive integer, otherwise the machine's available
+    /// parallelism (1 if unknown).
+    pub fn from_env() -> Self {
+        let configured = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1);
+        let threads = configured.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Pool::new(threads)
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on up to [`Pool::threads`] workers and
+    /// returns the results **in input order**.
+    ///
+    /// Workers claim contiguous chunks through an atomic cursor and tag
+    /// each produced chunk with its starting index; the join sorts chunks
+    /// by that index before concatenating, so the output is byte-for-byte
+    /// the sequential `items.iter().map(f).collect()` no matter how the
+    /// OS schedules the workers. A panic inside `f` is propagated to the
+    /// caller after all workers have stopped.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        smartcrowd_telemetry::counter!("pool.tasks").add(items.len() as u64);
+        if self.threads == 1 || items.len() < MIN_PARALLEL_ITEMS {
+            return items.iter().map(f).collect();
+        }
+        let workers = self.threads.min(items.len());
+        // 4 chunks per worker balances load without fragmenting the merge.
+        let chunk = items.len().div_ceil(workers * 4).max(1);
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            local.push((start, items[start..end].iter().map(f).collect()));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut all = Vec::new();
+            let mut panicked = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => all.extend(local),
+                    // Keep joining the rest so no worker outlives the
+                    // scope, then re-raise the first panic.
+                    Err(payload) => panicked = panicked.or(Some(payload)),
+                }
+            }
+            if let Some(payload) = panicked {
+                std::panic::resume_unwind(payload);
+            }
+            all
+        });
+        tagged.sort_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(items.len());
+        for (_, mut part) in tagged.drain(..) {
+            out.append(&mut part);
+        }
+        out
+    }
+
+    /// First-winner search: runs `f(worker_index, token)` on every worker
+    /// and returns a witness from whichever worker produced one first.
+    ///
+    /// The winning worker calls [`CancelToken::cancel`] (the pool does it
+    /// on its behalf as soon as `f` returns `Some`), and well-behaved
+    /// workers poll [`CancelToken::is_cancelled`] periodically so losing
+    /// searches stop early. When several workers race to a witness, the
+    /// lowest worker index wins the tie at join time — but callers must
+    /// treat *any* returned witness as equally valid (PoW: any satisfying
+    /// nonce seals the block). Returns `None` only if every worker
+    /// exhausted its search space.
+    pub fn par_find<R, F>(&self, f: F) -> Option<R>
+    where
+        R: Send,
+        F: Fn(usize, &CancelToken) -> Option<R> + Sync,
+    {
+        smartcrowd_telemetry::counter!("pool.searches").inc();
+        let token = CancelToken::new();
+        if self.threads == 1 {
+            return f(0, &token);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|worker| {
+                    let token = &token;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let witness = f(worker, token);
+                        if witness.is_some() {
+                            token.cancel();
+                        }
+                        witness
+                    })
+                })
+                .collect();
+            let mut found = None;
+            let mut panicked = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(Some(witness)) => {
+                        if found.is_none() {
+                            found = Some(witness);
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(payload) => panicked = panicked.or(Some(payload)),
+                }
+            }
+            if let Some(payload) = panicked {
+                std::panic::resume_unwind(payload);
+            }
+            found
+        })
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+/// The process-wide pool, sized once from [`Pool::from_env`] on first use.
+///
+/// Hot paths that cannot thread a `&Pool` parameter through their call
+/// chain (block validation, Merkle leaf hashing) share this instance.
+/// Because every pool API is deterministic in its results, sharing one
+/// global never affects outcomes — only wall-clock time.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(Pool::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            assert_eq!(pool.par_map(&items, |x| x * 3 + 1), expected);
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.par_map(&[] as &[u64], |x| *x), Vec::<u64>::new());
+        assert_eq!(pool.par_map(&[7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_preserves_order_under_uneven_work() {
+        // Earlier items take longer: without the ordered merge the fast
+        // tail chunks would arrive first.
+        let items: Vec<u64> = (0..200).collect();
+        let pool = Pool::new(8);
+        let out = pool.par_map(&items, |&x| {
+            if x < 20 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn par_find_returns_a_witness_and_cancels() {
+        let pool = Pool::new(4);
+        let found = pool.par_find(|worker, token| {
+            if worker == 2 {
+                Some(42u64)
+            } else {
+                // Losing workers spin until cancelled.
+                while !token.is_cancelled() {
+                    std::hint::spin_loop();
+                }
+                None
+            }
+        });
+        assert_eq!(found, Some(42));
+    }
+
+    #[test]
+    fn par_find_exhausted_returns_none() {
+        let pool = Pool::new(3);
+        let found: Option<u64> = pool.par_find(|_, _| None);
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    fn default_pool_has_at_least_one_thread() {
+        assert!(Pool::default().threads() >= 1);
+        assert!(global().threads() >= 1);
+    }
+}

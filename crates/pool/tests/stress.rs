@@ -1,0 +1,78 @@
+//! Pool stress and edge-case coverage: N threads × M tasks, panic
+//! propagation out of worker tasks, and the zero/one-task fast paths.
+
+use smartcrowd_pool::Pool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn n_threads_times_m_tasks_full_matrix() {
+    for threads in [1usize, 2, 3, 4, 7, 8, 16] {
+        for tasks in [0usize, 1, 2, 15, 16, 17, 64, 257, 1000] {
+            let items: Vec<usize> = (0..tasks).collect();
+            let pool = Pool::new(threads);
+            let out = pool.par_map(&items, |&i| i.wrapping_mul(2654435761) ^ threads);
+            let expected: Vec<usize> = items
+                .iter()
+                .map(|&i| i.wrapping_mul(2654435761) ^ threads)
+                .collect();
+            assert_eq!(out, expected, "threads={threads} tasks={tasks}");
+        }
+    }
+}
+
+#[test]
+fn every_task_runs_exactly_once() {
+    let counter = AtomicUsize::new(0);
+    let items: Vec<u32> = (0..513).collect();
+    let pool = Pool::new(8);
+    let out = pool.par_map(&items, |&i| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        i
+    });
+    assert_eq!(out.len(), 513);
+    assert_eq!(counter.load(Ordering::Relaxed), 513);
+}
+
+#[test]
+fn panic_in_task_propagates_to_caller() {
+    let items: Vec<u32> = (0..100).collect();
+    let pool = Pool::new(4);
+    let result = std::panic::catch_unwind(|| {
+        pool.par_map(&items, |&i| {
+            assert!(i != 57, "boom at {i}");
+            i
+        })
+    });
+    let payload = result.expect_err("worker panic must propagate");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("boom at 57"),
+        "unexpected payload: {message}"
+    );
+}
+
+#[test]
+fn panic_in_par_find_propagates_to_caller() {
+    let pool = Pool::new(4);
+    let result = std::panic::catch_unwind(|| {
+        pool.par_find::<u64, _>(|worker, _| {
+            assert!(worker != 1, "finder boom");
+            None
+        })
+    });
+    assert!(result.is_err(), "par_find panic must propagate");
+}
+
+#[test]
+fn results_identical_across_thread_counts() {
+    // The determinism contract: same input, same output bytes, any pool.
+    let items: Vec<u64> = (0..2048).collect();
+    let reference = Pool::new(1).par_map(&items, |&x| x.wrapping_mul(x) ^ 0xdead_beef);
+    for threads in [2, 4, 8, 32] {
+        let out = Pool::new(threads).par_map(&items, |&x| x.wrapping_mul(x) ^ 0xdead_beef);
+        assert_eq!(out, reference, "threads={threads}");
+    }
+}

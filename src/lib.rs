@@ -21,6 +21,8 @@
 //!   reports, Algorithm 1, incentive equations, attack scenarios, the
 //!   end-to-end [`core::platform::Platform`]);
 //! - [`sim`] — the experiment simulator and parameter sweeps;
+//! - [`pool`] — the zero-dependency scoped thread pool with deterministic
+//!   fan-out/join that the chain, chaos and bench layers parallelize on;
 //! - [`telemetry`] — zero-dependency metrics and spans instrumenting every
 //!   layer above (see `OBSERVABILITY.md`).
 //!
@@ -67,6 +69,7 @@ pub use smartcrowd_core as core;
 pub use smartcrowd_crypto as crypto;
 pub use smartcrowd_detect as detect;
 pub use smartcrowd_net as net;
+pub use smartcrowd_pool as pool;
 pub use smartcrowd_sim as sim;
 pub use smartcrowd_telemetry as telemetry;
 pub use smartcrowd_vm as vm;

@@ -39,11 +39,16 @@ fn same_seed_runs_yield_identical_snapshots() {
         "determinism holds only under the simulated clock"
     );
 
+    // The verified-signature cache is process-global state feeding the
+    // `chain.sigcache.*` counters; clear it alongside the registry so each
+    // run starts from the same blank slate.
     telemetry::global().reset();
+    smartcrowd::chain::sigcache::reset();
     seeded_run();
     let first = telemetry::global().snapshot();
 
     telemetry::global().reset();
+    smartcrowd::chain::sigcache::reset();
     seeded_run();
     let second = telemetry::global().snapshot();
 
