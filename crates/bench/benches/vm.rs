@@ -164,12 +164,114 @@ fn bench_contracts(c: &mut Criterion) {
     });
 }
 
+/// Coverage-hook overhead guard.
+///
+/// `Vm::call` threads a zero-sized [`NoCov`](smartcrowd_vm::cov::CovSink)
+/// sink through the interpreter loop; monomorphization must compile the
+/// uninstrumented path down to the pre-instrumentation loop. This bench
+/// times the plain and instrumented paths in interleaved rounds and
+/// **panics** (nonzero exit — CI treats it as a failure) if the plain
+/// path stops being at least as fast as the instrumented one, which is
+/// the signature of the hook leaking cost into the hot path (e.g. a
+/// dynamic-dispatch or branch-per-opcode regression).
+fn bench_coverage_hook(c: &mut Criterion) {
+    use smartcrowd_vm::CoverageMap;
+    use std::time::Instant;
+
+    // The same compute-heavy loop as `bench_interpreter`: jump-dense, so
+    // a leaky edge hook would show up immediately.
+    let code = assemble(
+        "
+        PUSH 100\nPUSH 0\nSSTORE\n
+    loop:
+        PUSH 0\nSLOAD\nISZERO\nPUSH @end\nJUMPI\n
+        PUSH 1\nSLOAD\nPUSH 0\nSLOAD\nADD\nPUSH 1\nSSTORE\n
+        PUSH 0\nSLOAD\nPUSH 1\nSUB\nPUSH 0\nSSTORE\n
+        PUSH 1\nPUSH @loop\nJUMPI\n
+    end:
+        JUMPDEST\nPUSH 1\nSLOAD\nRETURNVAL\n
+    ",
+    )
+    .unwrap();
+    let mut state = WorldState::new();
+    let owner = Address::from_label("owner");
+    state.credit(owner, Ether::from_ether(1_000_000));
+    let contract = state.deploy_contract(owner, code).unwrap();
+    let vm = Vm::default();
+
+    c.bench_function("vm/loop-100-coverage-off", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            vm.call(&mut s, CallContext::new(owner, contract), &[])
+                .unwrap()
+        })
+    });
+    let mut cov = CoverageMap::new();
+    c.bench_function("vm/loop-100-coverage-on", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            cov.clear();
+            vm.call_with_coverage(&mut s, CallContext::new(owner, contract), &[], &mut cov)
+                .unwrap()
+        })
+    });
+
+    // Paired guard measurement: alternate plain/instrumented rounds so
+    // clock drift and cache state hit both sides equally.
+    const ROUNDS: usize = 24;
+    const ITERS: usize = 30;
+    let mut plain = Vec::with_capacity(ROUNDS);
+    let mut instrumented = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            let mut s = state.clone();
+            black_box(
+                vm.call(&mut s, CallContext::new(owner, contract), &[])
+                    .unwrap(),
+            );
+        }
+        plain.push(t.elapsed());
+
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            let mut s = state.clone();
+            cov.clear();
+            black_box(
+                vm.call_with_coverage(&mut s, CallContext::new(owner, contract), &[], &mut cov)
+                    .unwrap(),
+            );
+        }
+        instrumented.push(t.elapsed());
+    }
+    plain.sort();
+    instrumented.sort();
+    let plain_med = plain[ROUNDS / 2].as_secs_f64();
+    let instr_med = instrumented[ROUNDS / 2].as_secs_f64();
+    let ratio = plain_med / instr_med;
+    println!(
+        "vm/coverage-hook-guard                   off/on ratio: {ratio:.3} \
+         (off {off:.4} ms, on {on:.4} ms per round)",
+        off = plain_med * 1e3,
+        on = instr_med * 1e3,
+    );
+    // The instrumented path does strictly more work per jump and storage
+    // op; the uninstrumented path must not cost more than it (25% noise
+    // margin for shared CI runners).
+    assert!(
+        ratio <= 1.25,
+        "coverage hook is no longer free when disabled: \
+         plain path is {ratio:.2}x the instrumented path"
+    );
+}
+
 criterion_group!(
     benches,
     bench_assembler,
     bench_interpreter,
     bench_verifier,
     bench_analysis,
-    bench_contracts
+    bench_contracts,
+    bench_coverage_hook
 );
 criterion_main!(benches);

@@ -128,6 +128,10 @@ pub fn explore(cfg: &ExploreConfig, bug: Option<PlantedBug>) -> ExploreReport {
 /// horizon, then fewer nodes — repeating until a fixpoint or until the
 /// run budget is spent. The returned plan is guaranteed to still fail
 /// under `seed`.
+///
+/// The loop itself lives in [`crate::shrink::greedy_fixpoint`]; this
+/// function only supplies the three plan-shrinking axes and the
+/// `run_plan` judge.
 #[must_use]
 pub fn shrink(
     plan: FaultPlan,
@@ -136,64 +140,44 @@ pub fn shrink(
     bug: Option<PlantedBug>,
     budget: usize,
 ) -> MinimizedFailure {
-    let mut best = plan;
-    let mut best_failure = failure;
-    let mut runs = 0usize;
-    let mut progress = true;
-    while progress && runs < budget {
-        progress = false;
-        // Axis 1: fewer faults.
-        let mut i = 0;
-        while i < best.events.len() && runs < budget {
-            let candidate = best.without_event(i);
-            runs += 1;
-            if let Err(f) = run_plan(&candidate, seed, bug) {
-                best = candidate;
-                best_failure = f;
-                progress = true;
-                // The same index now holds the next event.
-            } else {
-                i += 1;
-            }
+    // Axis 1: fewer faults — drop each event in turn.
+    let drop_event = |p: &FaultPlan| (0..p.events.len()).map(|i| p.without_event(i)).collect();
+    // Axis 2: shorter horizon (halve while far out, then decrement).
+    // `with_rounds` clamps up to cover the last event plus the recovery
+    // tail, so the candidate only counts when it actually got shorter.
+    let shorter_horizon = |p: &FaultPlan| {
+        let target = if p.rounds > 2 * RECOVERY_TAIL {
+            p.rounds / 2
+        } else {
+            p.rounds.saturating_sub(1)
+        };
+        let candidate = p.with_rounds(target);
+        if candidate.rounds < p.rounds {
+            vec![candidate]
+        } else {
+            Vec::new()
         }
-        // Axis 2: shorter horizon (halve while far out, then decrement).
-        while runs < budget {
-            let target = if best.rounds > 2 * RECOVERY_TAIL {
-                best.rounds / 2
-            } else {
-                best.rounds.saturating_sub(1)
-            };
-            let candidate = best.with_rounds(target);
-            if candidate.rounds >= best.rounds {
-                break;
-            }
-            runs += 1;
-            if let Err(f) = run_plan(&candidate, seed, bug) {
-                best = candidate;
-                best_failure = f;
-                progress = true;
-            } else {
-                break;
-            }
+    };
+    // Axis 3: fewer nodes.
+    let fewer_nodes = |p: &FaultPlan| {
+        if p.nodes > 2 {
+            vec![p.with_nodes(p.nodes - 1)]
+        } else {
+            Vec::new()
         }
-        // Axis 3: fewer nodes.
-        while best.nodes > 2 && runs < budget {
-            let candidate = best.with_nodes(best.nodes - 1);
-            runs += 1;
-            if let Err(f) = run_plan(&candidate, seed, bug) {
-                best = candidate;
-                best_failure = f;
-                progress = true;
-            } else {
-                break;
-            }
-        }
-    }
+    };
+    let out = crate::shrink::greedy_fixpoint(
+        plan,
+        failure,
+        budget,
+        &[&drop_event, &shorter_horizon, &fewer_nodes],
+        &mut |candidate: &FaultPlan| run_plan(candidate, seed, bug).err(),
+    );
     MinimizedFailure {
         seed,
-        plan: best,
-        failure: best_failure,
-        shrink_runs: runs,
+        plan: out.best,
+        failure: out.info,
+        shrink_runs: out.runs,
         planted: bug.is_some(),
     }
 }

@@ -44,10 +44,12 @@ pub mod explore;
 pub mod oracle;
 pub mod plan;
 pub mod settle;
+pub mod shrink;
 pub mod sim;
 
 pub use explore::{explore, shrink, ExploreConfig, ExploreReport, MinimizedFailure};
 pub use oracle::{NodeView, OracleKind, Oracles, Violation};
 pub use plan::{ByzantineBehavior, FaultEvent, FaultKind, FaultPlan, PlanConfig};
 pub use settle::{settle_confirmed, SettleError, Settlement};
+pub use shrink::{greedy_fixpoint, Shrunk};
 pub use sim::{run_plan, ChaosFailure, ChaosOutcome, ChaosSim, PlantedBug};

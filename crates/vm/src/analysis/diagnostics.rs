@@ -45,6 +45,21 @@ pub enum DiagnosticKind {
     LoopBound,
 }
 
+impl DiagnosticKind {
+    /// Stable kebab-case name — the machine-readable identifier used by
+    /// `scvm-lint --json` and the fuzzer's telemetry labels. Renaming a
+    /// variant must not change these strings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiagnosticKind::UnreachableBlock => "unreachable-block",
+            DiagnosticKind::DivByZero => "div-by-zero",
+            DiagnosticKind::OobMemory => "oob-memory",
+            DiagnosticKind::UnboundedLoop => "unbounded-loop",
+            DiagnosticKind::LoopBound => "loop-bound",
+        }
+    }
+}
+
 /// One analysis finding, anchored to the program counter of the
 /// instruction it concerns.
 #[derive(Debug, Clone, PartialEq, Eq)]

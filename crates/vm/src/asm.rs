@@ -90,7 +90,9 @@ impl SourceMap {
         match e {
             VmError::TruncatedImmediate { pc }
             | VmError::StackUnderflow { pc }
-            | VmError::StackOverflow { pc } => Some(*pc),
+            | VmError::StackOverflow { pc }
+            | VmError::BadJump { pc, .. }
+            | VmError::MemoryLimit { pc, .. } => Some(*pc),
             VmError::Verify(v) => Some(v.pc()),
             _ => None,
         }
@@ -475,6 +477,29 @@ mod tests {
         assert_eq!(map.span_at(19), Some(Span { line: 4, col: 1 }));
         assert_eq!(map.span_at(21), Some(Span { line: 5, col: 1 }));
         assert_eq!(code.len(), 22);
+    }
+
+    #[test]
+    fn source_map_maps_mid_block_runtime_traps() {
+        // BadJump and MemoryLimit fire mid-block (the faulting jump /
+        // memory op is rarely a block entry), so they must carry their
+        // own pc for the span lookup rather than rendering bare.
+        let (_, map) = assemble_with_source_map("PUSH 1\nPUSH 5\nJUMP\nSTOP\n").unwrap();
+        // The JUMP sits at pc 18, past the two 9-byte PUSHes.
+        let err = VmError::BadJump { pc: 18, dest: 5 };
+        assert_eq!(SourceMap::vm_error_pc(&err), Some(18));
+        let rendered = map.describe_vm_error(&err);
+        assert!(rendered.starts_with("3:1:"), "got {rendered}");
+
+        let (_, map) = assemble_with_source_map("PUSH 1\nPUSH 2\nADD\nMLOAD\nSTOP\n").unwrap();
+        // The MLOAD sits at pc 19, mid-block after the ADD.
+        let err = VmError::MemoryLimit {
+            pc: 19,
+            offset: usize::MAX,
+        };
+        assert_eq!(SourceMap::vm_error_pc(&err), Some(19));
+        let rendered = map.describe_vm_error(&err);
+        assert!(rendered.starts_with("4:1:"), "got {rendered}");
     }
 
     #[test]

@@ -5,32 +5,39 @@
 //! diagnostics with source line/column spans:
 //!
 //! ```text
-//! scvm-lint [--deny-warnings] [--max-trips N] FILE...
+//! scvm-lint [--deny-warnings] [--max-trips N] [--json] FILE...
 //! ```
 //!
-//! Exit status is `2` on usage errors, `1` when any file fails to
-//! assemble, is rejected by the deploy gate, or produces an
-//! `error`-severity diagnostic (also `warning`-severity under
-//! `--deny-warnings`), and `0` otherwise.
+//! With `--json` the human-readable output is replaced by a single JSON
+//! array on stdout with one object per file: path, gas verdict, summary
+//! stats and every diagnostic with its `pc`, `line`/`col` span, stable
+//! kebab-case `kind` and message. Exit codes are identical in both
+//! modes: `2` on usage errors, `1` when any file fails to assemble, is
+//! rejected by the deploy gate, or produces an `error`-severity
+//! diagnostic (also `warning`-severity under `--deny-warnings`), and
+//! `0` otherwise.
 
-use smartcrowd_vm::analysis::{analyze, AnalysisConfig, Severity};
-use smartcrowd_vm::asm::assemble_with_source_map;
+use smartcrowd_vm::analysis::{analyze, Analysis, AnalysisConfig, Severity};
+use smartcrowd_vm::asm::{assemble_with_source_map, SourceMap};
+use smartcrowd_vm::GasVerdict;
 use std::process::ExitCode;
 
 struct Options {
     deny_warnings: bool,
+    json: bool,
     config: AnalysisConfig,
     files: Vec<String>,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: scvm-lint [--deny-warnings] [--max-trips N] FILE...");
+    eprintln!("usage: scvm-lint [--deny-warnings] [--max-trips N] [--json] FILE...");
     ExitCode::from(2)
 }
 
 fn parse_args(args: &[String]) -> Result<Options, ExitCode> {
     let mut opts = Options {
         deny_warnings: false,
+        json: false,
         config: AnalysisConfig::default(),
         files: Vec::new(),
     };
@@ -38,6 +45,7 @@ fn parse_args(args: &[String]) -> Result<Options, ExitCode> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny-warnings" => opts.deny_warnings = true,
+            "--json" => opts.json = true,
             "--max-trips" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("scvm-lint: --max-trips needs an integer argument");
@@ -59,29 +67,26 @@ fn parse_args(args: &[String]) -> Result<Options, ExitCode> {
     Ok(opts)
 }
 
-/// Lints one file. Returns the worst severity it produced, `None` when the
-/// listing is clean.
+/// Reads, assembles and analyzes one file. `Err` carries the rendered
+/// failure message (read error, parse error or deploy-gate rejection).
+fn analyze_file(path: &str, config: &AnalysisConfig) -> Result<(Analysis, SourceMap), String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let (code, map) = assemble_with_source_map(&source).map_err(|e| e.to_string())?;
+    match analyze(&code, config) {
+        Ok(a) => Ok((a, map)),
+        // Deploy-gate rejection: render with the source span when the
+        // error names a program counter.
+        Err(e) => Err(map.describe_vm_error(&e)),
+    }
+}
+
+/// Lints one file in text mode. Returns the worst severity it produced,
+/// `None` when the listing is clean.
 fn lint_file(path: &str, config: &AnalysisConfig) -> Option<Severity> {
-    let source = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {path}: cannot read: {e}");
-            return Some(Severity::Error);
-        }
-    };
-    let (code, map) = match assemble_with_source_map(&source) {
+    let (analysis, map) = match analyze_file(path, config) {
         Ok(out) => out,
-        Err(e) => {
-            eprintln!("error: {path}: {e}");
-            return Some(Severity::Error);
-        }
-    };
-    let analysis = match analyze(&code, config) {
-        Ok(a) => a,
-        Err(e) => {
-            // Deploy-gate rejection: render with the source span when the
-            // error names a program counter.
-            eprintln!("error: {path}: {}", map.describe_vm_error(&e));
+        Err(msg) => {
+            eprintln!("error: {path}: {msg}");
             return Some(Severity::Error);
         }
     };
@@ -99,6 +104,53 @@ fn lint_file(path: &str, config: &AnalysisConfig) -> Option<Severity> {
     analysis.diagnostics.iter().map(|d| d.severity).min()
 }
 
+/// Lints one file in JSON mode: returns the file's JSON object plus the
+/// same worst-severity verdict as the text path.
+fn lint_file_json(path: &str, config: &AnalysisConfig) -> (serde_json::Value, Option<Severity>) {
+    use serde_json::{json, Value};
+    let (analysis, map) = match analyze_file(path, config) {
+        Ok(out) => out,
+        Err(msg) => {
+            let doc = json!({
+                "path": path,
+                "ok": false,
+                "error": msg,
+            });
+            return (doc, Some(Severity::Error));
+        }
+    };
+
+    let diags: Vec<Value> = analysis
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let span = map.enclosing(d.pc);
+            json!({
+                "severity": d.severity.to_string(),
+                "kind": d.kind.name(),
+                "pc": d.pc,
+                "line": span.map(|s| s.line),
+                "col": span.map(|s| s.col),
+                "message": &d.message,
+            })
+        })
+        .collect();
+    let (verdict, bound) = match analysis.gas {
+        GasVerdict::Bounded(g) => ("bounded", Some(g)),
+        GasVerdict::Unbounded { .. } => ("unbounded", None),
+    };
+    let doc = json!({
+        "path": path,
+        "ok": true,
+        "instructions": analysis.cfg.instruction_count(),
+        "blocks": analysis.cfg.block_count(),
+        "max_stack": analysis.max_stack_depth,
+        "gas": json!({ "verdict": verdict, "bound": bound }),
+        "diagnostics": Value::Array(diags),
+    });
+    (doc, analysis.diagnostics.iter().map(|d| d.severity).min())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -107,12 +159,24 @@ fn main() -> ExitCode {
     };
 
     let mut worst: Option<Severity> = None;
+    let mut json_docs = Vec::new();
     for path in &opts.files {
-        let sev = lint_file(path, &opts.config);
+        let sev = if opts.json {
+            let (doc, sev) = lint_file_json(path, &opts.config);
+            json_docs.push(doc);
+            sev
+        } else {
+            lint_file(path, &opts.config)
+        };
         worst = match (worst, sev) {
             (Some(w), Some(s)) => Some(w.min(s)),
             (w, s) => w.or(s),
         };
+    }
+    if opts.json {
+        let out = serde_json::to_string_pretty(&serde_json::Value::Array(json_docs))
+            .expect("serialization is total");
+        println!("{out}");
     }
 
     let deny = match worst {

@@ -28,6 +28,8 @@ pub enum VmError {
     },
     /// A jump targeted a non-`JUMPDEST` position.
     BadJump {
+        /// Program counter of the faulting jump instruction.
+        pc: usize,
         /// The attempted destination.
         dest: usize,
     },
@@ -67,6 +69,8 @@ pub enum VmError {
     },
     /// Memory access beyond the configured bound.
     MemoryLimit {
+        /// Program counter of the faulting memory instruction.
+        pc: usize,
         /// The offending offset.
         offset: usize,
     },
@@ -83,7 +87,9 @@ impl fmt::Display for VmError {
             }
             VmError::StackUnderflow { pc } => write!(f, "stack underflow at pc {pc}"),
             VmError::StackOverflow { pc } => write!(f, "stack overflow at pc {pc}"),
-            VmError::BadJump { dest } => write!(f, "jump to invalid destination {dest}"),
+            VmError::BadJump { pc, dest } => {
+                write!(f, "jump at pc {pc} to invalid destination {dest}")
+            }
             VmError::OutOfGas { used, limit } => {
                 write!(f, "out of gas: used {used} of {limit}")
             }
@@ -97,8 +103,11 @@ impl fmt::Display for VmError {
             VmError::Parse { line, detail } => write!(f, "parse error on line {line}: {detail}"),
             VmError::UndefinedLabel { label } => write!(f, "undefined label '{label}'"),
             VmError::DuplicateLabel { label } => write!(f, "duplicate label '{label}'"),
-            VmError::MemoryLimit { offset } => {
-                write!(f, "memory access at {offset} exceeds the limit")
+            VmError::MemoryLimit { pc, offset } => {
+                write!(
+                    f,
+                    "memory access at pc {pc} to offset {offset} exceeds the limit"
+                )
             }
             VmError::Verify(e) => write!(f, "bytecode rejected by the verifier: {e}"),
         }
@@ -118,7 +127,7 @@ mod tests {
             VmError::TruncatedImmediate { pc: 3 },
             VmError::StackUnderflow { pc: 1 },
             VmError::StackOverflow { pc: 2 },
-            VmError::BadJump { dest: 7 },
+            VmError::BadJump { pc: 5, dest: 7 },
             VmError::OutOfGas { used: 10, limit: 9 },
             VmError::InsufficientBalance,
             VmError::InsufficientCallerFunds,
@@ -133,7 +142,10 @@ mod tests {
                 label: "loop".into(),
             },
             VmError::DuplicateLabel { label: "x".into() },
-            VmError::MemoryLimit { offset: 1 << 30 },
+            VmError::MemoryLimit {
+                pc: 9,
+                offset: 1 << 30,
+            },
             VmError::Verify(crate::verify::VerifyError::SwapZero { pc: 6 }),
         ];
         for v in variants {

@@ -13,6 +13,7 @@
 //! `PUSH to, PUSH amount, TRANSFER` pays `amount` wei to `to`;
 //! `PUSH cond, PUSH dest, JUMPI` jumps to `dest` when `cond ≠ 0`.
 
+use crate::cov::{CovSink, CoverageMap, NoCov};
 use crate::error::VmError;
 use crate::gas;
 use crate::isa::{analyze_jumpdests, Op, OpClass};
@@ -264,7 +265,7 @@ impl Vm {
         ctx: CallContext,
         calldata: &[u8],
     ) -> Result<Receipt, VmError> {
-        self.call_inner(state, ctx, calldata, None)
+        self.call_inner(state, ctx, calldata, None, &mut NoCov)
     }
 
     /// Like [`Vm::call`], additionally recording a step-by-step execution
@@ -280,16 +281,51 @@ impl Vm {
         calldata: &[u8],
     ) -> Result<(Receipt, Vec<TraceStep>), VmError> {
         let mut trace = Vec::new();
-        let receipt = self.call_inner(state, ctx, calldata, Some(&mut trace))?;
+        let receipt = self.call_inner(state, ctx, calldata, Some(&mut trace), &mut NoCov)?;
         Ok((receipt, trace))
     }
 
-    fn call_inner(
+    /// Like [`Vm::call`], additionally recording edge coverage into
+    /// `cov` (see [`crate::cov`]) — the fuzzer's feedback signal.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Vm::call`].
+    pub fn call_with_coverage(
+        &self,
+        state: &mut WorldState,
+        ctx: CallContext,
+        calldata: &[u8],
+        cov: &mut CoverageMap,
+    ) -> Result<Receipt, VmError> {
+        self.call_inner(state, ctx, calldata, None, cov)
+    }
+
+    /// [`Vm::call_traced`] and [`Vm::call_with_coverage`] combined:
+    /// records both a step trace and edge coverage in one execution.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Vm::call`].
+    pub fn call_traced_with_coverage(
+        &self,
+        state: &mut WorldState,
+        ctx: CallContext,
+        calldata: &[u8],
+        cov: &mut CoverageMap,
+    ) -> Result<(Receipt, Vec<TraceStep>), VmError> {
+        let mut trace = Vec::new();
+        let receipt = self.call_inner(state, ctx, calldata, Some(&mut trace), cov)?;
+        Ok((receipt, trace))
+    }
+
+    fn call_inner<C: CovSink>(
         &self,
         state: &mut WorldState,
         ctx: CallContext,
         calldata: &[u8],
         tracer: Option<&mut Vec<TraceStep>>,
+        cov: &mut C,
     ) -> Result<Receipt, VmError> {
         let code: Vec<u8> = state
             .account(&ctx.contract)
@@ -339,7 +375,7 @@ impl Vm {
                 limit: m.gas_limit,
             })
         } else {
-            self.run(&mut m, state, &ctx, calldata, tracer)
+            self.run(&mut m, state, &ctx, calldata, tracer, cov)
         };
 
         let gas_used = m.gas_used.min(ctx.gas_limit);
@@ -369,6 +405,9 @@ impl Vm {
                 state.rollback();
             }
             Err(fault) => {
+                // Synthetic fault edge: lets coverage distinguish "same pc,
+                // different trap class" outcomes (mirrors CoverageMap::fault).
+                cov.edge(m.pc, usize::MAX - crate::cov::fault_class(&fault) as usize);
                 receipt.fault = Some(fault);
                 receipt.logs.clear();
                 state.rollback();
@@ -381,13 +420,14 @@ impl Vm {
         Ok(receipt)
     }
 
-    fn run(
+    fn run<C: CovSink>(
         &self,
         m: &mut Machine<'_>,
         state: &mut WorldState,
         ctx: &CallContext,
         calldata: &[u8],
         mut tracer: Option<&mut Vec<TraceStep>>,
+        cov: &mut C,
     ) -> Result<Halt, VmError> {
         let mut steps = 0u64;
         loop {
@@ -512,8 +552,14 @@ impl Vm {
                 Op::Keccak => {
                     let len = m.pop()?.low_u64() as usize;
                     let offset = m.pop()?.low_u64() as usize;
-                    m.charge(6 * (len as u64 / 32 + 1))?;
+                    // Bounds before the per-word hashing charge: `len` is
+                    // attacker-controlled and unbounded, so charging for it
+                    // first would let an out-of-bounds request charge past
+                    // any finite amount — the gas-bound analysis prices
+                    // KECCAK by the largest *in-bounds* range (found by
+                    // scvm-fuzz's gas-verdict oracle).
                     m.touch_memory(offset, len)?;
+                    m.charge(6 * (len as u64 / 32 + 1))?;
                     let digest = keccak256(&m.memory[offset..offset + len]);
                     m.push(U256::from_be_bytes(&digest))?;
                 }
@@ -541,7 +587,13 @@ impl Vm {
                     let offset = m.pop()?.low_u64() as usize;
                     let mut word = [0u8; 32];
                     for (i, byte) in word.iter_mut().enumerate() {
-                        *byte = calldata.get(offset + i).copied().unwrap_or(0);
+                        // checked_add: an offset near usize::MAX must read
+                        // as zero-padding, not wrap around to byte i.
+                        *byte = offset
+                            .checked_add(i)
+                            .and_then(|idx| calldata.get(idx))
+                            .copied()
+                            .unwrap_or(0);
                     }
                     m.push(U256::from_be_bytes(&word))?;
                 }
@@ -556,11 +608,13 @@ impl Vm {
                 }
                 Op::SLoad => {
                     let key = m.pop()?;
+                    cov.read(&key);
                     m.push(state.storage_get(&ctx.contract, &key))?;
                 }
                 Op::SStore => {
                     let key = m.pop()?;
                     let value = m.pop()?;
+                    cov.write(&key);
                     // Dynamic cost depends on slot freshness: peek first.
                     let fresh = state.storage_get(&ctx.contract, &key).is_zero();
                     m.charge(if fresh {
@@ -585,16 +639,21 @@ impl Vm {
                 }
                 Op::Jump => {
                     let dest = m.pop()?.low_u64() as usize;
+                    let from = m.pc;
                     m.jump(dest)?;
+                    cov.edge(from, dest);
                     continue;
                 }
                 Op::JumpI => {
                     let dest = m.pop()?.low_u64() as usize;
                     let cond = m.pop()?;
                     if !cond.is_zero() {
+                        let from = m.pc;
                         m.jump(dest)?;
+                        cov.edge(from, dest);
                         continue;
                     }
+                    cov.edge(m.pc, next_pc);
                 }
                 Op::JumpDest => {}
                 Op::Transfer => {
@@ -674,18 +733,22 @@ impl Machine<'_> {
 
     fn jump(&mut self, dest: usize) -> Result<(), VmError> {
         if self.jumpdests.binary_search(&dest).is_err() {
-            return Err(VmError::BadJump { dest });
+            return Err(VmError::BadJump { pc: self.pc, dest });
         }
         self.pc = dest;
         Ok(())
     }
 
     fn touch_memory(&mut self, offset: usize, len: usize) -> Result<(), VmError> {
-        let end = offset
-            .checked_add(len)
-            .ok_or(VmError::MemoryLimit { offset })?;
+        let end = offset.checked_add(len).ok_or(VmError::MemoryLimit {
+            pc: self.pc,
+            offset,
+        })?;
         if end > MEMORY_LIMIT {
-            return Err(VmError::MemoryLimit { offset });
+            return Err(VmError::MemoryLimit {
+                pc: self.pc,
+                offset,
+            });
         }
         if end > self.memory.len() {
             let new_words = (end - self.memory.len()).div_ceil(32) as u64;
@@ -739,6 +802,43 @@ mod tests {
         Vm::default()
             .call(&mut state, CallContext::new(owner, contract), &[])
             .unwrap()
+    }
+
+    #[test]
+    fn keccak_oob_length_faults_without_unbounded_charge() {
+        // Found by scvm-fuzz: a KECCAK length past MEMORY_LIMIT used to
+        // charge its per-word hashing gas before the bounds check — an
+        // effectively unbounded charge (~6 * 2^59 gas for a u64-max
+        // length), contradicting every finite analyzer gas bound. The
+        // bounds check must fire first, leaving a MemoryLimit fault and
+        // only the gas charged up to that point.
+        let (receipt, _, _) = run("PUSH 0\nPUSH 0x020000000000001f\nKECCAK\nRETURNVAL\n", &[]);
+        assert!(
+            matches!(receipt.fault, Some(VmError::MemoryLimit { .. })),
+            "fault: {:?}",
+            receipt.fault
+        );
+        // Intrinsic call gas plus a few static charges — nowhere near the
+        // ~2.7e16 the length-derived charge would have been.
+        assert!(
+            receipt.gas_used < 10_000,
+            "no unbounded length charge: {}",
+            receipt.gas_used
+        );
+    }
+
+    #[test]
+    fn calldataload_near_max_offset_reads_zero_padding() {
+        // Found by scvm-fuzz: an offset whose low 64 bits are u64::MAX
+        // used to compute `offset + i` unchecked — an overflow panic in
+        // debug builds and a wrap-around read of calldata byte `i` in
+        // release builds. Past-the-end loads must read as zeros.
+        let (receipt, _, _) = run(
+            "PUSH 0xffffffffffffffff\nCALLDATALOAD\nRETURNVAL\n",
+            &[0xab; 64],
+        );
+        assert!(receipt.success, "fault: {:?}", receipt.fault);
+        assert_eq!(receipt.return_value, Some(U256::ZERO));
     }
 
     #[test]
@@ -1053,6 +1153,47 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.fault, Some(VmError::StepLimit));
+    }
+
+    #[test]
+    fn coverage_records_jumps_and_storage() {
+        let code = "
+            PUSH 3\nPUSH 0\nSSTORE\n
+        loop:
+            PUSH 0\nSLOAD\nISZERO\nPUSH @end\nJUMPI\n
+            PUSH 0\nSLOAD\nPUSH 1\nSUB\nPUSH 0\nSSTORE\n
+            PUSH 1\nPUSH @loop\nJUMPI\n
+        end:
+            JUMPDEST\nSTOP\n
+        ";
+        let (mut state, owner, contract) = setup(code);
+        let mut cov = crate::cov::CoverageMap::new();
+        let r = Vm::default()
+            .call_with_coverage(&mut state, CallContext::new(owner, contract), &[], &mut cov)
+            .unwrap();
+        assert!(r.success, "fault: {:?}", r.fault);
+        let (jmp, read, write) = cov.hit_slots();
+        assert!(jmp >= 2, "taken + fallthrough edges: {jmp}");
+        assert_eq!(read, 1, "one storage slot read");
+        assert_eq!(write, 1, "one storage slot written");
+
+        // The instrumented and uninstrumented paths agree on the receipt.
+        let (mut state2, owner2, contract2) = setup(code);
+        let plain = Vm::default()
+            .call(&mut state2, CallContext::new(owner2, contract2), &[])
+            .unwrap();
+        assert_eq!(plain, r);
+    }
+
+    #[test]
+    fn coverage_records_fault_edges() {
+        let (mut state, owner, contract) = plant_unverified("PUSH 3\nJUMP\nSTOP\n");
+        let mut cov = crate::cov::CoverageMap::new();
+        let r = Vm::default()
+            .call_with_coverage(&mut state, CallContext::new(owner, contract), &[], &mut cov)
+            .unwrap();
+        assert!(matches!(r.fault, Some(VmError::BadJump { .. })));
+        assert!(cov.hit_slots().0 >= 1, "synthetic fault edge recorded");
     }
 
     #[test]

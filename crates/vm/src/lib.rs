@@ -93,6 +93,7 @@
 
 pub mod analysis;
 pub mod asm;
+pub mod cov;
 pub mod error;
 pub mod exec;
 pub mod gas;
@@ -102,6 +103,7 @@ pub mod state;
 pub mod verify;
 
 pub use analysis::{analyze, Analysis, AnalysisConfig, GasVerdict};
+pub use cov::{CoverageAccumulator, CoverageMap};
 pub use error::VmError;
 pub use exec::{CallContext, Vm};
 pub use receipt::Receipt;
