@@ -104,6 +104,29 @@ fn bench_analysis(c: &mut Criterion) {
             a
         })
     });
+
+    // 24 guarded calldata-amount transfers in sequence: stresses the
+    // balance-flow domain (symbolic amount expressions, guarded-edge
+    // reachability, per-site verdict composition) far past the two
+    // transfer sites the shipped escrow has.
+    let mut flows = String::new();
+    for i in 0..24 {
+        flows.push_str(&format!(
+            "CALLER\nPUSH 4\nSLOAD\nEQ\nISZERO\nPUSH @fail\nJUMPI\n\
+             CALLER\nPUSH {}\nCALLDATALOAD\nTRANSFER\n",
+            32 * i
+        ));
+    }
+    flows.push_str("STOP\nfail:\nPUSH 1\nREVERT\n");
+    let flows = assemble(&flows).unwrap();
+    c.bench_function("vm/analyze-24-guarded-transfers", |b| {
+        b.iter(|| {
+            let a = analyze(black_box(&flows), &config).unwrap();
+            assert!(a.safety.conserves_escrow.is_proved());
+            assert_eq!(a.safety.transfers.len(), 24);
+            a
+        })
+    });
 }
 
 fn bench_contracts(c: &mut Criterion) {

@@ -164,6 +164,9 @@ fn main() {
             "FAIL: cached+parallel validation slower than sequential at \
              {GATE_SIZE} records"
         );
+        // CI perf gate: a hard nonzero exit is the whole point here, and
+        // bin targets are exempt from the workspace process::exit wall.
+        #[allow(clippy::disallowed_methods)]
         std::process::exit(1);
     }
 }

@@ -435,4 +435,39 @@ mod tests {
             );
         }
     }
+
+    #[test]
+    fn shipped_contracts_prove_every_economic_safety_verdict() {
+        use smartcrowd_vm::analysis::{analyze, AnalysisConfig};
+        for (name, asm) in [
+            ("sra_escrow", SRA_ESCROW_ASM),
+            ("report_registry", REPORT_REGISTRY_ASM),
+        ] {
+            let code = assemble(asm).unwrap();
+            let a = analyze(&code, &AnalysisConfig::default()).unwrap();
+            let s = &a.safety;
+            assert!(s.leak.is_none(), "{name}: {:?}", s.leak);
+            assert!(s.conserves_escrow.is_proved(), "{name}: conserves-escrow");
+            assert!(s.bounded_payout.is_proved(), "{name}: bounded-payout");
+            assert!(
+                s.no_unauthorized_flow.is_proved(),
+                "{name}: no-unauthorized-flow"
+            );
+        }
+        // The escrow's payout bound is the paper's per-report reward
+        // expression: mu (slot 1) times the report count (calldata word
+        // 2, byte offset 64).
+        let code = assemble(SRA_ESCROW_ASM).unwrap();
+        let a = analyze(&code, &AnalysisConfig::default()).unwrap();
+        let amounts: Vec<String> = a
+            .safety
+            .transfers
+            .iter()
+            .map(|t| t.amount.to_string())
+            .collect();
+        assert!(
+            amounts.iter().any(|s| s == "(storage[1] * calldata[64])"),
+            "payout bound must be mu*n, got {amounts:?}"
+        );
+    }
 }

@@ -125,6 +125,7 @@ fn json_report(report: &FuzzReport) -> String {
             "write": report.covered.2,
         }),
         "differential_ops": report.differential_ops,
+        "suspicious_witnesses": report.suspicious_witnesses,
         "clean": report.clean(),
         "violations": Value::Array(violations),
     });

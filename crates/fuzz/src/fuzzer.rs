@@ -117,6 +117,12 @@ pub struct FuzzReport {
     pub covered: (usize, usize, usize),
     /// Native-differential operations compared (0 when disabled).
     pub differential_ops: u64,
+    /// Programs whose `Unbounded { witness_block }` gas witness was
+    /// never executed by any run in the whole campaign. Not a proof of
+    /// unsoundness (the verdict only claims *some* unbounded path
+    /// exists), but a phantom witness would hide a missed `Bounded`
+    /// proof, so the count is surfaced for triage.
+    pub suspicious_witnesses: usize,
     /// Shrunk counterexamples, in discovery order.
     pub violations: Vec<MinimizedCase>,
 }
@@ -142,6 +148,11 @@ impl FuzzReport {
             self.covered.0, self.covered.1, self.covered.2
         );
         let _ = writeln!(out, "  differential: {} ops", self.differential_ops);
+        let _ = writeln!(
+            out,
+            "  suspicious:   {} unexecuted gas witnesses",
+            self.suspicious_witnesses
+        );
         let _ = writeln!(out, "  violations:   {}", self.violations.len());
         for v in &self.violations {
             let _ = writeln!(out, "\n[{}] {}", v.violation.kind(), v.violation);
@@ -257,6 +268,8 @@ fn count_violation(kind: &str) {
         "gas-bound" => counter!("vm.fuzz.violations", "oracle" => "gas-bound").inc(),
         "clean-trap" => counter!("vm.fuzz.violations", "oracle" => "clean-trap").inc(),
         "phantom-fault" => counter!("vm.fuzz.violations", "oracle" => "phantom-fault").inc(),
+        "storage-effect" => counter!("vm.fuzz.violations", "oracle" => "storage-effect").inc(),
+        "safety-verdict" => counter!("vm.fuzz.violations", "oracle" => "safety-verdict").inc(),
         _ => counter!("vm.fuzz.violations", "oracle" => "native-divergence").inc(),
     }
 }
@@ -315,6 +328,10 @@ impl Fuzzer {
         // Discovery order, capped per kind; BTreeMap keeps render stable.
         let mut found: BTreeMap<&'static str, usize> = BTreeMap::new();
         let mut minimized: Vec<MinimizedCase> = Vec::new();
+        // Per-program gas witnesses: code id → whether any run entered
+        // the witness block. Entries still `false` at the end of the
+        // campaign are the suspicious-witness report.
+        let mut witnesses: BTreeMap<String, bool> = BTreeMap::new();
 
         let mut execs = 0u64;
         let mut rounds = 0u64;
@@ -342,6 +359,10 @@ impl Fuzzer {
             for (candidate, outcome) in candidates.iter().zip(outcomes) {
                 if accum.add(&outcome.coverage) && rounds > 0 {
                     corpus.push(candidate.clone());
+                }
+                if let Some((_, executed)) = outcome.gas_witness {
+                    let seen = witnesses.entry(candidate.code_id()).or_insert(false);
+                    *seen |= executed;
                 }
                 if let Some(v) = outcome.violation {
                     let seen = found.entry(v.kind()).or_insert(0);
@@ -375,6 +396,8 @@ impl Fuzzer {
         gauge!("vm.cov.jmp_edges").set(covered.0 as i64);
         gauge!("vm.cov.read_slots").set(covered.1 as i64);
         gauge!("vm.cov.write_slots").set(covered.2 as i64);
+        let suspicious_witnesses = witnesses.values().filter(|executed| !**executed).count();
+        gauge!("vm.fuzz.suspicious_witnesses").set(suspicious_witnesses as i64);
 
         FuzzReport {
             seed: cfg.seed,
@@ -383,6 +406,7 @@ impl Fuzzer {
             corpus: corpus.len(),
             covered,
             differential_ops: cfg.differential_ops,
+            suspicious_witnesses,
             violations: minimized,
         }
     }
@@ -458,6 +482,25 @@ mod tests {
             case.input.code_hex()
         );
         assert!(case.regression_test().is_some());
+    }
+
+    #[test]
+    fn suspicious_witnesses_are_aggregated_per_program() {
+        // Seeding the run with a calldata-gated unbounded loop that the
+        // empty-calldata case never enters: its witness must show up in
+        // the count, and the render line must carry it.
+        let src = "PUSH 0\nCALLDATALOAD\nPUSH @loop\nJUMPI\nSTOP\n\
+                   loop:\nPUSH 1\nPUSH @loop\nJUMPI\nSTOP\n";
+        let gated = FuzzInput::from_code(assemble(src).unwrap());
+        let out = run_case(&gated, None, 4096);
+        assert!(matches!(out.gas_witness, Some((_, false))));
+
+        let report = Fuzzer::new(quick_config(11)).run(&Pool::new(1));
+        let line = format!(
+            "  suspicious:   {} unexecuted gas witnesses",
+            report.suspicious_witnesses
+        );
+        assert!(report.render().contains(&line), "{}", report.render());
     }
 
     #[test]

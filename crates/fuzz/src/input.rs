@@ -60,6 +60,13 @@ impl FuzzInput {
         hex::encode(&keccak256(&blob))[..8].to_string()
     }
 
+    /// Stable identifier of the bytecode alone (calldata excluded):
+    /// groups fuzz cases that execute the same program, e.g. for the
+    /// corpus-wide suspicious-gas-witness report.
+    pub fn code_id(&self) -> String {
+        hex::encode(&keccak256(&self.code))[..8].to_string()
+    }
+
     /// Hex of the bytecode.
     pub fn code_hex(&self) -> String {
         hex::encode(&self.code)

@@ -10,15 +10,23 @@
 //!
 //! Gas is priced at zero wei (the meter still runs) so fee flows cannot
 //! leak into balance comparisons.
+//!
+//! The run also carries the sequence-level leg of the safety-verdict
+//! oracle: both contracts must statically analyze to all-`Proved`
+//! economic-safety verdicts before any operation executes, and a
+//! deposit/outflow ledger over the escrow account asserts at every step
+//! that cumulative outflows never exceed cumulative deposits — the
+//! dynamic counterpart of the `ConservesEscrow` proof.
 
 use crate::oracle::{PlantedBug, Violation};
 use smartcrowd_chain::rng::SimRng;
 use smartcrowd_chain::Ether;
 use smartcrowd_core::contracts::{calldata, REPORT_REGISTRY_ASM, SRA_ESCROW_ASM};
 use smartcrowd_crypto::{Address, U256};
+use smartcrowd_vm::analysis::AnalysisConfig;
 use smartcrowd_vm::asm::assemble;
 use smartcrowd_vm::exec::{address_to_word, word_to_address, CallContext, Vm};
-use smartcrowd_vm::WorldState;
+use smartcrowd_vm::{analyze, WorldState};
 
 /// The escrow model: plain-Rust mirror of `sra_escrow.scvm`.
 ///
@@ -201,6 +209,39 @@ fn mismatch(op: &DiffOp, detail: String) -> Violation {
     }
 }
 
+/// Static leg of the safety-verdict oracle: a shipped contract whose
+/// balance-flow analysis is not all-`Proved` (or carries a provable
+/// leak) is itself a violation — the dynamic ledger below assumes the
+/// proofs hold.
+fn assert_all_proved(name: &str, code: &[u8]) -> Result<(), Violation> {
+    let analysis =
+        analyze(code, &AnalysisConfig::default()).map_err(|e| Violation::SafetyVerdict {
+            claim: "all-proved".into(),
+            detail: format!("{name} failed to analyze: {e}"),
+        })?;
+    let s = &analysis.safety;
+    let refused = [
+        ("conserves-escrow", &s.conserves_escrow),
+        ("bounded-payout", &s.bounded_payout),
+        ("no-unauthorized-flow", &s.no_unauthorized_flow),
+    ]
+    .into_iter()
+    .find(|(_, v)| !v.is_proved());
+    if let Some((label, verdict)) = refused {
+        return Err(Violation::SafetyVerdict {
+            claim: "all-proved".into(),
+            detail: format!("{name}: {label} was not proved ({verdict})"),
+        });
+    }
+    if let Some(leak) = &s.leak {
+        return Err(Violation::SafetyVerdict {
+            claim: "all-proved".into(),
+            detail: format!("{name}: provable escrow leak at pc {}", leak.pc),
+        });
+    }
+    Ok(())
+}
+
 /// Stats from a clean differential run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DiffStats {
@@ -248,6 +289,8 @@ pub fn differential(
         op: "registry.deploy".into(),
         detail: format!("assembly failed: {e}"),
     })?;
+    assert_all_proved("escrow", &escrow_code)?;
+    assert_all_proved("registry", &registry_code)?;
     let (escrow_addr, _) = vm
         .deploy(
             &mut state,
@@ -270,6 +313,10 @@ pub fn differential(
         })?;
 
     let mut stats = DiffStats::default();
+    // Escrow conservation ledger: the `ConservesEscrow` proof promises
+    // the contract never pays out more than was deposited into it.
+    let mut deposited: u128 = 0;
+    let mut outflow: u128 = 0;
     for _ in 0..ops {
         let caller = actors[rng.next_below(actors.len() as u64) as usize];
         let op = match rng.next_below(8) {
@@ -313,9 +360,26 @@ pub fn differential(
         if let DiffOp::Init { value, .. } = &op {
             ctx = ctx.with_value(*value);
         }
+        let escrow_before = state.balance(&escrow_addr).wei();
         let receipt = vm
             .call(&mut state, ctx, &data)
             .map_err(|e| mismatch(&op, format!("pre-execution error: {e}")))?;
+        let escrow_after = state.balance(&escrow_addr).wei();
+        if escrow_after >= escrow_before {
+            deposited += escrow_after - escrow_before;
+        } else {
+            outflow += escrow_before - escrow_after;
+        }
+        if outflow > deposited {
+            return Err(Violation::SafetyVerdict {
+                claim: "conserves-escrow".into(),
+                detail: format!(
+                    "escrow outflow {outflow} wei exceeds cumulative deposits \
+                     {deposited} wei after {}",
+                    op.name()
+                ),
+            });
+        }
         let predicted = model.apply(&op, escrow_addr, planted);
 
         stats.ops += 1;

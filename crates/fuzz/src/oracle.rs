@@ -22,13 +22,35 @@
 //!   limit"). If a trace shows the flagged pc executing with a nonzero
 //!   divisor, or execution continuing past a flagged memory op, the
 //!   claim was wrong.
+//! - **storage-effect** — when every `SSTORE` key resolved statically
+//!   (`!writes_unknown`), the summary's write set is a may-write
+//!   over-approximation of *all* executions: a runtime write to a slot
+//!   outside the set disproves it.
+//! - **safety-verdict** — two checks against the balance-flow domain.
+//!   A provable escrow leak says the transfer at `leak.pc` can never
+//!   pay once the drain at `drain_pc` ran, so execution continuing past
+//!   that transfer with a positive amount contradicts the proof. And a
+//!   resolved [`smartcrowd_vm::analysis::FlowExpr`] transfer amount is
+//!   a closed function of the
+//!   call's inputs — the fuzz world starts every contract with empty
+//!   storage, so the oracle evaluates it concretely and compares
+//!   against the top-of-stack word the trace recorded at the site.
+//!   (`ConservesEscrow` itself is cross-checked at sequence level by
+//!   the native differential's deposit/outflow ledger — see
+//!   [`crate::native`].)
+//!
+//! Gas-verdict `Unbounded { witness_block }` claims are not refutable
+//! by any single run, but a witness block that *no* execution of a
+//! program ever enters is suspicious (a phantom witness would hide a
+//! missed `Bounded` proof); [`CaseOutcome::gas_witness`] feeds the
+//! fuzzer's corpus-wide suspicious-witness report.
 
 use crate::input::FuzzInput;
 use smartcrowd_chain::Ether;
-use smartcrowd_crypto::Address;
-use smartcrowd_vm::analysis::{AnalysisConfig, DiagnosticKind};
+use smartcrowd_crypto::{Address, U256};
+use smartcrowd_vm::analysis::{AnalysisConfig, DiagnosticKind, SafetyReport, StorageSummary};
 use smartcrowd_vm::cov::CoverageMap;
-use smartcrowd_vm::exec::{CallContext, TraceStep, Vm};
+use smartcrowd_vm::exec::{address_to_word, CallContext, TraceStep, Vm};
 use smartcrowd_vm::isa::Op;
 use smartcrowd_vm::{analyze, gas, GasVerdict, VmError, WorldState};
 use std::fmt;
@@ -78,6 +100,25 @@ pub enum Violation {
         /// What differed.
         detail: String,
     },
+    /// A runtime `SSTORE` hit a slot the storage-effect summary calls
+    /// untouched (only checked when every key resolved statically).
+    StorageEffect {
+        /// The writing instruction.
+        pc: usize,
+        /// The slot outside the summary's write set.
+        slot: U256,
+    },
+    /// A balance-flow claim (escrow-leak witness, resolved transfer
+    /// amount, or the escrow conservation ledger) was contradicted by
+    /// concrete execution.
+    SafetyVerdict {
+        /// The refuted claim, as a stable kebab-case label
+        /// (`escrow-leak`, `bounded-payout`, `conserves-escrow`,
+        /// `all-proved`).
+        claim: String,
+        /// What contradicted it.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -89,6 +130,8 @@ impl Violation {
             Violation::CleanTrap { .. } => "clean-trap",
             Violation::PhantomFault { .. } => "phantom-fault",
             Violation::NativeDivergence { .. } => "native-divergence",
+            Violation::StorageEffect { .. } => "storage-effect",
+            Violation::SafetyVerdict { .. } => "safety-verdict",
         }
     }
 }
@@ -120,6 +163,16 @@ impl fmt::Display for Violation {
             Violation::NativeDivergence { op, detail } => {
                 write!(f, "native model diverged from bytecode on {op}: {detail}")
             }
+            Violation::StorageEffect { pc, slot } => {
+                write!(
+                    f,
+                    "storage summary omits slot {slot} from the write set but SSTORE \
+                     at pc {pc} wrote it"
+                )
+            }
+            Violation::SafetyVerdict { claim, detail } => {
+                write!(f, "economic-safety claim '{claim}' contradicted: {detail}")
+            }
         }
     }
 }
@@ -137,6 +190,11 @@ pub struct CaseOutcome {
     pub coverage: CoverageMap,
     /// The first oracle violation detected, if any.
     pub violation: Option<Violation>,
+    /// When the gas verdict was `Unbounded { witness_block }`: the
+    /// witness block and whether this execution entered it. The fuzzer
+    /// aggregates these per program — a witness no run ever reaches is
+    /// reported as suspicious.
+    pub gas_witness: Option<(usize, bool)>,
 }
 
 fn fuzz_world(input: &FuzzInput) -> (WorldState, Address, Address) {
@@ -219,6 +277,95 @@ fn phantom_fault(
     None
 }
 
+/// Checks the storage-effect summary: with every `SSTORE` key resolved
+/// statically, a runtime write outside the declared write set disproves
+/// the summary. (The key is the top of stack before the `SSTORE`.)
+fn storage_effect(storage: &StorageSummary, trace: &[TraceStep]) -> Option<Violation> {
+    if storage.writes_unknown {
+        return None;
+    }
+    trace
+        .iter()
+        .filter(|s| s.op == Op::SStore)
+        .find_map(|s| match s.top {
+            Some(key) if !storage.writes.contains(&key) => Some(Violation::StorageEffect {
+                pc: s.pc,
+                slot: key,
+            }),
+            _ => None,
+        })
+}
+
+/// Checks the balance-flow claims against one concrete trace.
+///
+/// - A provable leak promises the transfer at `leak.pc` can never pay
+///   once the drain at `drain_pc` executed: a later execution of the
+///   leak pc with a positive amount must fault on the spot
+///   (`InsufficientBalance`), so execution continuing past it — or the
+///   run halting cleanly — contradicts the proof.
+/// - A resolved transfer amount is evaluated concretely (the fuzz world
+///   plants the contract fresh, so storage at entry is all zeros and
+///   the call carries no value) and compared against the top-of-stack
+///   word the trace recorded at the transfer site.
+fn safety_contradiction(
+    safety: &SafetyReport,
+    input: &FuzzInput,
+    caller: &U256,
+    trace: &[TraceStep],
+    fault: Option<&VmError>,
+) -> Option<Violation> {
+    if let Some(leak) = &safety.leak {
+        let drained = trace
+            .iter()
+            .position(|s| s.pc == leak.drain_pc && s.op == Op::Transfer);
+        if let Some(d) = drained {
+            let paid = trace.iter().enumerate().skip(d + 1).find(|(_, s)| {
+                s.pc == leak.pc
+                    && s.op == Op::Transfer
+                    && s.top.map(|t| !t.is_zero()).unwrap_or(false)
+            });
+            if let Some((i, _)) = paid {
+                let continued = i + 1 < trace.len() || fault.is_none();
+                if continued {
+                    return Some(Violation::SafetyVerdict {
+                        claim: "escrow-leak".into(),
+                        detail: format!(
+                            "the provably-dead transfer at pc {} paid out after the \
+                             drain at pc {}",
+                            leak.pc, leak.drain_pc
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for site in &safety.transfers {
+        if !site.amount.is_resolved() {
+            continue;
+        }
+        let Some(predicted) = site
+            .amount
+            .eval(&input.calldata, caller, &U256::ZERO, &|_| U256::ZERO)
+        else {
+            continue; // SelfBalance leaf: not evaluable without replay
+        };
+        let mismatch = trace
+            .iter()
+            .filter(|s| s.pc == site.pc && s.op == Op::Transfer)
+            .find_map(|s| s.top.filter(|actual| *actual != predicted));
+        if let Some(actual) = mismatch {
+            return Some(Violation::SafetyVerdict {
+                claim: "bounded-payout".into(),
+                detail: format!(
+                    "derived amount {} at pc {} but the VM transferred {actual}",
+                    site.amount, site.pc
+                ),
+            });
+        }
+    }
+    None
+}
+
 /// Executes one fuzz case and checks the per-execution oracles.
 ///
 /// The run is a pure function of `(input, planted, step_limit)`: world
@@ -262,6 +409,7 @@ pub fn run_case(input: &FuzzInput, planted: Option<PlantedBug>, step_limit: u64)
                 fault: Some(e),
                 coverage,
                 violation: None,
+                gas_witness: None,
             };
         }
     };
@@ -314,7 +462,31 @@ pub fn run_case(input: &FuzzInput, planted: Option<PlantedBug>, step_limit: u64)
         if violation.is_none() {
             violation = phantom_fault(&a.diagnostics, &trace, receipt.fault.as_ref());
         }
+        // Oracle 4: runtime writes must stay inside the static write set.
+        if violation.is_none() {
+            violation = storage_effect(&a.storage, &trace);
+        }
+        // Oracle 5: balance-flow claims against the concrete trace.
+        if violation.is_none() {
+            violation = safety_contradiction(
+                &a.safety,
+                input,
+                &address_to_word(&owner),
+                &trace,
+                receipt.fault.as_ref(),
+            );
+        }
     }
+
+    let gas_witness = match &analysis {
+        Ok(a) => match a.gas {
+            GasVerdict::Unbounded { witness_block } => {
+                Some((witness_block, trace.iter().any(|s| s.pc == witness_block)))
+            }
+            GasVerdict::Bounded(_) => None,
+        },
+        Err(_) => None,
+    };
 
     CaseOutcome {
         analyzed: analysis.is_ok(),
@@ -322,6 +494,7 @@ pub fn run_case(input: &FuzzInput, planted: Option<PlantedBug>, step_limit: u64)
         fault: receipt.fault,
         coverage,
         violation,
+        gas_witness,
     }
 }
 
@@ -442,5 +615,156 @@ mod tests {
             ),
             "got {v:?}"
         );
+    }
+
+    /// Replays `input` and returns its trace.
+    fn trace_of(input: &FuzzInput) -> Vec<TraceStep> {
+        let (mut state, owner, contract) = fuzz_world(input);
+        let mut cov = CoverageMap::new();
+        Vm::default()
+            .call_traced_with_coverage(
+                &mut state,
+                fuzz_ctx(owner, contract, gas::DEFAULT_GAS_LIMIT),
+                &input.calldata,
+                &mut cov,
+            )
+            .unwrap()
+            .1
+    }
+
+    #[test]
+    fn storage_writes_inside_the_summary_are_clean() {
+        let input = case("PUSH 7\nPUSH 0\nSSTORE\nCALLER\nPUSH 3\nSSTORE\nSTOP\n");
+        let out = run_case(&input, None, 4096);
+        assert!(out.analyzed);
+        assert!(out.violation.is_none(), "got {:?}", out.violation);
+    }
+
+    #[test]
+    fn storage_effect_detection_works_on_fake_summary() {
+        // A summary claiming only slot 9 is written, against a trace
+        // that writes slot 0: the oracle must flag the SSTORE.
+        let input = case("PUSH 7\nPUSH 0\nSSTORE\nSTOP\n");
+        let trace = trace_of(&input);
+        let mut summary = smartcrowd_vm::analysis::StorageSummary::default();
+        summary.writes.insert(U256::from_u64(9));
+        let v = storage_effect(&summary, &trace);
+        assert!(
+            matches!(v, Some(Violation::StorageEffect { pc: 18, .. })),
+            "got {v:?}"
+        );
+        // With unresolved keys the summary makes no claim at all.
+        summary.writes_unknown = true;
+        assert!(storage_effect(&summary, &trace).is_none());
+    }
+
+    #[test]
+    fn safety_verdict_oracle_accepts_real_contracts() {
+        // Both shipped contracts carry resolved transfer amounts; the
+        // concrete evaluation must agree with the interpreter on every
+        // dispatch arm the fuzz inputs reach.
+        for asm in [
+            smartcrowd_core::contracts::SRA_ESCROW_ASM,
+            smartcrowd_core::contracts::REPORT_REGISTRY_ASM,
+        ] {
+            for selector in 0u8..3 {
+                let mut input = FuzzInput::from_code(assemble(asm).unwrap());
+                input.calldata = vec![0u8; 32];
+                input.calldata[31] = selector;
+                let out = run_case(&input, None, 1 << 16);
+                assert!(out.analyzed);
+                assert!(out.violation.is_none(), "got {:?}", out.violation);
+            }
+        }
+    }
+
+    #[test]
+    fn leak_contradiction_fires_when_the_dead_transfer_pays() {
+        use smartcrowd_vm::analysis::{LeakWitness, SafetyReport};
+        // Two one-wei transfers that both succeed. A fabricated leak
+        // claim naming them drain/leak is contradicted by the second
+        // one paying out (execution continues to STOP).
+        let input = case("CALLER\nPUSH 1\nTRANSFER\nCALLER\nPUSH 1\nTRANSFER\nSTOP\n");
+        let trace = trace_of(&input);
+        let transfer_pcs: Vec<usize> = trace
+            .iter()
+            .filter(|s| s.op == Op::Transfer)
+            .map(|s| s.pc)
+            .collect();
+        assert_eq!(transfer_pcs.len(), 2);
+        let report = SafetyReport {
+            leak: Some(LeakWitness {
+                pc: transfer_pcs[1],
+                drain_pc: transfer_pcs[0],
+                witness: vec![0],
+            }),
+            ..SafetyReport::default()
+        };
+        let caller = address_to_word(&Address::from_label("fuzz-owner"));
+        let v = safety_contradiction(&report, &input, &caller, &trace, None);
+        assert!(
+            matches!(&v, Some(Violation::SafetyVerdict { claim, .. }) if claim == "escrow-leak"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn amount_differential_fires_on_a_wrong_resolved_expression() {
+        use smartcrowd_vm::analysis::{FlowExpr, SafetyReport, TransferSite};
+        // The program transfers 6 wei; a fabricated site claiming the
+        // resolved amount is 5 must be contradicted by the trace.
+        let input = case("CALLER\nPUSH 6\nTRANSFER\nSTOP\n");
+        let trace = trace_of(&input);
+        let pc = trace.iter().find(|s| s.op == Op::Transfer).unwrap().pc;
+        let site = |amount: FlowExpr| TransferSite {
+            pc,
+            block: 0,
+            amount,
+            to: FlowExpr::Caller,
+            selectors: Vec::new(),
+            guarded: false,
+            in_unbounded_loop: false,
+            drains: false,
+        };
+        let caller = address_to_word(&Address::from_label("fuzz-owner"));
+        let wrong = SafetyReport {
+            transfers: vec![site(FlowExpr::Const(U256::from_u64(5)))],
+            ..SafetyReport::default()
+        };
+        let v = safety_contradiction(&wrong, &input, &caller, &trace, None);
+        assert!(
+            matches!(&v, Some(Violation::SafetyVerdict { claim, .. }) if claim == "bounded-payout"),
+            "got {v:?}"
+        );
+        let right = SafetyReport {
+            transfers: vec![site(FlowExpr::Const(U256::from_u64(6)))],
+            ..SafetyReport::default()
+        };
+        assert!(safety_contradiction(&right, &input, &caller, &trace, None).is_none());
+    }
+
+    #[test]
+    fn unexecuted_gas_witness_is_reported_suspicious() {
+        // The unbounded loop is gated on calldata word 0; with empty
+        // calldata the branch falls through and the witness block never
+        // executes.
+        let src = "PUSH 0\nCALLDATALOAD\nPUSH @loop\nJUMPI\nSTOP\n\
+                   loop:\nPUSH 1\nPUSH @loop\nJUMPI\nSTOP\n";
+        let input = case(src);
+        let out = run_case(&input, None, 4096);
+        assert!(out.analyzed);
+        let (block, executed) = out.gas_witness.expect("verdict must be unbounded");
+        assert!(!executed, "block {block} must not run on empty calldata");
+
+        // Selecting the loop executes the witness (and starves on gas,
+        // which the unbounded verdict makes benign).
+        let mut looping = input.clone();
+        looping.calldata = vec![0u8; 32];
+        looping.calldata[31] = 1;
+        let out2 = run_case(&looping, None, 1 << 20);
+        let (block2, executed2) = out2.gas_witness.expect("still unbounded");
+        assert_eq!(block, block2);
+        assert!(executed2);
+        assert!(out2.violation.is_none(), "got {:?}", out2.violation);
     }
 }

@@ -43,6 +43,18 @@ pub enum DiagnosticKind {
     UnboundedLoop,
     /// A loop with a proven trip-count bound (advisory).
     LoopBound,
+    /// A transfer sequenced after a provable full-balance drain — it can
+    /// never pay a positive amount; the deploy gate rejects these.
+    EscrowLeak,
+    /// A transfer inside a loop with no provable trip bound, so the
+    /// total outflow has no static sum.
+    UnboundedOutflow,
+    /// A transfer whose amount has no derivable symbolic expression, so
+    /// `BoundedPayout` cannot be proven.
+    OpaquePayout,
+    /// A transfer reachable on some path without any caller guard, so
+    /// `NoUnauthorizedFlow` cannot be proven.
+    UnguardedTransfer,
 }
 
 impl DiagnosticKind {
@@ -56,6 +68,10 @@ impl DiagnosticKind {
             DiagnosticKind::OobMemory => "oob-memory",
             DiagnosticKind::UnboundedLoop => "unbounded-loop",
             DiagnosticKind::LoopBound => "loop-bound",
+            DiagnosticKind::EscrowLeak => "escrow-leak",
+            DiagnosticKind::UnboundedOutflow => "unbounded-outflow",
+            DiagnosticKind::OpaquePayout => "opaque-payout",
+            DiagnosticKind::UnguardedTransfer => "unguarded-transfer",
         }
     }
 }

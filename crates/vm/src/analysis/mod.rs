@@ -12,7 +12,11 @@
 //!   storage-effect summaries;
 //! - a **loop trip-count analysis** ([`loops`]) that recognizes counter
 //!   patterns around simple cycles and widens anything past a configurable
-//!   iteration cap to "unbounded".
+//!   iteration cap to "unbounded";
+//! - a **balance-flow domain** ([`safety`]) that tracks symbolic transfer
+//!   amounts per entry point and composes them into the contract-level
+//!   economic-safety verdicts `ConservesEscrow`, `BoundedPayout`, and
+//!   `NoUnauthorizedFlow`, each refusal carrying a CFG witness path.
 //!
 //! The results combine into a loop-aware worst-case gas verdict
 //! ([`gasbound`]): contracts with provably bounded loops get a finite
@@ -28,12 +32,14 @@ pub mod gasbound;
 pub mod lattice;
 pub mod loops;
 pub mod range;
+pub mod safety;
 
 pub use cfg::Cfg;
 pub use diagnostics::{Diagnostic, DiagnosticKind, Severity};
 pub use gasbound::GasVerdict;
 pub use loops::{LoopBound, LoopInfo};
 pub use range::StorageSummary;
+pub use safety::{EntryPoint, FlowExpr, LeakWitness, SafetyReport, SafetyVerdict, TransferSite};
 
 use crate::error::VmError;
 use std::collections::BTreeSet;
@@ -79,6 +85,8 @@ pub struct Analysis {
     pub gas: GasVerdict,
     /// Which storage slots the program may read/write.
     pub storage: StorageSummary,
+    /// Balance-flow safety verdicts with per-transfer summaries.
+    pub safety: SafetyReport,
     /// Offsets of blocks reachable from the entry point.
     pub reachable: BTreeSet<usize>,
     /// Offsets of unreachable (dead-code) blocks.
@@ -95,8 +103,11 @@ pub struct Analysis {
 /// for undecodable streams and [`VmError::Verify`] for provable stack
 /// faults, bad static jumps, target-less dynamic jumps, and `SWAP 0` —
 /// the same rejection set as the deploy gate. Diagnostics (dead code,
-/// div-by-zero, out-of-bounds memory, unbounded loops) never reject; they
-/// are reported in [`Analysis::diagnostics`].
+/// div-by-zero, out-of-bounds memory, unbounded loops, economic-safety
+/// findings) never reject here; they are reported in
+/// [`Analysis::diagnostics`]. The deploy gate additionally turns a
+/// provable [`SafetyReport::leak`] into a rejection — see
+/// [`crate::verify`].
 pub fn analyze(code: &[u8], config: &AnalysisConfig) -> Result<Analysis, VmError> {
     let cfg = Cfg::build(code)?;
     let depth_result = depth::analyze_depth(&cfg)?;
@@ -117,6 +128,13 @@ pub fn analyze(code: &[u8], config: &AnalysisConfig) -> Result<Analysis, VmError
         config.max_trip_count,
     );
     let gas = gasbound::gas_verdict(&cfg, &reachable, &loop_analysis);
+    let safety = safety::analyze_safety(
+        &cfg,
+        &reachable,
+        &loop_analysis,
+        config.widen_after,
+        &mut diags,
+    )?;
 
     for &b in &unreachable {
         diags.push(Diagnostic {
@@ -158,6 +176,7 @@ pub fn analyze(code: &[u8], config: &AnalysisConfig) -> Result<Analysis, VmError
         loops: loop_analysis.loops,
         gas,
         storage,
+        safety,
         reachable,
         unreachable,
         diagnostics: diags,

@@ -8,16 +8,23 @@
 //! scvm-lint [--deny-warnings] [--max-trips N] [--json] FILE...
 //! ```
 //!
+//! Besides the gas verdict, every file gets a one-line economic-safety
+//! summary (`conserves-escrow` / `bounded-payout` / `no-unauthorized-flow`,
+//! each `proved` or `refused`) from the balance-flow domain; refusals
+//! also appear as ranked diagnostics (`escrow-leak`, `unbounded-outflow`,
+//! `opaque-payout`, `unguarded-transfer`).
+//!
 //! With `--json` the human-readable output is replaced by a single JSON
-//! array on stdout with one object per file: path, gas verdict, summary
-//! stats and every diagnostic with its `pc`, `line`/`col` span, stable
-//! kebab-case `kind` and message. Exit codes are identical in both
+//! array on stdout with one object per file: path, gas verdict, a
+//! `safety` object (verdict labels plus per-transfer summaries with the
+//! derived symbolic amount), summary stats and every diagnostic with its
+//! `pc`, `line`/`col` span, stable kebab-case `kind` and message. Exit codes are identical in both
 //! modes: `2` on usage errors, `1` when any file fails to assemble, is
 //! rejected by the deploy gate, or produces an `error`-severity
 //! diagnostic (also `warning`-severity under `--deny-warnings`), and
 //! `0` otherwise.
 
-use smartcrowd_vm::analysis::{analyze, Analysis, AnalysisConfig, Severity};
+use smartcrowd_vm::analysis::{analyze, Analysis, AnalysisConfig, SafetyReport, Severity};
 use smartcrowd_vm::asm::{assemble_with_source_map, SourceMap};
 use smartcrowd_vm::GasVerdict;
 use std::process::ExitCode;
@@ -101,7 +108,20 @@ fn lint_file(path: &str, config: &AnalysisConfig) -> Option<Severity> {
         analysis.max_stack_depth,
         analysis.gas,
     );
+    println!("{path}: {}", render_safety(&analysis.safety));
     analysis.diagnostics.iter().map(|d| d.severity).min()
+}
+
+/// One-line safety summary for text mode.
+fn render_safety(safety: &SafetyReport) -> String {
+    format!(
+        "safety: conserves-escrow={} bounded-payout={} no-unauthorized-flow={} \
+         ({} transfer sites)",
+        safety.conserves_escrow.label(),
+        safety.bounded_payout.label(),
+        safety.no_unauthorized_flow.label(),
+        safety.transfers.len(),
+    )
 }
 
 /// Lints one file in JSON mode: returns the file's JSON object plus the
@@ -139,6 +159,22 @@ fn lint_file_json(path: &str, config: &AnalysisConfig) -> (serde_json::Value, Op
         GasVerdict::Bounded(g) => ("bounded", Some(g)),
         GasVerdict::Unbounded { .. } => ("unbounded", None),
     };
+    let transfers: Vec<Value> = analysis
+        .safety
+        .transfers
+        .iter()
+        .map(|t| {
+            json!({
+                "pc": t.pc,
+                "amount": t.amount.to_string(),
+                "to": t.to.to_string(),
+                "selectors": t.selectors.clone(),
+                "guarded": t.guarded,
+                "drains": t.drains,
+                "in_unbounded_loop": t.in_unbounded_loop,
+            })
+        })
+        .collect();
     let doc = json!({
         "path": path,
         "ok": true,
@@ -146,6 +182,12 @@ fn lint_file_json(path: &str, config: &AnalysisConfig) -> (serde_json::Value, Op
         "blocks": analysis.cfg.block_count(),
         "max_stack": analysis.max_stack_depth,
         "gas": json!({ "verdict": verdict, "bound": bound }),
+        "safety": json!({
+            "conserves_escrow": analysis.safety.conserves_escrow.label(),
+            "bounded_payout": analysis.safety.bounded_payout.label(),
+            "no_unauthorized_flow": analysis.safety.no_unauthorized_flow.label(),
+            "transfers": Value::Array(transfers),
+        }),
         "diagnostics": Value::Array(diags),
     });
     (doc, analysis.diagnostics.iter().map(|d| d.severity).min())

@@ -32,6 +32,15 @@
 //!    charged at the fresh-slot rate, every `TRANSFER` at full cost, every
 //!    `KECCAK` at the maximum in-bounds length, plus one worst-case memory
 //!    expansion if any memory-touching opcode is reachable.
+//! 5. **Economic-safety gate** — the balance-flow domain
+//!    ([`crate::analysis::safety`]) rejects contracts with a *provable
+//!    escrow leak*: a `TRANSFER` sequenced after the contract's whole
+//!    balance was already transferred out. Such a payout can never be
+//!    honored — whenever it would pay a positive amount the call faults
+//!    and the incentive allocation reverts — so the contract is broken by
+//!    construction. The rejection ([`VerifyError::EscrowLeak`]) carries a
+//!    CFG witness path. Weaker safety findings (unbounded outflow, opaque
+//!    payouts, unguarded transfers) stay diagnostics; see `scvm-lint`.
 //!
 //! Unreachable blocks are *flagged* in the [`VerifyReport`], not rejected:
 //! dead code wastes deploy gas but cannot fault. Richer findings
@@ -43,7 +52,7 @@
 //! `StackUnderflow`/`StackOverflow`, and executions whose jumps are all
 //! static can never hit `BadJump`.
 
-use crate::analysis::{analyze, AnalysisConfig, GasVerdict};
+use crate::analysis::{analyze, AnalysisConfig, GasVerdict, SafetyReport};
 use crate::error::VmError;
 use crate::exec::STACK_LIMIT;
 
@@ -91,6 +100,17 @@ pub enum VerifyError {
         /// Program counter of the swap.
         pc: usize,
     },
+    /// A `TRANSFER` sequenced after a provable full-balance drain: it can
+    /// never pay a positive amount without faulting, so the contract
+    /// provably leaks escrow semantics.
+    EscrowLeak {
+        /// Program counter of the transfer that can never be honored.
+        pc: usize,
+        /// Program counter of the earlier full-balance transfer.
+        drain_pc: usize,
+        /// Block offsets of a CFG path from the entry to the leak.
+        witness: Vec<usize>,
+    },
 }
 
 impl VerifyError {
@@ -101,7 +121,8 @@ impl VerifyError {
             | VerifyError::StackOverflow { pc, .. }
             | VerifyError::BadStaticJump { pc, .. }
             | VerifyError::JumpWithoutTargets { pc }
-            | VerifyError::SwapZero { pc } => *pc,
+            | VerifyError::SwapZero { pc }
+            | VerifyError::EscrowLeak { pc, .. } => *pc,
         }
     }
 }
@@ -125,6 +146,20 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::SwapZero { pc } => {
                 write!(f, "SWAP 0 at pc {pc} faults at every stack depth")
+            }
+            VerifyError::EscrowLeak {
+                pc,
+                drain_pc,
+                witness,
+            } => {
+                let path: Vec<String> = witness.iter().map(|b| b.to_string()).collect();
+                write!(
+                    f,
+                    "provable escrow leak: transfer at pc {pc} executes after the \
+                     balance was fully drained at pc {drain_pc} and can never pay \
+                     (witness path: {})",
+                    path.join(" -> ")
+                )
             }
         }
     }
@@ -151,6 +186,8 @@ pub struct VerifyReport {
     /// provable trip count, [`GasVerdict::Unbounded`] (with a witness
     /// block) otherwise.
     pub gas_bound: GasVerdict,
+    /// Balance-flow safety verdicts with per-transfer summaries.
+    pub safety: SafetyReport,
 }
 
 /// Statically verifies `code`, returning deploy-gate statistics.
@@ -162,8 +199,8 @@ pub struct VerifyReport {
 ///
 /// Returns [`VmError::InvalidOpcode`] / [`VmError::TruncatedImmediate`]
 /// for undecodable streams and [`VmError::Verify`] for provable stack
-/// faults, bad static jump targets, target-less dynamic jumps, and
-/// `SWAP 0`.
+/// faults, bad static jump targets, target-less dynamic jumps, `SWAP 0`,
+/// and provable escrow leaks ([`VerifyError::EscrowLeak`]).
 pub fn verify(code: &[u8]) -> Result<VerifyReport, VmError> {
     let _span = smartcrowd_telemetry::span!("vm.verify");
     let result = verify_inner(code);
@@ -175,6 +212,13 @@ pub fn verify(code: &[u8]) -> Result<VerifyReport, VmError> {
 
 fn verify_inner(code: &[u8]) -> Result<VerifyReport, VmError> {
     let analysis = analyze(code, &AnalysisConfig::default())?;
+    if let Some(leak) = &analysis.safety.leak {
+        return Err(VmError::Verify(VerifyError::EscrowLeak {
+            pc: leak.pc,
+            drain_pc: leak.drain_pc,
+            witness: leak.witness.clone(),
+        }));
+    }
     Ok(VerifyReport {
         instructions: analysis.cfg.instruction_count(),
         blocks: analysis.cfg.block_count(),
@@ -182,6 +226,7 @@ fn verify_inner(code: &[u8]) -> Result<VerifyReport, VmError> {
         unreachable: analysis.unreachable,
         max_stack_depth: analysis.max_stack_depth,
         gas_bound: analysis.gas,
+        safety: analysis.safety,
     })
 }
 
@@ -464,10 +509,67 @@ mod tests {
             VerifyError::BadStaticJump { pc: 3, dest: 9 },
             VerifyError::JumpWithoutTargets { pc: 4 },
             VerifyError::SwapZero { pc: 5 },
+            VerifyError::EscrowLeak {
+                pc: 6,
+                drain_pc: 3,
+                witness: vec![0, 6],
+            },
         ];
         for (i, e) in errors.iter().enumerate() {
             assert!(e.to_string().contains("pc"), "{e}");
             assert_eq!(e.pc(), i + 1);
         }
+    }
+
+    #[test]
+    fn payout_drift_mutant_is_rejected_with_witness_path() {
+        let src = include_str!("../tests/lint_fixtures/sra_escrow_payout_drift.scvm");
+        let err = verify_asm(src).unwrap_err();
+        let VmError::Verify(VerifyError::EscrowLeak {
+            pc,
+            drain_pc,
+            witness,
+        }) = err
+        else {
+            panic!("mutant must be rejected as an escrow leak, got {err}");
+        };
+        assert!(pc > drain_pc, "the leak follows the drain");
+        assert!(!witness.is_empty(), "rejection must carry a witness path");
+        assert_eq!(witness.first(), Some(&0), "witness starts at the entry");
+    }
+
+    #[test]
+    fn pristine_escrow_contract_verifies_with_proved_safety() {
+        let src = include_str!("../../core/contracts/sra_escrow.scvm");
+        let r = verify_asm(src).unwrap();
+        assert!(r.safety.conserves_escrow.is_proved());
+        assert!(r.safety.bounded_payout.is_proved());
+        assert!(r.safety.no_unauthorized_flow.is_proved());
+        assert!(r.safety.leak.is_none());
+    }
+
+    #[test]
+    fn deploy_rejects_payout_drift_mutant() {
+        use crate::exec::{CallContext, Vm};
+        use crate::state::WorldState;
+        use smartcrowd_chain::Ether;
+        use smartcrowd_crypto::Address;
+
+        let mut state = WorldState::new();
+        let owner = Address::from_label("owner");
+        state.credit(owner, Ether::from_ether(10));
+        let vm = Vm::default();
+        let src = include_str!("../tests/lint_fixtures/sra_escrow_payout_drift.scvm");
+        let err = vm
+            .deploy(
+                &mut state,
+                &CallContext::new(owner, Address::ZERO),
+                assemble(src).unwrap(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, VmError::Verify(VerifyError::EscrowLeak { .. })),
+            "{err}"
+        );
     }
 }

@@ -10,17 +10,25 @@
 //! 2. **Clean paths stay clean** — programs the analysis finds no
 //!    `error`-severity issue in execute without a concrete fault.
 //! 3. **Totality** — `analyze` never panics, on garbage or on mutants.
+//! 4. **Balance-flow soundness** — generated escrow-shaped programs get
+//!    all-`Proved` conservation verdicts, their resolved transfer
+//!    amounts evaluate to exactly what the interpreter moves, and
+//!    mutants of the shipped escrow keep the safety report internally
+//!    consistent.
 
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use smartcrowd_chain::Ether;
-use smartcrowd_crypto::Address;
+use smartcrowd_crypto::{Address, U256};
 use smartcrowd_vm::analysis::{analyze, AnalysisConfig, LoopBound, Severity};
 use smartcrowd_vm::asm::assemble;
-use smartcrowd_vm::exec::{CallContext, Vm};
+use smartcrowd_vm::exec::{address_to_word, CallContext, Vm};
 use smartcrowd_vm::gas;
 use smartcrowd_vm::state::WorldState;
 use smartcrowd_vm::Receipt;
+
+/// The shipped escrow listing (the mutation-totality target).
+const ESCROW_SRC: &str = include_str!("../../core/contracts/sra_escrow.scvm");
 
 /// Depth-neutral loop bodies: they leave the counter (the top of stack at
 /// the header) untouched, so the trip-count pattern stays recognizable.
@@ -47,21 +55,42 @@ fn count_up_program(limit: u64, body: &str) -> String {
     )
 }
 
-/// Plants `code` without the deploy gate and runs it with empty calldata.
-fn run_planted(code: Vec<u8>) -> Receipt {
+/// Plants `code` without the deploy gate and runs it with `calldata`,
+/// returning the receipt plus the contract's wei balance before/after.
+fn run_planted_with(code: Vec<u8>, calldata: &[u8]) -> (Receipt, u128, u128) {
     let mut state = WorldState::new();
     let caller = Address::from_label("caller");
     state.credit(caller, Ether::from_ether(1000));
     let contract = WorldState::contract_address(&caller, 0);
     state.account_mut(contract).code = code;
     state.credit(contract, Ether::from_ether(10));
-    Vm::default()
+    let before = state.balance(&contract).wei();
+    let receipt = Vm::default()
         .call(
             &mut state,
             CallContext::new(caller, contract).with_gas_limit(2_000_000),
-            &[],
+            calldata,
         )
-        .expect("call dispatches")
+        .expect("call dispatches");
+    let after = state.balance(&contract).wei();
+    (receipt, before, after)
+}
+
+/// Plants `code` without the deploy gate and runs it with empty calldata.
+fn run_planted(code: Vec<u8>) -> Receipt {
+    run_planted_with(code, &[]).0
+}
+
+/// Escrow-shaped straight-line program: pay `mu * calldata[0]` to the
+/// caller, then optionally refund the full remaining balance (the legal
+/// terminal drain).
+fn escrow_shaped(mu: u64, drain: bool) -> String {
+    let pay = format!("CALLER\nPUSH 0\nCALLDATALOAD\nPUSH {mu}\nMUL\nTRANSFER\n");
+    if drain {
+        format!("{pay}CALLER\nSELFBALANCE\nTRANSFER\nSTOP\n")
+    } else {
+        format!("{pay}STOP\n")
+    }
 }
 
 /// Asserts the static verdict is finite and covers the concrete run.
@@ -154,6 +183,75 @@ proptest! {
         }
         if let Ok(a) = analyze(&code, &AnalysisConfig::default()) {
             prop_assert_eq!(a.gas.bound().is_some(), a.gas.is_bounded());
+        }
+    }
+
+    /// Escrow-shaped programs: conservation verdicts are all proved, the
+    /// resolved payout expression evaluates to exactly `mu * n`, and the
+    /// interpreter moves exactly the flows the analysis derived (plus
+    /// the full remaining balance when the terminal drain is present).
+    #[test]
+    fn proved_conservation_matches_runtime_flows(
+        mu in 0u64..1000,
+        n in 0u64..1000,
+        drain in any::<bool>(),
+    ) {
+        let src = escrow_shaped(mu, drain);
+        let code = assemble(&src).expect("assembles");
+        let a = analyze(&code, &AnalysisConfig::default()).expect("verifies");
+        let s = &a.safety;
+        prop_assert!(s.leak.is_none(), "no leak in {src}");
+        prop_assert!(s.conserves_escrow.is_proved(), "{src}");
+        prop_assert!(s.bounded_payout.is_proved(), "{src}");
+        prop_assert_eq!(s.transfers.len(), if drain { 2 } else { 1 });
+
+        let calldata = U256::from_u64(n).to_be_bytes();
+        let caller = Address::from_label("caller");
+        let predicted = s.transfers[0]
+            .amount
+            .eval(&calldata, &address_to_word(&caller), &U256::ZERO, &|_| U256::ZERO)
+            .expect("payout amount must be resolved");
+        prop_assert_eq!(
+            predicted,
+            U256::from_u64(mu).wrapping_mul(&U256::from_u64(n)),
+            "derived bound must be mu*n for {}", src
+        );
+        if drain {
+            prop_assert!(s.transfers[1].drains, "{src}");
+        }
+
+        let (receipt, before, after) = run_planted_with(code, &calldata);
+        prop_assert!(receipt.success, "fault: {:?}\n{src}", receipt.fault);
+        let expected_out = if drain {
+            before // payout plus the drain empties the account
+        } else {
+            (mu as u128) * (n as u128)
+        };
+        prop_assert_eq!(before - after, expected_out, "{}", src);
+    }
+
+    /// Byte-flipping the shipped escrow never panics the analyzer, and
+    /// whenever a mutant still analyzes, the safety report stays
+    /// internally consistent: a provable leak always refuses
+    /// `ConservesEscrow` and always surfaces an error diagnostic.
+    #[test]
+    fn safety_analysis_total_on_escrow_mutants(
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..6),
+    ) {
+        let mut code = assemble(ESCROW_SRC).expect("assembles");
+        for (pos, byte) in &flips {
+            let at = *pos as usize % code.len();
+            code[at] = *byte;
+        }
+        if let Ok(a) = analyze(&code, &AnalysisConfig::default()) {
+            let s = &a.safety;
+            if s.leak.is_some() {
+                prop_assert!(!s.conserves_escrow.is_proved());
+                prop_assert!(
+                    a.diagnostics.iter().any(|d| d.severity == Severity::Error),
+                    "a leak must surface as an error diagnostic"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,305 @@
+//! End-to-end tests for `scvm-lint`'s economic-safety diagnostics: every
+//! new safety `DiagnosticKind` has one violating and one clean fixture
+//! under `tests/lint_fixtures/`, asserted in both text and `--json`
+//! output modes, plus the acceptance check that both in-repo contracts
+//! are fully proved.
+
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_fixtures")
+        .join(name);
+    p.to_str().expect("utf-8 path").to_string()
+}
+
+fn contract(name: &str) -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../core/contracts")
+        .join(name);
+    p.to_str().expect("utf-8 path").to_string()
+}
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scvm-lint"))
+        .args(args)
+        .output()
+        .expect("scvm-lint runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+// ---- accessors for the workspace's minimal serde_json Value --------------
+
+fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+    let Value::Object(entries) = v else {
+        panic!("expected object when looking up {key:?}, got {v:?}");
+    };
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing key {key:?} in {entries:?}"))
+}
+
+fn arr(v: &Value) -> &[Value] {
+    let Value::Array(items) = v else {
+        panic!("expected array, got {v:?}");
+    };
+    items
+}
+
+fn text_of(v: &Value) -> &str {
+    let Value::String(s) = v else {
+        panic!("expected string, got {v:?}");
+    };
+    s
+}
+
+fn bool_of(v: &Value) -> bool {
+    let Value::Bool(b) = v else {
+        panic!("expected bool, got {v:?}");
+    };
+    *b
+}
+
+/// Runs `scvm-lint --json` over one file and returns its JSON document.
+fn lint_json(path: &str) -> (Value, Option<i32>) {
+    let out = lint(&["--json", path]);
+    let docs = serde_json::from_str(&stdout(&out)).expect("valid JSON output");
+    let doc = arr(&docs).first().expect("one document per file").clone();
+    (doc, out.status.code())
+}
+
+/// The `kind` strings of every diagnostic in a JSON lint document.
+fn diag_kinds(doc: &Value) -> Vec<String> {
+    arr(get(doc, "diagnostics"))
+        .iter()
+        .map(|d| text_of(get(d, "kind")).to_string())
+        .collect()
+}
+
+/// The safety verdict label (`proved`/`refused`) for one property.
+fn verdict<'a>(doc: &'a Value, property: &str) -> &'a str {
+    text_of(get(get(doc, "safety"), property))
+}
+
+fn transfers(doc: &Value) -> &[Value] {
+    arr(get(get(doc, "safety"), "transfers"))
+}
+
+const SAFETY_KINDS: [&str; 4] = [
+    "escrow-leak",
+    "unbounded-outflow",
+    "opaque-payout",
+    "unguarded-transfer",
+];
+
+fn assert_no_safety_kinds(doc: &Value, path: &str) {
+    let kinds = diag_kinds(doc);
+    for k in SAFETY_KINDS {
+        assert!(
+            !kinds.iter().any(|x| x == k),
+            "{path}: unexpected safety diagnostic {k}: {kinds:?}"
+        );
+    }
+}
+
+// ---- escrow-leak (the committed payout-drift mutant) ---------------------
+
+#[test]
+fn escrow_leak_fixture_fails_in_text_mode() {
+    let out = lint(&[&fixture("sra_escrow_payout_drift.scvm")]);
+    assert_eq!(out.status.code(), Some(1), "leak is an error-severity diag");
+    let text = stdout(&out);
+    assert!(
+        text.contains("transfer can never pay"),
+        "missing leak message: {text}"
+    );
+    assert!(
+        text.contains("witness path:"),
+        "must render the path: {text}"
+    );
+    assert!(text.contains("conserves-escrow=refused"), "{text}");
+}
+
+#[test]
+fn escrow_leak_fixture_fails_in_json_mode() {
+    let (doc, code) = lint_json(&fixture("sra_escrow_payout_drift.scvm"));
+    assert_eq!(code, Some(1));
+    assert!(diag_kinds(&doc).contains(&"escrow-leak".to_string()));
+    assert_eq!(verdict(&doc, "conserves_escrow"), "refused");
+    assert_eq!(verdict(&doc, "bounded_payout"), "proved");
+    assert_eq!(verdict(&doc, "no_unauthorized_flow"), "proved");
+}
+
+#[test]
+fn escrow_leak_clean_fixture_is_clean() {
+    let (doc, code) = lint_json(&fixture("escrow_leak_clean.scvm"));
+    assert_eq!(code, Some(0));
+    assert_no_safety_kinds(&doc, "escrow_leak_clean.scvm");
+    assert_eq!(verdict(&doc, "conserves_escrow"), "proved");
+    // The refund-style transfer is recognized as the full-balance drain.
+    let t = transfers(&doc).first().expect("one transfer site");
+    assert!(bool_of(get(t, "drains")));
+    assert_eq!(text_of(get(t, "amount")), "balance");
+}
+
+// ---- unbounded-outflow ---------------------------------------------------
+
+#[test]
+fn unbounded_outflow_fixture_warns_in_text_mode() {
+    let out = lint(&[&fixture("unbounded_outflow_bad.scvm")]);
+    assert_eq!(out.status.code(), Some(0), "warnings pass by default");
+    let text = stdout(&out);
+    assert!(
+        text.contains("total outflow is statically unbounded"),
+        "{text}"
+    );
+
+    let denied = lint(&["--deny-warnings", &fixture("unbounded_outflow_bad.scvm")]);
+    assert_eq!(denied.status.code(), Some(1), "--deny-warnings rejects");
+}
+
+#[test]
+fn unbounded_outflow_fixtures_in_json_mode() {
+    let (bad, _) = lint_json(&fixture("unbounded_outflow_bad.scvm"));
+    assert!(diag_kinds(&bad).contains(&"unbounded-outflow".to_string()));
+    assert_eq!(verdict(&bad, "conserves_escrow"), "refused");
+    let t = transfers(&bad).first().expect("one transfer site");
+    assert!(bool_of(get(t, "in_unbounded_loop")));
+
+    let (clean, code) = lint_json(&fixture("unbounded_outflow_clean.scvm"));
+    assert_eq!(code, Some(0));
+    assert_no_safety_kinds(&clean, "unbounded_outflow_clean.scvm");
+    assert_eq!(verdict(&clean, "conserves_escrow"), "proved");
+}
+
+// ---- opaque-payout -------------------------------------------------------
+
+#[test]
+fn opaque_payout_fixture_warns_in_text_mode() {
+    let out = lint(&[&fixture("opaque_payout_bad.scvm")]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        stdout(&out).contains("no derivable expression over calldata/storage"),
+        "{}",
+        stdout(&out)
+    );
+
+    let denied = lint(&["--deny-warnings", &fixture("opaque_payout_bad.scvm")]);
+    assert_eq!(denied.status.code(), Some(1));
+}
+
+#[test]
+fn opaque_payout_fixtures_in_json_mode() {
+    let (bad, _) = lint_json(&fixture("opaque_payout_bad.scvm"));
+    assert!(diag_kinds(&bad).contains(&"opaque-payout".to_string()));
+    assert_eq!(verdict(&bad, "bounded_payout"), "refused");
+    let t = transfers(&bad).first().expect("one transfer site");
+    assert_eq!(text_of(get(t, "amount")), "unknown");
+
+    let (clean, code) = lint_json(&fixture("opaque_payout_clean.scvm"));
+    assert_eq!(code, Some(0));
+    assert_no_safety_kinds(&clean, "opaque_payout_clean.scvm");
+    assert_eq!(verdict(&clean, "bounded_payout"), "proved");
+    let t = transfers(&clean).first().expect("one transfer site");
+    assert_eq!(text_of(get(t, "amount")), "calldata[32]");
+}
+
+// ---- unguarded-transfer --------------------------------------------------
+
+#[test]
+fn unguarded_transfer_fixture_warns_in_text_mode() {
+    let out = lint(&[&fixture("unguarded_transfer_bad.scvm")]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        stdout(&out).contains("reachable without any caller guard"),
+        "{}",
+        stdout(&out)
+    );
+
+    let denied = lint(&["--deny-warnings", &fixture("unguarded_transfer_bad.scvm")]);
+    assert_eq!(denied.status.code(), Some(1));
+}
+
+#[test]
+fn unguarded_transfer_fixtures_in_json_mode() {
+    let (bad, _) = lint_json(&fixture("unguarded_transfer_bad.scvm"));
+    assert!(diag_kinds(&bad).contains(&"unguarded-transfer".to_string()));
+    assert_eq!(verdict(&bad, "no_unauthorized_flow"), "refused");
+    let t = transfers(&bad).first().expect("one transfer site");
+    assert!(!bool_of(get(t, "guarded")));
+
+    let (clean, code) = lint_json(&fixture("unguarded_transfer_clean.scvm"));
+    assert_eq!(code, Some(0));
+    assert_no_safety_kinds(&clean, "unguarded_transfer_clean.scvm");
+    assert_eq!(verdict(&clean, "no_unauthorized_flow"), "proved");
+    let t = transfers(&clean).first().expect("one transfer site");
+    assert!(bool_of(get(t, "guarded")));
+}
+
+// ---- acceptance: the shipped contracts are fully proved ------------------
+
+#[test]
+fn shipped_contracts_are_fully_proved_and_clean() {
+    for name in ["sra_escrow.scvm", "report_registry.scvm"] {
+        let path = contract(name);
+        let (doc, code) = lint_json(&path);
+        assert_eq!(code, Some(0), "{name} must lint clean");
+        assert_no_safety_kinds(&doc, name);
+        for property in ["conserves_escrow", "bounded_payout", "no_unauthorized_flow"] {
+            assert_eq!(verdict(&doc, property), "proved", "{name}: {property}");
+        }
+    }
+}
+
+#[test]
+fn escrow_payout_bound_is_mu_times_n() {
+    let (doc, _) = lint_json(&contract("sra_escrow.scvm"));
+    let sites = transfers(&doc);
+    assert_eq!(sites.len(), 2, "payout + refund arms");
+    let amounts: Vec<&str> = sites.iter().map(|t| text_of(get(t, "amount"))).collect();
+    assert!(
+        amounts.contains(&"(storage[1] * calldata[64])"),
+        "payout bound must be mu*n, got {amounts:?}"
+    );
+    assert!(
+        amounts.contains(&"balance"),
+        "refund drains the remaining balance, got {amounts:?}"
+    );
+    // Selector labeling: the payout site belongs to dispatch selector 1.
+    let payout = sites
+        .iter()
+        .find(|t| text_of(get(t, "amount")) == "(storage[1] * calldata[64])")
+        .expect("payout site");
+    let selectors: Vec<u64> = arr(get(payout, "selectors"))
+        .iter()
+        .map(|s| match s {
+            Value::Int(i) => *i as u64,
+            Value::UInt(u) => *u,
+            other => panic!("selector must be an integer, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(selectors, vec![1]);
+}
+
+#[test]
+fn shipped_contracts_pass_deny_warnings_text_mode() {
+    let out = lint(&[
+        "--deny-warnings",
+        &contract("sra_escrow.scvm"),
+        &contract("report_registry.scvm"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert_eq!(
+        text.matches("safety: conserves-escrow=proved").count(),
+        2,
+        "both summaries printed: {text}"
+    );
+}
