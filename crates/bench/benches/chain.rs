@@ -1,11 +1,12 @@
 //! Criterion benchmarks for the blockchain substrate: PoW sealing, block
-//! validation, store insertion and record lookup.
+//! validation, store insertion, record lookup, and durable-store commit
+//! and reopen throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use smartcrowd_chain::pow::Miner;
 use smartcrowd_chain::record::{Record, RecordKind};
 use smartcrowd_chain::validate::{validate_block, AcceptAll};
-use smartcrowd_chain::{Block, ChainStore, Difficulty, Ether};
+use smartcrowd_chain::{Block, ChainStore, Difficulty, DurableStore, Ether};
 use smartcrowd_crypto::keys::KeyPair;
 use smartcrowd_crypto::Address;
 use std::hint::black_box;
@@ -90,5 +91,55 @@ fn bench_store(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pow, bench_block_validation, bench_store);
+fn bench_durable_store(c: &mut Criterion) {
+    let root = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bench-durable");
+    let miner = Miner::new(Address::from_label("bench"));
+    let genesis = Block::genesis(Difficulty::from_u64(1));
+
+    // Pre-mine a 64-block chain once; the benches replay commits/reopens.
+    let mut chain = Vec::with_capacity(64);
+    let mut parent = genesis.clone();
+    for i in 0..64u64 {
+        let block = miner
+            .mine_next(&parent, records(4), parent.header().timestamp + 15 + i)
+            .unwrap();
+        chain.push(block.clone());
+        parent = block;
+    }
+
+    c.bench_function("storage/commit-64-blocks", |b| {
+        b.iter(|| {
+            let dir = root.join("commit");
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut store = DurableStore::open(&dir, &genesis).unwrap();
+            for block in &chain {
+                store.commit(black_box(block.clone())).unwrap();
+            }
+            black_box(store.view().best_height())
+        })
+    });
+
+    let dir = root.join("reopen");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = DurableStore::open(&dir, &genesis).unwrap();
+    for block in &chain {
+        store.commit(block.clone()).unwrap();
+    }
+    drop(store);
+    c.bench_function("storage/reopen-64-block-log", |b| {
+        b.iter(|| {
+            let store = DurableStore::open(black_box(&dir), &genesis).unwrap();
+            black_box(store.view().best_height())
+        })
+    });
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(
+    benches,
+    bench_pow,
+    bench_block_validation,
+    bench_store,
+    bench_durable_store
+);
 criterion_main!(benches);

@@ -61,6 +61,12 @@ pub enum ChainError {
     NotFound,
     /// The mempool is full and the record's fee did not displace anything.
     MempoolFull,
+    /// The durable storage layer failed beneath an otherwise valid block
+    /// (I/O error, injected crash, or corrupt on-disk state).
+    Storage {
+        /// The underlying storage failure, rendered for transport.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ChainError {
@@ -92,6 +98,7 @@ impl fmt::Display for ChainError {
             }
             ChainError::NotFound => write!(f, "block or record not found"),
             ChainError::MempoolFull => write!(f, "mempool full"),
+            ChainError::Storage { detail } => write!(f, "storage failure: {detail}"),
         }
     }
 }
@@ -120,6 +127,9 @@ mod tests {
             ChainError::MiningExhausted { attempts: 10 },
             ChainError::NotFound,
             ChainError::MempoolFull,
+            ChainError::Storage {
+                detail: "disk".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -64,6 +64,7 @@ pub mod rng;
 pub mod sigcache;
 pub mod simminer;
 pub mod stats;
+pub mod storage;
 pub mod store;
 pub mod validate;
 
@@ -73,6 +74,7 @@ pub use difficulty::Difficulty;
 pub use error::ChainError;
 pub use header::{BlockHeader, BlockId};
 pub use record::{Record, RecordKind};
+pub use storage::{ChainBackend, CrashPoint, DurableStore, StorageError};
 pub use store::ChainStore;
 
 /// Number of descendant blocks required before a block is final, matching

@@ -8,6 +8,7 @@
 use crate::block::Block;
 use crate::codec::{Decoder, Encoder};
 use crate::error::ChainError;
+use crate::storage::replay_pinned;
 use crate::store::ChainStore;
 
 /// Magic bytes identifying a chain dump.
@@ -27,12 +28,11 @@ pub fn export_chain(store: &ChainStore) -> Vec<u8> {
 
 /// Rebuilds a store from a dump, re-validating every block.
 ///
-/// Proof-of-work targets are self-certified by each header, so the
-/// import additionally pins every block to the genesis difficulty —
-/// otherwise a tampered dump could lower a block's declared difficulty
-/// (down to a trivially-met target) and smuggle re-mined history past
-/// the structural checks. Every chain this workspace produces mines at
-/// its genesis difficulty, so the pin rejects only tampering.
+/// The dump framing is decoded here; the actual recovery — genesis
+/// check, difficulty pinning, per-block re-validation — is the single
+/// shared [`replay_pinned`] path that [`crate::storage::DurableStore`]
+/// also uses on open, so the legacy dump format and the on-disk log
+/// cannot drift apart in what they accept.
 ///
 /// # Errors
 ///
@@ -47,35 +47,12 @@ pub fn import_chain(bytes: &[u8]) -> Result<ChainStore, ChainError> {
         });
     }
     let count = dec.take_u64()? as usize;
-    if count == 0 {
-        return Err(ChainError::Codec {
-            detail: "empty chain dump".to_string(),
-        });
-    }
-    let genesis = Block::decode(dec.take_bytes()?)?;
-    if genesis.header().height != 0 {
-        return Err(ChainError::Codec {
-            detail: "first block is not genesis".to_string(),
-        });
-    }
-    let difficulty = genesis.header().difficulty;
-    let mut store = ChainStore::new(genesis);
-    for _ in 1..count {
-        let block = Block::decode(dec.take_bytes()?)?;
-        if block.header().difficulty != difficulty {
-            return Err(ChainError::Codec {
-                detail: format!(
-                    "difficulty drift in chain dump: block {} declares {}, genesis set {}",
-                    block.header().height,
-                    block.header().difficulty.value(),
-                    difficulty.value()
-                ),
-            });
-        }
-        store.insert(block)?;
+    let mut blocks = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        blocks.push(Block::decode(dec.take_bytes()?)?);
     }
     dec.expect_end()?;
-    Ok(store)
+    replay_pinned(blocks)
 }
 
 #[cfg(test)]

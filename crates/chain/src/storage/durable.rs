@@ -1,0 +1,483 @@
+//! The durable store: an in-memory [`ChainStore`] kept consistent with
+//! an on-disk log across crashes at any instruction boundary.
+
+use super::index::SidecarIndex;
+use super::log::{scan_log, BlockLog};
+use super::wal::{Wal, WalRecovery};
+use super::{replay_pinned, ChainBackend, CrashPoint, StorageError};
+use crate::block::Block;
+use crate::error::ChainError;
+use crate::header::BlockId;
+use crate::store::ChainStore;
+use crate::CONFIRMATION_DEPTH;
+use smartcrowd_crypto::sha256::sha256d;
+use smartcrowd_telemetry::counter;
+use std::any::Any;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const CHECKPOINT_MAGIC: &[u8; 8] = b"SCCKPT01";
+const CHECKPOINT_LEN: usize = 8 + 8 + 32 + 32;
+
+/// What recovery had to repair during [`DurableStore::open`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// A torn tail was truncated from `blocks.log`.
+    pub torn_truncated: bool,
+    /// A durable-but-unapplied WAL entry was replayed into the log.
+    pub wal_replayed: bool,
+    /// An in-flight WAL entry that never became durable was discarded.
+    pub wal_discarded: bool,
+    /// Sidecar artifacts (index, checkpoint) rebuilt from the log.
+    pub sidecars_rebuilt: u32,
+}
+
+impl RecoveryReport {
+    /// True when the open found a byte-perfect store.
+    pub fn clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+}
+
+/// A file-backed chain store with crash recovery and fork pruning.
+///
+/// Wraps [`ChainStore`] as the live view; every [`commit`] is made
+/// durable through a WAL-then-log protocol before it returns. See the
+/// module docs and DESIGN.md §17 for the on-disk layout and the
+/// recovery state machine.
+///
+/// [`commit`]: DurableStore::commit
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    store: ChainStore,
+    log: BlockLog,
+    wal: Wal,
+    index: SidecarIndex,
+    checkpoint_height: u64,
+    last_recovery: RecoveryReport,
+    crash: Option<CrashPoint>,
+    poisoned: bool,
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) the store in `dir`, running recovery.
+    /// A fresh directory is seeded with `genesis`; an existing one must
+    /// hold a chain built on that same genesis.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] on filesystem failures; [`StorageError::Corrupt`]
+    /// when the on-disk state cannot be trusted (complete frame with a bad
+    /// checksum, replay failing chain validation, genesis mismatch, or a
+    /// recovered prefix missing a checkpointed confirmed block).
+    pub fn open(dir: &Path, genesis: &Block) -> Result<Self, StorageError> {
+        Self::open_impl(dir, Some(genesis))
+    }
+
+    /// Opens an existing store without knowing its genesis in advance
+    /// (operational tooling: `smartcrowd inspect <dir>`).
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableStore::open`], plus [`StorageError::Corrupt`] when the
+    /// directory holds no blocks at all.
+    pub fn open_existing(dir: &Path) -> Result<Self, StorageError> {
+        Self::open_impl(dir, None)
+    }
+
+    fn open_impl(dir: &Path, genesis: Option<&Block>) -> Result<Self, StorageError> {
+        std::fs::create_dir_all(dir).map_err(|e| StorageError::Io {
+            op: "create-dir",
+            path: dir.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+        let (mut log, image) = BlockLog::open(&dir.join("blocks.log"))?;
+        let was_fresh = image.is_empty();
+        let scan = match scan_log(&image) {
+            Ok(scan) => scan,
+            Err(e) => {
+                counter!("chain.storage.corrupt_frames").inc();
+                return Err(e);
+            }
+        };
+        let torn = scan.torn;
+        let valid_len = scan.valid_len;
+        let scan_entries = scan.entries;
+        let (mut wal, wal_recovery) = Wal::open(&dir.join("wal"))?;
+        let index = SidecarIndex::new(&dir.join("blocks.idx"));
+        let mut report = RecoveryReport {
+            torn_truncated: torn,
+            ..RecoveryReport::default()
+        };
+
+        // Classify the in-flight commit before any replay.
+        let mut wal_block: Option<Block> = None;
+        let wal_was_empty = matches!(wal_recovery, WalRecovery::Empty);
+        match wal_recovery {
+            WalRecovery::Empty => {}
+            WalRecovery::Replay(block) => {
+                // If the block already ends the log the crash landed
+                // between the log fsync and the WAL truncate: the commit
+                // is applied and the WAL entry just needs clearing.
+                if !scan_entries.iter().any(|e| e.id == block.id()) {
+                    wal_block = Some(block);
+                }
+            }
+            WalRecovery::Discard => report.wal_discarded = true,
+        }
+
+        // Build the candidate block sequence and validate it completely
+        // before any destructive repair touches the disk.
+        let mut blocks = scan.blocks;
+        let mut seeded_genesis = false;
+        match (blocks.first(), genesis) {
+            (Some(first), Some(expected)) if first.id() != expected.id() => {
+                return Err(StorageError::Corrupt {
+                    file: "blocks.log",
+                    offset: 0,
+                    detail: format!(
+                        "store genesis {} does not match expected genesis {}",
+                        first.id(),
+                        expected.id()
+                    ),
+                });
+            }
+            (Some(_), _) => {}
+            (None, Some(expected)) => {
+                blocks.push(expected.clone());
+                seeded_genesis = true;
+            }
+            (None, None) => {
+                return Err(StorageError::Corrupt {
+                    file: "blocks.log",
+                    offset: 0,
+                    detail: "store directory holds no blocks".to_string(),
+                });
+            }
+        }
+        let genesis_difficulty = blocks[0].header().difficulty;
+        let mut store =
+            replay_pinned(blocks.clone()).map_err(|e| replay_corruption(valid_len, e))?;
+
+        // A durable WAL entry replays unless it fails the same pinned
+        // validation every logged block passes — then it can only be a
+        // forgery, and discarding loses nothing that was ever applied.
+        let wal_block = wal_block.filter(|b| {
+            b.header().difficulty == genesis_difficulty && store.insert(b.clone()).is_ok()
+        });
+        report.wal_replayed = wal_block.is_some();
+
+        // Checkpoint gate: the recovered prefix must still contain the
+        // highest confirmed block a previous run checkpointed; otherwise
+        // confirmed history was lost and recovery must fail closed.
+        let mut checkpoint_height = 0u64;
+        match read_checkpoint(&dir.join("checkpoint")) {
+            CheckpointRead::Absent => {}
+            CheckpointRead::Invalid => report.sidecars_rebuilt += 1,
+            CheckpointRead::Valid { height, id } => {
+                let at = store.block_at_height(height).map(Block::id);
+                if at != Some(id) {
+                    return Err(StorageError::Corrupt {
+                        file: "checkpoint",
+                        offset: 0,
+                        detail: format!(
+                            "recovered chain (height {}) is missing checkpointed confirmed \
+                             block {id} at height {height}",
+                            store.best_height()
+                        ),
+                    });
+                }
+                checkpoint_height = height;
+            }
+        }
+
+        // Validation passed — apply the repairs.
+        log.adopt(valid_len, scan_entries)?;
+        if seeded_genesis {
+            log.append(&blocks[0])?;
+        }
+        if let Some(block) = &wal_block {
+            log.append(block)?;
+        }
+        if !wal_was_empty {
+            wal.clear()?;
+        }
+        if !index.matches(log.len_bytes(), log.entries()) {
+            if !was_fresh {
+                report.sidecars_rebuilt += 1;
+            }
+            let _ = index.write(log.len_bytes(), log.entries());
+        }
+
+        counter!("chain.storage.opens").inc();
+        if report.torn_truncated {
+            counter!("chain.storage.torn_truncations").inc();
+        }
+        if report.wal_replayed {
+            counter!("chain.storage.wal_replays").inc();
+        }
+        if report.sidecars_rebuilt > 0 {
+            counter!("chain.storage.recoveries").add(u64::from(report.sidecars_rebuilt));
+        }
+
+        let mut durable = DurableStore {
+            dir: dir.to_path_buf(),
+            store,
+            log,
+            wal,
+            index,
+            checkpoint_height,
+            last_recovery: report,
+            crash: None,
+            poisoned: false,
+        };
+        durable.maintain()?;
+        Ok(durable)
+    }
+
+    /// Validates and durably applies one block.
+    ///
+    /// Protocol: in-memory insert (validation) → WAL write + fsync (the
+    /// durability point) → log append + fsync → index update → WAL
+    /// truncate → checkpoint/prune maintenance. A crash anywhere leaves
+    /// a state [`DurableStore::open`] recovers exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Chain`] when validation rejects the block (disk
+    /// untouched); [`StorageError::Io`] on filesystem failures;
+    /// [`StorageError::InjectedCrash`] when an armed [`CrashPoint`]
+    /// fires, poisoning the store until it is reopened.
+    pub fn commit(&mut self, block: Block) -> Result<BlockId, StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Io {
+                op: "commit",
+                path: self.dir.clone(),
+                detail: "store poisoned by an injected crash; reopen from disk".to_string(),
+            });
+        }
+        let id = self.store.insert(block.clone())?;
+        if let Some(CrashPoint::TornWalWrite { bytes }) = self.crash {
+            self.wal.begin_torn(&block, bytes)?;
+            return self.crash_now();
+        }
+        self.wal.begin(&block)?;
+        if let Some(CrashPoint::AfterWalSync) = self.crash {
+            return self.crash_now();
+        }
+        if let Some(CrashPoint::TornLogAppend { bytes }) = self.crash {
+            self.log.append_torn(&block, bytes)?;
+            return self.crash_now();
+        }
+        self.log.append(&block)?;
+        let _ = self.index.write(self.log.len_bytes(), self.log.entries());
+        if let Some(CrashPoint::BeforeWalTruncate) = self.crash {
+            return self.crash_now();
+        }
+        self.wal.clear()?;
+        self.maintain()?;
+        Ok(id)
+    }
+
+    fn crash_now(&mut self) -> Result<BlockId, StorageError> {
+        self.crash = None;
+        self.poisoned = true;
+        Err(StorageError::InjectedCrash)
+    }
+
+    /// Checkpoints newly-confirmed height and prunes dead forks.
+    fn maintain(&mut self) -> Result<(), StorageError> {
+        let best = self.store.best_height();
+        if best <= CONFIRMATION_DEPTH {
+            return Ok(());
+        }
+        let confirmed = best - CONFIRMATION_DEPTH;
+        if confirmed <= self.checkpoint_height {
+            return Ok(());
+        }
+        let id = self
+            .store
+            .block_at_height(confirmed)
+            .map(Block::id)
+            .ok_or_else(|| StorageError::Corrupt {
+                file: "blocks.log",
+                offset: 0,
+                detail: format!("no canonical block at confirmed height {confirmed}"),
+            })?;
+        write_checkpoint(&self.dir.join("checkpoint"), confirmed, id)?;
+        self.checkpoint_height = confirmed;
+        self.prune()?;
+        Ok(())
+    }
+
+    /// Removes fork branches that can no longer win: a non-canonical
+    /// block whose entire subtree tops out at or below
+    /// `best − CONFIRMATION_DEPTH` could only become canonical by
+    /// reorging a confirmed block. Compacts the log (temp + rename) and
+    /// rebuilds the in-memory view so live and reopened stores agree.
+    ///
+    /// Returns the number of blocks removed.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] on filesystem failures during compaction.
+    pub fn prune(&mut self) -> Result<u64, StorageError> {
+        let best = self.store.best_height();
+        if best <= CONFIRMATION_DEPTH {
+            return Ok(0);
+        }
+        let horizon = best - CONFIRMATION_DEPTH;
+        // Deepest descendant per block. Children appear after parents in
+        // the log, so one reverse pass folds each subtree into its root.
+        let mut deepest: HashMap<BlockId, u64> = HashMap::new();
+        for entry in self.log.entries().iter().rev() {
+            let header = self
+                .store
+                .header(&entry.id)
+                .ok_or_else(|| StorageError::Corrupt {
+                    file: "blocks.log",
+                    offset: entry.offset,
+                    detail: format!("log entry {} missing from in-memory view", entry.id),
+                })?;
+            let own = deepest
+                .get(&entry.id)
+                .copied()
+                .unwrap_or(header.height)
+                .max(header.height);
+            deepest.insert(entry.id, own);
+            let parent = deepest.entry(header.prev).or_insert(0);
+            *parent = (*parent).max(own);
+        }
+        let mut kept = Vec::new();
+        let mut pruned = 0u64;
+        for entry in self.log.entries() {
+            let alive = self.store.is_canonical(&entry.id)
+                || deepest.get(&entry.id).copied().unwrap_or(0) > horizon;
+            if alive {
+                if let Some(block) = self.store.block(&entry.id) {
+                    kept.push(block.clone());
+                }
+            } else {
+                pruned += 1;
+            }
+        }
+        if pruned == 0 {
+            return Ok(0);
+        }
+        self.log.rewrite(&kept)?;
+        let _ = self.index.write(self.log.len_bytes(), self.log.entries());
+        // Kept blocks preserve log (= insertion) order, so first-seen
+        // tie-breaking replays identically for everything that remains.
+        self.store = replay_pinned(kept).map_err(|e| replay_corruption(0, e))?;
+        counter!("chain.storage.pruned_blocks").add(pruned);
+        Ok(pruned)
+    }
+
+    /// Arms a fault-injection crash point for the next [`commit`].
+    ///
+    /// [`commit`]: DurableStore::commit
+    pub fn inject_crash(&mut self, point: CrashPoint) {
+        self.crash = Some(point);
+    }
+
+    /// The live in-memory view.
+    pub fn view(&self) -> &ChainStore {
+        &self.store
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Highest checkpointed confirmed height.
+    pub fn checkpoint_height(&self) -> u64 {
+        self.checkpoint_height
+    }
+
+    /// What the last open had to repair.
+    pub fn last_recovery(&self) -> RecoveryReport {
+        self.last_recovery
+    }
+
+    /// Number of blocks currently framed in the log (forks included).
+    pub fn logged_blocks(&self) -> usize {
+        self.log.entries().len()
+    }
+}
+
+impl ChainBackend for DurableStore {
+    fn view(&self) -> &ChainStore {
+        DurableStore::view(self)
+    }
+
+    fn commit(&mut self, block: Block) -> Result<BlockId, StorageError> {
+        DurableStore::commit(self, block)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn replay_corruption(offset: u64, e: ChainError) -> StorageError {
+    StorageError::Corrupt {
+        file: "blocks.log",
+        offset,
+        detail: format!("log replay failed chain validation: {e}"),
+    }
+}
+
+enum CheckpointRead {
+    Absent,
+    Invalid,
+    Valid { height: u64, id: BlockId },
+}
+
+fn read_checkpoint(path: &Path) -> CheckpointRead {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(_) => return CheckpointRead::Absent,
+    };
+    if bytes.len() != CHECKPOINT_LEN || &bytes[..8] != CHECKPOINT_MAGIC {
+        return CheckpointRead::Invalid;
+    }
+    let mut checksum = [0u8; 32];
+    checksum.copy_from_slice(&bytes[48..80]);
+    if sha256d(&bytes[..48]) != checksum {
+        return CheckpointRead::Invalid;
+    }
+    let mut h = [0u8; 8];
+    h.copy_from_slice(&bytes[8..16]);
+    let mut id = [0u8; 32];
+    id.copy_from_slice(&bytes[16..48]);
+    CheckpointRead::Valid {
+        height: u64::from_be_bytes(h),
+        id: BlockId::from_digest(id),
+    }
+}
+
+/// Atomic checkpoint swap: temp file + fsync + rename.
+fn write_checkpoint(path: &Path, height: u64, id: BlockId) -> Result<(), StorageError> {
+    let mut bytes = Vec::with_capacity(CHECKPOINT_LEN);
+    bytes.extend_from_slice(CHECKPOINT_MAGIC);
+    bytes.extend_from_slice(&height.to_be_bytes());
+    bytes.extend_from_slice(id.as_digest());
+    let checksum = sha256d(&bytes);
+    bytes.extend_from_slice(&checksum);
+    let tmp = path.with_extension("tmp");
+    let io = |op: &'static str, p: &Path, e: std::io::Error| StorageError::Io {
+        op,
+        path: p.to_path_buf(),
+        detail: e.to_string(),
+    };
+    let mut file = File::create(&tmp).map_err(|e| io("create", &tmp, e))?;
+    file.write_all(&bytes).map_err(|e| io("write", &tmp, e))?;
+    file.sync_data().map_err(|e| io("fsync", &tmp, e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| io("rename", path, e))?;
+    Ok(())
+}

@@ -1,0 +1,232 @@
+//! The append-only block log (`blocks.log`).
+//!
+//! Every committed block — canonical or fork — is one frame, appended in
+//! insertion order. Because children are always committed after their
+//! parents, *any frame-aligned prefix of the log is parent-closed*: the
+//! recovery scan can truncate a torn tail and still replay a valid
+//! chain. The scan itself never mutates the file; it reports a plan
+//! (`valid_len`, decoded blocks, damage classification) and the caller
+//! decides when repairs are safe to apply.
+
+use super::frame::{encode_frame, scan_frame, FrameScan};
+use super::StorageError;
+use crate::block::Block;
+use crate::header::BlockId;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Location of one frame inside the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) struct LogEntry {
+    /// Byte offset of the frame's first header byte.
+    pub offset: u64,
+    /// Total frame length (header + payload).
+    pub len: u64,
+    /// Id of the block the frame decodes to.
+    pub id: BlockId,
+}
+
+/// Outcome of scanning a log image.
+#[derive(Debug)]
+pub(super) struct LogScan {
+    /// Decoded blocks, in log order.
+    pub blocks: Vec<Block>,
+    /// Frame locations, parallel to `blocks`.
+    pub entries: Vec<LogEntry>,
+    /// Length of the valid frame-aligned prefix.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` form a torn tail to truncate.
+    pub torn: bool,
+}
+
+/// Scans raw log bytes into blocks without touching any file.
+///
+/// # Errors
+///
+/// [`StorageError::Corrupt`] on a complete-but-invalid frame or a
+/// payload that does not decode as a block. Torn tails are *not* errors;
+/// they set [`LogScan::torn`].
+pub(super) fn scan_log(bytes: &[u8]) -> Result<LogScan, StorageError> {
+    let mut blocks = Vec::new();
+    let mut entries = Vec::new();
+    let mut offset = 0usize;
+    let mut torn = false;
+    while offset < bytes.len() {
+        match scan_frame(bytes, offset) {
+            FrameScan::Complete { payload, next } => {
+                let block = Block::decode(payload).map_err(|e| StorageError::Corrupt {
+                    file: "blocks.log",
+                    offset: offset as u64,
+                    detail: format!("frame payload is not a block: {e}"),
+                })?;
+                entries.push(LogEntry {
+                    offset: offset as u64,
+                    len: (next - offset) as u64,
+                    id: block.id(),
+                });
+                blocks.push(block);
+                offset = next;
+            }
+            FrameScan::TornTail => {
+                torn = true;
+                break;
+            }
+            FrameScan::Corrupt { detail } => {
+                return Err(StorageError::Corrupt {
+                    file: "blocks.log",
+                    offset: offset as u64,
+                    detail,
+                });
+            }
+        }
+    }
+    Ok(LogScan {
+        blocks,
+        entries,
+        valid_len: offset as u64,
+        torn,
+    })
+}
+
+/// An open handle on `blocks.log` with its frame directory.
+#[derive(Debug)]
+pub(super) struct BlockLog {
+    path: PathBuf,
+    file: File,
+    len: u64,
+    entries: Vec<LogEntry>,
+}
+
+fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> StorageError {
+    StorageError::Io {
+        op,
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    }
+}
+
+impl BlockLog {
+    /// Opens (creating if absent) the log file and returns the raw image
+    /// for the caller to scan. No repairs happen here.
+    pub fn open(path: &Path) -> Result<(Self, Vec<u8>), StorageError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err("open", path, e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| io_err("read", path, e))?;
+        let len = bytes.len() as u64;
+        Ok((
+            BlockLog {
+                path: path.to_path_buf(),
+                file,
+                len,
+                entries: Vec::new(),
+            },
+            bytes,
+        ))
+    }
+
+    /// Adopts a scan of the current image, truncating any torn tail.
+    pub fn adopt(&mut self, valid_len: u64, entries: Vec<LogEntry>) -> Result<(), StorageError> {
+        if valid_len < self.len {
+            self.file
+                .set_len(valid_len)
+                .map_err(|e| io_err("truncate", &self.path, e))?;
+            self.file
+                .sync_data()
+                .map_err(|e| io_err("fsync", &self.path, e))?;
+        }
+        self.len = valid_len;
+        self.entries = entries;
+        Ok(())
+    }
+
+    /// Appends one block as a frame and fsyncs. Returns the new entry.
+    pub fn append(&mut self, block: &Block) -> Result<LogEntry, StorageError> {
+        let frame = encode_frame(&block.encode());
+        self.append_raw(&frame, block.id())
+    }
+
+    fn append_raw(&mut self, frame: &[u8], id: BlockId) -> Result<LogEntry, StorageError> {
+        self.file
+            .seek(SeekFrom::Start(self.len))
+            .map_err(|e| io_err("seek", &self.path, e))?;
+        self.file
+            .write_all(frame)
+            .map_err(|e| io_err("append", &self.path, e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("fsync", &self.path, e))?;
+        let entry = LogEntry {
+            offset: self.len,
+            len: frame.len() as u64,
+            id,
+        };
+        self.len += frame.len() as u64;
+        self.entries.push(entry);
+        Ok(entry)
+    }
+
+    /// Fault injection: writes only the first `keep` bytes of the frame
+    /// for `block`, unsynced — the shape a power loss mid-append leaves.
+    pub fn append_torn(&mut self, block: &Block, keep: u64) -> Result<(), StorageError> {
+        let frame = encode_frame(&block.encode());
+        let keep = (keep as usize).clamp(1, frame.len().saturating_sub(1));
+        self.file
+            .seek(SeekFrom::Start(self.len))
+            .map_err(|e| io_err("seek", &self.path, e))?;
+        self.file
+            .write_all(&frame[..keep])
+            .map_err(|e| io_err("append", &self.path, e))?;
+        // Deliberately no sync and no entry bookkeeping: the in-memory
+        // handle is abandoned after an injected crash.
+        Ok(())
+    }
+
+    /// Atomically replaces the log contents with `blocks` (compaction):
+    /// writes a temp file, fsyncs, renames over the log, reopens.
+    pub fn rewrite(&mut self, blocks: &[Block]) -> Result<(), StorageError> {
+        let tmp_path = self.path.with_extension("log.tmp");
+        let mut tmp = File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, e))?;
+        let mut entries = Vec::with_capacity(blocks.len());
+        let mut offset = 0u64;
+        for block in blocks {
+            let frame = encode_frame(&block.encode());
+            tmp.write_all(&frame)
+                .map_err(|e| io_err("write", &tmp_path, e))?;
+            entries.push(LogEntry {
+                offset,
+                len: frame.len() as u64,
+                id: block.id(),
+            });
+            offset += frame.len() as u64;
+        }
+        tmp.sync_data().map_err(|e| io_err("fsync", &tmp_path, e))?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path).map_err(|e| io_err("rename", &self.path, e))?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| io_err("open", &self.path, e))?;
+        self.len = offset;
+        self.entries = entries;
+        Ok(())
+    }
+
+    /// The frame directory, in log order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Current log length in bytes (valid frames only).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+}

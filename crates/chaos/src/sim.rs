@@ -10,7 +10,13 @@
 //! - **Crashes** export the node's chain through
 //!   [`smartcrowd_chain::persist::export_chain`] (the "disk"), drop all
 //!   soft state, and discard deliveries; restarts import the dump and
-//!   rebuild verification state with [`ProviderNode::restore`].
+//!   rebuild verification state with [`ProviderNode::restore`]. In
+//!   *durable mode* ([`run_plan_durable`]) every node runs on a real
+//!   [`DurableStore`] directory instead: a crash tears the store
+//!   mid-commit at an injected sync point (full frame in the WAL, torn
+//!   frame in the log) and a restart reopens from disk, so the
+//!   agreement/finality/conservation oracles run against the actual
+//!   recovery path of the on-disk format.
 //! - **Byzantine behaviours** act when the misbehaving node wins a round
 //!   (withholding, equivocation) or on every round (flooding).
 //!
@@ -33,6 +39,7 @@ use smartcrowd_chain::persist::{export_chain, import_chain};
 use smartcrowd_chain::record::{Record, RecordKind};
 use smartcrowd_chain::rng::SimRng;
 use smartcrowd_chain::simminer::{SimMiner, SimParticipant, PAPER_HASH_POWERS};
+use smartcrowd_chain::storage::{frame, CrashPoint, DurableStore};
 use smartcrowd_chain::{Block, Difficulty, Ether};
 use smartcrowd_core::node::{Outbox, ProviderNode};
 use smartcrowd_core::report::{create_report_pair, Findings};
@@ -43,6 +50,7 @@ use smartcrowd_detect::vulnerability::VulnId;
 use smartcrowd_net::{GossipNet, Message, NodeId};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Per-block record capacity.
 const BLOCK_CAPACITY: usize = 64;
@@ -134,17 +142,34 @@ pub struct ChaosOutcome {
     pub duplicated: u64,
 }
 
-/// A node slot: a running provider or a crash dump on "disk".
+/// What a crashed node left behind: a legacy chain dump (in-memory
+/// mode) or a real store directory (durable mode).
+#[derive(Debug)]
+enum Disk {
+    Dump(Vec<u8>),
+    Dir(PathBuf),
+}
+
+/// A node slot: a running provider or a crash artifact on "disk".
 enum Slot {
     Running(Box<ProviderNode>),
-    Crashed { disk: Vec<u8> },
+    Crashed { disk: Disk },
 }
 
 impl fmt::Debug for Slot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Slot::Running(_) => f.write_str("Running"),
-            Slot::Crashed { disk } => write!(f, "Crashed({} bytes)", disk.len()),
+            Slot::Crashed {
+                disk: Disk::Dump(bytes),
+            } => {
+                write!(f, "Crashed({} bytes)", bytes.len())
+            }
+            Slot::Crashed {
+                disk: Disk::Dir(dir),
+            } => {
+                write!(f, "Crashed({})", dir.display())
+            }
         }
     }
 }
@@ -166,15 +191,42 @@ pub struct ChaosSim {
     race: SimMiner,
     rng: SimRng,
     library: VulnLibrary,
-    genesis_timestamp: u64,
+    genesis: Block,
+    durable_root: Option<PathBuf>,
     round: usize,
     garbage_nonce: u64,
 }
 
 impl ChaosSim {
-    /// Boots the plan's node fleet over a seeded network.
+    /// Boots the plan's node fleet over a seeded network, on the
+    /// in-memory backend.
     #[must_use]
     pub fn new(plan: &FaultPlan, seed: u64, bug: Option<PlantedBug>) -> ChaosSim {
+        Self::build(plan, seed, bug, None).expect("in-memory boot cannot fail")
+    }
+
+    /// Boots the fleet with every node on a [`DurableStore`] under
+    /// `root/node-<i>` (directories are recreated from scratch), so
+    /// crash faults tear the real on-disk format.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosFailure::Persist`] if a store directory cannot be created.
+    pub fn new_durable(
+        plan: &FaultPlan,
+        seed: u64,
+        bug: Option<PlantedBug>,
+        root: &Path,
+    ) -> Result<ChaosSim, ChaosFailure> {
+        Self::build(plan, seed, bug, Some(root.to_path_buf()))
+    }
+
+    fn build(
+        plan: &FaultPlan,
+        seed: u64,
+        bug: Option<PlantedBug>,
+        durable_root: Option<PathBuf>,
+    ) -> Result<ChaosSim, ChaosFailure> {
         assert!(plan.nodes > 0, "plan needs at least one node");
         let genesis = Block::genesis(Difficulty::from_u64(1));
         let library = VulnLibrary::synthetic(200, seed ^ 0x11b);
@@ -185,7 +237,18 @@ impl ChaosSim {
         let mut participants = Vec::with_capacity(plan.nodes);
         for i in 0..plan.nodes {
             let keypair = KeyPair::from_seed(format!("chaos-node-{i}").as_bytes());
-            let node = ProviderNode::new(keypair, genesis.clone(), library.clone());
+            let node = if let Some(root) = &durable_root {
+                let dir = root.join(format!("node-{i}"));
+                let _ = std::fs::remove_dir_all(&dir);
+                let store =
+                    DurableStore::open(&dir, &genesis).map_err(|e| ChaosFailure::Persist {
+                        round: 0,
+                        detail: e.to_string(),
+                    })?;
+                ProviderNode::with_backend(keypair, Box::new(store), library.clone())
+            } else {
+                ProviderNode::new(keypair, genesis.clone(), library.clone())
+            };
             participants.push(SimParticipant {
                 address: node.address(),
                 hash_power: PAPER_HASH_POWERS[i % PAPER_HASH_POWERS.len()],
@@ -195,7 +258,7 @@ impl ChaosSim {
             slots.push(Slot::Running(Box::new(node)));
         }
         let race = SimMiner::new(participants, 15.35, seed ^ 0xace);
-        ChaosSim {
+        Ok(ChaosSim {
             plan: plan.clone(),
             seed,
             bug,
@@ -209,10 +272,11 @@ impl ChaosSim {
             race,
             rng: SimRng::seed_from_u64(seed ^ 0x5eed),
             library,
-            genesis_timestamp: genesis.header().timestamp,
+            genesis,
+            durable_root,
             round: 0,
             garbage_nonce: 0,
-        }
+        })
     }
 
     /// Oracle views of every node.
@@ -372,12 +436,7 @@ impl ChaosSim {
                     }
                 }
                 FaultKind::Heal => self.heal()?,
-                FaultKind::Crash { node } => {
-                    if let Slot::Running(n) = &self.slots[node] {
-                        let disk = export_chain(n.store());
-                        self.slots[node] = Slot::Crashed { disk };
-                    }
-                }
+                FaultKind::Crash { node } => self.crash(node),
                 FaultKind::Restart { node } => self.restart(node, round)?,
                 FaultKind::Byzantine { node, behavior } => {
                     self.byzantine.insert(node, behavior);
@@ -387,15 +446,65 @@ impl ChaosSim {
         Ok(())
     }
 
+    /// Crashes a node. In-memory mode snapshots the chain as a legacy
+    /// dump. Durable mode performs a *mid-commit tear* before dropping
+    /// the node: the store's next commit is crashed at an injected sync
+    /// point, leaving a full frame in the WAL and a torn frame in the
+    /// log — exactly the state a power loss during an append leaves —
+    /// which the restart's recovery must truncate and replay.
+    fn crash(&mut self, node: usize) {
+        let Slot::Running(n) = &mut self.slots[node] else {
+            return;
+        };
+        let disk = if let Some(root) = &self.durable_root {
+            let dir = root.join(format!("node-{node}"));
+            let address = n.address();
+            let tear = frame::FRAME_HEADER_LEN as u64 + self.rng.next_below(64);
+            if let Some(store) = n.backend_mut().as_any_mut().downcast_mut::<DurableStore>() {
+                let parent = store.view().best_block().clone();
+                let inflight = Block::assemble(
+                    &parent,
+                    vec![],
+                    parent.header().timestamp + 1,
+                    Difficulty::from_u64(1),
+                    address,
+                );
+                store.inject_crash(CrashPoint::TornLogAppend { bytes: tear });
+                // The commit dies at the crash point by design.
+                let _ = store.commit(inflight);
+            }
+            Disk::Dir(dir)
+        } else {
+            Disk::Dump(export_chain(n.store()))
+        };
+        self.slots[node] = Slot::Crashed { disk };
+    }
+
     fn restart(&mut self, node: usize, round: usize) -> Result<(), ChaosFailure> {
         let Slot::Crashed { disk } = &self.slots[node] else {
             return Ok(());
         };
-        let store = import_chain(disk).map_err(|e| ChaosFailure::Persist {
-            round,
-            detail: e.to_string(),
-        })?;
-        let provider = ProviderNode::restore(self.keypairs[node], store, self.library.clone());
+        let provider = match disk {
+            Disk::Dump(bytes) => {
+                let store = import_chain(bytes).map_err(|e| ChaosFailure::Persist {
+                    round,
+                    detail: e.to_string(),
+                })?;
+                ProviderNode::restore(self.keypairs[node], store, self.library.clone())
+            }
+            Disk::Dir(dir) => {
+                let store =
+                    DurableStore::open(dir, &self.genesis).map_err(|e| ChaosFailure::Persist {
+                        round,
+                        detail: e.to_string(),
+                    })?;
+                ProviderNode::restore_backend(
+                    self.keypairs[node],
+                    Box::new(store),
+                    self.library.clone(),
+                )
+            }
+        };
         self.slots[node] = Slot::Running(Box::new(provider));
         Ok(())
     }
@@ -453,7 +562,7 @@ impl ChaosSim {
     pub fn mine_round(&mut self) -> Result<(), ChaosFailure> {
         let event = self.race.next_event();
         let winner = event.winner;
-        let timestamp = self.genesis_timestamp + self.race.clock().ceil() as u64;
+        let timestamp = self.genesis.header().timestamp + self.race.clock().ceil() as u64;
         let behavior = self.byzantine.get(&winner).cloned();
         if matches!(self.slots[winner], Slot::Running(_)) {
             match behavior {
@@ -678,7 +787,7 @@ impl ChaosSim {
     pub fn mine_honest_round(&mut self) -> Result<(), ChaosFailure> {
         let event = self.race.next_event();
         let winner = event.winner;
-        let timestamp = self.genesis_timestamp + self.race.clock().ceil() as u64;
+        let timestamp = self.genesis.header().timestamp + self.race.clock().ceil() as u64;
         if !self.byzantine.contains_key(&winner) {
             if let Slot::Running(node) = &mut self.slots[winner] {
                 let out = node.mine(timestamp, BLOCK_CAPACITY).1;
@@ -709,7 +818,27 @@ pub fn run_plan(
     seed: u64,
     bug: Option<PlantedBug>,
 ) -> Result<ChaosOutcome, ChaosFailure> {
-    let mut sim = ChaosSim::new(plan, seed, bug);
+    run_sim(ChaosSim::new(plan, seed, bug), plan)
+}
+
+/// [`run_plan`] with every node on a [`DurableStore`] under `root`:
+/// crash faults tear the real on-disk format mid-commit and restarts
+/// reopen from disk, with the same oracles asserted after recovery.
+///
+/// # Errors
+///
+/// As [`run_plan`], plus [`ChaosFailure::Persist`] when a store cannot
+/// be created, torn, or recovered.
+pub fn run_plan_durable(
+    plan: &FaultPlan,
+    seed: u64,
+    bug: Option<PlantedBug>,
+    root: &Path,
+) -> Result<ChaosOutcome, ChaosFailure> {
+    run_sim(ChaosSim::new_durable(plan, seed, bug, root)?, plan)
+}
+
+fn run_sim(mut sim: ChaosSim, plan: &FaultPlan) -> Result<ChaosOutcome, ChaosFailure> {
     let mut oracles = Oracles::new(plan.nodes);
     let mid = (plan.rounds / 2).max(1);
     sim.inject_initial_workload()?;

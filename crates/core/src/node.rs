@@ -22,7 +22,7 @@ use crate::verify;
 use smartcrowd_chain::mempool::Mempool;
 use smartcrowd_chain::record::{Record, RecordKind};
 use smartcrowd_chain::validate::{validate_block, FnValidator};
-use smartcrowd_chain::{Block, ChainStore, Difficulty, Ether};
+use smartcrowd_chain::{Block, ChainBackend, ChainStore, Difficulty, Ether};
 use smartcrowd_crypto::keys::KeyPair;
 use smartcrowd_crypto::{Address, Digest};
 use smartcrowd_detect::autoverif::AutoVerifier;
@@ -50,7 +50,7 @@ impl Outbox {
 pub struct ProviderNode {
     keypair: KeyPair,
     address: Address,
-    store: ChainStore,
+    backend: Box<dyn ChainBackend>,
     mempool: Mempool,
     sync: SyncBuffer,
     scoreboard: Scoreboard,
@@ -74,12 +74,23 @@ pub struct ProviderNode {
 }
 
 impl ProviderNode {
-    /// Boots a node from the shared genesis and vulnerability library.
+    /// Boots a node from the shared genesis and vulnerability library,
+    /// on the in-memory backend.
     pub fn new(keypair: KeyPair, genesis: Block, library: VulnLibrary) -> Self {
+        Self::with_backend(keypair, Box::new(ChainStore::new(genesis)), library)
+    }
+
+    /// Boots a node over an explicit chain backend (e.g. a
+    /// [`smartcrowd_chain::storage::DurableStore`]) with fresh soft state.
+    pub fn with_backend(
+        keypair: KeyPair,
+        backend: Box<dyn ChainBackend>,
+        library: VulnLibrary,
+    ) -> Self {
         ProviderNode {
             address: keypair.address(),
             keypair,
-            store: ChainStore::new(genesis),
+            backend,
             mempool: Mempool::default(),
             sync: SyncBuffer::new(),
             scoreboard: Scoreboard::default(),
@@ -106,11 +117,23 @@ impl ProviderNode {
     /// key already used (a replayed nonce would produce duplicate record
     /// ids).
     pub fn restore(keypair: KeyPair, store: ChainStore, library: VulnLibrary) -> Self {
+        Self::restore_backend(keypair, Box::new(store), library)
+    }
+
+    /// [`ProviderNode::restore`] over an explicit backend — the durable
+    /// crash-restart path: reopen the [`smartcrowd_chain::storage::DurableStore`]
+    /// from disk (recovery runs there), then rebuild the soft state from
+    /// its recovered canonical chain.
+    pub fn restore_backend(
+        keypair: KeyPair,
+        backend: Box<dyn ChainBackend>,
+        library: VulnLibrary,
+    ) -> Self {
         let address = keypair.address();
         let mut sras = HashMap::new();
         let mut initials = HashMap::new();
         let mut nonce = 0u64;
-        for block in store.canonical_blocks() {
+        for block in backend.view().canonical_blocks() {
             for record in block.records() {
                 if record.sender() == address {
                     nonce = nonce.max(record.nonce());
@@ -139,7 +162,7 @@ impl ProviderNode {
         ProviderNode {
             address,
             keypair,
-            store,
+            backend,
             mempool: Mempool::default(),
             sync: SyncBuffer::new(),
             scoreboard: Scoreboard::default(),
@@ -162,7 +185,13 @@ impl ProviderNode {
 
     /// The node's chain view.
     pub fn store(&self) -> &ChainStore {
-        &self.store
+        self.backend.view()
+    }
+
+    /// Mutable access to the chain backend (fault-injection harnesses
+    /// downcast this to the concrete store).
+    pub fn backend_mut(&mut self) -> &mut dyn ChainBackend {
+        &mut *self.backend
     }
 
     /// The node's local scoreboard.
@@ -233,7 +262,7 @@ impl ProviderNode {
                 self.handle_image(image_hash, image);
             }
             Message::BlockRequest { id } => {
-                if let Some(block) = self.store.block(&id) {
+                if let Some(block) = self.backend.view().block(&id) {
                     out.push(Message::Block(Box::new(block.clone())));
                 }
             }
@@ -360,12 +389,17 @@ impl ProviderNode {
         }
         // validate_block needs the parent; when we don't have it yet, the
         // sync buffer holds the block and it is re-checked on connect.
-        if self.store.block(&block.header().prev).is_some()
-            && validate_block(&self.store, &block, &FnValidator(|_r: &Record| Ok(()))).is_err()
+        if self.backend.view().block(&block.header().prev).is_some()
+            && validate_block(
+                self.backend.view(),
+                &block,
+                &FnValidator(|_r: &Record| Ok(())),
+            )
+            .is_err()
         {
             return;
         }
-        match self.sync.offer(&mut self.store, block.clone()) {
+        match self.sync.offer(&mut *self.backend, block.clone()) {
             SyncOutcome::Connected { .. } => {
                 self.mempool.remove_included(&block);
                 // Re-gossip so partitioned late-joiners converge.
@@ -436,7 +470,7 @@ impl ProviderNode {
     /// node wins the race), returning the block to broadcast.
     pub fn mine(&mut self, timestamp: u64, capacity: usize) -> (Block, Outbox) {
         let records = self.mempool.take_best(capacity);
-        let parent = self.store.best_block().clone();
+        let parent = self.backend.view().best_block().clone();
         let block = Block::assemble(
             &parent,
             records,
@@ -444,8 +478,8 @@ impl ProviderNode {
             Difficulty::from_u64(1),
             self.address,
         );
-        self.store
-            .insert(block.clone())
+        self.backend
+            .commit(block.clone())
             .expect("own block extends own tip");
         smartcrowd_telemetry::counter!("core.node.blocks_mined").inc();
         let mut out = Outbox::default();

@@ -8,7 +8,8 @@
 //! the node can request it from peers.
 
 use smartcrowd_chain::header::BlockId;
-use smartcrowd_chain::{Block, ChainError, ChainStore};
+use smartcrowd_chain::storage::StorageError;
+use smartcrowd_chain::{Block, ChainBackend, ChainError};
 use std::collections::HashMap;
 
 /// Outcome of offering one block to the buffer.
@@ -27,7 +28,7 @@ pub enum SyncOutcome {
     Rejected(ChainError),
 }
 
-/// A reassembly buffer in front of a [`ChainStore`].
+/// A reassembly buffer in front of a [`ChainBackend`].
 ///
 /// # Example
 ///
@@ -73,7 +74,13 @@ impl SyncBuffer {
 
     /// Offers a block; connects it (and any unlocked descendants) when its
     /// parent is known, otherwise buffers it.
-    pub fn offer(&mut self, store: &mut ChainStore, block: Block) -> SyncOutcome {
+    ///
+    /// Generic over [`ChainBackend`], so the same reassembly path drives
+    /// the in-memory [`smartcrowd_chain::ChainStore`] and the durable
+    /// disk-backed store; a
+    /// storage-layer failure beneath a valid block surfaces as
+    /// [`SyncOutcome::Rejected`] with [`ChainError::Storage`].
+    pub fn offer<B: ChainBackend + ?Sized>(&mut self, store: &mut B, block: Block) -> SyncOutcome {
         let outcome = self.offer_inner(store, block);
         use smartcrowd_telemetry::{counter, gauge};
         match &outcome {
@@ -88,13 +95,17 @@ impl SyncBuffer {
         outcome
     }
 
-    fn offer_inner(&mut self, store: &mut ChainStore, block: Block) -> SyncOutcome {
+    fn offer_inner<B: ChainBackend + ?Sized>(
+        &mut self,
+        store: &mut B,
+        block: Block,
+    ) -> SyncOutcome {
         let id = block.id();
-        if store.block(&id).is_some() {
+        if store.view().block(&id).is_some() {
             return SyncOutcome::Duplicate;
         }
         let parent = block.header().prev;
-        if store.block(&parent).is_none() {
+        if store.view().block(&parent).is_none() {
             // Buffer, bounded.
             if self.buffered >= MAX_ORPHANS {
                 return SyncOutcome::Rejected(ChainError::MempoolFull);
@@ -107,18 +118,22 @@ impl SyncBuffer {
             self.buffered += 1;
             return SyncOutcome::Buffered;
         }
-        match store.insert(block) {
+        match store.commit(block) {
             Ok(inserted_id) => {
                 let mut connected = 1;
                 connected += self.connect_descendants(store, inserted_id);
                 SyncOutcome::Connected { connected }
             }
-            Err(ChainError::DuplicateBlock { .. }) => SyncOutcome::Duplicate,
-            Err(e) => SyncOutcome::Rejected(e),
+            Err(StorageError::Chain(ChainError::DuplicateBlock { .. })) => SyncOutcome::Duplicate,
+            Err(e) => SyncOutcome::Rejected(e.into_chain_error()),
         }
     }
 
-    fn connect_descendants(&mut self, store: &mut ChainStore, parent: BlockId) -> usize {
+    fn connect_descendants<B: ChainBackend + ?Sized>(
+        &mut self,
+        store: &mut B,
+        parent: BlockId,
+    ) -> usize {
         let mut connected = 0;
         let mut frontier = vec![parent];
         while let Some(p) = frontier.pop() {
@@ -127,7 +142,7 @@ impl SyncBuffer {
             };
             for child in children {
                 self.buffered -= 1;
-                if let Ok(id) = store.insert(child) {
+                if let Ok(id) = store.commit(child) {
                     connected += 1;
                     frontier.push(id);
                 }
@@ -148,7 +163,7 @@ impl SyncBuffer {
 mod tests {
     use super::*;
     use smartcrowd_chain::pow::Miner;
-    use smartcrowd_chain::Difficulty;
+    use smartcrowd_chain::{ChainStore, Difficulty};
     use smartcrowd_crypto::Address;
 
     fn chain(n: usize) -> (ChainStore, Vec<Block>) {

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Kill-loop recovery check: repeatedly spawn a writer growing a durable
+# chain store, SIGKILL it mid-commit, then reopen the directory and
+# verify recovery. The recovered best height must never regress below
+# what an earlier cycle reported durable — a kill at any instruction
+# boundary may lose the in-flight block, never committed history.
+#
+# usage: scripts/crash_loop.sh [CYCLES] [STORE_DIR]
+#   STORE_WRITER  path to the store_writer binary
+#                 (default target/release/store_writer)
+
+set -euo pipefail
+
+CYCLES="${1:-10}"
+DIR="${2:-target/crash-loop-store}"
+BIN="${STORE_WRITER:-target/release/store_writer}"
+
+if [ ! -x "$BIN" ]; then
+    echo "crash_loop: writer binary not found at $BIN" >&2
+    echo "crash_loop: build it with: cargo build --release -p smartcrowd-chain --bin store_writer" >&2
+    exit 2
+fi
+
+rm -rf "$DIR"
+last=0
+for i in $(seq 1 "$CYCLES"); do
+    # Far more blocks than one cycle can finish: the kill always lands
+    # while commits are in flight.
+    "$BIN" --dir "$DIR" --grow 100000 &
+    pid=$!
+    sleep 0.3
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    h=$("$BIN" --dir "$DIR" --verify "$last")
+    echo "cycle $i: recovered height $h (previous floor $last)"
+    last="$h"
+done
+
+echo "crash_loop: passed $CYCLES kill cycles, final height $last"

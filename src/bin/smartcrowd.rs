@@ -12,7 +12,9 @@
 //!   --detectors <n>      fleet size                (default 8)
 //!   --seed <n>           run seed                  (default 2019)
 //!   --export <path>      write the chain dump afterwards
+//!   --store <dir>        commit the chain into a durable store directory
 //! smartcrowd inspect <path>               validate + summarize a chain dump
+//!                                         or a durable store directory
 //! smartcrowd table1                       print the Table-I reproduction
 //! ```
 //!
@@ -20,8 +22,8 @@
 //! deterministic given its flags.
 
 use smartcrowd::chain::persist::{export_chain, import_chain};
-use smartcrowd::chain::stats::chain_stats;
-use smartcrowd::chain::Ether;
+use smartcrowd::chain::stats::{chain_stats, ChainStats};
+use smartcrowd::chain::{ChainError, DurableStore, Ether, StorageError};
 use smartcrowd::crypto::keys::KeyPair;
 use smartcrowd::sim::config::SimConfig;
 use smartcrowd::sim::run::simulate_full;
@@ -58,7 +60,8 @@ USAGE:
   smartcrowd keygen <seed>
   smartcrowd simulate [--duration <secs>] [--vp <0..1>] [--insurance <eth>]
                       [--detectors <n>] [--seed <n>] [--export <path>]
-  smartcrowd inspect <chain-dump-path>
+                      [--store <dir>]
+  smartcrowd inspect <chain-dump-path | store-dir>
   smartcrowd table1
 ";
 
@@ -149,6 +152,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     cfg.vulnerability_proportion = 0.5;
     cfg.vulns_per_release = 6;
     let mut export: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     for (flag, value) in parse_flags(args)? {
         match flag.as_str() {
             "duration" => {
@@ -173,6 +177,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             }
             "seed" => cfg.seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?,
             "export" => export = Some(value),
+            "store" => store_dir = Some(value),
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -200,15 +205,60 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, &dump).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("  chain exported to {path} ({} bytes)", dump.len());
     }
+    if let Some(dir) = store_dir {
+        let dir = std::path::PathBuf::from(dir);
+        let genesis = platform
+            .store()
+            .block_at_height(0)
+            .cloned()
+            .ok_or("simulated chain has no genesis")?;
+        let mut durable = DurableStore::open(&dir, &genesis)
+            .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+        let mut committed = 0u64;
+        for block in platform.store().canonical_blocks().skip(1) {
+            match durable.commit(block.clone()) {
+                Ok(_) => committed += 1,
+                // Re-running into the same directory: already durable.
+                Err(StorageError::Chain(ChainError::DuplicateBlock { .. })) => {}
+                Err(e) => return Err(format!("store commit failed: {e}")),
+            }
+        }
+        println!(
+            "  durable store:           {} (+{committed} blocks, height {})",
+            dir.display(),
+            durable.view().best_height()
+        );
+    }
     Ok(())
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("inspect needs a chain-dump path")?;
+    if std::path::Path::new(path).is_dir() {
+        let store = DurableStore::open_existing(std::path::Path::new(path))
+            .map_err(|e| format!("invalid store directory: {e}"))?;
+        println!("durable store: {path}");
+        print_stats(&chain_stats(store.view()));
+        let rec = store.last_recovery();
+        if rec.clean() {
+            println!("  (clean open; every frame re-validated)");
+        } else {
+            println!(
+                "  (recovery: torn_truncated={} wal_replayed={} wal_discarded={}                  sidecars_rebuilt={})",
+                rec.torn_truncated, rec.wal_replayed, rec.wal_discarded, rec.sidecars_rebuilt
+            );
+        }
+        return Ok(());
+    }
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let store = import_chain(&bytes).map_err(|e| format!("invalid chain dump: {e}"))?;
-    let stats = chain_stats(&store);
     println!("chain dump: {path}");
+    print_stats(&chain_stats(&store));
+    println!("  (every block re-validated during import)");
+    Ok(())
+}
+
+fn print_stats(stats: &ChainStats) {
     println!("  height:              {}", stats.height);
     println!("  mean block interval: {:.1}s", stats.mean_block_interval);
     println!("  total record fees:   {}", stats.total_fees);
@@ -221,8 +271,6 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     for (miner, blocks) in &stats.blocks_by_miner {
         println!("    {miner} {blocks}");
     }
-    println!("  (every block re-validated during import)");
-    Ok(())
 }
 
 fn cmd_table1() -> Result<(), String> {
