@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use smartcrowd_chain::pow::Miner;
 use smartcrowd_chain::record::{Record, RecordKind};
 use smartcrowd_chain::validate::{validate_block, AcceptAll};
-use smartcrowd_chain::{Block, ChainStore, Difficulty, DurableStore, Ether};
+use smartcrowd_chain::{Block, ChainQuery, ChainStore, Difficulty, DurableStore, Ether};
 use smartcrowd_crypto::keys::KeyPair;
 use smartcrowd_crypto::Address;
 use std::hint::black_box;
@@ -115,7 +115,7 @@ fn bench_durable_store(c: &mut Criterion) {
             for block in &chain {
                 store.commit(black_box(block.clone())).unwrap();
             }
-            black_box(store.view().best_height())
+            black_box(store.best_height())
         })
     });
 
@@ -129,7 +129,7 @@ fn bench_durable_store(c: &mut Criterion) {
     c.bench_function("storage/reopen-64-block-log", |b| {
         b.iter(|| {
             let store = DurableStore::open(black_box(&dir), &genesis).unwrap();
-            black_box(store.view().best_height())
+            black_box(store.best_height())
         })
     });
     let _ = std::fs::remove_dir_all(&root);

@@ -11,18 +11,25 @@
 //!   fail unless it is at least MIN: a kill must never lose a height the
 //!   previous cycle reported durable.
 //!
+//! Optional tuning, for exercising the paged store under pressure:
+//! `--cache N` bounds the evictable block-body cache and
+//! `--snapshot-interval N` sets the checkpoint-snapshot cadence
+//! (0 disables snapshots).
+//!
 //! The genesis is deterministic (difficulty 1), so every invocation
 //! agrees on the chain the directory holds.
 
 use smartcrowd_chain::pow::Miner;
 use smartcrowd_chain::record::{Record, RecordKind};
+use smartcrowd_chain::storage::{ChainQuery, StoreConfig};
 use smartcrowd_chain::{Block, Difficulty, DurableStore, Ether};
 use smartcrowd_crypto::keys::KeyPair;
 use smartcrowd_crypto::Address;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: store_writer --dir DIR (--grow N | --verify MIN)";
+const USAGE: &str =
+    "usage: store_writer --dir DIR (--grow N | --verify MIN) [--cache N] [--snapshot-interval N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,25 +49,37 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+fn store_config(args: &[String]) -> Result<StoreConfig, String> {
+    let mut config = StoreConfig::default();
+    if let Some(cache) = flag_value(args, "--cache") {
+        config.cache_capacity = cache.parse().map_err(|_| USAGE.to_string())?;
+    }
+    if let Some(interval) = flag_value(args, "--snapshot-interval") {
+        config.snapshot_interval = interval.parse().map_err(|_| USAGE.to_string())?;
+    }
+    Ok(config)
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let dir = PathBuf::from(flag_value(args, "--dir").ok_or(USAGE)?);
     let genesis = Block::genesis(Difficulty::from_u64(1));
+    let config = store_config(args)?;
     if let Some(n) = flag_value(args, "--grow") {
         let n: u64 = n.parse().map_err(|_| USAGE.to_string())?;
-        grow(&dir, &genesis, n)
+        grow(&dir, &genesis, n, config)
     } else if let Some(min) = flag_value(args, "--verify") {
         let min: u64 = min.parse().map_err(|_| USAGE.to_string())?;
-        verify(&dir, &genesis, min)
+        verify(&dir, &genesis, min, config)
     } else {
         Err(USAGE.to_string())
     }
 }
 
-fn grow(dir: &Path, genesis: &Block, n: u64) -> Result<(), String> {
-    let mut store = DurableStore::open(dir, genesis).map_err(|e| e.to_string())?;
+fn grow(dir: &Path, genesis: &Block, n: u64, config: StoreConfig) -> Result<(), String> {
+    let mut store = DurableStore::open_with(dir, genesis, config).map_err(|e| e.to_string())?;
     let miner = Miner::new(Address::from_label("crash-loop"));
     for _ in 0..n {
-        let parent = store.view().best_block().clone();
+        let parent = store.best_block();
         let height = parent.header().height + 1;
         let kp = KeyPair::from_seed(&height.to_be_bytes());
         let record = Record::signed(
@@ -75,13 +94,13 @@ fn grow(dir: &Path, genesis: &Block, n: u64) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         store.commit(block).map_err(|e| e.to_string())?;
     }
-    println!("{}", store.view().best_height());
+    println!("{}", store.best_height());
     Ok(())
 }
 
-fn verify(dir: &Path, genesis: &Block, min: u64) -> Result<(), String> {
-    let store = DurableStore::open(dir, genesis).map_err(|e| e.to_string())?;
-    let height = store.view().best_height();
+fn verify(dir: &Path, genesis: &Block, min: u64, config: StoreConfig) -> Result<(), String> {
+    let store = DurableStore::open_with(dir, genesis, config).map_err(|e| e.to_string())?;
+    let height = store.best_height();
     println!("{height}");
     if height < min {
         return Err(format!(

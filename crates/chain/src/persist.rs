@@ -8,17 +8,19 @@
 use crate::block::Block;
 use crate::codec::{Decoder, Encoder};
 use crate::error::ChainError;
-use crate::storage::replay_pinned;
+use crate::storage::{replay_pinned, ChainQuery};
 use crate::store::ChainStore;
 
 /// Magic bytes identifying a chain dump.
 const MAGIC: &[u8; 8] = b"SCCHAIN1";
 
-/// Serializes the canonical chain (genesis to tip).
-pub fn export_chain(store: &ChainStore) -> Vec<u8> {
+/// Serializes the canonical chain (genesis to tip). Works over any
+/// [`ChainQuery`] backend; on a paged durable store this walks every
+/// canonical body through the block cache.
+pub fn export_chain<Q: ChainQuery + ?Sized>(store: &Q) -> Vec<u8> {
     let mut enc = Encoder::new();
     enc.put_array(MAGIC);
-    let blocks: Vec<&Block> = store.canonical_blocks().collect();
+    let blocks: Vec<Block> = store.canonical_blocks();
     enc.put_u64(blocks.len() as u64);
     for b in blocks {
         enc.put_bytes(&b.encode());

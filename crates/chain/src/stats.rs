@@ -2,7 +2,7 @@
 
 use crate::amount::Ether;
 use crate::record::RecordKind;
-use crate::store::ChainStore;
+use crate::storage::ChainQuery;
 use smartcrowd_crypto::Address;
 use std::collections::BTreeMap;
 
@@ -25,8 +25,9 @@ pub struct ChainStats {
     pub confirmed_records: u64,
 }
 
-/// Computes statistics over a store's canonical chain.
-pub fn chain_stats(store: &ChainStore) -> ChainStats {
+/// Computes statistics over a store's canonical chain. Works over any
+/// [`ChainQuery`] backend.
+pub fn chain_stats<Q: ChainQuery + ?Sized>(store: &Q) -> ChainStats {
     let mut blocks_by_miner: BTreeMap<Address, u64> = BTreeMap::new();
     let mut records_by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut total_fees = Ether::ZERO;
@@ -61,7 +62,7 @@ pub fn chain_stats(store: &ChainStore) -> ChainStats {
     };
     ChainStats {
         height: store.best_height(),
-        total_blocks: store.len(),
+        total_blocks: store.block_count(),
         blocks_by_miner,
         records_by_kind,
         total_fees,
@@ -77,6 +78,7 @@ mod tests {
     use crate::difficulty::Difficulty;
     use crate::pow::Miner;
     use crate::record::Record;
+    use crate::store::ChainStore;
     use smartcrowd_crypto::keys::KeyPair;
 
     fn store_with_activity() -> ChainStore {

@@ -1,18 +1,34 @@
-//! The durable store: an in-memory [`ChainStore`] kept consistent with
-//! an on-disk log across crashes at any instruction boundary.
+//! The durable store: a paged, header-resident view of the chain kept
+//! consistent with an on-disk log across crashes at any instruction
+//! boundary.
+//!
+//! Unlike the in-memory [`crate::store::ChainStore`], the durable store
+//! does **not** mirror every block body in memory. It keeps a
+//! [`PagedView`] — headers, per-block work, the canonical index and the
+//! record index, all O(header) per block — and pages bodies through a
+//! bounded [`BlockCache`], reading cold frames back from `blocks.log`
+//! with a single seek plus checksum-verified decode. Reopen cost is
+//! O(snapshot + log tail) when a valid `state.snap` exists, falling back
+//! to the full-log scan otherwise. See DESIGN.md §17–§18 and STORAGE.md.
 
+use super::cache::BlockCache;
 use super::index::SidecarIndex;
-use super::log::{scan_log, BlockLog};
+use super::log::{scan_log, BlockLog, LogEntry};
+use super::snapshot::{self, Snapshot, SnapshotEntry, SnapshotRead, SNAPSHOT_FILE};
 use super::wal::{Wal, WalRecovery};
-use super::{replay_pinned, ChainBackend, CrashPoint, StorageError};
+use super::{ChainBackend, ChainQuery, CrashPoint, StorageError, StoreConfig};
 use crate::block::Block;
+use crate::difficulty::Difficulty;
 use crate::error::ChainError;
-use crate::header::BlockId;
-use crate::store::ChainStore;
+use crate::header::{BlockHeader, BlockId};
+use crate::record::Record;
+use crate::store::RecordLocation;
 use crate::CONFIRMATION_DEPTH;
 use smartcrowd_crypto::sha256::sha256d;
-use smartcrowd_telemetry::counter;
+use smartcrowd_crypto::Digest;
+use smartcrowd_telemetry::{counter, gauge, histogram};
 use std::any::Any;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::Write;
@@ -21,7 +37,8 @@ use std::path::{Path, PathBuf};
 const CHECKPOINT_MAGIC: &[u8; 8] = b"SCCKPT01";
 const CHECKPOINT_LEN: usize = 8 + 8 + 32 + 32;
 
-/// What recovery had to repair during [`DurableStore::open`].
+/// What recovery had to repair (or accelerate) during
+/// [`DurableStore::open`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// A torn tail was truncated from `blocks.log`.
@@ -32,49 +49,384 @@ pub struct RecoveryReport {
     pub wal_discarded: bool,
     /// Sidecar artifacts (index, checkpoint) rebuilt from the log.
     pub sidecars_rebuilt: u32,
+    /// The open was served from a valid state snapshot (fast path; not a
+    /// repair, so it does not affect [`RecoveryReport::clean`]).
+    pub snapshot_loaded: bool,
+    /// A snapshot file existed but was rejected (damaged, stale, or
+    /// failing its log-binding checks); open fell back to the full scan.
+    pub snapshot_rejected: bool,
 }
 
 impl RecoveryReport {
-    /// True when the open found a byte-perfect store.
+    /// True when the open found a byte-perfect store: no repairs and no
+    /// rejected snapshot. A *loaded* snapshot still counts as clean —
+    /// the fast path is an accelerator, not a repair.
     pub fn clean(&self) -> bool {
-        *self == RecoveryReport::default()
+        !self.torn_truncated
+            && !self.wal_replayed
+            && !self.wal_discarded
+            && self.sidecars_rebuilt == 0
+            && !self.snapshot_rejected
     }
 }
 
-/// A file-backed chain store with crash recovery and fork pruning.
+/// Per-block metadata the durable store keeps resident for every block.
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    header: BlockHeader,
+    /// Accumulated work (fork choice).
+    work: u128,
+    /// Ids of the block's records, in block order.
+    record_ids: Vec<Digest>,
+    /// Frame location in `blocks.log`; `None` only transiently, before
+    /// the commit protocol appends the frame.
+    location: Option<LogEntry>,
+}
+
+/// The header-resident chain view: everything [`ChainQuery`] needs
+/// except block bodies. Mirrors [`crate::store::ChainStore`]'s fork
+/// choice exactly (strictly-more-work wins, first-seen ties keep the
+/// incumbent) so the paged store is observationally identical to the
+/// in-memory mirror.
+#[derive(Debug)]
+struct PagedView {
+    metas: HashMap<BlockId, BlockMeta>,
+    genesis_id: BlockId,
+    best_tip: BlockId,
+    /// Canonical height → block id index, rebuilt on tip change.
+    canonical: HashMap<u64, BlockId>,
+    /// Record id → location on the canonical chain.
+    record_index: HashMap<Digest, RecordLocation>,
+}
+
+impl PagedView {
+    fn new(genesis: BlockHeader, record_ids: Vec<Digest>) -> Self {
+        let genesis_id = genesis.id();
+        let work = genesis.difficulty.value();
+        let mut view = PagedView {
+            metas: HashMap::new(),
+            genesis_id,
+            best_tip: genesis_id,
+            canonical: HashMap::new(),
+            record_index: HashMap::new(),
+        };
+        view.metas.insert(
+            genesis_id,
+            BlockMeta {
+                header: genesis,
+                work,
+                record_ids,
+                location: None,
+            },
+        );
+        view.rebuild_canonical();
+        view
+    }
+
+    /// Full-body insert: the same checks, in the same order, as
+    /// [`crate::store::ChainStore::insert`] — the mirror proptests hold
+    /// the two implementations observationally identical.
+    fn insert(&mut self, block: &Block, quiet: bool) -> Result<BlockId, ChainError> {
+        let id = block.id();
+        if self.metas.contains_key(&id) {
+            return Err(ChainError::DuplicateBlock { id });
+        }
+        let parent = self
+            .metas
+            .get(&block.header().prev)
+            .ok_or(ChainError::UnknownParent {
+                parent: block.header().prev,
+            })?;
+        if block.header().height != parent.header.height + 1 {
+            return Err(ChainError::Codec {
+                detail: format!(
+                    "height {} does not follow parent height {}",
+                    block.header().height,
+                    parent.header.height
+                ),
+            });
+        }
+        if block.header().timestamp < parent.header.timestamp {
+            return Err(ChainError::TimestampRegression { id });
+        }
+        block.validate_structure()?;
+        let work = parent.work + block.header().difficulty.value();
+        self.metas.insert(
+            id,
+            BlockMeta {
+                header: block.header().clone(),
+                work,
+                record_ids: block.records().iter().map(Record::id).collect(),
+                location: None,
+            },
+        );
+        self.apply_fork_choice(id, work, quiet);
+        Ok(id)
+    }
+
+    /// Header-only insert for snapshot adoption. The body is not in
+    /// hand, so structural checks are replaced by what a header alone
+    /// certifies: linkage, monotone timestamp, the pinned difficulty and
+    /// its own PoW target. Bodies are checksum-verified lazily when
+    /// paged in. Any failure rejects the snapshot (the caller falls back
+    /// to the full scan — where the same damage either heals or fails
+    /// closed with the authoritative log as evidence).
+    fn insert_trusted_header(
+        &mut self,
+        header: BlockHeader,
+        record_ids: Vec<Digest>,
+        pin: Difficulty,
+    ) -> Result<BlockId, String> {
+        let id = header.id();
+        if self.metas.contains_key(&id) {
+            return Err(format!("duplicate block {id} in snapshot"));
+        }
+        let parent = self
+            .metas
+            .get(&header.prev)
+            .ok_or_else(|| format!("snapshot block {id} has unknown parent {}", header.prev))?;
+        if header.height != parent.header.height + 1 {
+            return Err(format!(
+                "snapshot height {} does not follow parent height {}",
+                header.height, parent.header.height
+            ));
+        }
+        if header.timestamp < parent.header.timestamp {
+            return Err(format!("snapshot block {id} regresses its timestamp"));
+        }
+        if header.difficulty != pin {
+            return Err(format!(
+                "snapshot difficulty drift: block {} declares {}, genesis set {}",
+                header.height,
+                header.difficulty.value(),
+                pin.value()
+            ));
+        }
+        if !header.meets_target() {
+            return Err(format!("snapshot block {id} fails its own PoW target"));
+        }
+        let work = parent.work + header.difficulty.value();
+        self.metas.insert(
+            id,
+            BlockMeta {
+                header,
+                work,
+                record_ids,
+                location: None,
+            },
+        );
+        self.apply_fork_choice(id, work, true);
+        Ok(id)
+    }
+
+    /// Fork choice: strictly more work wins; ties keep the incumbent
+    /// (first-seen rule, as in Bitcoin). `quiet` suppresses reorg
+    /// telemetry during snapshot adoption, where the "reorgs" are just
+    /// replayed history.
+    fn apply_fork_choice(&mut self, id: BlockId, work: u128, quiet: bool) {
+        if work <= self.metas[&self.best_tip].work {
+            return;
+        }
+        let old_tip = self.best_tip;
+        let extends_tip = self.metas[&id].header.prev == old_tip;
+        self.best_tip = id;
+        if extends_tip {
+            // Simple tip extension — the common case, and the only one
+            // on the open-time replay paths. Appending one canonical
+            // entry keeps a full replay O(n) instead of O(n²).
+            self.extend_canonical(id);
+        } else {
+            self.rebuild_canonical();
+        }
+        if !extends_tip && !quiet {
+            // The old tip was abandoned: the reorg depth is the number
+            // of blocks between it and the fork point (its deepest
+            // ancestor still canonical).
+            let mut depth = 0u64;
+            let mut cursor = old_tip;
+            while !self.is_canonical(&cursor) {
+                depth += 1;
+                cursor = self.metas[&cursor].header.prev;
+            }
+            if depth > 0 {
+                counter!("chain.store.reorgs").inc();
+                histogram!(
+                    "chain.store.reorg_depth",
+                    smartcrowd_telemetry::buckets::REORG_DEPTH
+                )
+                .observe(depth);
+            }
+        }
+    }
+
+    /// Appends one block to the canonical maps after a tip extension.
+    fn extend_canonical(&mut self, id: BlockId) {
+        let meta = &self.metas[&id];
+        let height = meta.header.height;
+        self.canonical.insert(height, id);
+        for (index, record_id) in meta.record_ids.iter().enumerate() {
+            self.record_index.insert(
+                *record_id,
+                RecordLocation {
+                    block_id: id,
+                    height,
+                    index,
+                },
+            );
+        }
+    }
+
+    fn rebuild_canonical(&mut self) {
+        self.canonical.clear();
+        self.record_index.clear();
+        let mut cursor = self.best_tip;
+        loop {
+            let meta = &self.metas[&cursor];
+            let height = meta.header.height;
+            self.canonical.insert(height, cursor);
+            for (index, record_id) in meta.record_ids.iter().enumerate() {
+                self.record_index.insert(
+                    *record_id,
+                    RecordLocation {
+                        block_id: cursor,
+                        height,
+                        index,
+                    },
+                );
+            }
+            if cursor == self.genesis_id {
+                break;
+            }
+            cursor = meta.header.prev;
+        }
+    }
+
+    fn set_location(&mut self, id: &BlockId, entry: LogEntry) {
+        if let Some(meta) = self.metas.get_mut(id) {
+            meta.location = Some(entry);
+        }
+    }
+
+    fn remove(&mut self, id: &BlockId) {
+        self.metas.remove(id);
+    }
+
+    fn best_height(&self) -> u64 {
+        self.metas[&self.best_tip].header.height
+    }
+
+    fn canonical_id_at(&self, height: u64) -> Option<BlockId> {
+        self.canonical.get(&height).copied()
+    }
+
+    fn is_canonical(&self, id: &BlockId) -> bool {
+        self.metas
+            .get(id)
+            .map(|m| self.canonical.get(&m.header.height) == Some(id))
+            .unwrap_or(false)
+    }
+
+    fn confirmations(&self, id: &BlockId) -> u64 {
+        if !self.is_canonical(id) {
+            return 0;
+        }
+        self.best_height() - self.metas[id].header.height + 1
+    }
+
+    fn genesis_difficulty(&self) -> Difficulty {
+        self.metas[&self.genesis_id].header.difficulty
+    }
+}
+
+/// [`PagedView::insert`] wrapped with the same telemetry
+/// [`crate::store::ChainStore::insert`] emits, so a durable backend's
+/// counters match what the in-memory mirror would have produced.
+fn insert_counted(view: &mut PagedView, block: &Block) -> Result<BlockId, ChainError> {
+    let result = view.insert(block, false);
+    match &result {
+        Ok(_) => {
+            counter!("chain.store.blocks_inserted").inc();
+            gauge!("chain.store.height").set(view.best_height() as i64);
+        }
+        Err(_) => counter!("chain.store.blocks_rejected").inc(),
+    }
+    result
+}
+
+/// Everything recovery produced before repairs are applied.
+struct Recovered {
+    view: PagedView,
+    entries: Vec<LogEntry>,
+    valid_len: u64,
+    torn: bool,
+    /// Bodies recovery decoded anyway (full scan: all; snapshot path:
+    /// the tail), used to warm the cache.
+    bodies: Vec<Block>,
+    /// A genesis block to append to a freshly-seeded log.
+    seeded_genesis: Option<Block>,
+    snapshot_loaded: bool,
+}
+
+/// A file-backed chain store with a bounded block cache, checkpoint
+/// state snapshots, crash recovery and fork pruning.
 ///
-/// Wraps [`ChainStore`] as the live view; every [`commit`] is made
-/// durable through a WAL-then-log protocol before it returns. See the
-/// module docs and DESIGN.md §17 for the on-disk layout and the
-/// recovery state machine.
+/// Every [`commit`] is made durable through a WAL-then-log protocol
+/// before it returns; reads are answered from the header-resident
+/// paged view (headers, heights, record index) plus a bounded body
+/// cache, paging cold frames back in
+/// from disk. See the module docs, DESIGN.md §17–§18 and STORAGE.md for
+/// the on-disk layout and the recovery state machine.
 ///
 /// [`commit`]: DurableStore::commit
 #[derive(Debug)]
 pub struct DurableStore {
     dir: PathBuf,
-    store: ChainStore,
+    view: PagedView,
+    cache: RefCell<BlockCache>,
     log: BlockLog,
     wal: Wal,
     index: SidecarIndex,
+    config: StoreConfig,
     checkpoint_height: u64,
+    /// Checkpoint height the current `state.snap` was written at.
+    snapshot_height: u64,
+    has_snapshot: bool,
     last_recovery: RecoveryReport,
+    /// Why the last open rejected a snapshot, if it did.
+    snapshot_rejection: Option<String>,
     crash: Option<CrashPoint>,
-    poisoned: bool,
+    poisoned: Cell<bool>,
 }
 
 impl DurableStore {
-    /// Opens (creating if needed) the store in `dir`, running recovery.
-    /// A fresh directory is seeded with `genesis`; an existing one must
-    /// hold a chain built on that same genesis.
+    /// Opens (creating if needed) the store in `dir` with default
+    /// [`StoreConfig`], running recovery. A fresh directory is seeded
+    /// with `genesis`; an existing one must hold a chain built on that
+    /// same genesis.
     ///
     /// # Errors
     ///
     /// [`StorageError::Io`] on filesystem failures; [`StorageError::Corrupt`]
     /// when the on-disk state cannot be trusted (complete frame with a bad
     /// checksum, replay failing chain validation, genesis mismatch, or a
-    /// recovered prefix missing a checkpointed confirmed block).
+    /// recovered prefix missing a checkpointed confirmed block). A damaged
+    /// snapshot is never an error — it is rejected and the full-log scan
+    /// takes over.
     pub fn open(dir: &Path, genesis: &Block) -> Result<Self, StorageError> {
-        Self::open_impl(dir, Some(genesis))
+        Self::open_impl(dir, Some(genesis), StoreConfig::default())
+    }
+
+    /// [`DurableStore::open`] with explicit cache/snapshot tuning.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableStore::open`].
+    pub fn open_with(
+        dir: &Path,
+        genesis: &Block,
+        config: StoreConfig,
+    ) -> Result<Self, StorageError> {
+        Self::open_impl(dir, Some(genesis), config)
     }
 
     /// Opens an existing store without knowing its genesis in advance
@@ -85,31 +437,69 @@ impl DurableStore {
     /// As [`DurableStore::open`], plus [`StorageError::Corrupt`] when the
     /// directory holds no blocks at all.
     pub fn open_existing(dir: &Path) -> Result<Self, StorageError> {
-        Self::open_impl(dir, None)
+        Self::open_impl(dir, None, StoreConfig::default())
     }
 
-    fn open_impl(dir: &Path, genesis: Option<&Block>) -> Result<Self, StorageError> {
+    /// [`DurableStore::open_existing`] with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableStore::open_existing`].
+    pub fn open_existing_with(dir: &Path, config: StoreConfig) -> Result<Self, StorageError> {
+        Self::open_impl(dir, None, config)
+    }
+
+    fn open_impl(
+        dir: &Path,
+        genesis: Option<&Block>,
+        config: StoreConfig,
+    ) -> Result<Self, StorageError> {
         std::fs::create_dir_all(dir).map_err(|e| StorageError::Io {
             op: "create-dir",
             path: dir.to_path_buf(),
             detail: e.to_string(),
         })?;
-        let (mut log, image) = BlockLog::open(&dir.join("blocks.log"))?;
-        let was_fresh = image.is_empty();
-        let scan = match scan_log(&image) {
-            Ok(scan) => scan,
-            Err(e) => {
-                counter!("chain.storage.corrupt_frames").inc();
-                return Err(e);
-            }
-        };
-        let torn = scan.torn;
-        let valid_len = scan.valid_len;
-        let scan_entries = scan.entries;
+        let mut log = BlockLog::open(&dir.join("blocks.log"))?;
+        let was_fresh = log.len_bytes() == 0;
         let (mut wal, wal_recovery) = Wal::open(&dir.join("wal"))?;
         let index = SidecarIndex::new(&dir.join("blocks.idx"));
+        let mut cache = BlockCache::new(config.cache_capacity);
+        let snap_path = dir.join(SNAPSHOT_FILE);
+
+        // Classify the snapshot before any replay: a valid one serves
+        // the open in O(snapshot + tail); anything less falls back to
+        // the authoritative full-log scan. Never fail closed on snapshot
+        // damage alone — the log decides.
+        let mut snapshot_rejection: Option<String> = None;
+        let mut adopted: Option<Recovered> = None;
+        if config.snapshot_interval > 0 && !was_fresh {
+            match snapshot::read_snapshot(&snap_path) {
+                SnapshotRead::Absent => {}
+                SnapshotRead::Invalid { detail } => snapshot_rejection = Some(detail),
+                SnapshotRead::Valid(snap) => match adopt_snapshot(&log, &snap, genesis) {
+                    Ok(recovered) => adopted = Some(recovered),
+                    Err(reason) => snapshot_rejection = Some(reason),
+                },
+            }
+        }
+        let snapshot_rejected = snapshot_rejection.is_some();
+        let recovered = match adopted {
+            Some(r) => r,
+            None => full_scan_recover(&log, genesis)?,
+        };
+        let Recovered {
+            mut view,
+            entries,
+            valid_len,
+            torn,
+            bodies,
+            seeded_genesis,
+            snapshot_loaded,
+        } = recovered;
         let mut report = RecoveryReport {
             torn_truncated: torn,
+            snapshot_loaded,
+            snapshot_rejected,
             ..RecoveryReport::default()
         };
 
@@ -122,51 +512,19 @@ impl DurableStore {
                 // If the block already ends the log the crash landed
                 // between the log fsync and the WAL truncate: the commit
                 // is applied and the WAL entry just needs clearing.
-                if !scan_entries.iter().any(|e| e.id == block.id()) {
+                if !entries.iter().any(|e| e.id == block.id()) {
                     wal_block = Some(block);
                 }
             }
             WalRecovery::Discard => report.wal_discarded = true,
         }
 
-        // Build the candidate block sequence and validate it completely
-        // before any destructive repair touches the disk.
-        let mut blocks = scan.blocks;
-        let mut seeded_genesis = false;
-        match (blocks.first(), genesis) {
-            (Some(first), Some(expected)) if first.id() != expected.id() => {
-                return Err(StorageError::Corrupt {
-                    file: "blocks.log",
-                    offset: 0,
-                    detail: format!(
-                        "store genesis {} does not match expected genesis {}",
-                        first.id(),
-                        expected.id()
-                    ),
-                });
-            }
-            (Some(_), _) => {}
-            (None, Some(expected)) => {
-                blocks.push(expected.clone());
-                seeded_genesis = true;
-            }
-            (None, None) => {
-                return Err(StorageError::Corrupt {
-                    file: "blocks.log",
-                    offset: 0,
-                    detail: "store directory holds no blocks".to_string(),
-                });
-            }
-        }
-        let genesis_difficulty = blocks[0].header().difficulty;
-        let mut store =
-            replay_pinned(blocks.clone()).map_err(|e| replay_corruption(valid_len, e))?;
-
         // A durable WAL entry replays unless it fails the same pinned
         // validation every logged block passes — then it can only be a
         // forgery, and discarding loses nothing that was ever applied.
+        let genesis_difficulty = view.genesis_difficulty();
         let wal_block = wal_block.filter(|b| {
-            b.header().difficulty == genesis_difficulty && store.insert(b.clone()).is_ok()
+            b.header().difficulty == genesis_difficulty && insert_counted(&mut view, b).is_ok()
         });
         report.wal_replayed = wal_block.is_some();
 
@@ -178,15 +536,14 @@ impl DurableStore {
             CheckpointRead::Absent => {}
             CheckpointRead::Invalid => report.sidecars_rebuilt += 1,
             CheckpointRead::Valid { height, id } => {
-                let at = store.block_at_height(height).map(Block::id);
-                if at != Some(id) {
+                if view.canonical_id_at(height) != Some(id) {
                     return Err(StorageError::Corrupt {
                         file: "checkpoint",
                         offset: 0,
                         detail: format!(
                             "recovered chain (height {}) is missing checkpointed confirmed \
                              block {id} at height {height}",
-                            store.best_height()
+                            view.best_height()
                         ),
                     });
                 }
@@ -195,12 +552,14 @@ impl DurableStore {
         }
 
         // Validation passed — apply the repairs.
-        log.adopt(valid_len, scan_entries)?;
-        if seeded_genesis {
-            log.append(&blocks[0])?;
+        log.adopt(valid_len, entries)?;
+        if let Some(block) = &seeded_genesis {
+            let entry = log.append(block)?;
+            view.set_location(&block.id(), entry);
         }
         if let Some(block) = &wal_block {
-            log.append(block)?;
+            let entry = log.append(block)?;
+            view.set_location(&block.id(), entry);
         }
         if !wal_was_empty {
             wal.clear()?;
@@ -210,6 +569,16 @@ impl DurableStore {
                 report.sidecars_rebuilt += 1;
             }
             let _ = index.write(log.len_bytes(), log.entries());
+        }
+
+        // Warm the cache with every body recovery decoded anyway; the
+        // floor advance in `maintain` below demotes and evicts back down
+        // to capacity, in deterministic insertion order.
+        for block in bodies {
+            cache.insert(block);
+        }
+        if let Some(block) = wal_block {
+            cache.insert(block);
         }
 
         counter!("chain.storage.opens").inc();
@@ -222,17 +591,32 @@ impl DurableStore {
         if report.sidecars_rebuilt > 0 {
             counter!("chain.storage.recoveries").add(u64::from(report.sidecars_rebuilt));
         }
+        if report.snapshot_loaded {
+            counter!("chain.storage.snapshot.loaded").inc();
+        }
+        if report.snapshot_rejected {
+            counter!("chain.storage.snapshot.rejected").inc();
+        }
 
         let mut durable = DurableStore {
             dir: dir.to_path_buf(),
-            store,
+            view,
+            cache: RefCell::new(cache),
             log,
             wal,
             index,
+            config,
             checkpoint_height,
+            snapshot_height: if snapshot_loaded {
+                checkpoint_height
+            } else {
+                0
+            },
+            has_snapshot: snapshot_loaded,
             last_recovery: report,
+            snapshot_rejection,
             crash: None,
-            poisoned: false,
+            poisoned: Cell::new(false),
         };
         durable.maintain()?;
         Ok(durable)
@@ -242,8 +626,8 @@ impl DurableStore {
     ///
     /// Protocol: in-memory insert (validation) → WAL write + fsync (the
     /// durability point) → log append + fsync → index update → WAL
-    /// truncate → checkpoint/prune maintenance. A crash anywhere leaves
-    /// a state [`DurableStore::open`] recovers exactly.
+    /// truncate → checkpoint/snapshot/prune maintenance. A crash
+    /// anywhere leaves a state [`DurableStore::open`] recovers exactly.
     ///
     /// # Errors
     ///
@@ -252,14 +636,16 @@ impl DurableStore {
     /// [`StorageError::InjectedCrash`] when an armed [`CrashPoint`]
     /// fires, poisoning the store until it is reopened.
     pub fn commit(&mut self, block: Block) -> Result<BlockId, StorageError> {
-        if self.poisoned {
+        if self.poisoned.get() {
             return Err(StorageError::Io {
                 op: "commit",
                 path: self.dir.clone(),
-                detail: "store poisoned by an injected crash; reopen from disk".to_string(),
+                detail: "store poisoned by an injected crash or an unreadable frame; \
+                         reopen from disk"
+                    .to_string(),
             });
         }
-        let id = self.store.insert(block.clone())?;
+        let id = insert_counted(&mut self.view, &block)?;
         if let Some(CrashPoint::TornWalWrite { bytes }) = self.crash {
             self.wal.begin_torn(&block, bytes)?;
             return self.crash_now();
@@ -272,52 +658,83 @@ impl DurableStore {
             self.log.append_torn(&block, bytes)?;
             return self.crash_now();
         }
-        self.log.append(&block)?;
+        let entry = self.log.append(&block)?;
+        self.view.set_location(&id, entry);
+        self.cache.borrow_mut().insert(block);
         let _ = self.index.write(self.log.len_bytes(), self.log.entries());
         if let Some(CrashPoint::BeforeWalTruncate) = self.crash {
             return self.crash_now();
         }
         self.wal.clear()?;
+        if let Some(CrashPoint::TornSnapshotWrite { bytes }) = self.crash {
+            // Simulate a power loss mid-snapshot-rewrite on a filesystem
+            // without atomic rename: a prefix of the new image lands
+            // directly over the final path, clobbering any previous
+            // snapshot. The commit itself is fully durable.
+            let image = snapshot::encode_snapshot(&self.current_snapshot());
+            let keep = (bytes as usize).clamp(1, image.len().saturating_sub(1));
+            std::fs::write(self.dir.join(SNAPSHOT_FILE), &image[..keep]).map_err(|e| {
+                StorageError::Io {
+                    op: "write",
+                    path: self.dir.join(SNAPSHOT_FILE),
+                    detail: e.to_string(),
+                }
+            })?;
+            return self.crash_now();
+        }
         self.maintain()?;
         Ok(id)
     }
 
     fn crash_now(&mut self) -> Result<BlockId, StorageError> {
         self.crash = None;
-        self.poisoned = true;
+        self.poisoned.set(true);
         Err(StorageError::InjectedCrash)
     }
 
-    /// Checkpoints newly-confirmed height and prunes dead forks.
+    /// Checkpoints newly-confirmed height, prunes dead forks, advances
+    /// the cache's pin floor, and rewrites the state snapshot when the
+    /// checkpoint has advanced a full [`StoreConfig::snapshot_interval`].
     fn maintain(&mut self) -> Result<(), StorageError> {
-        let best = self.store.best_height();
-        if best <= CONFIRMATION_DEPTH {
-            return Ok(());
+        let best = self.view.best_height();
+        self.cache
+            .borrow_mut()
+            .set_floor(best.saturating_sub(CONFIRMATION_DEPTH));
+        if best > CONFIRMATION_DEPTH {
+            let confirmed = best - CONFIRMATION_DEPTH;
+            if confirmed > self.checkpoint_height {
+                let id =
+                    self.view
+                        .canonical_id_at(confirmed)
+                        .ok_or_else(|| StorageError::Corrupt {
+                            file: "blocks.log",
+                            offset: 0,
+                            detail: format!("no canonical block at confirmed height {confirmed}"),
+                        })?;
+                write_checkpoint(&self.dir.join("checkpoint"), confirmed, id)?;
+                self.checkpoint_height = confirmed;
+                self.prune()?;
+            }
         }
-        let confirmed = best - CONFIRMATION_DEPTH;
-        if confirmed <= self.checkpoint_height {
-            return Ok(());
+        if self.config.snapshot_interval > 0
+            && self.checkpoint_height
+                >= self
+                    .snapshot_height
+                    .saturating_add(self.config.snapshot_interval)
+        {
+            self.write_snapshot()?;
         }
-        let id = self
-            .store
-            .block_at_height(confirmed)
-            .map(Block::id)
-            .ok_or_else(|| StorageError::Corrupt {
-                file: "blocks.log",
-                offset: 0,
-                detail: format!("no canonical block at confirmed height {confirmed}"),
-            })?;
-        write_checkpoint(&self.dir.join("checkpoint"), confirmed, id)?;
-        self.checkpoint_height = confirmed;
-        self.prune()?;
         Ok(())
     }
 
     /// Removes fork branches that can no longer win: a non-canonical
     /// block whose entire subtree tops out at or below
     /// `best − CONFIRMATION_DEPTH` could only become canonical by
-    /// reorging a confirmed block. Compacts the log (temp + rename) and
-    /// rebuilds the in-memory view so live and reopened stores agree.
+    /// reorging a confirmed block. Compacts the log by raw frame copy
+    /// (temp + rename — surviving frames are never re-encoded), drops
+    /// the dead metadata and cached bodies, and refreshes the snapshot
+    /// (frame offsets moved, so a stale snapshot would be rejected on
+    /// the next open anyway).
     ///
     /// Returns the number of blocks removed.
     ///
@@ -325,7 +742,7 @@ impl DurableStore {
     ///
     /// [`StorageError::Io`] on filesystem failures during compaction.
     pub fn prune(&mut self) -> Result<u64, StorageError> {
-        let best = self.store.best_height();
+        let best = self.view.best_height();
         if best <= CONFIRMATION_DEPTH {
             return Ok(0);
         }
@@ -335,8 +752,10 @@ impl DurableStore {
         let mut deepest: HashMap<BlockId, u64> = HashMap::new();
         for entry in self.log.entries().iter().rev() {
             let header = self
-                .store
-                .header(&entry.id)
+                .view
+                .metas
+                .get(&entry.id)
+                .map(|m| &m.header)
                 .ok_or_else(|| StorageError::Corrupt {
                     file: "blocks.log",
                     offset: entry.offset,
@@ -352,28 +771,112 @@ impl DurableStore {
             *parent = (*parent).max(own);
         }
         let mut kept = Vec::new();
-        let mut pruned = 0u64;
+        let mut pruned_ids = Vec::new();
         for entry in self.log.entries() {
-            let alive = self.store.is_canonical(&entry.id)
+            let alive = self.view.is_canonical(&entry.id)
                 || deepest.get(&entry.id).copied().unwrap_or(0) > horizon;
             if alive {
-                if let Some(block) = self.store.block(&entry.id) {
-                    kept.push(block.clone());
-                }
+                kept.push(*entry);
             } else {
-                pruned += 1;
+                pruned_ids.push(entry.id);
             }
         }
-        if pruned == 0 {
+        if pruned_ids.is_empty() {
             return Ok(0);
         }
-        self.log.rewrite(&kept)?;
+        let mut frames = Vec::with_capacity(kept.len());
+        for entry in &kept {
+            frames.push((self.log.read_range(entry.offset, entry.len)?, entry.id));
+        }
+        self.log.rewrite_raw(&frames)?;
         let _ = self.index.write(self.log.len_bytes(), self.log.entries());
-        // Kept blocks preserve log (= insertion) order, so first-seen
-        // tie-breaking replays identically for everything that remains.
-        self.store = replay_pinned(kept).map_err(|e| replay_corruption(0, e))?;
+        {
+            let mut cache = self.cache.borrow_mut();
+            for id in &pruned_ids {
+                self.view.remove(id);
+                cache.remove(id);
+            }
+        }
+        // Frame offsets moved: rebind every surviving meta.
+        for entry in self.log.entries() {
+            self.view.set_location(&entry.id, *entry);
+        }
+        if self.has_snapshot {
+            if self.config.snapshot_interval > 0 {
+                self.write_snapshot()?;
+            } else {
+                let _ = std::fs::remove_file(self.dir.join(SNAPSHOT_FILE));
+                self.has_snapshot = false;
+                self.snapshot_height = 0;
+            }
+        }
+        let pruned = pruned_ids.len() as u64;
         counter!("chain.storage.pruned_blocks").add(pruned);
         Ok(pruned)
+    }
+
+    /// Atomically (re)writes the state snapshot covering the current
+    /// log. Called automatically every [`StoreConfig::snapshot_interval`]
+    /// confirmed heights and after compaction; public so tooling and
+    /// benchmarks can snapshot on demand.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] on filesystem failures.
+    pub fn write_snapshot(&mut self) -> Result<(), StorageError> {
+        let bytes = snapshot::encode_snapshot(&self.current_snapshot());
+        snapshot::write_snapshot_atomic(&self.dir.join(SNAPSHOT_FILE), &bytes)?;
+        self.snapshot_height = self.checkpoint_height;
+        self.has_snapshot = true;
+        counter!("chain.storage.snapshot.written").inc();
+        Ok(())
+    }
+
+    fn current_snapshot(&self) -> Snapshot {
+        Snapshot {
+            log_len: self.log.len_bytes(),
+            tip: self.view.best_tip,
+            entries: self
+                .log
+                .entries()
+                .iter()
+                .map(|entry| {
+                    let meta = &self.view.metas[&entry.id];
+                    SnapshotEntry {
+                        offset: entry.offset,
+                        len: entry.len,
+                        header: meta.header.clone(),
+                        record_ids: meta.record_ids.clone(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Pages a block body in: cache hit, or a cold checksum-verified
+    /// frame read. An unreadable frame (checksum violation, id mismatch,
+    /// I/O failure) poisons the store — the operation fails closed by
+    /// answering `None`, and every later commit is refused until the
+    /// store is reopened and recovery re-validates the disk.
+    fn read_block(&self, id: &BlockId) -> Option<Block> {
+        let meta = self.view.metas.get(id)?;
+        if let Some(hit) = self.cache.borrow().get(id) {
+            return Some(hit);
+        }
+        let entry = meta.location?;
+        match self.log.read_frame(entry) {
+            Ok(block) => {
+                self.cache.borrow_mut().insert(block.clone());
+                Some(block)
+            }
+            Err(e) => {
+                if matches!(e, StorageError::Corrupt { .. }) {
+                    counter!("chain.storage.corrupt_frames").inc();
+                }
+                self.poisoned.set(true);
+                None
+            }
+        }
     }
 
     /// Arms a fault-injection crash point for the next [`commit`].
@@ -383,14 +886,14 @@ impl DurableStore {
         self.crash = Some(point);
     }
 
-    /// The live in-memory view.
-    pub fn view(&self) -> &ChainStore {
-        &self.store
-    }
-
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The configuration this store was opened with.
+    pub fn config(&self) -> StoreConfig {
+        self.config
     }
 
     /// Highest checkpointed confirmed height.
@@ -398,22 +901,112 @@ impl DurableStore {
         self.checkpoint_height
     }
 
+    /// Checkpoint height the current snapshot was written at (0 when no
+    /// snapshot exists).
+    pub fn snapshot_height(&self) -> u64 {
+        self.snapshot_height
+    }
+
+    /// Whether a state snapshot is currently on disk and tracked.
+    pub fn has_snapshot(&self) -> bool {
+        self.has_snapshot
+    }
+
     /// What the last open had to repair.
     pub fn last_recovery(&self) -> RecoveryReport {
         self.last_recovery
+    }
+
+    /// Why the last open rejected its snapshot, when it did
+    /// (`last_recovery().snapshot_rejected`).
+    pub fn snapshot_rejection(&self) -> Option<&str> {
+        self.snapshot_rejection.as_deref()
     }
 
     /// Number of blocks currently framed in the log (forks included).
     pub fn logged_blocks(&self) -> usize {
         self.log.entries().len()
     }
+
+    /// Block bodies currently resident in memory (pinned + cached) —
+    /// bounded by `cache_capacity` plus the unconfirmed tip region.
+    pub fn resident_blocks(&self) -> usize {
+        self.cache.borrow().resident()
+    }
+}
+
+impl ChainQuery for DurableStore {
+    fn genesis_id(&self) -> BlockId {
+        self.view.genesis_id
+    }
+
+    fn best_tip(&self) -> BlockId {
+        self.view.best_tip
+    }
+
+    fn best_height(&self) -> u64 {
+        self.view.best_height()
+    }
+
+    fn best_block(&self) -> Block {
+        match self.read_block(&self.view.best_tip) {
+            Some(block) => block,
+            // Mirrors ChainStore's indexing panic on impossible state:
+            // the tip body must exist unless the disk rotted under us.
+            None => panic!(
+                "best block {} is unreadable; store poisoned",
+                self.view.best_tip
+            ),
+        }
+    }
+
+    fn block_count(&self) -> usize {
+        self.view.metas.len()
+    }
+
+    fn header_of(&self, id: &BlockId) -> Option<BlockHeader> {
+        self.view.metas.get(id).map(|m| m.header.clone())
+    }
+
+    fn get_block(&self, id: &BlockId) -> Option<Block> {
+        self.read_block(id)
+    }
+
+    fn canonical_id_at(&self, height: u64) -> Option<BlockId> {
+        self.view.canonical_id_at(height)
+    }
+
+    fn canonical_block_at(&self, height: u64) -> Option<Block> {
+        self.view
+            .canonical_id_at(height)
+            .and_then(|id| self.read_block(&id))
+    }
+
+    fn is_canonical(&self, id: &BlockId) -> bool {
+        self.view.is_canonical(id)
+    }
+
+    fn confirmations(&self, id: &BlockId) -> u64 {
+        self.view.confirmations(id)
+    }
+
+    fn find_record(&self, record_id: &Digest) -> Option<RecordLocation> {
+        self.view.record_index.get(record_id).cloned()
+    }
+
+    fn record_with_confirmations(&self, record_id: &Digest) -> Option<(Record, u64)> {
+        let loc = self.view.record_index.get(record_id)?.clone();
+        let block = self.read_block(&loc.block_id)?;
+        let record = block.records().get(loc.index)?.clone();
+        Some((record, self.view.confirmations(&loc.block_id)))
+    }
+
+    fn contains_block(&self, id: &BlockId) -> bool {
+        self.view.metas.contains_key(id)
+    }
 }
 
 impl ChainBackend for DurableStore {
-    fn view(&self) -> &ChainStore {
-        DurableStore::view(self)
-    }
-
     fn commit(&mut self, block: Block) -> Result<BlockId, StorageError> {
         DurableStore::commit(self, block)
     }
@@ -421,6 +1014,208 @@ impl ChainBackend for DurableStore {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+}
+
+/// The authoritative recovery path: read and scan the whole log, then
+/// replay every block with full validation and the difficulty pin.
+fn full_scan_recover(log: &BlockLog, genesis: Option<&Block>) -> Result<Recovered, StorageError> {
+    let image = log.read_to_end_from(0)?;
+    let scan = match scan_log(&image) {
+        Ok(scan) => scan,
+        Err(e) => {
+            counter!("chain.storage.corrupt_frames").inc();
+            return Err(e);
+        }
+    };
+    let mut blocks = scan.blocks;
+    let mut seeded_genesis = None;
+    match (blocks.first(), genesis) {
+        (Some(first), Some(expected)) if first.id() != expected.id() => {
+            return Err(StorageError::Corrupt {
+                file: "blocks.log",
+                offset: 0,
+                detail: format!(
+                    "store genesis {} does not match expected genesis {}",
+                    first.id(),
+                    expected.id()
+                ),
+            });
+        }
+        (Some(_), _) => {}
+        (None, Some(expected)) => {
+            blocks.push(expected.clone());
+            seeded_genesis = Some(expected.clone());
+        }
+        (None, None) => {
+            return Err(StorageError::Corrupt {
+                file: "blocks.log",
+                offset: 0,
+                detail: "store directory holds no blocks".to_string(),
+            });
+        }
+    }
+    if blocks[0].header().height != 0 {
+        return Err(replay_corruption(
+            scan.valid_len,
+            ChainError::Codec {
+                detail: "first block is not genesis".to_string(),
+            },
+        ));
+    }
+    let genesis_difficulty = blocks[0].header().difficulty;
+    let mut view = PagedView::new(
+        blocks[0].header().clone(),
+        blocks[0].records().iter().map(Record::id).collect(),
+    );
+    for block in blocks.iter().skip(1) {
+        if block.header().difficulty != genesis_difficulty {
+            return Err(replay_corruption(
+                scan.valid_len,
+                ChainError::Codec {
+                    detail: format!(
+                        "difficulty drift in chain dump: block {} declares {}, genesis set {}",
+                        block.header().height,
+                        block.header().difficulty.value(),
+                        genesis_difficulty.value()
+                    ),
+                },
+            ));
+        }
+        insert_counted(&mut view, block).map_err(|e| replay_corruption(scan.valid_len, e))?;
+    }
+    for entry in &scan.entries {
+        view.set_location(&entry.id, *entry);
+    }
+    Ok(Recovered {
+        view,
+        entries: scan.entries,
+        valid_len: scan.valid_len,
+        torn: scan.torn,
+        bodies: blocks,
+        seeded_genesis,
+        snapshot_loaded: false,
+    })
+}
+
+/// The snapshot fast path. Builds the header view from the snapshot,
+/// binds it to the log (geometry, spot-checked frames), and fully
+/// replays only the tail past the covered prefix. Any anomaly rejects
+/// the snapshot with a reason — the caller falls back to
+/// [`full_scan_recover`], which either heals or fails closed against
+/// the authoritative log.
+fn adopt_snapshot(
+    log: &BlockLog,
+    snap: &Snapshot,
+    genesis: Option<&Block>,
+) -> Result<Recovered, String> {
+    let first = snap.entries.first().ok_or("snapshot holds no entries")?;
+    if snap.log_len > log.len_bytes() {
+        return Err(format!(
+            "snapshot covers {} bytes but the log holds only {}",
+            snap.log_len,
+            log.len_bytes()
+        ));
+    }
+    if first.header.height != 0 {
+        return Err("first snapshot entry is not a genesis block".to_string());
+    }
+    let genesis_id = first.header.id();
+    if let Some(expected) = genesis {
+        if genesis_id != expected.id() {
+            return Err(format!(
+                "snapshot genesis {genesis_id} does not match expected genesis {}",
+                expected.id()
+            ));
+        }
+    }
+    if !first.header.meets_target() {
+        return Err("snapshot genesis fails its own PoW target".to_string());
+    }
+    let pin = first.header.difficulty;
+    let mut view = PagedView::new(first.header.clone(), first.record_ids.clone());
+    let mut entries = Vec::with_capacity(snap.entries.len());
+    let first_entry = LogEntry {
+        offset: first.offset,
+        len: first.len,
+        id: genesis_id,
+    };
+    view.set_location(&genesis_id, first_entry);
+    entries.push(first_entry);
+    for se in snap.entries.iter().skip(1) {
+        let id = view.insert_trusted_header(se.header.clone(), se.record_ids.clone(), pin)?;
+        let entry = LogEntry {
+            offset: se.offset,
+            len: se.len,
+            id,
+        };
+        view.set_location(&id, entry);
+        entries.push(entry);
+    }
+    if view.best_tip != snap.tip {
+        return Err(format!(
+            "snapshot tip {} does not match header replay tip {}",
+            snap.tip, view.best_tip
+        ));
+    }
+    // Geometry: entries must tile the covered prefix exactly.
+    let mut expect = 0u64;
+    for entry in &entries {
+        if entry.offset != expect {
+            return Err(format!(
+                "snapshot entries are not contiguous at offset {expect}"
+            ));
+        }
+        expect += entry.len;
+    }
+    if expect != snap.log_len {
+        return Err(format!(
+            "snapshot entries cover {expect} bytes, header declares {}",
+            snap.log_len
+        ));
+    }
+    // Spot-check log binding: the first and last covered frames must
+    // decode (checksum-verified) to the ids the snapshot claims. Bodies
+    // in between are verified lazily when paged in.
+    for probe in [entries.first().copied(), entries.last().copied()]
+        .into_iter()
+        .flatten()
+    {
+        log.read_frame(probe)
+            .map_err(|e| format!("log binding probe failed: {e}"))?;
+    }
+    // Tail past the snapshot: full-validation replay, as if the prefix
+    // had been scanned.
+    let tail = log
+        .read_to_end_from(snap.log_len)
+        .map_err(|e| format!("tail read failed: {e}"))?;
+    let tail_scan = scan_log(&tail).map_err(|e| format!("tail scan failed: {e}"))?;
+    let mut bodies = Vec::with_capacity(tail_scan.blocks.len());
+    for (block, tail_entry) in tail_scan.blocks.iter().zip(&tail_scan.entries) {
+        if block.header().difficulty != pin {
+            return Err(format!(
+                "difficulty drift in log tail at block {}",
+                block.header().height
+            ));
+        }
+        insert_counted(&mut view, block).map_err(|e| format!("tail replay failed: {e}"))?;
+        let entry = LogEntry {
+            offset: snap.log_len + tail_entry.offset,
+            len: tail_entry.len,
+            id: tail_entry.id,
+        };
+        view.set_location(&entry.id, entry);
+        entries.push(entry);
+        bodies.push(block.clone());
+    }
+    Ok(Recovered {
+        view,
+        entries,
+        valid_len: snap.log_len + tail_scan.valid_len,
+        torn: tail_scan.torn,
+        bodies,
+        seeded_genesis: None,
+        snapshot_loaded: true,
+    })
 }
 
 fn replay_corruption(offset: u64, e: ChainError) -> StorageError {

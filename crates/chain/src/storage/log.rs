@@ -7,6 +7,11 @@
 //! chain. The scan itself never mutates the file; it reports a plan
 //! (`valid_len`, decoded blocks, damage classification) and the caller
 //! decides when repairs are safe to apply.
+//!
+//! Opening no longer slurps the file: the caller reads exactly the range
+//! it needs (`read_range`) — the whole image for a full recovery scan,
+//! or just the tail past a snapshot's covered prefix — and cold block
+//! reads later seek straight to a frame via [`BlockLog::read_frame`].
 
 use super::frame::{encode_frame, scan_frame, FrameScan};
 use super::StorageError;
@@ -107,29 +112,83 @@ fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> StorageError {
 }
 
 impl BlockLog {
-    /// Opens (creating if absent) the log file and returns the raw image
-    /// for the caller to scan. No repairs happen here.
-    pub fn open(path: &Path) -> Result<(Self, Vec<u8>), StorageError> {
-        let mut file = OpenOptions::new()
+    /// Opens (creating if absent) the log file without reading it. `len`
+    /// starts at the on-disk size; the caller scans whatever range it
+    /// needs and then [`adopt`](Self::adopt)s the resulting directory.
+    pub fn open(path: &Path) -> Result<Self, StorageError> {
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)
             .map_err(|e| io_err("open", path, e))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)
-            .map_err(|e| io_err("read", path, e))?;
-        let len = bytes.len() as u64;
-        Ok((
-            BlockLog {
-                path: path.to_path_buf(),
-                file,
-                len,
-                entries: Vec::new(),
-            },
-            bytes,
-        ))
+        let len = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
+        Ok(BlockLog {
+            path: path.to_path_buf(),
+            file,
+            len,
+            entries: Vec::new(),
+        })
+    }
+
+    /// Reads `[from, from + len)` from the file. Positional: uses the
+    /// shared handle through `&File` without moving the append cursor
+    /// state (`append` always seeks to its own offset first).
+    pub fn read_range(&self, from: u64, len: u64) -> Result<Vec<u8>, StorageError> {
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(from))
+            .map_err(|e| io_err("seek", &self.path, e))?;
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact(&mut buf)
+            .map_err(|e| io_err("read", &self.path, e))?;
+        Ok(buf)
+    }
+
+    /// Reads from `from` to the end of the file.
+    pub fn read_to_end_from(&self, from: u64) -> Result<Vec<u8>, StorageError> {
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(from))
+            .map_err(|e| io_err("seek", &self.path, e))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)
+            .map_err(|e| io_err("read", &self.path, e))?;
+        Ok(buf)
+    }
+
+    /// Cold read of one frame: seek, checksum-verified decode.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] if the range cannot be read;
+    /// [`StorageError::Corrupt`] if the frame fails its checksum, does
+    /// not decode as a block, or decodes to a different block id than
+    /// the directory recorded.
+    pub fn read_frame(&self, entry: LogEntry) -> Result<Block, StorageError> {
+        let bytes = self.read_range(entry.offset, entry.len)?;
+        let corrupt = |detail: String| StorageError::Corrupt {
+            file: "blocks.log",
+            offset: entry.offset,
+            detail,
+        };
+        match scan_frame(&bytes, 0) {
+            FrameScan::Complete { payload, next } if next == bytes.len() => {
+                let block = Block::decode(payload)
+                    .map_err(|e| corrupt(format!("frame payload is not a block: {e}")))?;
+                if block.id() != entry.id {
+                    return Err(corrupt(format!(
+                        "frame decodes to block {} but the directory expected {}",
+                        block.id(),
+                        entry.id
+                    )));
+                }
+                Ok(block)
+            }
+            FrameScan::Complete { .. } | FrameScan::TornTail => Err(corrupt(
+                "frame shorter than its directory entry".to_string(),
+            )),
+            FrameScan::Corrupt { detail } => Err(corrupt(detail)),
+        }
     }
 
     /// Adopts a scan of the current image, truncating any torn tail.
@@ -189,21 +248,22 @@ impl BlockLog {
         Ok(())
     }
 
-    /// Atomically replaces the log contents with `blocks` (compaction):
-    /// writes a temp file, fsyncs, renames over the log, reopens.
-    pub fn rewrite(&mut self, blocks: &[Block]) -> Result<(), StorageError> {
+    /// Atomically replaces the log contents with already-encoded frames
+    /// (compaction): writes a temp file, fsyncs, renames over the log,
+    /// reopens. Raw byte copy — no decode, no re-validation — so a
+    /// compaction can never alter surviving frames.
+    pub fn rewrite_raw(&mut self, frames: &[(Vec<u8>, BlockId)]) -> Result<(), StorageError> {
         let tmp_path = self.path.with_extension("log.tmp");
         let mut tmp = File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, e))?;
-        let mut entries = Vec::with_capacity(blocks.len());
+        let mut entries = Vec::with_capacity(frames.len());
         let mut offset = 0u64;
-        for block in blocks {
-            let frame = encode_frame(&block.encode());
-            tmp.write_all(&frame)
+        for (frame, id) in frames {
+            tmp.write_all(frame)
                 .map_err(|e| io_err("write", &tmp_path, e))?;
             entries.push(LogEntry {
                 offset,
                 len: frame.len() as u64,
-                id: block.id(),
+                id: *id,
             });
             offset += frame.len() as u64;
         }
@@ -225,7 +285,8 @@ impl BlockLog {
         &self.entries
     }
 
-    /// Current log length in bytes (valid frames only).
+    /// Current log length in bytes. Until [`adopt`](Self::adopt) runs
+    /// this is the raw on-disk size; afterwards, the valid prefix.
     pub fn len_bytes(&self) -> u64 {
         self.len
     }

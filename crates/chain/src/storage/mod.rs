@@ -1,14 +1,16 @@
 //! Durable, crash-recoverable chain storage.
 //!
 //! [`crate::store::ChainStore`] stays the in-memory view of the chain;
-//! this module adds a file-backed [`DurableStore`] that keeps that view
-//! consistent with an on-disk log across crashes at any instruction
-//! boundary. The two are interchangeable behind [`ChainBackend`], so the
-//! sim, chaos, and seeded tests keep running byte-identical on the
-//! in-memory backend while persistence tests and `smartcrowd simulate
-//! --store <dir>` exercise the disk.
+//! this module adds a file-backed [`DurableStore`] that serves the same
+//! queries from a bounded block cache over an on-disk log, staying
+//! consistent across crashes at any instruction boundary. The two are
+//! interchangeable behind [`ChainBackend`] (whose read half is
+//! [`ChainQuery`]), so the sim, chaos, and seeded tests keep running
+//! byte-identical on the in-memory backend while persistence tests and
+//! `smartcrowd simulate --store <dir>` exercise the disk.
 //!
-//! Layout of a store directory (full protocol in DESIGN.md §17):
+//! Layout of a store directory (full byte-level spec in STORAGE.md,
+//! protocol rationale in DESIGN.md §17–§18):
 //!
 //! | file         | contents                                              |
 //! |--------------|-------------------------------------------------------|
@@ -16,9 +18,12 @@
 //! | `wal`        | at most one frame: the commit in flight               |
 //! | `blocks.idx` | sidecar offset index; best-effort, rebuilt on mismatch|
 //! | `checkpoint` | highest confirmed height + block id, atomically swapped|
+//! | `state.snap` | checkpoint state snapshot: headers + indices, so      |
+//! |              | reopen is O(snapshot + tail) instead of O(chain)      |
 //!
 //! Recovery classifies damage into exactly two outcomes: *recover to a
-//! valid prefix* (torn tails, interrupted WAL commits, stale sidecars) or
+//! valid prefix* (torn tails, interrupted WAL commits, stale sidecars,
+//! damaged snapshots — which merely fall back to the full-log scan) or
 //! *fail closed with a typed [`StorageError`]* (checksum violations in
 //! complete frames, a prefix that no longer contains a checkpointed
 //! confirmed block). There is no third outcome — corrupt state is never
@@ -26,17 +31,22 @@
 
 pub mod frame;
 
+mod cache;
 mod durable;
 mod index;
 mod log;
+mod snapshot;
 mod wal;
 
 pub use durable::{DurableStore, RecoveryReport};
 
 use crate::block::Block;
 use crate::error::ChainError;
-use crate::header::BlockId;
-use crate::store::ChainStore;
+use crate::header::{BlockHeader, BlockId};
+use crate::record::{Record, RecordKind};
+use crate::store::{ChainStore, RecordLocation};
+use crate::CONFIRMATION_DEPTH;
+use smartcrowd_crypto::{Address, Digest};
 use std::any::Any;
 use std::fmt;
 use std::path::PathBuf;
@@ -111,6 +121,31 @@ impl StorageError {
     }
 }
 
+/// Tuning knobs for [`DurableStore`]'s paged view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Maximum number of *confirmed* block bodies held resident; the
+    /// unconfirmed tip region (heights above `best − CONFIRMATION_DEPTH`)
+    /// is pinned and does not count against this budget. Evicted bodies
+    /// are paged back in from `blocks.log` on demand.
+    pub cache_capacity: usize,
+    /// Write a state snapshot every time the checkpoint advances by this
+    /// many heights (`0` disables snapshots entirely).
+    pub snapshot_interval: u64,
+}
+
+impl Default for StoreConfig {
+    /// Effectively unbounded cache, snapshots every 256 confirmed
+    /// heights — a fresh store behaves exactly like the pre-paging one
+    /// until the chain is long enough for snapshots to matter.
+    fn default() -> Self {
+        StoreConfig {
+            cache_capacity: usize::MAX,
+            snapshot_interval: 256,
+        }
+    }
+}
+
 /// Fault-injection points inside [`DurableStore::commit`], in protocol
 /// order. Arming one makes the next commit stop there, leaving disk
 /// state exactly as a power loss at that instant would.
@@ -134,16 +169,184 @@ pub enum CrashPoint {
     /// Crash after the log append is synced but before the WAL is
     /// truncated — recovery must notice the replay is already applied.
     BeforeWalTruncate,
+    /// Crash mid-rewrite of `state.snap` on a filesystem without atomic
+    /// rename: the commit itself is fully durable, but only `bytes` of
+    /// the new snapshot image land, clobbering any previous snapshot.
+    /// Recovery must reject the torn snapshot and fall back to the
+    /// full-log scan.
+    TornSnapshotWrite {
+        /// How many snapshot bytes land before the crash.
+        bytes: u64,
+    },
+}
+
+/// Read-only chain queries shared by every backend.
+///
+/// [`ChainStore`] answers from its in-memory maps; [`DurableStore`]
+/// answers metadata queries (heights, tips, confirmations, record
+/// locations) from a header-only view and pages block *bodies* in from
+/// disk through a bounded cache. Methods therefore return owned values
+/// rather than references — a paged backend has no stable reference to
+/// hand out.
+pub trait ChainQuery: fmt::Debug {
+    /// The genesis block id.
+    fn genesis_id(&self) -> BlockId;
+    /// The current best (heaviest-chain) tip.
+    fn best_tip(&self) -> BlockId;
+    /// Height of the best tip.
+    fn best_height(&self) -> u64;
+    /// The block at the best tip.
+    fn best_block(&self) -> Block;
+    /// Total stored blocks (all forks).
+    fn block_count(&self) -> usize;
+    /// Fetches a block's header by id.
+    fn header_of(&self, id: &BlockId) -> Option<BlockHeader>;
+    /// Fetches a full block by id.
+    fn get_block(&self, id: &BlockId) -> Option<Block>;
+    /// Id of the canonical block at `height`, if within the best chain.
+    fn canonical_id_at(&self, height: u64) -> Option<BlockId>;
+    /// The canonical block at `height`, if within the best chain.
+    fn canonical_block_at(&self, height: u64) -> Option<Block>;
+    /// Whether `id` lies on the canonical chain.
+    fn is_canonical(&self, id: &BlockId) -> bool;
+    /// Confirmations of a block: 1 at the tip, 0 off-chain/unknown.
+    fn confirmations(&self, id: &BlockId) -> u64;
+    /// Locates a record on the canonical chain.
+    fn find_record(&self, record_id: &Digest) -> Option<RecordLocation>;
+    /// Fetches a record plus its confirmation count.
+    fn record_with_confirmations(&self, record_id: &Digest) -> Option<(Record, u64)>;
+
+    /// Whether a block with this id is stored (any fork).
+    fn contains_block(&self, id: &BlockId) -> bool {
+        self.header_of(id).is_some()
+    }
+
+    /// Whether the block has reached the paper's 6-block finality (§V-C).
+    fn is_confirmed(&self, id: &BlockId) -> bool {
+        self.confirmations(id) > CONFIRMATION_DEPTH
+    }
+
+    /// Whether a record is in a finally-confirmed block. Needs only the
+    /// record's location, never the block body — paged backends answer
+    /// without touching disk.
+    fn record_confirmed(&self, record_id: &Digest) -> bool {
+        self.find_record(record_id)
+            .map(|loc| self.confirmations(&loc.block_id) > CONFIRMATION_DEPTH)
+            .unwrap_or(false)
+    }
+
+    /// The canonical chain from genesis to tip, as owned blocks.
+    fn canonical_blocks(&self) -> Vec<Block> {
+        (0..=self.best_height())
+            .filter_map(|h| self.canonical_block_at(h))
+            .collect()
+    }
+
+    /// All canonical records of a given kind (the consumer query of
+    /// Phase #3: "consumers can quickly learn the system security
+    /// analysis by querying the related detection results in the
+    /// blockchain").
+    fn records_of_kind(&self, kind: RecordKind) -> Vec<(Record, u64)> {
+        let best = self.best_height();
+        let mut out = Vec::new();
+        for height in 0..=best {
+            let Some(block) = self.canonical_block_at(height) else {
+                continue;
+            };
+            let confs = best - height + 1;
+            for record in block.records() {
+                if record.kind() == kind {
+                    out.push((record.clone(), confs));
+                }
+            }
+        }
+        out
+    }
+
+    /// Blocks mined by `miner` on the canonical chain.
+    fn blocks_by_miner(&self, miner: &Address) -> Vec<Block> {
+        self.canonical_blocks()
+            .into_iter()
+            .filter(|b| b.header().miner == *miner)
+            .collect()
+    }
+}
+
+impl ChainQuery for ChainStore {
+    fn genesis_id(&self) -> BlockId {
+        ChainStore::genesis_id(self)
+    }
+
+    fn best_tip(&self) -> BlockId {
+        ChainStore::best_tip(self)
+    }
+
+    fn best_height(&self) -> u64 {
+        ChainStore::best_height(self)
+    }
+
+    fn best_block(&self) -> Block {
+        ChainStore::best_block(self).clone()
+    }
+
+    fn block_count(&self) -> usize {
+        self.len()
+    }
+
+    fn header_of(&self, id: &BlockId) -> Option<BlockHeader> {
+        self.header(id).cloned()
+    }
+
+    fn get_block(&self, id: &BlockId) -> Option<Block> {
+        self.block(id).cloned()
+    }
+
+    fn canonical_id_at(&self, height: u64) -> Option<BlockId> {
+        self.block_at_height(height).map(Block::id)
+    }
+
+    fn canonical_block_at(&self, height: u64) -> Option<Block> {
+        self.block_at_height(height).cloned()
+    }
+
+    fn is_canonical(&self, id: &BlockId) -> bool {
+        ChainStore::is_canonical(self, id)
+    }
+
+    fn confirmations(&self, id: &BlockId) -> u64 {
+        ChainStore::confirmations(self, id)
+    }
+
+    fn find_record(&self, record_id: &Digest) -> Option<RecordLocation> {
+        ChainStore::find_record(self, record_id).cloned()
+    }
+
+    fn record_with_confirmations(&self, record_id: &Digest) -> Option<(Record, u64)> {
+        ChainStore::record_with_confirmations(self, record_id).map(|(r, c)| (r.clone(), c))
+    }
+
+    fn contains_block(&self, id: &BlockId) -> bool {
+        self.block(id).is_some()
+    }
+
+    fn is_confirmed(&self, id: &BlockId) -> bool {
+        ChainStore::is_confirmed(self, id)
+    }
+
+    fn record_confirmed(&self, record_id: &Digest) -> bool {
+        ChainStore::record_confirmed(self, record_id)
+    }
 }
 
 /// A chain backend: the in-memory [`ChainStore`] or a [`DurableStore`].
 ///
 /// Node and sync-buffer code is written against this trait so the same
-/// code path drives both; the in-memory impl adds zero overhead and zero
-/// telemetry, keeping seeded sim runs byte-identical.
-pub trait ChainBackend: fmt::Debug + Send {
-    /// The in-memory view of the chain.
-    fn view(&self) -> &ChainStore;
+/// code path drives both; reads go through the [`ChainQuery`] supertrait
+/// (the in-memory impl adds zero overhead and zero telemetry, keeping
+/// seeded sim runs byte-identical), writes through [`commit`].
+///
+/// [`commit`]: ChainBackend::commit
+pub trait ChainBackend: ChainQuery + Send {
     /// Validates and applies one block (durably, for disk backends).
     fn commit(&mut self, block: Block) -> Result<BlockId, StorageError>;
     /// Downcasting hook for harnesses that need the concrete backend.
@@ -151,10 +354,6 @@ pub trait ChainBackend: fmt::Debug + Send {
 }
 
 impl ChainBackend for ChainStore {
-    fn view(&self) -> &ChainStore {
-        self
-    }
-
     fn commit(&mut self, block: Block) -> Result<BlockId, StorageError> {
         self.insert(block).map_err(StorageError::Chain)
     }
@@ -168,9 +367,9 @@ impl ChainBackend for ChainStore {
 /// re-validating each one and pinning all difficulties to the genesis
 /// difficulty.
 ///
-/// This is the single recovery code path shared by the legacy dump
-/// importer ([`crate::persist::import_chain`]) and [`DurableStore`]'s
-/// open: proof-of-work targets are self-certified by each header, so
+/// This is the recovery code path shared by the legacy dump importer
+/// ([`crate::persist::import_chain`]) and [`DurableStore`]'s full-log
+/// scan: proof-of-work targets are self-certified by each header, so
 /// without the pin a tampered log could lower a block's declared
 /// difficulty to a trivially-met target and smuggle re-mined history
 /// past the structural checks. Every chain this workspace produces mines
@@ -222,13 +421,56 @@ mod tests {
         let genesis = Block::genesis(Difficulty::from_u64(1));
         let mut store = ChainStore::new(genesis.clone());
         let backend: &mut dyn ChainBackend = &mut store;
-        assert_eq!(backend.view().best_height(), 0);
+        assert_eq!(backend.best_height(), 0);
+        assert!(backend.contains_block(&genesis.id()));
+        assert_eq!(backend.best_block().id(), genesis.id());
         // Re-committing genesis is a duplicate, surfaced as a chain error.
         assert!(matches!(
             backend.commit(genesis),
             Err(StorageError::Chain(ChainError::DuplicateBlock { .. }))
         ));
         assert!(backend.as_any_mut().downcast_mut::<ChainStore>().is_some());
+    }
+
+    #[test]
+    fn backend_upcasts_to_query() {
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let mut store = ChainStore::new(genesis);
+        let backend: &mut dyn ChainBackend = &mut store;
+        let query: &dyn ChainQuery = &*backend;
+        assert_eq!(query.best_height(), 0);
+        assert_eq!(query.canonical_blocks().len(), 1);
+    }
+
+    #[test]
+    fn query_defaults_match_inherent_answers() {
+        use crate::pow::Miner;
+        let genesis = Block::genesis(Difficulty::from_u64(1));
+        let mut store = ChainStore::new(genesis.clone());
+        let miner = Miner::new(smartcrowd_crypto::Address::from_label("q"));
+        let mut parent = genesis;
+        for _ in 0..8 {
+            let b = miner
+                .mine_next(&parent, vec![], parent.header().timestamp + 15)
+                .unwrap();
+            store.insert(b.clone()).unwrap();
+            parent = b;
+        }
+        let q: &dyn ChainQuery = &store;
+        assert_eq!(q.block_count(), store.len());
+        assert_eq!(q.canonical_blocks().len(), 9);
+        let low = q.canonical_id_at(1).unwrap();
+        assert!(q.is_confirmed(&low));
+        assert_eq!(
+            q.confirmations(&low),
+            ChainStore::confirmations(&store, &low)
+        );
+        assert!(!q.is_confirmed(&q.best_tip()));
+        assert_eq!(
+            q.blocks_by_miner(&smartcrowd_crypto::Address::from_label("q"))
+                .len(),
+            8
+        );
     }
 
     #[test]
@@ -278,5 +520,12 @@ mod tests {
                 e => assert!(matches!(v, StorageError::Chain(_)), "unexpected {e}"),
             }
         }
+    }
+
+    #[test]
+    fn default_config_is_effectively_unbounded() {
+        let cfg = StoreConfig::default();
+        assert_eq!(cfg.cache_capacity, usize::MAX);
+        assert!(cfg.snapshot_interval > 0);
     }
 }

@@ -26,7 +26,7 @@ use crate::block::Block;
 use crate::error::ChainError;
 use crate::record::Record;
 use crate::sigcache;
-use crate::store::ChainStore;
+use crate::storage::ChainQuery;
 use smartcrowd_pool::Pool;
 
 /// Semantic record validation, implemented by higher layers (the SmartCrowd
@@ -75,8 +75,8 @@ impl<F> std::fmt::Debug for FnValidator<F> {
 /// Returns the first failure: structural errors, linkage errors
 /// ([`ChainError::UnknownParent`], [`ChainError::TimestampRegression`]),
 /// record signature failures, or semantic rejections from `validator`.
-pub fn validate_block(
-    store: &ChainStore,
+pub fn validate_block<Q: ChainQuery + ?Sized>(
+    store: &Q,
     block: &Block,
     validator: &dyn RecordValidator,
 ) -> Result<(), ChainError> {
@@ -89,8 +89,8 @@ pub fn validate_block(
 /// # Errors
 ///
 /// Identical to [`validate_block`].
-pub fn validate_block_with(
-    store: &ChainStore,
+pub fn validate_block_with<Q: ChainQuery + ?Sized>(
+    store: &Q,
     block: &Block,
     validator: &dyn RecordValidator,
     pool: &Pool,
@@ -112,8 +112,8 @@ pub fn validate_block_with(
 /// # Errors
 ///
 /// Returns the first failure, exactly as [`validate_block`].
-pub fn validate_block_sequential(
-    store: &ChainStore,
+pub fn validate_block_sequential<Q: ChainQuery + ?Sized>(
+    store: &Q,
     block: &Block,
     validator: &dyn RecordValidator,
 ) -> Result<(), ChainError> {
@@ -126,8 +126,8 @@ pub fn validate_block_sequential(
     Ok(())
 }
 
-fn validate_block_inner(
-    store: &ChainStore,
+fn validate_block_inner<Q: ChainQuery + ?Sized>(
+    store: &Q,
     block: &Block,
     validator: &dyn RecordValidator,
     pool: &Pool,
@@ -149,11 +149,12 @@ fn validate_block_inner(
 
 /// Linkage against the local store: known parent, consecutive height,
 /// monotone timestamp. Reads only the parent *header* via
-/// [`ChainStore::header`] — the record list of the parent is irrelevant
-/// here.
-fn check_linkage(store: &ChainStore, block: &Block) -> Result<(), ChainError> {
+/// [`ChainQuery::header_of`] — the record list of the parent is
+/// irrelevant here, and the paged durable store answers without touching
+/// disk.
+fn check_linkage<Q: ChainQuery + ?Sized>(store: &Q, block: &Block) -> Result<(), ChainError> {
     let parent = store
-        .header(&block.header().prev)
+        .header_of(&block.header().prev)
         .ok_or(ChainError::UnknownParent {
             parent: block.header().prev,
         })?;
@@ -213,6 +214,7 @@ mod tests {
     use crate::difficulty::Difficulty;
     use crate::pow::Miner;
     use crate::record::RecordKind;
+    use crate::store::ChainStore;
     use smartcrowd_crypto::keys::KeyPair;
     use smartcrowd_crypto::Address;
 

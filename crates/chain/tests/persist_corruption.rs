@@ -169,6 +169,7 @@ fn forged_block_count_is_rejected() {
 // ---------------------------------------------------------------------------
 
 use smartcrowd_chain::storage::frame::FRAME_HEADER_LEN;
+use smartcrowd_chain::storage::{ChainQuery, StoreConfig};
 use smartcrowd_chain::{CrashPoint, DurableStore, StorageError};
 use std::path::{Path, PathBuf};
 
@@ -259,9 +260,9 @@ fn log_truncation_at_every_byte_recovers_to_a_valid_prefix() {
         // Complete frames surviving the cut; the rest is a torn tail.
         let frames = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
         let expect_height = (frames as u64).saturating_sub(1);
-        assert_eq!(store.view().best_height(), expect_height, "cut {cut}");
+        assert_eq!(store.best_height(), expect_height, "cut {cut}");
         assert_eq!(
-            store.view().best_tip(),
+            store.best_tip(),
             chain[expect_height as usize].id(),
             "cut {cut} recovered to a non-prefix tip"
         );
@@ -297,14 +298,14 @@ fn log_bit_flip_sweep_recovers_to_prefix_or_fails_typed() {
             // must be truncated away and what remains must be an exact
             // prefix of the original chain.
             Ok(store) => {
-                let h = store.view().best_height();
+                let h = store.best_height();
                 assert!(
                     (h as usize) + 1 < chain.len(),
                     "flip at {pos} survived with the full chain"
                 );
                 for height in 0..=h {
                     assert_eq!(
-                        store.view().block_at_height(height).map(Block::id),
+                        store.canonical_id_at(height),
                         Some(chain[height as usize].id()),
                         "flip at {pos}: non-prefix block at height {height}"
                     );
@@ -337,8 +338,8 @@ fn index_bit_flips_never_affect_recovery() {
         // index rebuilt from the log, never trusted over it.
         let store = DurableStore::open(&work, &genesis)
             .unwrap_or_else(|e| panic!("idx flip at {pos} broke recovery: {e}"));
-        assert_eq!(store.view().best_height(), 5, "idx flip at {pos}");
-        assert_eq!(store.view().best_tip(), chain[5].id(), "idx flip at {pos}");
+        assert_eq!(store.best_height(), 5, "idx flip at {pos}");
+        assert_eq!(store.best_tip(), chain[5].id(), "idx flip at {pos}");
         assert!(
             store.last_recovery().sidecars_rebuilt >= 1,
             "idx flip at {pos} went unnoticed"
@@ -373,7 +374,7 @@ fn wal_bit_flips_discard_the_inflight_commit() {
     store_with_log(&work, &log);
     std::fs::write(work.join("wal"), &wal).unwrap();
     let recovered = DurableStore::open(&work, &genesis).unwrap();
-    assert_eq!(recovered.view().best_height(), 5);
+    assert_eq!(recovered.best_height(), 5);
     assert!(recovered.last_recovery().wal_replayed);
     drop(recovered);
 
@@ -386,8 +387,8 @@ fn wal_bit_flips_discard_the_inflight_commit() {
         // its durability point: discard it, recover the log prefix.
         let store = DurableStore::open(&work, &genesis)
             .unwrap_or_else(|e| panic!("wal flip at {pos} broke recovery: {e}"));
-        assert_eq!(store.view().best_height(), 4, "wal flip at {pos}");
-        assert_eq!(store.view().best_tip(), chain[4].id(), "wal flip at {pos}");
+        assert_eq!(store.best_height(), 4, "wal flip at {pos}");
+        assert_eq!(store.best_tip(), chain[4].id(), "wal flip at {pos}");
         assert!(
             store.last_recovery().wal_discarded,
             "wal flip at {pos} was not classified as a discard"
@@ -429,8 +430,8 @@ fn forged_length_and_checksum_frames_fail_closed_or_truncate() {
     bent[last + 4..last + 12].copy_from_slice(&(payload_len + 1_000).to_be_bytes());
     store_with_log(&work, &bent);
     let store = DurableStore::open(&work, &genesis).unwrap();
-    assert_eq!(store.view().best_height(), 2);
-    assert_eq!(store.view().best_tip(), chain[2].id());
+    assert_eq!(store.best_height(), 2);
+    assert_eq!(store.best_tip(), chain[2].id());
     assert!(store.last_recovery().torn_truncated);
     drop(store);
 
@@ -491,9 +492,9 @@ fn interrupted_wal_commits_replay_or_discard_idempotently() {
 
         let store = DurableStore::open(&dir, &genesis)
             .unwrap_or_else(|e| panic!("case {i} failed recovery: {e}"));
-        assert_eq!(store.view().best_height(), expect_height, "case {i}");
+        assert_eq!(store.best_height(), expect_height, "case {i}");
         assert_eq!(
-            store.view().best_tip(),
+            store.best_tip(),
             chain[expect_height as usize].id(),
             "case {i}"
         );
@@ -508,6 +509,199 @@ fn interrupted_wal_commits_replay_or_discard_idempotently() {
         // the same height.
         let store = DurableStore::open(&dir, &genesis).unwrap();
         assert!(store.last_recovery().clean(), "case {i} second recovery");
-        assert_eq!(store.view().best_height(), expect_height, "case {i}");
+        assert_eq!(store.best_height(), expect_height, "case {i}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot sweeps: `state.snap` is an accelerator, never an authority.
+// Every corruption of it must be rejected — recovery falls back to the
+// full-log replay (or fails closed if the *log* is also bad) and then
+// heals by rewriting a fresh snapshot. No snapshot damage may ever
+// change the recovered chain.
+// ---------------------------------------------------------------------------
+
+/// A config that snapshots on every checkpoint advance, so even a short
+/// chain leaves a `state.snap` behind.
+fn eager_snapshots() -> StoreConfig {
+    StoreConfig {
+        cache_capacity: usize::MAX,
+        snapshot_interval: 1,
+    }
+}
+
+/// Builds a linear chain under `config`, returning the block sequence.
+fn build_disk_chain_with(dir: &Path, blocks: u64, config: StoreConfig) -> Vec<Block> {
+    let genesis = Block::genesis(Difficulty::from_u64(1));
+    let mut store = DurableStore::open_with(dir, &genesis, config).unwrap();
+    let miner = Miner::new(Address::from_label("disk"));
+    let mut parent = genesis.clone();
+    let mut chain = vec![genesis];
+    for i in 0..blocks {
+        let kp = KeyPair::from_seed(&(2_000 + i).to_be_bytes());
+        let r = Record::signed(
+            RecordKind::InitialReport,
+            vec![i as u8; 4],
+            Ether::from_milliether(11),
+            i,
+            &kp,
+        );
+        let b = miner
+            .mine_next(&parent, vec![r], parent.header().timestamp + 15)
+            .unwrap();
+        store.commit(b.clone()).unwrap();
+        chain.push(b.clone());
+        parent = b;
+    }
+    chain
+}
+
+/// Copies a store directory file-by-file into `work`.
+fn clone_store_dir(master: &Path, work: &Path) {
+    let _ = std::fs::remove_dir_all(work);
+    std::fs::create_dir_all(work).unwrap();
+    for entry in std::fs::read_dir(master).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), work.join(entry.file_name())).unwrap();
+    }
+}
+
+#[test]
+fn valid_snapshot_serves_a_clean_fast_path_open() {
+    let tmp = TempDir::new("snap-clean");
+    let master = tmp.path().join("master");
+    let chain = build_disk_chain_with(&master, 10, eager_snapshots());
+    assert!(master.join("state.snap").exists(), "no snapshot written");
+
+    let store = DurableStore::open_with(&master, &chain[0], eager_snapshots()).unwrap();
+    assert!(store.last_recovery().snapshot_loaded, "fast path not taken");
+    assert!(store.last_recovery().clean(), "fast path counted as repair");
+    assert_eq!(store.best_height(), 10);
+    assert_eq!(store.best_tip(), chain[10].id());
+    for (h, b) in chain.iter().enumerate() {
+        assert_eq!(store.canonical_id_at(h as u64), Some(b.id()));
+        // Bodies page back in through the log, checksum-verified.
+        assert_eq!(store.get_block(&b.id()).map(|x| x.id()), Some(b.id()));
+        for record in b.records() {
+            assert!(store.find_record(&record.id()).is_some(), "height {h}");
+        }
+    }
+}
+
+#[test]
+fn snapshot_truncation_at_every_byte_falls_back_to_full_replay() {
+    let tmp = TempDir::new("snap-trunc");
+    let master = tmp.path().join("master");
+    let chain = build_disk_chain_with(&master, 10, eager_snapshots());
+    let snap = std::fs::read(master.join("state.snap")).unwrap();
+
+    let work = tmp.path().join("work");
+    for cut in 0..snap.len() {
+        clone_store_dir(&master, &work);
+        std::fs::write(work.join("state.snap"), &snap[..cut]).unwrap();
+        let store = DurableStore::open_with(&work, &chain[0], eager_snapshots())
+            .unwrap_or_else(|e| panic!("snap cut at {cut} broke recovery: {e}"));
+        assert!(
+            store.last_recovery().snapshot_rejected,
+            "snap cut at {cut} was not rejected (reason: {:?})",
+            store.snapshot_rejection()
+        );
+        assert!(!store.last_recovery().snapshot_loaded, "cut {cut}");
+        assert_eq!(store.best_height(), 10, "snap cut at {cut}");
+        assert_eq!(store.best_tip(), chain[10].id(), "snap cut at {cut}");
+        // The fallback heals: a fresh, valid snapshot is rewritten.
+        assert!(store.has_snapshot(), "snap cut at {cut} did not heal");
+    }
+}
+
+#[test]
+fn snapshot_bit_flip_sweep_falls_back_to_full_replay() {
+    let tmp = TempDir::new("snap-flip");
+    let master = tmp.path().join("master");
+    let chain = build_disk_chain_with(&master, 8, eager_snapshots());
+    let snap = std::fs::read(master.join("state.snap")).unwrap();
+
+    let work = tmp.path().join("work");
+    for pos in 0..snap.len() {
+        let mut bent = snap.clone();
+        bent[pos] ^= 0x01;
+        clone_store_dir(&master, &work);
+        std::fs::write(work.join("state.snap"), &bent).unwrap();
+        let store = DurableStore::open_with(&work, &chain[0], eager_snapshots())
+            .unwrap_or_else(|e| panic!("snap flip at {pos} broke recovery: {e}"));
+        assert!(
+            store.last_recovery().snapshot_rejected,
+            "snap flip at {pos} was accepted"
+        );
+        assert_eq!(store.best_height(), 8, "snap flip at {pos}");
+        assert_eq!(store.best_tip(), chain[8].id(), "snap flip at {pos}");
+    }
+}
+
+#[test]
+fn torn_snapshot_rewrite_never_loses_the_durable_commit() {
+    for bytes in [1u64, 8, 40, 200, 100_000] {
+        let tmp = TempDir::new(&format!("snap-torn-{bytes}"));
+        let dir = tmp.path().join("store");
+        let mut chain = build_disk_chain_with(&dir, 9, eager_snapshots());
+        let genesis = chain[0].clone();
+        let mut store = DurableStore::open_with(&dir, &genesis, eager_snapshots()).unwrap();
+        let miner = Miner::new(Address::from_label("disk"));
+        let parent = chain[9].clone();
+        let next = miner
+            .mine_next(&parent, vec![], parent.header().timestamp + 15)
+            .unwrap();
+        store.inject_crash(CrashPoint::TornSnapshotWrite { bytes });
+        assert_eq!(store.commit(next.clone()), Err(StorageError::InjectedCrash));
+        drop(store);
+        chain.push(next);
+
+        // The commit was fully durable before the snapshot tear: recovery
+        // must reject the half-written snapshot and replay the whole log.
+        let store = DurableStore::open_with(&dir, &genesis, eager_snapshots())
+            .unwrap_or_else(|e| panic!("torn snapshot ({bytes} bytes) broke recovery: {e}"));
+        assert!(store.last_recovery().snapshot_rejected, "{bytes} bytes");
+        assert_eq!(store.best_height(), 10, "{bytes} bytes");
+        assert_eq!(store.best_tip(), chain[10].id(), "{bytes} bytes");
+        drop(store);
+
+        // Healed: the next reopen takes the fast path again.
+        let store = DurableStore::open_with(&dir, &genesis, eager_snapshots()).unwrap();
+        assert!(store.last_recovery().snapshot_loaded, "{bytes} bytes");
+        assert!(store.last_recovery().clean(), "{bytes} bytes");
+        assert_eq!(store.best_height(), 10, "{bytes} bytes");
+    }
+}
+
+#[test]
+fn stale_snapshot_from_before_the_tail_still_fast_paths() {
+    // Freeze a snapshot, then grow the log past it: open must adopt the
+    // prefix from the snapshot and fully replay only the tail.
+    let tmp = TempDir::new("snap-stale");
+    let dir = tmp.path().join("store");
+    let chain = build_disk_chain_with(&dir, 8, eager_snapshots());
+    let frozen = std::fs::read(dir.join("state.snap")).unwrap();
+
+    let genesis = chain[0].clone();
+    let mut store = DurableStore::open_with(&dir, &genesis, eager_snapshots()).unwrap();
+    let miner = Miner::new(Address::from_label("disk"));
+    let mut parent = chain[8].clone();
+    let mut tail = Vec::new();
+    for _ in 0..4 {
+        let b = miner
+            .mine_next(&parent, vec![], parent.header().timestamp + 15)
+            .unwrap();
+        store.commit(b.clone()).unwrap();
+        tail.push(b.clone());
+        parent = b;
+    }
+    drop(store);
+    // Re-plant the stale (but internally valid) snapshot.
+    std::fs::write(dir.join("state.snap"), &frozen).unwrap();
+
+    let store = DurableStore::open_with(&dir, &genesis, eager_snapshots()).unwrap();
+    assert!(store.last_recovery().snapshot_loaded, "stale snap rejected");
+    assert!(store.last_recovery().clean());
+    assert_eq!(store.best_height(), 12);
+    assert_eq!(store.best_tip(), tail[3].id());
 }

@@ -3,15 +3,23 @@
 //! operation and compared against an in-memory [`ChainStore`] mirror
 //! replaying the same inserts.
 //!
+//! Every sequence runs three times — cache capacity 1, 2, and unbounded —
+//! because the paged store must be *observationally identical* whatever
+//! the cache does: eviction may cost a cold read, never an answer. The
+//! small-capacity runs also pin the residency bound (cache capacity plus
+//! the unconfirmed tip region) and exercise the snapshot fast path by
+//! snapshotting every other checkpoint.
+//!
 //! "Observationally identical" deliberately excludes raw block count —
 //! the durable store prunes dead fork branches the mirror keeps — and
 //! compares what consumers can ask for: best tip, best height, the
-//! canonical block at every height, the record index, and the confirmed
-//! set.
+//! canonical block at every height (body included, forcing cold page-ins),
+//! the record index, and the confirmed set.
 
 use proptest::prelude::*;
 use smartcrowd_chain::pow::Miner;
 use smartcrowd_chain::record::{Record, RecordKind};
+use smartcrowd_chain::storage::{ChainQuery, StoreConfig};
 use smartcrowd_chain::{
     Block, ChainStore, CrashPoint, Difficulty, DurableStore, Ether, StorageError,
     CONFIRMATION_DEPTH,
@@ -30,23 +38,44 @@ fn scratch_dir() -> PathBuf {
         .join(format!("storage-props-{}-{tag}", std::process::id()))
 }
 
+/// The three cache regimes every sequence must agree across: thrashing
+/// (every other cold read evicts), tiny, and effectively unbounded. The
+/// bounded regimes snapshot aggressively so reopen takes the fast path
+/// mid-sequence; the unbounded one keeps the default cadence.
+fn regimes() -> [StoreConfig; 3] {
+    [
+        StoreConfig {
+            cache_capacity: 1,
+            snapshot_interval: 2,
+        },
+        StoreConfig {
+            cache_capacity: 2,
+            snapshot_interval: 2,
+        },
+        StoreConfig::default(),
+    ]
+}
+
 /// Everything a consumer can observe must agree between the reopened
 /// durable store and the in-memory mirror.
 fn assert_observationally_identical(durable: &DurableStore, mirror: &ChainStore, step: usize) {
-    let view = durable.view();
-    assert_eq!(view.best_tip(), mirror.best_tip(), "step {step}: tip");
+    assert_eq!(durable.best_tip(), mirror.best_tip(), "step {step}: tip");
     assert_eq!(
-        view.best_height(),
+        durable.best_height(),
         mirror.best_height(),
         "step {step}: height"
     );
     for h in 0..=mirror.best_height() {
-        let ours = view.block_at_height(h).map(Block::id);
-        let theirs = mirror.block_at_height(h).map(Block::id);
-        assert_eq!(ours, theirs, "step {step}: canonical block at height {h}");
-        let id = theirs.expect("canonical index has no holes");
+        let theirs = mirror.block_at_height(h).expect("no holes");
+        let ours = durable
+            .canonical_block_at(h)
+            .unwrap_or_else(|| panic!("step {step}: no canonical body at height {h}"));
+        // Full body equality: the paged read must reproduce the exact
+        // block, not just its id.
+        assert_eq!(&ours, theirs, "step {step}: body at height {h}");
+        let id = theirs.id();
         assert_eq!(
-            view.is_confirmed(&id),
+            durable.is_confirmed(&id),
             mirror.is_confirmed(&id),
             "step {step}: confirmation of height {h}"
         );
@@ -54,12 +83,34 @@ fn assert_observationally_identical(durable: &DurableStore, mirror: &ChainStore,
     for block in mirror.canonical_blocks() {
         for record in block.records() {
             assert_eq!(
-                view.find_record(&record.id()),
-                mirror.find_record(&record.id()),
+                durable.find_record(&record.id()),
+                mirror.find_record(&record.id()).cloned(),
                 "step {step}: record location"
             );
         }
     }
+}
+
+/// The residency bound from the issue: bodies resident in memory never
+/// exceed the cache capacity plus the pinned unconfirmed tip region.
+/// `all_blocks` is every block ever inserted (the mirror never prunes),
+/// used to over-approximate the pinned set.
+fn assert_residency_bounded(
+    durable: &DurableStore,
+    all_blocks: &[Block],
+    capacity: usize,
+    step: usize,
+) {
+    let floor = durable.best_height().saturating_sub(CONFIRMATION_DEPTH);
+    let pinned_bound = all_blocks
+        .iter()
+        .filter(|b| b.header().height > floor && durable.contains_block(&b.id()))
+        .count();
+    assert!(
+        durable.resident_blocks() <= capacity.saturating_add(pinned_bound),
+        "step {step}: {} bodies resident, bound is {capacity} + {pinned_bound} pinned",
+        durable.resident_blocks()
+    );
 }
 
 /// Decodes one opaque `u64` per operation (the in-repo proptest shim has
@@ -77,20 +128,21 @@ fn assert_observationally_identical(durable: &DurableStore, mirror: &ChainStore,
 /// After every operation the durable store is dropped and reopened from
 /// disk before the observational comparison, so every prefix of every
 /// sequence proves the round-trip.
-fn run_sequence(ops: &[u64]) {
+fn run_sequence_with(ops: &[u64], config: StoreConfig) {
     let dir = scratch_dir();
     let _ = std::fs::remove_dir_all(&dir);
     let genesis = Block::genesis(Difficulty::from_u64(1));
     let mut mirror = ChainStore::new(genesis.clone());
-    let mut durable = DurableStore::open(&dir, &genesis).unwrap();
+    let mut durable = DurableStore::open_with(&dir, &genesis, config).unwrap();
     let miner = Miner::new(Address::from_label("prop"));
     let mut nonce = 0u64;
+    let mut all_blocks = vec![genesis.clone()];
 
     for (step, &op) in ops.iter().enumerate() {
         match op % 8 {
             6 => {
                 drop(durable);
-                durable = DurableStore::open(&dir, &genesis).unwrap();
+                durable = DurableStore::open_with(&dir, &genesis, config).unwrap();
                 assert!(
                     durable.last_recovery().clean(),
                     "step {step}: reopen of a cleanly-closed store needed repairs: {:?}",
@@ -119,7 +171,8 @@ fn run_sequence(ops: &[u64]) {
                 match durable.commit(block.clone()) {
                     Err(StorageError::InjectedCrash) => {
                         if survives {
-                            mirror.insert(block).unwrap();
+                            mirror.insert(block.clone()).unwrap();
+                            all_blocks.push(block);
                         }
                     }
                     // A duplicate is rejected before the crash point can
@@ -139,12 +192,15 @@ fn run_sequence(ops: &[u64]) {
                 let timestamp = parent.header().timestamp + 2 + (op >> 32) % 50;
                 let block = miner.mine_next(&parent, vec![], timestamp).unwrap();
                 let ours = durable.commit(block.clone());
-                let theirs = mirror.insert(block);
+                let theirs = mirror.insert(block.clone());
                 assert_eq!(
                     ours.is_ok(),
                     theirs.is_ok(),
                     "step {step}: stores disagreed on a fork block: {ours:?} vs {theirs:?}"
                 );
+                if theirs.is_ok() {
+                    all_blocks.push(block);
+                }
             }
             _ => {
                 let parent = mirror.best_block().clone();
@@ -161,16 +217,25 @@ fn run_sequence(ops: &[u64]) {
                     .mine_next(&parent, vec![record], parent.header().timestamp + 1)
                     .unwrap();
                 durable.commit(block.clone()).unwrap();
-                mirror.insert(block).unwrap();
+                mirror.insert(block.clone()).unwrap();
+                all_blocks.push(block);
             }
         }
         // Close + reopen after every prefix of the sequence.
         drop(durable);
-        durable = DurableStore::open(&dir, &genesis).unwrap();
+        durable = DurableStore::open_with(&dir, &genesis, config).unwrap();
         assert_observationally_identical(&durable, &mirror, step);
+        assert_residency_bounded(&durable, &all_blocks, config.cache_capacity, step);
     }
     drop(durable);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs one sequence under all three cache regimes.
+fn run_sequence(ops: &[u64]) {
+    for config in regimes() {
+        run_sequence_with(ops, config);
+    }
 }
 
 proptest! {

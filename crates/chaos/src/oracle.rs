@@ -18,7 +18,7 @@
 //!    settlement.
 
 use crate::settle::settle_confirmed;
-use smartcrowd_chain::{BlockId, ChainStore, CONFIRMATION_DEPTH};
+use smartcrowd_chain::{BlockId, ChainQuery, CONFIRMATION_DEPTH};
 use std::fmt;
 
 /// Which oracle fired.
@@ -70,8 +70,10 @@ impl fmt::Display for Violation {
 /// One node's view as the oracles see it.
 #[derive(Debug)]
 pub struct NodeView<'a> {
-    /// The node's chain store; `None` while crashed.
-    pub store: Option<&'a ChainStore>,
+    /// The node's chain view; `None` while crashed. Any [`ChainQuery`]
+    /// backend qualifies, so durable-mode runs check the same oracles
+    /// over paged stores.
+    pub store: Option<&'a dyn ChainQuery>,
     /// Whether the node is honest (Byzantine nodes are exempt from the
     /// honest-agreement checks; their stores are their own problem).
     pub honest: bool,
@@ -80,14 +82,15 @@ pub struct NodeView<'a> {
     pub group: usize,
 }
 
-/// The confirmed prefix of a store's canonical chain.
-fn confirmed_prefix(store: &ChainStore) -> Vec<BlockId> {
+/// The confirmed prefix of a store's canonical chain. Ids only — no
+/// block body is paged in for this check.
+fn confirmed_prefix(store: &dyn ChainQuery) -> Vec<BlockId> {
     let final_height = store.best_height().saturating_sub(CONFIRMATION_DEPTH);
     if store.best_height() <= CONFIRMATION_DEPTH {
         return vec![store.genesis_id()];
     }
     (0..=final_height)
-        .filter_map(|h| store.block_at_height(h).map(smartcrowd_chain::Block::id))
+        .filter_map(|h| store.canonical_id_at(h))
         .collect()
 }
 
@@ -196,17 +199,17 @@ impl Oracles {
     /// Returns a [`Violation`] with [`OracleKind::Convergence`].
     pub fn check_convergence(&self, round: usize, views: &[NodeView<'_>]) -> Result<(), Violation> {
         let _span = smartcrowd_telemetry::span!("chaos.oracle.check");
-        let honest: Vec<(usize, &ChainStore)> = views
+        let honest: Vec<(usize, &dyn ChainQuery)> = views
             .iter()
             .enumerate()
             .filter(|(_, v)| v.honest)
             .filter_map(|(i, v)| v.store.map(|s| (i, s)))
             .collect();
-        let Some((first, first_store)) = honest.first() else {
+        let Some(&(first, first_store)) = honest.first() else {
             return Ok(());
         };
         let tip = first_store.best_tip();
-        for (i, store) in &honest[1..] {
+        for &(i, store) in &honest[1..] {
             if store.best_tip() != tip {
                 return Err(Violation {
                     oracle: OracleKind::Convergence,
@@ -224,7 +227,7 @@ impl Oracles {
             round,
             detail: format!("node {first}: {e}"),
         })?;
-        for (i, store) in &honest[1..] {
+        for &(i, store) in &honest[1..] {
             let s = settle_confirmed(store).map_err(|e| Violation {
                 oracle: OracleKind::Conservation,
                 round,
@@ -249,6 +252,7 @@ impl Oracles {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smartcrowd_chain::ChainStore;
     use smartcrowd_chain::{Block, Difficulty};
 
     fn chain(n: u64) -> ChainStore {

@@ -16,7 +16,7 @@
 //! converts into a violation.
 
 use smartcrowd_chain::record::RecordKind;
-use smartcrowd_chain::{ChainStore, Ether};
+use smartcrowd_chain::{ChainQuery, Ether};
 use smartcrowd_core::report::DetailedReport;
 use smartcrowd_core::sra::{Sra, SraId};
 use smartcrowd_crypto::Address;
@@ -172,7 +172,7 @@ impl std::error::Error for SettleError {}
 ///
 /// Returns [`SettleError::Overdraw`] when a payout exceeds its SRA's
 /// remaining escrow and [`SettleError::Overflow`] on wei overflow.
-pub fn settle_confirmed(store: &ChainStore) -> Result<Settlement, SettleError> {
+pub fn settle_confirmed(store: &dyn ChainQuery) -> Result<Settlement, SettleError> {
     let mut settlement = Settlement::default();
     let mut seen: HashSet<smartcrowd_crypto::Digest> = HashSet::new();
 
@@ -236,6 +236,7 @@ pub fn settle_confirmed(store: &ChainStore) -> Result<Settlement, SettleError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smartcrowd_chain::ChainStore;
     use smartcrowd_chain::{Block, Difficulty};
 
     #[test]

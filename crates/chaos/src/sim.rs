@@ -39,8 +39,8 @@ use smartcrowd_chain::persist::{export_chain, import_chain};
 use smartcrowd_chain::record::{Record, RecordKind};
 use smartcrowd_chain::rng::SimRng;
 use smartcrowd_chain::simminer::{SimMiner, SimParticipant, PAPER_HASH_POWERS};
-use smartcrowd_chain::storage::{frame, CrashPoint, DurableStore};
-use smartcrowd_chain::{Block, Difficulty, Ether};
+use smartcrowd_chain::storage::{frame, CrashPoint, DurableStore, StoreConfig};
+use smartcrowd_chain::{Block, ChainQuery, Difficulty, Ether};
 use smartcrowd_core::node::{Outbox, ProviderNode};
 use smartcrowd_core::report::{create_report_pair, Findings};
 use smartcrowd_crypto::keys::KeyPair;
@@ -193,6 +193,7 @@ pub struct ChaosSim {
     library: VulnLibrary,
     genesis: Block,
     durable_root: Option<PathBuf>,
+    store_config: StoreConfig,
     round: usize,
     garbage_nonce: u64,
 }
@@ -202,7 +203,8 @@ impl ChaosSim {
     /// in-memory backend.
     #[must_use]
     pub fn new(plan: &FaultPlan, seed: u64, bug: Option<PlantedBug>) -> ChaosSim {
-        Self::build(plan, seed, bug, None).expect("in-memory boot cannot fail")
+        Self::build(plan, seed, bug, None, StoreConfig::default())
+            .expect("in-memory boot cannot fail")
     }
 
     /// Boots the fleet with every node on a [`DurableStore`] under
@@ -218,7 +220,31 @@ impl ChaosSim {
         bug: Option<PlantedBug>,
         root: &Path,
     ) -> Result<ChaosSim, ChaosFailure> {
-        Self::build(plan, seed, bug, Some(root.to_path_buf()))
+        Self::build(
+            plan,
+            seed,
+            bug,
+            Some(root.to_path_buf()),
+            StoreConfig::default(),
+        )
+    }
+
+    /// [`ChaosSim::new_durable`] with an explicit [`StoreConfig`], so
+    /// plans can run the fleet on paged stores — a small block cache
+    /// forcing cold page-ins mid-consensus, and aggressive snapshot
+    /// cadence so crash faults land around snapshot writes.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosFailure::Persist`] if a store directory cannot be created.
+    pub fn new_durable_with(
+        plan: &FaultPlan,
+        seed: u64,
+        bug: Option<PlantedBug>,
+        root: &Path,
+        config: StoreConfig,
+    ) -> Result<ChaosSim, ChaosFailure> {
+        Self::build(plan, seed, bug, Some(root.to_path_buf()), config)
     }
 
     fn build(
@@ -226,6 +252,7 @@ impl ChaosSim {
         seed: u64,
         bug: Option<PlantedBug>,
         durable_root: Option<PathBuf>,
+        store_config: StoreConfig,
     ) -> Result<ChaosSim, ChaosFailure> {
         assert!(plan.nodes > 0, "plan needs at least one node");
         let genesis = Block::genesis(Difficulty::from_u64(1));
@@ -240,11 +267,12 @@ impl ChaosSim {
             let node = if let Some(root) = &durable_root {
                 let dir = root.join(format!("node-{i}"));
                 let _ = std::fs::remove_dir_all(&dir);
-                let store =
-                    DurableStore::open(&dir, &genesis).map_err(|e| ChaosFailure::Persist {
+                let store = DurableStore::open_with(&dir, &genesis, store_config).map_err(|e| {
+                    ChaosFailure::Persist {
                         round: 0,
                         detail: e.to_string(),
-                    })?;
+                    }
+                })?;
                 ProviderNode::with_backend(keypair, Box::new(store), library.clone())
             } else {
                 ProviderNode::new(keypair, genesis.clone(), library.clone())
@@ -274,6 +302,7 @@ impl ChaosSim {
             library,
             genesis,
             durable_root,
+            store_config,
             round: 0,
             garbage_nonce: 0,
         })
@@ -449,9 +478,11 @@ impl ChaosSim {
     /// Crashes a node. In-memory mode snapshots the chain as a legacy
     /// dump. Durable mode performs a *mid-commit tear* before dropping
     /// the node: the store's next commit is crashed at an injected sync
-    /// point, leaving a full frame in the WAL and a torn frame in the
-    /// log — exactly the state a power loss during an append leaves —
-    /// which the restart's recovery must truncate and replay.
+    /// point — usually a torn frame in the log (exactly the state a
+    /// power loss during an append leaves), and on snapshot-enabled
+    /// stores sometimes a torn snapshot rewrite instead, leaving a
+    /// half-written `state.snap` over a fully durable log — which the
+    /// restart's recovery must truncate/reject and replay around.
     fn crash(&mut self, node: usize) {
         let Slot::Running(n) = &mut self.slots[node] else {
             return;
@@ -460,8 +491,10 @@ impl ChaosSim {
             let dir = root.join(format!("node-{node}"));
             let address = n.address();
             let tear = frame::FRAME_HEADER_LEN as u64 + self.rng.next_below(64);
+            let snapshots_on = self.store_config.snapshot_interval > 0;
+            let tear_snapshot = snapshots_on && self.rng.next_below(3) == 0;
             if let Some(store) = n.backend_mut().as_any_mut().downcast_mut::<DurableStore>() {
-                let parent = store.view().best_block().clone();
+                let parent = store.best_block();
                 let inflight = Block::assemble(
                     &parent,
                     vec![],
@@ -469,7 +502,14 @@ impl ChaosSim {
                     Difficulty::from_u64(1),
                     address,
                 );
-                store.inject_crash(CrashPoint::TornLogAppend { bytes: tear });
+                let point = if tear_snapshot {
+                    // The commit itself lands durably; the crash hits
+                    // while state.snap is being rewritten afterwards.
+                    CrashPoint::TornSnapshotWrite { bytes: tear }
+                } else {
+                    CrashPoint::TornLogAppend { bytes: tear }
+                };
+                store.inject_crash(point);
                 // The commit dies at the crash point by design.
                 let _ = store.commit(inflight);
             }
@@ -493,8 +533,8 @@ impl ChaosSim {
                 ProviderNode::restore(self.keypairs[node], store, self.library.clone())
             }
             Disk::Dir(dir) => {
-                let store =
-                    DurableStore::open(dir, &self.genesis).map_err(|e| ChaosFailure::Persist {
+                let store = DurableStore::open_with(dir, &self.genesis, self.store_config)
+                    .map_err(|e| ChaosFailure::Persist {
                         round,
                         detail: e.to_string(),
                     })?;
@@ -537,8 +577,8 @@ impl ChaosSim {
                 Slot::Running(node) => node
                     .store()
                     .canonical_blocks()
+                    .into_iter()
                     .filter(|b| b.header().height > 0)
-                    .cloned()
                     .collect(),
                 Slot::Crashed { .. } => continue,
             };
@@ -698,7 +738,7 @@ impl ChaosSim {
                         };
                         heights
                             .iter()
-                            .filter_map(|h| node.store().block_at_height(*h).cloned())
+                            .filter_map(|h| node.store().canonical_block_at(*h))
                             .collect()
                     };
                     for b in blocks {
@@ -836,6 +876,27 @@ pub fn run_plan_durable(
     root: &Path,
 ) -> Result<ChaosOutcome, ChaosFailure> {
     run_sim(ChaosSim::new_durable(plan, seed, bug, root)?, plan)
+}
+
+/// [`run_plan_durable`] with an explicit [`StoreConfig`]: the whole
+/// fleet runs on paged stores (bounded block cache, snapshot cadence of
+/// the caller's choosing), crash faults sometimes tear mid-snapshot, and
+/// the same oracles must hold after every recovery.
+///
+/// # Errors
+///
+/// As [`run_plan_durable`].
+pub fn run_plan_durable_with(
+    plan: &FaultPlan,
+    seed: u64,
+    bug: Option<PlantedBug>,
+    root: &Path,
+    config: StoreConfig,
+) -> Result<ChaosOutcome, ChaosFailure> {
+    run_sim(
+        ChaosSim::new_durable_with(plan, seed, bug, root, config)?,
+        plan,
+    )
 }
 
 fn run_sim(mut sim: ChaosSim, plan: &FaultPlan) -> Result<ChaosOutcome, ChaosFailure> {

@@ -10,8 +10,9 @@
 //! against the recovered state. The plan below is the shrunk shape of
 //! the in-memory `crash_restart_recovers_from_disk` regression.
 
+use smartcrowd_chain::StoreConfig;
 use smartcrowd_chaos::plan::{FaultEvent, FaultKind, FaultPlan};
-use smartcrowd_chaos::sim::run_plan_durable;
+use smartcrowd_chaos::sim::{run_plan_durable, run_plan_durable_with};
 use smartcrowd_net::LinkConfig;
 use smartcrowd_telemetry::counter;
 use std::path::PathBuf;
@@ -67,5 +68,94 @@ fn durable_quiet_plan_matches_in_memory_outcome() {
     assert_eq!(durable.best_height, memory.best_height);
     assert_eq!(durable.deposits, memory.deposits);
     assert_eq!(durable.payouts, memory.payouts);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn paged_store_fleet_matches_in_memory_outcome() {
+    // The acceptance bar for the paged store: a bounded block cache
+    // (capacity 2 forces cold page-ins mid-consensus) and an aggressive
+    // snapshot cadence must be observationally inert — the same plan
+    // under the same seed lands on the identical outcome as the
+    // in-memory backend.
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("chaos-durable-paged-quiet");
+    let _ = std::fs::remove_dir_all(&root);
+    let plan = FaultPlan {
+        nodes: 4,
+        rounds: 12,
+        link: LinkConfig::default(),
+        events: vec![],
+    };
+    let config = StoreConfig {
+        cache_capacity: 2,
+        snapshot_interval: 1,
+    };
+    let written_before = counter!("chain.storage.snapshot.written").get();
+    let paged = run_plan_durable_with(&plan, 9, None, &root, config).unwrap();
+    let memory = smartcrowd_chaos::sim::run_plan(&plan, 9, None).unwrap();
+    assert_eq!(paged.best_height, memory.best_height);
+    assert_eq!(paged.deposits, memory.deposits);
+    assert_eq!(paged.payouts, memory.payouts);
+    assert!(
+        counter!("chain.storage.snapshot.written").get() > written_before,
+        "interval-1 cadence never wrote a snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn paged_store_crash_restart_survives_torn_snapshots() {
+    // Crash faults on a snapshot-enabled fleet tear `state.snap`
+    // mid-rewrite on some crashes (and the log mid-append on the rest).
+    // Every restart must reject the half-written snapshot, fall back to
+    // full-log replay, and rejoin without violating any oracle.
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("chaos-durable-paged-crash");
+    let _ = std::fs::remove_dir_all(&root);
+    let plan = FaultPlan {
+        nodes: 4,
+        rounds: 24,
+        link: LinkConfig::default(),
+        events: vec![
+            FaultEvent {
+                round: 4,
+                kind: FaultKind::Crash { node: 2 },
+            },
+            FaultEvent {
+                round: 7,
+                kind: FaultKind::Restart { node: 2 },
+            },
+            FaultEvent {
+                round: 10,
+                kind: FaultKind::Crash { node: 1 },
+            },
+            FaultEvent {
+                round: 13,
+                kind: FaultKind::Restart { node: 1 },
+            },
+            FaultEvent {
+                round: 16,
+                kind: FaultKind::Crash { node: 3 },
+            },
+            FaultEvent {
+                round: 19,
+                kind: FaultKind::Restart { node: 3 },
+            },
+        ],
+    };
+    let config = StoreConfig {
+        cache_capacity: 2,
+        snapshot_interval: 1,
+    };
+    let rejected_before = counter!("chain.storage.snapshot.rejected").get();
+    let outcome = run_plan_durable_with(&plan, 5, None, &root, config).unwrap();
+    assert!(
+        outcome.best_height >= 14,
+        "fleet stalled after paged-store recovery: height {}",
+        outcome.best_height
+    );
+    assert!(
+        counter!("chain.storage.snapshot.rejected").get() > rejected_before,
+        "no crash tore a snapshot under this seed; pick another"
+    );
     let _ = std::fs::remove_dir_all(&root);
 }

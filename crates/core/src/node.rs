@@ -22,7 +22,7 @@ use crate::verify;
 use smartcrowd_chain::mempool::Mempool;
 use smartcrowd_chain::record::{Record, RecordKind};
 use smartcrowd_chain::validate::{validate_block, FnValidator};
-use smartcrowd_chain::{Block, ChainBackend, ChainStore, Difficulty, Ether};
+use smartcrowd_chain::{Block, ChainBackend, ChainQuery, ChainStore, Difficulty, Ether};
 use smartcrowd_crypto::keys::KeyPair;
 use smartcrowd_crypto::{Address, Digest};
 use smartcrowd_detect::autoverif::AutoVerifier;
@@ -133,7 +133,7 @@ impl ProviderNode {
         let mut sras = HashMap::new();
         let mut initials = HashMap::new();
         let mut nonce = 0u64;
-        for block in backend.view().canonical_blocks() {
+        for block in backend.canonical_blocks() {
             for record in block.records() {
                 if record.sender() == address {
                     nonce = nonce.max(record.nonce());
@@ -183,9 +183,10 @@ impl ProviderNode {
         self.address
     }
 
-    /// The node's chain view.
-    pub fn store(&self) -> &ChainStore {
-        self.backend.view()
+    /// The node's chain view (read-only queries over whatever backend —
+    /// in-memory or paged durable — this node runs on).
+    pub fn store(&self) -> &dyn ChainQuery {
+        &*self.backend
     }
 
     /// Mutable access to the chain backend (fault-injection harnesses
@@ -262,8 +263,8 @@ impl ProviderNode {
                 self.handle_image(image_hash, image);
             }
             Message::BlockRequest { id } => {
-                if let Some(block) = self.backend.view().block(&id) {
-                    out.push(Message::Block(Box::new(block.clone())));
+                if let Some(block) = self.backend.get_block(&id) {
+                    out.push(Message::Block(Box::new(block)));
                 }
             }
         }
@@ -389,13 +390,8 @@ impl ProviderNode {
         }
         // validate_block needs the parent; when we don't have it yet, the
         // sync buffer holds the block and it is re-checked on connect.
-        if self.backend.view().block(&block.header().prev).is_some()
-            && validate_block(
-                self.backend.view(),
-                &block,
-                &FnValidator(|_r: &Record| Ok(())),
-            )
-            .is_err()
+        if self.backend.contains_block(&block.header().prev)
+            && validate_block(&*self.backend, &block, &FnValidator(|_r: &Record| Ok(()))).is_err()
         {
             return;
         }
@@ -470,7 +466,7 @@ impl ProviderNode {
     /// node wins the race), returning the block to broadcast.
     pub fn mine(&mut self, timestamp: u64, capacity: usize) -> (Block, Outbox) {
         let records = self.mempool.take_best(capacity);
-        let parent = self.backend.view().best_block().clone();
+        let parent = self.backend.best_block();
         let block = Block::assemble(
             &parent,
             records,
@@ -665,11 +661,12 @@ mod tests {
         }
         // Restart the *provider* a from its own chain: its SRA record
         // (nonce 1) is on chain, so the next release must use nonce 2.
-        let mut a2 = ProviderNode::restore(
-            KeyPair::from_seed(b"node-a"),
-            a.store().clone(),
-            library.clone(),
-        );
+        let restored = smartcrowd_chain::persist::import_chain(
+            &smartcrowd_chain::persist::export_chain(a.store()),
+        )
+        .unwrap();
+        let mut a2 =
+            ProviderNode::restore(KeyPair::from_seed(b"node-a"), restored, library.clone());
         assert!(a2.sras.contains_key(&sra_id));
         let mut rng = SimRng::seed_from_u64(8);
         let system = IoTSystem::build("fw", "2", &library, vec![VulnId(2)], &mut rng).unwrap();

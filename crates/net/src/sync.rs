@@ -101,11 +101,11 @@ impl SyncBuffer {
         block: Block,
     ) -> SyncOutcome {
         let id = block.id();
-        if store.view().block(&id).is_some() {
+        if store.contains_block(&id) {
             return SyncOutcome::Duplicate;
         }
         let parent = block.header().prev;
-        if store.view().block(&parent).is_none() {
+        if !store.contains_block(&parent) {
             // Buffer, bounded.
             if self.buffered >= MAX_ORPHANS {
                 return SyncOutcome::Rejected(ChainError::MempoolFull);

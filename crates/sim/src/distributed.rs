@@ -160,7 +160,7 @@ impl DistributedSim {
     pub fn heal(&mut self) -> Result<(), SimError> {
         self.net.heal_partition();
         for i in 0..self.nodes.len() {
-            let blocks: Vec<Block> = self.nodes[i].store().canonical_blocks().cloned().collect();
+            let blocks: Vec<Block> = self.nodes[i].store().canonical_blocks();
             for b in blocks {
                 if b.header().height == 0 {
                     continue;

@@ -5,15 +5,22 @@
 # what an earlier cycle reported durable — a kill at any instruction
 # boundary may lose the in-flight block, never committed history.
 #
-# usage: scripts/crash_loop.sh [CYCLES] [STORE_DIR]
+# usage: scripts/crash_loop.sh [CYCLES] [STORE_DIR] [extra store_writer flags...]
 #   STORE_WRITER  path to the store_writer binary
 #                 (default target/release/store_writer)
+#
+# Extra flags are passed through to every store_writer invocation, e.g.
+#   scripts/crash_loop.sh 12 dir --cache 4 --snapshot-interval 2
+# runs the loop on a paged store: a bounded block cache and aggressive
+# checkpoint snapshots, so kills also land mid-snapshot-rewrite and
+# reopens exercise the snapshot fast path / reject-and-replay fallback.
 
 set -euo pipefail
 
 CYCLES="${1:-10}"
 DIR="${2:-target/crash-loop-store}"
 BIN="${STORE_WRITER:-target/release/store_writer}"
+shift $(( $# > 2 ? 2 : $# ))
 
 if [ ! -x "$BIN" ]; then
     echo "crash_loop: writer binary not found at $BIN" >&2
@@ -26,12 +33,12 @@ last=0
 for i in $(seq 1 "$CYCLES"); do
     # Far more blocks than one cycle can finish: the kill always lands
     # while commits are in flight.
-    "$BIN" --dir "$DIR" --grow 100000 &
+    "$BIN" --dir "$DIR" --grow 100000 "$@" &
     pid=$!
     sleep 0.3
     kill -9 "$pid" 2>/dev/null || true
     wait "$pid" 2>/dev/null || true
-    h=$("$BIN" --dir "$DIR" --verify "$last")
+    h=$("$BIN" --dir "$DIR" --verify "$last" "$@")
     echo "cycle $i: recovered height $h (previous floor $last)"
     last="$h"
 done

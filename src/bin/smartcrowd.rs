@@ -13,7 +13,9 @@
 //!   --seed <n>           run seed                  (default 2019)
 //!   --export <path>      write the chain dump afterwards
 //!   --store <dir>        commit the chain into a durable store directory
-//! smartcrowd inspect <path>               validate + summarize a chain dump
+//!   --cache <n>          block-cache capacity for --store (default unbounded)
+//!   --snapshot-interval <n>  checkpoint heights between snapshots (0 = off)
+//! smartcrowd inspect <path> [--cache <n>] validate + summarize a chain dump
 //!                                         or a durable store directory
 //! smartcrowd table1                       print the Table-I reproduction
 //! ```
@@ -23,7 +25,8 @@
 
 use smartcrowd::chain::persist::{export_chain, import_chain};
 use smartcrowd::chain::stats::{chain_stats, ChainStats};
-use smartcrowd::chain::{ChainError, DurableStore, Ether, StorageError};
+use smartcrowd::chain::storage::ChainQuery;
+use smartcrowd::chain::{ChainError, DurableStore, Ether, StorageError, StoreConfig};
 use smartcrowd::crypto::keys::KeyPair;
 use smartcrowd::sim::config::SimConfig;
 use smartcrowd::sim::run::simulate_full;
@@ -60,8 +63,9 @@ USAGE:
   smartcrowd keygen <seed>
   smartcrowd simulate [--duration <secs>] [--vp <0..1>] [--insurance <eth>]
                       [--detectors <n>] [--seed <n>] [--export <path>]
-                      [--store <dir>]
-  smartcrowd inspect <chain-dump-path | store-dir>
+                      [--store <dir>] [--cache <blocks>]
+                      [--snapshot-interval <checkpoints>]
+  smartcrowd inspect <chain-dump-path | store-dir> [--cache <blocks>]
   smartcrowd table1
 ";
 
@@ -153,6 +157,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     cfg.vulns_per_release = 6;
     let mut export: Option<String> = None;
     let mut store_dir: Option<String> = None;
+    let mut store_config = StoreConfig::default();
     for (flag, value) in parse_flags(args)? {
         match flag.as_str() {
             "duration" => {
@@ -178,6 +183,15 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "seed" => cfg.seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?,
             "export" => export = Some(value),
             "store" => store_dir = Some(value),
+            "cache" => {
+                store_config.cache_capacity =
+                    value.parse().map_err(|_| format!("bad cache '{value}'"))?
+            }
+            "snapshot-interval" => {
+                store_config.snapshot_interval = value
+                    .parse()
+                    .map_err(|_| format!("bad snapshot-interval '{value}'"))?
+            }
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -212,7 +226,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             .block_at_height(0)
             .cloned()
             .ok_or("simulated chain has no genesis")?;
-        let mut durable = DurableStore::open(&dir, &genesis)
+        let mut durable = DurableStore::open_with(&dir, &genesis, store_config)
             .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
         let mut committed = 0u64;
         for block in platform.store().canonical_blocks().skip(1) {
@@ -226,7 +240,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         println!(
             "  durable store:           {} (+{committed} blocks, height {})",
             dir.display(),
-            durable.view().best_height()
+            durable.best_height()
         );
     }
     Ok(())
@@ -234,18 +248,44 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("inspect needs a chain-dump path")?;
+    let mut config = StoreConfig::default();
+    for (flag, value) in parse_flags(&args[1..])? {
+        match flag.as_str() {
+            "cache" => {
+                config.cache_capacity = value.parse().map_err(|_| format!("bad cache '{value}'"))?
+            }
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
     if std::path::Path::new(path).is_dir() {
-        let store = DurableStore::open_existing(std::path::Path::new(path))
+        let store = DurableStore::open_existing_with(std::path::Path::new(path), config)
             .map_err(|e| format!("invalid store directory: {e}"))?;
         println!("durable store: {path}");
-        print_stats(&chain_stats(store.view()));
+        print_stats(&chain_stats(&store));
         let rec = store.last_recovery();
+        if rec.snapshot_loaded {
+            println!(
+                "  snapshot:            loaded (checkpoint height {}, tail replayed from log)",
+                store.snapshot_height()
+            );
+        } else if let Some(detail) = store.snapshot_rejection() {
+            println!("  snapshot:            rejected ({detail}); fell back to full replay");
+        } else if store.has_snapshot() {
+            println!("  snapshot:            written at this open");
+        } else {
+            println!("  snapshot:            none");
+        }
+        println!("  resident bodies:     {}", store.resident_blocks());
         if rec.clean() {
-            println!("  (clean open; every frame re-validated)");
+            println!("  (clean open; frames verified lazily on page-in)");
         } else {
             println!(
-                "  (recovery: torn_truncated={} wal_replayed={} wal_discarded={}                  sidecars_rebuilt={})",
-                rec.torn_truncated, rec.wal_replayed, rec.wal_discarded, rec.sidecars_rebuilt
+                "  (recovery: torn_truncated={} wal_replayed={} wal_discarded={}                  sidecars_rebuilt={} snapshot_rejected={})",
+                rec.torn_truncated,
+                rec.wal_replayed,
+                rec.wal_discarded,
+                rec.sidecars_rebuilt,
+                rec.snapshot_rejected
             );
         }
         return Ok(());
