@@ -61,6 +61,14 @@ pub enum ChainError {
     NotFound,
     /// The mempool is full and the record's fee did not displace anything.
     MempoolFull,
+    /// The record is already pending in the mempool. Benign on gossip
+    /// paths — redundant delivery of a record the node already holds —
+    /// in contrast to [`ChainError::RecordRejected`], which flags a
+    /// record that must not be retried.
+    DuplicatePending {
+        /// The already-pending record id.
+        id: smartcrowd_crypto::Digest,
+    },
     /// The durable storage layer failed beneath an otherwise valid block
     /// (I/O error, injected crash, or corrupt on-disk state).
     Storage {
@@ -98,6 +106,13 @@ impl fmt::Display for ChainError {
             }
             ChainError::NotFound => write!(f, "block or record not found"),
             ChainError::MempoolFull => write!(f, "mempool full"),
+            ChainError::DuplicatePending { id } => {
+                write!(
+                    f,
+                    "record 0x{}… already pending in mempool",
+                    smartcrowd_crypto::hex::encode(&id[..8])
+                )
+            }
             ChainError::Storage { detail } => write!(f, "storage failure: {detail}"),
         }
     }
@@ -127,6 +142,7 @@ mod tests {
             ChainError::MiningExhausted { attempts: 10 },
             ChainError::NotFound,
             ChainError::MempoolFull,
+            ChainError::DuplicatePending { id: [7u8; 32] },
             ChainError::Storage {
                 detail: "disk".into(),
             },

@@ -5,17 +5,122 @@
 //! Admission verifies the submitter signature; ordering is by fee, so the
 //! transaction fee `ψ` of Eq. 8 doubles as a spam deterrent — exactly the
 //! "cost for each detector to submit its detection report" of Eq. 10.
+//!
+//! ## Throughput pipeline (DESIGN.md §19)
+//!
+//! The pool is **sharded and fee-indexed**: records stripe across
+//! [`Mempool::shard_count`] shards by the first byte of their id, and each
+//! shard keeps a `BTreeMap` fee index alongside its id map. Eviction pops
+//! the globally worst index key in O(S + log n) instead of scanning every
+//! record, and [`Mempool::take_best`]/[`Mempool::peek_best`] run a
+//! deterministic k-way merge over per-shard index cursors instead of
+//! sorting the whole pool per block. Selection is **byte-identical at any
+//! shard count** because the merge realizes one total order —
+//! [`selection_order`]: fee descending, id ascending — that no shard
+//! layout can perturb.
+//!
+//! [`Mempool::insert_batch`] admits a gossip burst: signature recoveries
+//! for cache-missing records fan out on a [`smartcrowd_pool::Pool`], then
+//! admissions apply serially in input order, so the outcomes (per-record
+//! verdicts, evictions, final contents) are exactly those of N sequential
+//! [`Mempool::insert`] calls — proven by the differential proptests in
+//! `crates/chain/tests/mempool_proptests.rs`.
+//!
+//! [`FlatMempool`] preserves the seed single-map implementation verbatim
+//! as the differential/benchmark reference, the same role
+//! `validate_block_sequential` plays for the validation pipeline.
 
+use crate::amount::Ether;
 use crate::block::Block;
 use crate::error::ChainError;
 use crate::record::Record;
 use smartcrowd_crypto::Digest;
-use std::collections::HashMap;
+use smartcrowd_pool::Pool;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
 
 /// Default capacity (records).
 pub const DEFAULT_CAPACITY: usize = 4096;
 
-/// A fee-ordered pool of pending records.
+/// Default shard count. Any power works — selection and eviction are
+/// shard-count-invariant — but a handful of shards keeps the per-shard
+/// `BTreeMap`s shallow at million-record occupancy.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Environment variable overriding the shard count of pools built by
+/// [`Mempool::new`]/[`Mempool::default`] (the chaos CI job runs one
+/// seeded plan at 1 and 8 shards and asserts identical outcomes).
+pub const SHARDS_ENV: &str = "SMARTCROWD_MEMPOOL_SHARDS";
+
+/// The miner's total selection order over pending records: fee
+/// descending (miners maximize the `ψ·ω` term of Eq. 8) with id
+/// ascending as the deterministic tiebreak.
+///
+/// Every selection and eviction decision in this module — and any future
+/// block-building path — derives from this one comparator, so the
+/// `take_best`/`peek_best` orders can never drift apart.
+pub fn selection_order(a: &(Ether, Digest), b: &(Ether, Digest)) -> Ordering {
+    b.0.cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+/// A fee-index key ordered worst-to-best: ascending iteration yields
+/// eviction candidates (lowest fee, highest id first) and descending
+/// iteration yields [`selection_order`] — the two are exact reverses of
+/// one total order, so "evict the worst" and "select the best" can never
+/// disagree about the middle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FeeKey {
+    fee: Ether,
+    id: Digest,
+}
+
+impl Ord for FeeKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Ascending = reverse of selection order.
+        selection_order(&(other.fee, other.id), &(self.fee, self.id))
+    }
+}
+
+impl PartialOrd for FeeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One stripe of the pool: the id map holding record bodies plus the fee
+/// index ordering their keys.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    records: HashMap<Digest, Record>,
+    index: BTreeMap<FeeKey, ()>,
+}
+
+impl Shard {
+    fn insert(&mut self, record: Record) {
+        let key = FeeKey {
+            fee: record.fee(),
+            id: record.id(),
+        };
+        self.records.insert(key.id, record);
+        self.index.insert(key, ());
+    }
+
+    fn remove(&mut self, id: &Digest) -> Option<Record> {
+        let record = self.records.remove(id)?;
+        self.index.remove(&FeeKey {
+            fee: record.fee(),
+            id: *id,
+        });
+        Some(record)
+    }
+
+    /// The shard's worst record (first eviction candidate), if any.
+    fn worst(&self) -> Option<FeeKey> {
+        self.index.keys().next().copied()
+    }
+}
+
+/// A sharded, fee-indexed pool of pending records.
 ///
 /// # Example
 ///
@@ -33,14 +138,274 @@ pub const DEFAULT_CAPACITY: usize = 4096;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mempool {
+    shards: Vec<Shard>,
+    capacity: usize,
+    len: usize,
+}
+
+impl Mempool {
+    /// Creates a pool bounded at `capacity` records, with the shard count
+    /// taken from [`SHARDS_ENV`] (default [`DEFAULT_SHARDS`]).
+    pub fn new(capacity: usize) -> Self {
+        let shards = std::env::var(SHARDS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(DEFAULT_SHARDS);
+        Mempool::with_shards(capacity, shards)
+    }
+
+    /// Creates a pool with an explicit shard count (clamped to at least
+    /// 1). Selection, eviction and admission outcomes are identical at
+    /// every shard count; the count only changes index depth.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        Mempool {
+            shards: vec![Shard::default(); shards.max(1)],
+            capacity: capacity.max(1),
+            len: 0,
+        }
+    }
+
+    /// Number of shards the pool stripes over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of pending records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether a record id is pending.
+    pub fn contains(&self, id: &Digest) -> bool {
+        self.shard_of(id).records.contains_key(id)
+    }
+
+    fn shard_of(&self, id: &Digest) -> &Shard {
+        &self.shards[id[0] as usize % self.shards.len()]
+    }
+
+    fn shard_of_mut(&mut self, id: &Digest) -> &mut Shard {
+        let i = id[0] as usize % self.shards.len();
+        &mut self.shards[i]
+    }
+
+    /// Admits a record after signature verification.
+    ///
+    /// When full, the globally lowest-fee record (highest id among ties)
+    /// is evicted if the newcomer pays strictly more; otherwise admission
+    /// fails. Both the victim lookup and the removal are index
+    /// operations — no scan over the pool.
+    ///
+    /// # Errors
+    ///
+    /// - [`ChainError::RecordRejected`] for a bad signature.
+    /// - [`ChainError::DuplicatePending`] when the id is already pooled.
+    /// - [`ChainError::MempoolFull`] when full of higher-fee records.
+    pub fn insert(&mut self, record: Record) -> Result<(), ChainError> {
+        // Admission goes through the verified-signature cache: a record
+        // re-gossiped after a restart (or already admitted by a peer path)
+        // skips the ECDSA recovery, and the ids admitted here feed the
+        // block-validation fast path in `validate`.
+        let sig = crate::sigcache::verify_cached(&record);
+        let result = self.apply_admission(record, sig);
+        self.update_occupancy();
+        result
+    }
+
+    /// Admits a gossip burst through the global worker pool
+    /// (equivalent to [`Mempool::insert_batch_with`] on
+    /// [`smartcrowd_pool::global`]).
+    pub fn insert_batch(&mut self, records: Vec<Record>) -> Vec<Result<(), ChainError>> {
+        self.insert_batch_with(records, smartcrowd_pool::global())
+    }
+
+    /// Admits a burst of records: signature recoveries for cache-missing
+    /// records fan out on `pool` (amortizing the per-record ECDSA cost
+    /// across the burst), then admissions apply **serially in input
+    /// order**, so the returned verdicts, the evictions and the final
+    /// pool contents are exactly those of sequential [`Mempool::insert`]
+    /// calls at any thread count.
+    pub fn insert_batch_with(
+        &mut self,
+        records: Vec<Record>,
+        pool: &Pool,
+    ) -> Vec<Result<(), ChainError>> {
+        smartcrowd_telemetry::histogram!(
+            "chain.mempool.batch.size",
+            smartcrowd_telemetry::buckets::SMALL_COUNT
+        )
+        .observe(records.len() as u64);
+        let verdicts = {
+            let _span = smartcrowd_telemetry::span!("chain.mempool.batch.sig_par");
+            let refs: Vec<&Record> = records.iter().collect();
+            crate::sigcache::verify_batch(&refs, pool)
+        };
+        let results: Vec<Result<(), ChainError>> = records
+            .into_iter()
+            .zip(verdicts)
+            .map(|(record, sig)| self.apply_admission(record, sig))
+            .collect();
+        self.update_occupancy();
+        results
+    }
+
+    /// One serial admission step, shared by the single and batch paths:
+    /// `sig` is the record's (possibly pre-computed) signature verdict.
+    fn apply_admission(
+        &mut self,
+        record: Record,
+        sig: Result<(), ChainError>,
+    ) -> Result<(), ChainError> {
+        let result = self.admit_inner(record, sig);
+        match &result {
+            Ok(()) => smartcrowd_telemetry::counter!("chain.mempool.admitted").inc(),
+            Err(_) => smartcrowd_telemetry::counter!("chain.mempool.rejected").inc(),
+        }
+        result
+    }
+
+    fn admit_inner(
+        &mut self,
+        record: Record,
+        sig: Result<(), ChainError>,
+    ) -> Result<(), ChainError> {
+        sig?;
+        let id = record.id();
+        if self.contains(&id) {
+            return Err(ChainError::DuplicatePending { id });
+        }
+        if self.len >= self.capacity {
+            // Globally worst = minimum FeeKey across the shards' index
+            // heads (lowest fee; highest id among equal fees — the exact
+            // reverse of the selection order, so the victim is always the
+            // record `take_best` would surface last).
+            let Some(victim) = self.shards.iter().filter_map(Shard::worst).min() else {
+                return Err(ChainError::MempoolFull);
+            };
+            if record.fee() <= victim.fee {
+                return Err(ChainError::MempoolFull);
+            }
+            self.shard_of_mut(&victim.id).remove(&victim.id);
+            self.len -= 1;
+            smartcrowd_telemetry::counter!("chain.mempool.evicted").inc();
+        }
+        self.shard_of_mut(&id).insert(record);
+        self.len += 1;
+        Ok(())
+    }
+
+    fn update_occupancy(&self) {
+        smartcrowd_telemetry::gauge!("chain.mempool.occupancy").set(self.len as i64);
+        let (min, max) = self.shards.iter().fold((usize::MAX, 0), |(lo, hi), s| {
+            (lo.min(s.records.len()), hi.max(s.records.len()))
+        });
+        smartcrowd_telemetry::gauge!("chain.mempool.shard.occupancy_max").set(max as i64);
+        smartcrowd_telemetry::gauge!("chain.mempool.shard.occupancy_min").set(if self.len == 0 {
+            0
+        } else {
+            min as i64
+        });
+    }
+
+    /// The first `n` index keys in selection order, realized by a k-way
+    /// merge over descending per-shard index cursors. Each shard's index
+    /// is already sorted, so the merge is O(min(n, len) · S) with no
+    /// allocation beyond the result — never a full-pool sort.
+    fn select_best(&self, n: usize) -> Vec<FeeKey> {
+        let mut cursors: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.index.keys().rev().copied())
+            .collect();
+        let mut heads: Vec<Option<FeeKey>> = cursors.iter_mut().map(Iterator::next).collect();
+        let mut out = Vec::with_capacity(n.min(self.len));
+        while out.len() < n {
+            // Best head = maximum FeeKey (descending order is selection
+            // order). Shard ids partition record ids, so ties are
+            // impossible and the winner is unique.
+            let Some(winner) = (0..heads.len())
+                .filter(|&i| heads[i].is_some())
+                .max_by_key(|&i| heads[i])
+            else {
+                break;
+            };
+            let Some(key) = heads[winner].take() else {
+                break;
+            };
+            out.push(key);
+            heads[winner] = cursors[winner].next();
+        }
+        out
+    }
+
+    /// Takes up to `n` records in selection order (fee descending, id
+    /// ascending), removing them from the pool.
+    pub fn take_best(&mut self, n: usize) -> Vec<Record> {
+        let taken: Vec<Record> = self
+            .select_best(n)
+            .into_iter()
+            .filter_map(|key| {
+                let record = self.shard_of_mut(&key.id).remove(&key.id)?;
+                self.len -= 1;
+                Some(record)
+            })
+            .collect();
+        self.update_occupancy();
+        taken
+    }
+
+    /// Peeks the same selection without removing.
+    pub fn peek_best(&self, n: usize) -> Vec<&Record> {
+        self.select_best(n)
+            .into_iter()
+            .filter_map(|key| self.shard_of(&key.id).records.get(&key.id))
+            .collect()
+    }
+
+    /// Drops records that appear in a newly-connected block.
+    pub fn remove_included(&mut self, block: &Block) {
+        for r in block.records() {
+            if self.shard_of_mut(&r.id()).remove(&r.id()).is_some() {
+                self.len -= 1;
+            }
+        }
+        self.update_occupancy();
+    }
+}
+
+impl Default for Mempool {
+    fn default() -> Self {
+        Mempool::new(DEFAULT_CAPACITY)
+    }
+}
+
+/// The seed single-`HashMap` pool, kept verbatim as the differential and
+/// benchmark reference for [`Mempool`] (the role
+/// `validate_block_sequential` plays for `validate_block`): `insert` pays
+/// an O(n) min-fee eviction scan and `take_best`/`peek_best` re-sort the
+/// whole pool. `pipeline_bench` gates the sharded pool against this
+/// baseline and `mempool_proptests` proves outcome equivalence.
+///
+/// The one behavioural difference is deliberate: among equal-fee eviction
+/// candidates this reference picks a `HashMap`-iteration-order victim,
+/// which was never deterministic; [`Mempool`] pins the tie to the highest
+/// id (the reverse of [`selection_order`]).
+#[derive(Debug, Clone)]
+pub struct FlatMempool {
     records: HashMap<Digest, Record>,
     capacity: usize,
 }
 
-impl Mempool {
-    /// Creates a pool bounded at `capacity` records.
+impl FlatMempool {
+    /// Creates a flat pool bounded at `capacity` records.
     pub fn new(capacity: usize) -> Self {
-        Mempool {
+        FlatMempool {
             records: HashMap::new(),
             capacity: capacity.max(1),
         }
@@ -56,41 +421,19 @@ impl Mempool {
         self.records.is_empty()
     }
 
-    /// Whether a record id is pending.
-    pub fn contains(&self, id: &Digest) -> bool {
-        self.records.contains_key(id)
-    }
-
-    /// Admits a record after signature verification.
-    ///
-    /// When full, the lowest-fee record is evicted if the newcomer pays
-    /// more; otherwise admission fails.
+    /// Seed admission: signature check, duplicate check, O(n) min-fee
+    /// eviction scan at capacity.
     ///
     /// # Errors
     ///
-    /// - [`ChainError::RecordRejected`] for a bad signature or duplicate.
-    /// - [`ChainError::MempoolFull`] when full of higher-fee records.
+    /// As [`Mempool::insert`], except duplicates surface as
+    /// [`ChainError::DuplicatePending`] here too (the seed used a
+    /// generic rejection).
     pub fn insert(&mut self, record: Record) -> Result<(), ChainError> {
-        let result = self.insert_inner(record);
-        match &result {
-            Ok(()) => smartcrowd_telemetry::counter!("chain.mempool.admitted").inc(),
-            Err(_) => smartcrowd_telemetry::counter!("chain.mempool.rejected").inc(),
-        }
-        self.update_occupancy();
-        result
-    }
-
-    fn insert_inner(&mut self, record: Record) -> Result<(), ChainError> {
-        // Admission goes through the verified-signature cache: a record
-        // re-gossiped after a restart (or already admitted by a peer path)
-        // skips the ECDSA recovery, and the ids admitted here feed the
-        // block-validation fast path in `validate`.
         crate::sigcache::verify_cached(&record)?;
         let id = record.id();
         if self.records.contains_key(&id) {
-            return Err(ChainError::RecordRejected {
-                reason: "duplicate record".to_string(),
-            });
+            return Err(ChainError::DuplicatePending { id });
         }
         if self.records.len() >= self.capacity {
             let Some((victim_id, victim_fee)) = self
@@ -99,60 +442,27 @@ impl Mempool {
                 .map(|(id, r)| (*id, r.fee()))
                 .min_by_key(|(_, fee)| *fee)
             else {
-                // A zero-capacity pool has no victim to evict and can
-                // never accept a record.
                 return Err(ChainError::MempoolFull);
             };
             if record.fee() <= victim_fee {
                 return Err(ChainError::MempoolFull);
             }
             self.records.remove(&victim_id);
-            smartcrowd_telemetry::counter!("chain.mempool.evicted").inc();
         }
         self.records.insert(id, record);
         Ok(())
     }
 
-    fn update_occupancy(&self) {
-        smartcrowd_telemetry::gauge!("chain.mempool.occupancy").set(self.records.len() as i64);
-    }
-
-    /// Takes up to `n` records ordered by descending fee (miners maximize
-    /// the `ψ·ω` term of Eq. 8), removing them from the pool.
+    /// Seed selection: sort the whole pool by [`selection_order`], take
+    /// the prefix, remove it.
     pub fn take_best(&mut self, n: usize) -> Vec<Record> {
-        let mut all: Vec<(Digest, crate::amount::Ether)> =
-            self.records.iter().map(|(id, r)| (*id, r.fee())).collect();
-        // Deterministic order: fee desc, id asc as tiebreak.
-        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut all: Vec<(Ether, Digest)> =
+            self.records.iter().map(|(id, r)| (r.fee(), *id)).collect();
+        all.sort_by(selection_order);
         all.truncate(n);
-        let taken: Vec<Record> = all
-            .into_iter()
-            .filter_map(|(id, _)| self.records.remove(&id))
-            .collect();
-        self.update_occupancy();
-        taken
-    }
-
-    /// Peeks the same selection without removing.
-    pub fn peek_best(&self, n: usize) -> Vec<&Record> {
-        let mut all: Vec<&Record> = self.records.values().collect();
-        all.sort_by(|a, b| b.fee().cmp(&a.fee()).then(a.id().cmp(&b.id())));
-        all.truncate(n);
-        all
-    }
-
-    /// Drops records that appear in a newly-connected block.
-    pub fn remove_included(&mut self, block: &Block) {
-        for r in block.records() {
-            self.records.remove(&r.id());
-        }
-        self.update_occupancy();
-    }
-}
-
-impl Default for Mempool {
-    fn default() -> Self {
-        Mempool::new(DEFAULT_CAPACITY)
+        all.into_iter()
+            .filter_map(|(_, id)| self.records.remove(&id))
+            .collect()
     }
 }
 
@@ -192,7 +502,7 @@ mod tests {
         pool.insert(r.clone()).unwrap();
         assert!(matches!(
             pool.insert(r),
-            Err(ChainError::RecordRejected { .. })
+            Err(ChainError::DuplicatePending { .. })
         ));
     }
 
@@ -230,6 +540,25 @@ mod tests {
     }
 
     #[test]
+    fn equal_fee_eviction_is_reverse_selection_order() {
+        // Among equal-fee victims the evicted record is the one with the
+        // highest id — the record `take_best` would have surfaced last.
+        let mut pool = Mempool::new(3);
+        let victims = [record(1, 5), record(2, 5), record(3, 5)];
+        let expected_victim = victims
+            .iter()
+            .map(Record::id)
+            .max()
+            .expect("three candidates");
+        for r in &victims {
+            pool.insert(r.clone()).unwrap();
+        }
+        pool.insert(record(4, 9)).unwrap();
+        assert!(!pool.contains(&expected_victim), "highest id evicted");
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
     fn remove_included_clears() {
         let mut pool = Mempool::new(10);
         let r1 = record(1, 5);
@@ -255,5 +584,64 @@ mod tests {
         pool.insert(record(1, 5)).unwrap();
         assert_eq!(pool.peek_best(5).len(), 1);
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn selection_identical_across_shard_counts() {
+        let records: Vec<Record> = (0..40).map(|i| record(i, (i * 7) % 13)).collect();
+        let reference: Vec<Digest> = {
+            let mut pool = Mempool::with_shards(64, 1);
+            for r in &records {
+                pool.insert(r.clone()).unwrap();
+            }
+            pool.take_best(40).iter().map(Record::id).collect()
+        };
+        for shards in [2, 8, 16, 256] {
+            let mut pool = Mempool::with_shards(64, shards);
+            for r in &records {
+                pool.insert(r.clone()).unwrap();
+            }
+            let ids: Vec<Digest> = pool.take_best(40).iter().map(Record::id).collect();
+            assert_eq!(ids, reference, "selection drifted at {shards} shards");
+            assert!(pool.is_empty());
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_inserts() {
+        let records: Vec<Record> = (0..24).map(|i| record(i, i)).collect();
+        let mut serial = Mempool::with_shards(8, 4);
+        let serial_results: Vec<_> = records.iter().map(|r| serial.insert(r.clone())).collect();
+        let mut batched = Mempool::with_shards(8, 4);
+        let batch_results = batched.insert_batch_with(records, &Pool::new(4));
+        assert_eq!(batch_results, serial_results);
+        assert_eq!(
+            batched
+                .take_best(8)
+                .iter()
+                .map(Record::id)
+                .collect::<Vec<_>>(),
+            serial
+                .take_best(8)
+                .iter()
+                .map(Record::id)
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn flat_pool_agrees_with_sharded_on_distinct_fees() {
+        let records: Vec<Record> = (0..30).map(|i| record(i, 100 + i)).collect();
+        let mut flat = FlatMempool::new(12);
+        let mut sharded = Mempool::new(12);
+        for r in &records {
+            let a = flat.insert(r.clone());
+            let b = sharded.insert(r.clone());
+            assert_eq!(a.is_ok(), b.is_ok());
+        }
+        let flat_ids: Vec<Digest> = flat.take_best(12).iter().map(Record::id).collect();
+        let sharded_ids: Vec<Digest> = sharded.take_best(12).iter().map(Record::id).collect();
+        assert_eq!(flat_ids, sharded_ids);
+        assert!(flat.is_empty() && sharded.is_empty());
     }
 }

@@ -24,6 +24,7 @@
 use crate::error::ChainError;
 use crate::record::Record;
 use smartcrowd_crypto::Digest;
+use smartcrowd_pool::Pool;
 use std::collections::{HashSet, VecDeque};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -85,6 +86,57 @@ pub fn verify_cached(record: &Record) -> Result<(), ChainError> {
     record.verify_signature()?;
     insert(id);
     Ok(())
+}
+
+/// Index-aligned signature verdicts for a burst of records, recovered
+/// through the cache with the misses fanned out on `pool`.
+///
+/// This is the shared fast path behind both block validation and
+/// [`crate::mempool::Mempool::insert_batch_with`]. Determinism: cache
+/// lookups, hit/miss accounting and cache insertions all happen on the
+/// caller's thread in input order; only the pure ECDSA recoveries run on
+/// workers, merged back by index — so the returned verdicts, the cache's
+/// evolution and every telemetry counter are thread-count-invariant.
+pub fn verify_batch(records: &[&Record], pool: &Pool) -> Vec<Result<(), ChainError>> {
+    let mut results: Vec<Result<(), ChainError>> = Vec::with_capacity(records.len());
+    let mut misses: Vec<usize> = Vec::new();
+    for (index, record) in records.iter().enumerate() {
+        if contains(&record.id()) {
+            smartcrowd_telemetry::counter!("chain.sigcache.hit").inc();
+            results.push(Ok(()));
+        } else {
+            smartcrowd_telemetry::counter!("chain.sigcache.miss").inc();
+            misses.push(index);
+            results.push(Ok(())); // placeholder, overwritten below
+        }
+    }
+    if misses.is_empty() {
+        return results;
+    }
+    let verdicts = pool.par_map(&misses, |&index| records[index].verify_signature());
+    for (&index, verdict) in misses.iter().zip(verdicts) {
+        if verdict.is_ok() {
+            insert(records[index].id());
+        }
+        results[index] = verdict;
+    }
+    results
+}
+
+/// Pre-warms the cache for a gossip round on the global worker pool: the
+/// uncached records' recoveries run in parallel *now* so the sequential
+/// per-record handling that follows hits the cache instead of paying one
+/// ECDSA recovery at a time.
+///
+/// Purely an accelerator — cache contents never change any admission or
+/// validation *outcome* (a hit only skips recomputing a verdict the miss
+/// path would reach), so seeded simulations stay byte-identical whether
+/// or not a path warms first. Bad signatures are left uncached, exactly
+/// as [`verify_cached`] would.
+pub fn warm(records: &[&Record]) {
+    if records.len() >= 2 {
+        let _ = verify_batch(records, smartcrowd_pool::global());
+    }
 }
 
 /// Current number of cached ids.

@@ -173,38 +173,13 @@ fn check_linkage<Q: ChainQuery + ?Sized>(store: &Q, block: &Block) -> Result<(),
     Ok(())
 }
 
-/// Index-aligned signature verdicts for every record, recovered through
-/// the [`sigcache`] with the misses fanned out on `pool`.
-///
-/// Determinism: cache lookups, hit/miss accounting and cache insertions
-/// all happen on the caller's thread in record order; only the pure
-/// ECDSA recoveries run on workers, and their results are merged back by
-/// index. Thread count can therefore never change the returned verdicts,
-/// the cache's evolution, or any telemetry counter.
+/// Index-aligned signature verdicts for every record, delegated to the
+/// shared [`sigcache::verify_batch`] fast path (cache bookkeeping on the
+/// caller's thread in record order, misses fanned out on `pool`, results
+/// merged by index — thread-count-invariant by construction).
 fn cached_signature_results(records: &[Record], pool: &Pool) -> Vec<Result<(), ChainError>> {
-    let mut results: Vec<Result<(), ChainError>> = Vec::with_capacity(records.len());
-    let mut misses: Vec<usize> = Vec::new();
-    for (index, record) in records.iter().enumerate() {
-        if sigcache::contains(&record.id()) {
-            smartcrowd_telemetry::counter!("chain.sigcache.hit").inc();
-            results.push(Ok(()));
-        } else {
-            smartcrowd_telemetry::counter!("chain.sigcache.miss").inc();
-            misses.push(index);
-            results.push(Ok(())); // placeholder, overwritten below
-        }
-    }
-    if misses.is_empty() {
-        return results;
-    }
-    let verdicts = pool.par_map(&misses, |&index| records[index].verify_signature());
-    for (&index, verdict) in misses.iter().zip(verdicts) {
-        if verdict.is_ok() {
-            sigcache::insert(records[index].id());
-        }
-        results[index] = verdict;
-    }
-    results
+    let refs: Vec<&Record> = records.iter().collect();
+    sigcache::verify_batch(&refs, pool)
 }
 
 #[cfg(test)]

@@ -402,6 +402,19 @@ impl ChaosSim {
                 });
             }
             let deliveries = self.net.drain();
+            // Batch admission per round: warm the signature cache for the
+            // round's records in parallel before the sequential delivery
+            // loop. Cache contents never change an outcome, so seeded
+            // plans stay byte-identical at any thread or shard count —
+            // the flood's ECDSA recoveries just run amortized.
+            let round_records: Vec<&smartcrowd_chain::record::Record> = deliveries
+                .iter()
+                .filter_map(|d| match &d.message {
+                    Message::Record(r) => Some(r),
+                    _ => None,
+                })
+                .collect();
+            smartcrowd_chain::sigcache::warm(&round_records);
             for d in deliveries {
                 let idx = self.index_of(d.to);
                 let out = match &mut self.slots[idx] {

@@ -1,0 +1,68 @@
+//! Shard-count invariance under chaos: one seeded fault plan — record
+//! flood, partition, crash-restart — must produce *identical* oracle
+//! outcomes whether every node's mempool runs 1 shard or 8 (DESIGN.md
+//! §19: selection, eviction and admission are shard-count-invariant, so
+//! the entire seeded simulation is too).
+//!
+//! This test owns its process (its own integration-test binary) and runs
+//! both configurations sequentially, so mutating the
+//! `SMARTCROWD_MEMPOOL_SHARDS` environment variable is race-free. CI
+//! runs the same check as a dedicated chaos-job step.
+
+use smartcrowd_chain::mempool::SHARDS_ENV;
+use smartcrowd_chaos::plan::{ByzantineBehavior, FaultEvent, FaultKind, FaultPlan};
+use smartcrowd_chaos::sim::run_plan;
+use smartcrowd_net::LinkConfig;
+
+fn plan() -> FaultPlan {
+    FaultPlan {
+        nodes: 5,
+        rounds: 18,
+        link: LinkConfig::default(),
+        events: vec![
+            // A garbage flood keeps every mempool churning at capacity —
+            // the case where a shard-dependent eviction victim would
+            // immediately change which records confirm.
+            FaultEvent {
+                round: 2,
+                kind: FaultKind::Byzantine {
+                    node: 4,
+                    behavior: ByzantineBehavior::GarbageFlood { per_round: 32 },
+                },
+            },
+            FaultEvent {
+                round: 5,
+                kind: FaultKind::Partition { minority: vec![3] },
+            },
+            FaultEvent {
+                round: 9,
+                kind: FaultKind::Heal,
+            },
+            FaultEvent {
+                round: 11,
+                kind: FaultKind::Crash { node: 1 },
+            },
+            FaultEvent {
+                round: 13,
+                kind: FaultKind::Restart { node: 1 },
+            },
+        ],
+    }
+}
+
+#[test]
+fn seeded_plan_identical_at_1_and_8_shards() {
+    let plan = plan();
+    let mut outcomes = Vec::new();
+    for shards in ["1", "8"] {
+        std::env::set_var(SHARDS_ENV, shards);
+        let outcome = run_plan(&plan, 424_242, None)
+            .unwrap_or_else(|f| panic!("plan failed at {shards} shards: {f}"));
+        outcomes.push(format!("{outcome:?}"));
+    }
+    std::env::remove_var(SHARDS_ENV);
+    assert_eq!(
+        outcomes[0], outcomes[1],
+        "seeded chaos outcome diverged between 1 and 8 mempool shards"
+    );
+}

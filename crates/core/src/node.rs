@@ -234,7 +234,7 @@ impl ProviderNode {
             self.next_nonce(),
             &self.keypair,
         );
-        let _ = self.mempool.insert(record.clone());
+        self.admit_record(record.clone());
         let mut out = Outbox::default();
         out.push(Message::Record(record));
         (sra_id, out)
@@ -243,6 +243,27 @@ impl ProviderNode {
     fn next_nonce(&mut self) -> u64 {
         self.nonce += 1;
         self.nonce
+    }
+
+    /// Admits a record to the mempool, distinguishing the benign
+    /// re-gossip case from real rejections. A
+    /// [`smartcrowd_chain::ChainError::DuplicatePending`] means a peer
+    /// redelivered something already queued — expected under gossip, not
+    /// worth counting. Anything else (bad signature, fee too low for a
+    /// full pool) is a genuine drop, counted under
+    /// `core.node.record_dropped` so operators can see admission
+    /// pressure instead of records silently vanishing.
+    ///
+    /// Returns whether the record is now pending.
+    fn admit_record(&mut self, record: Record) -> bool {
+        match self.mempool.insert(record) {
+            Ok(()) => true,
+            Err(smartcrowd_chain::ChainError::DuplicatePending { .. }) => false,
+            Err(_) => {
+                smartcrowd_telemetry::counter!("core.node.record_dropped").inc();
+                false
+            }
+        }
     }
 
     /// Handles one incoming message, returning what to gossip onward.
@@ -271,6 +292,29 @@ impl ProviderNode {
         out
     }
 
+    /// Handles one gossip round's deliveries as a batch: the signature
+    /// recoveries for every record in the round fan out on the worker
+    /// pool first ([`smartcrowd_chain::sigcache::warm`]), then each
+    /// message is handled **sequentially in delivery order** — so the
+    /// outcomes, broadcasts and state transitions are exactly those of
+    /// per-message [`ProviderNode::handle`] calls; only the ECDSA cost is
+    /// amortized across the burst.
+    pub fn handle_batch(&mut self, messages: Vec<Message>) -> Outbox {
+        let records: Vec<&Record> = messages
+            .iter()
+            .filter_map(|m| match m {
+                Message::Record(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        smartcrowd_chain::sigcache::warm(&records);
+        let mut out = Outbox::default();
+        for message in messages {
+            out.broadcast.extend(self.handle(message).broadcast);
+        }
+        out
+    }
+
     fn handle_record(&mut self, record: Record, out: &mut Outbox) {
         use smartcrowd_telemetry::counter;
         counter!("core.node.records_received").inc();
@@ -287,7 +331,7 @@ impl ProviderNode {
                     if sra.verify().is_ok() && !self.sras.contains_key(sra.id()) {
                         let image_hash = *sra.image_hash();
                         self.sras.insert(*sra.id(), sra);
-                        if self.mempool.insert(record).is_ok() {
+                        if self.admit_record(record) {
                             // Start the U_l download unless we host it.
                             if !self.hosted.contains_key(&image_hash)
                                 && self.pending_images.insert(image_hash)
@@ -306,7 +350,7 @@ impl ProviderNode {
                             self.initials.entry(key)
                         {
                             slot.insert(report);
-                            let _ = self.mempool.insert(record);
+                            self.admit_record(record);
                         }
                     }
                 }
@@ -315,19 +359,19 @@ impl ProviderNode {
                 if let Ok(report) = DetailedReport::decode(record.payload()) {
                     match self.check_detailed(&report) {
                         Ok(()) => {
-                            let _ = self.mempool.insert(record);
+                            self.admit_record(record);
                         }
                         Err(CoreError::NotFound) => {
                             // Artifact still downloading; retry on arrival.
                             self.deferred_detailed.push(report);
-                            let _ = self.mempool.insert(record);
+                            self.admit_record(record);
                         }
                         Err(_) => {}
                     }
                 }
             }
             _ => {
-                let _ = self.mempool.insert(record);
+                self.admit_record(record);
             }
         }
     }

@@ -201,6 +201,20 @@ impl DistributedSim {
                 });
             }
             let deliveries = self.net.drain();
+            // Batch admission per delivery round: fan the round's record
+            // signature recoveries out on the worker pool before the
+            // sequential delivery loop below. The warm only populates the
+            // signature cache — it never changes an admission outcome —
+            // so the seeded schedule stays byte-identical at any thread
+            // count while each gossip burst pays ECDSA once, in parallel.
+            let round_records: Vec<&smartcrowd_chain::record::Record> = deliveries
+                .iter()
+                .filter_map(|d| match &d.message {
+                    Message::Record(r) => Some(r),
+                    _ => None,
+                })
+                .collect();
+            smartcrowd_chain::sigcache::warm(&round_records);
             for d in deliveries {
                 let idx = self
                     .node_ids
